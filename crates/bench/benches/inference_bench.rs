@@ -1,0 +1,78 @@
+//! Benchmarks of the Sparse-MCS inference path: compressive-sensing matrix
+//! completion and leave-one-out quality assessment at paper-relevant sizes
+//! (57 cells × 24-cycle window, the Figure 6 working set).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drcell_datasets::{CellGrid, DataMatrix};
+use drcell_inference::{
+    CompressiveSensing, CompressiveSensingConfig, InferenceAlgorithm, KnnInference, ObservedMatrix,
+    TemporalInference,
+};
+use drcell_quality::{ErrorMetric, QualityAssessor, QualityRequirement};
+
+fn observed(cells: usize, cycles: usize, keep_mod: usize) -> ObservedMatrix {
+    let truth = DataMatrix::from_fn(cells, cycles, |i, t| {
+        5.0 + (i as f64 * 0.4).sin() * (t as f64 * 0.3).cos()
+    });
+    ObservedMatrix::from_selection(&truth, |i, t| (i * 13 + t * 7) % keep_mod != 0)
+}
+
+fn bench_completion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("completion");
+    for &(cells, cycles) in &[(16usize, 12usize), (57, 24), (36, 24)] {
+        let obs = observed(cells, cycles, 4);
+        let cs = CompressiveSensing::default();
+        group.bench_with_input(
+            BenchmarkId::new("compressive_sensing", format!("{cells}x{cycles}")),
+            &cells,
+            |b, _| b.iter(|| cs.complete(&obs).unwrap()),
+        );
+        let grid = CellGrid::full_grid(1, cells, 50.0, 30.0);
+        let knn = KnnInference::new(grid, 3).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("knn", format!("{cells}x{cycles}")),
+            &cells,
+            |b, _| b.iter(|| knn.complete(&obs).unwrap()),
+        );
+        let temporal = TemporalInference::new();
+        group.bench_with_input(
+            BenchmarkId::new("temporal", format!("{cells}x{cycles}")),
+            &cells,
+            |b, _| b.iter(|| temporal.complete(&obs).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_quality_assessment(c: &mut Criterion) {
+    // One leave-one-out Bayesian assessment as executed per selection in
+    // the Figure 6 testing loop.
+    let mut group = c.benchmark_group("quality");
+    group.sample_size(20);
+    for &sensed in &[4usize, 8, 16] {
+        let cells = 57;
+        let cycles = 24;
+        let truth = DataMatrix::from_fn(cells, cycles, |i, t| {
+            5.0 + (i as f64 * 0.4).sin() * (t as f64 * 0.3).cos()
+        });
+        let obs = ObservedMatrix::from_selection(&truth, |i, t| {
+            t + 1 < cycles || i % (cells / sensed).max(1) == 0
+        });
+        let cs = CompressiveSensing::new(CompressiveSensingConfig {
+            max_iters: 12,
+            ..Default::default()
+        })
+        .unwrap();
+        let assessor = QualityAssessor::new(
+            QualityRequirement::new(0.3, 0.9).unwrap(),
+            ErrorMetric::MeanAbsolute,
+        );
+        group.bench_with_input(BenchmarkId::new("loo_assess", sensed), &sensed, |b, _| {
+            b.iter(|| assessor.assess(&obs, cycles - 1, &cs).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_completion, bench_quality_assessment);
+criterion_main!(benches);

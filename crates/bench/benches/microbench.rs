@@ -1,0 +1,58 @@
+//! Microbenchmarks of the linear-algebra substrate: the decompositions that
+//! dominate compressive sensing and quality assessment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drcell_linalg::decomp::{Cholesky, Lu, Qr, Svd};
+use drcell_linalg::Matrix;
+
+fn spd(n: usize) -> Matrix {
+    let a = Matrix::from_fn(n, n, |r, c| ((r * 31 + c * 17) % 13) as f64 / 13.0 - 0.5);
+    let mut g = a.transpose().matmul(&a).expect("square");
+    for i in 0..n {
+        g[(i, i)] += n as f64;
+    }
+    g
+}
+
+fn rect(m: usize, n: usize) -> Matrix {
+    Matrix::from_fn(m, n, |r, c| ((r * 7 + c * 3) % 11) as f64 / 11.0 - 0.5)
+}
+
+fn bench_decompositions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decomp");
+    for &n in &[8usize, 32, 64] {
+        let a = spd(n);
+        let b = vec![1.0; n];
+        group.bench_with_input(BenchmarkId::new("cholesky_solve", n), &n, |bch, _| {
+            bch.iter(|| Cholesky::new(&a).unwrap().solve(&b).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("lu_solve", n), &n, |bch, _| {
+            bch.iter(|| Lu::new(&a).unwrap().solve(&b).unwrap())
+        });
+    }
+    for &(m, n) in &[(32usize, 8usize), (64, 16)] {
+        let a = rect(m, n);
+        group.bench_with_input(BenchmarkId::new("qr", format!("{m}x{n}")), &m, |bch, _| {
+            bch.iter(|| Qr::new(&a).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("svd", format!("{m}x{n}")), &m, |bch, _| {
+            bch.iter(|| Svd::new(&a).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[16usize, 57, 128] {
+        let a = rect(n, n);
+        let b = rect(n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| a.matmul(&b).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decompositions, bench_matmul);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Benchmarks of Q-function training (§5.4 reports 2–4 h wall-clock on the
+//! authors' CPU testbed for full training; this measures the per-step cost
+//! of both network variants so totals can be extrapolated).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drcell_linalg::Matrix;
+use drcell_neural::Adam;
+use drcell_rl::{DqnAgent, DqnConfig, DrqnQNetwork, MlpQNetwork, QNetwork, Transition};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn filled_agent<N: QNetwork>(net: N, cells: usize, k: usize) -> DqnAgent<N> {
+    let mut agent = DqnAgent::new(
+        net,
+        Box::new(Adam::new(1e-3)),
+        DqnConfig {
+            batch_size: 32,
+            learning_starts: 32,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // Pre-fill replay with plausible transitions.
+    for i in 0..256 {
+        let mut s = Matrix::zeros(k, cells);
+        s[(k - 1, i % cells)] = 1.0;
+        let mut s2 = s.clone();
+        s2[(k - 1, (i + 1) % cells)] = 1.0;
+        agent.observe(Transition::new(
+            s,
+            (i + 1) % cells,
+            if i % 7 == 0 { 56.0 } else { -1.0 },
+            s2,
+            vec![true; cells],
+            false,
+        ));
+    }
+    agent
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(20);
+    for &(cells, k) in &[(16usize, 3usize), (57, 3)] {
+        let mut rng = StdRng::seed_from_u64(0);
+        let drqn = DrqnQNetwork::new(cells, 48, &mut rng).unwrap();
+        let mut agent = filled_agent(drqn, cells, k);
+        group.bench_with_input(BenchmarkId::new("drqn", cells), &cells, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| agent.train_step(&mut rng).unwrap())
+        });
+
+        let mut rng = StdRng::seed_from_u64(0);
+        let mlp = MlpQNetwork::new(k, cells, &[64], &mut rng).unwrap();
+        let mut agent = filled_agent(mlp, cells, k);
+        group.bench_with_input(BenchmarkId::new("dqn_dense", cells), &cells, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| agent.train_step(&mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("q_forward");
+    for &cells in &[16usize, 57] {
+        let mut rng = StdRng::seed_from_u64(0);
+        let drqn = DrqnQNetwork::new(cells, 48, &mut rng).unwrap();
+        let state = Matrix::zeros(3, cells);
+        group.bench_with_input(BenchmarkId::new("drqn", cells), &cells, |b, _| {
+            b.iter(|| drqn.q_values(&state))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_step, bench_forward);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Ablation studies beyond the paper's figures, probing the §4 design
+//! choices:
+//!
+//! * **DRQN vs dense DQN** — does the LSTM help (paper §4.3's motivation)?
+//! * **history window k** — how much selection history matters (§4.1).
+//! * **reward constants** — sensitivity to the `R − c` shaping (§4.1(3)).
+//! * **oracle context** — the greedy ground-truth policy as an upper-bound
+//!   proxy (footnote 1).
+//!
+//! ```sh
+//! cargo run --release -p drcell-bench --bin ablations [--quick]
+//! ```
+
+use drcell_bench::{temperature_task, Scale, EXPERIMENT_SEED};
+use drcell_core::{
+    CellSelectionPolicy, DrCellPolicy, DrCellTrainer, GreedyErrorPolicy, McsEnvConfig,
+    RandomPolicy, RunnerConfig, SensingTask, SparseMcsRunner, TrainerConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run(
+    task: &SensingTask,
+    policy: &mut dyn CellSelectionPolicy,
+    label: &str,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    let runner = SparseMcsRunner::new(task, RunnerConfig::default())?;
+    let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED);
+    let report = runner.run(policy, &mut rng)?;
+    println!(
+        "  {:<24} {:>6.2} cells/cycle (within-ε {:>5.1}%)",
+        label,
+        report.mean_cells_per_cycle(),
+        report.fraction_within_epsilon() * 100.0
+    );
+    Ok(report.mean_cells_per_cycle())
+}
+
+fn trainer_with(episodes: usize, k: usize, bonus: Option<f64>, cost: f64) -> DrCellTrainer {
+    DrCellTrainer::new(TrainerConfig {
+        episodes,
+        env: McsEnvConfig {
+            history_k: k,
+            reward_bonus: bonus,
+            cost,
+            ..Default::default()
+        },
+        ..TrainerConfig::default()
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = Scale::from_args();
+    let episodes = match scale {
+        Scale::Paper => 12,
+        Scale::Quick => 3,
+    };
+    let task = temperature_task(scale)?;
+    println!(
+        "=== Ablations on the temperature task ({} cells, scale {scale:?}) ===",
+        task.cells()
+    );
+
+    println!("\n[A1] network architecture (k = 3):");
+    let trainer = trainer_with(episodes, 3, None, 1.0);
+    let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED);
+    let drqn = trainer.train_drqn(&task, &mut rng)?;
+    run(&task, &mut DrCellPolicy::new(drqn, 3), "DRQN (LSTM)")?;
+    let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED);
+    let dqn = trainer.train_dqn(&task, &mut rng)?;
+    run(&task, &mut DrCellPolicy::new(dqn, 3), "DQN (dense)")?;
+
+    println!("\n[A2] history window k (DRQN):");
+    for k in [1usize, 3, 5] {
+        let trainer = trainer_with(episodes, k, None, 1.0);
+        let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED);
+        let agent = trainer.train_drqn(&task, &mut rng)?;
+        run(&task, &mut DrCellPolicy::new(agent, k), &format!("k = {k}"))?;
+    }
+
+    println!("\n[A3] reward shaping (DRQN, k = 3):");
+    let m = task.cells() as f64;
+    for (label, bonus, cost) in [
+        ("R = m, c = 1 (paper)", None, 1.0),
+        ("R = m/4, c = 1", Some(m / 4.0), 1.0),
+        ("R = 4m, c = 1", Some(4.0 * m), 1.0),
+    ] {
+        let trainer = trainer_with(episodes, 3, bonus, cost);
+        let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED);
+        let agent = trainer.train_drqn(&task, &mut rng)?;
+        run(&task, &mut DrCellPolicy::new(agent, 3), label)?;
+    }
+
+    println!("\n[A4] reference points:");
+    run(&task, &mut RandomPolicy::new(), "RANDOM")?;
+    run(
+        &task,
+        &mut GreedyErrorPolicy::new(task.truth().clone(), 0, 24)?,
+        "GREEDY-ORACLE (cheating)",
+    )?;
+
+    Ok(())
+}

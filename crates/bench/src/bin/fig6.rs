@@ -1,0 +1,57 @@
+//! Regenerates **Figure 6**: average number of selected cells per cycle for
+//! DR-Cell vs QBC vs RANDOM on the temperature task (ε = 0.3 °C) and the
+//! PM2.5 task (ε = 9/36), each at p ∈ {0.9, 0.95}.
+//!
+//! ```sh
+//! cargo run --release -p drcell-bench --bin fig6 [--quick]
+//! ```
+
+use drcell_bench::{pm25_task, temperature_task, Scale, EXPERIMENT_SEED};
+use drcell_core::experiments::fig6;
+use drcell_core::{DrCellTrainer, RunnerConfig, TrainerConfig};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = Scale::from_args();
+    println!("=== Figure 6: selected cells per cycle (scale {scale:?}) ===");
+    let episodes = match scale {
+        Scale::Paper => 12,
+        Scale::Quick => 4,
+    };
+    let trainer = DrCellTrainer::new(TrainerConfig {
+        episodes,
+        ..TrainerConfig::default()
+    });
+    let runner = RunnerConfig::default();
+
+    for (label, task) in [
+        ("temperature (ε = 0.3 °C)", temperature_task(scale)?),
+        ("PM2.5 (ε = 9/36)", pm25_task(scale)?),
+    ] {
+        println!("\n--- {label}: {} cells, {} testing cycles ---", task.cells(), task.test_cycles());
+        let t0 = Instant::now();
+        let rows = fig6(&task, &[0.9, 0.95], &trainer, &runner, EXPERIMENT_SEED)?;
+        for r in &rows {
+            println!("{}", r.row());
+        }
+        // Relative savings of DR-Cell per p.
+        for p in [0.9, 0.95] {
+            let get = |name: &str| {
+                rows.iter()
+                    .find(|r| r.policy == name && (r.p - p).abs() < 1e-9)
+                    .map(|r| r.mean_cells)
+            };
+            if let (Some(dr), Some(qbc), Some(rnd)) =
+                (get("DR-Cell"), get("QBC"), get("RANDOM"))
+            {
+                println!(
+                    "  p={p}: DR-Cell saves {:+.1}% vs QBC, {:+.1}% vs RANDOM",
+                    100.0 * (1.0 - dr / qbc),
+                    100.0 * (1.0 - dr / rnd)
+                );
+            }
+        }
+        println!("  [{label} done in {:?}]", t0.elapsed());
+    }
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Regenerates **Figure 7**: transfer learning between temperature and
+//! humidity (both directions). The source task trains on the full 2-day
+//! stage; the target task gets only 10 cycles. Variants: TRANSFER,
+//! NO-TRANSFER, SHORT-TRAIN, RANDOM.
+//!
+//! ```sh
+//! cargo run --release -p drcell-bench --bin fig7 [--quick]
+//! ```
+
+use drcell_bench::{humidity_task, temperature_task, Scale, EXPERIMENT_SEED};
+use drcell_core::experiments::fig7;
+use drcell_core::{DrCellTrainer, RunnerConfig, TrainerConfig};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = Scale::from_args();
+    println!("=== Figure 7: transfer learning (scale {scale:?}) ===");
+    let episodes = match scale {
+        Scale::Paper => 12,
+        Scale::Quick => 4,
+    };
+    // Paper: target task sees only 10 cycles (5 hours) of training data.
+    let target_cycles = 10;
+    let trainer = DrCellTrainer::new(TrainerConfig {
+        episodes,
+        ..TrainerConfig::default()
+    });
+    let runner = RunnerConfig::default();
+
+    let temperature = temperature_task(scale)?;
+    let humidity = humidity_task(scale)?;
+
+    for (label, source, target) in [
+        ("humidity -> temperature", &humidity, &temperature),
+        ("temperature -> humidity", &temperature, &humidity),
+    ] {
+        println!("\n--- target: {label} ---");
+        let t0 = Instant::now();
+        let rows = fig7(source, target, target_cycles, &trainer, &runner, EXPERIMENT_SEED)?;
+        for r in &rows {
+            println!("{}", r.row());
+        }
+        let get = |name: &str| {
+            rows.iter()
+                .find(|r| r.variant == name)
+                .map(|r| r.mean_cells)
+        };
+        if let (Some(tr), Some(nt), Some(st), Some(rd)) = (
+            get("TRANSFER"),
+            get("NO-TRANSFER"),
+            get("SHORT-TRAIN"),
+            get("RANDOM"),
+        ) {
+            println!(
+                "  TRANSFER saves {:+.1}% vs NO-TRANSFER, {:+.1}% vs SHORT-TRAIN, {:+.1}% vs RANDOM",
+                100.0 * (1.0 - tr / nt),
+                100.0 * (1.0 - tr / st),
+                100.0 * (1.0 - tr / rd)
+            );
+        }
+        println!("  [done in {:?}]", t0.elapsed());
+    }
+    Ok(())
+}

@@ -1,0 +1,154 @@
+//! # drcell-bench — experiment harness shared code
+//!
+//! The binaries in `src/bin/` regenerate the paper's tables and figures;
+//! this library holds the shared task builders and the scale switch so the
+//! same code paths serve both the full paper-scale runs and quick
+//! smoke-test runs.
+
+#![deny(missing_docs)]
+
+use drcell_core::{CoreError, SensingTask};
+use drcell_datasets::{
+    SensorScopeConfig, SensorScopeDataset, UAirConfig, UAirDataset,
+};
+use drcell_quality::{ErrorMetric, QualityRequirement};
+
+/// How big to run an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Full paper scale: 57-cell Sensor-Scope, 36-cell U-Air, 7/11 days.
+    Paper,
+    /// Scaled down for smoke tests (~16 cells, 3 days).
+    Quick,
+}
+
+impl Scale {
+    /// Parses `--quick` from the command line; anything else is `Paper`.
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Paper
+        }
+    }
+}
+
+/// The default seed used across experiment binaries, so every table in
+/// EXPERIMENTS.md regenerates identically.
+pub const EXPERIMENT_SEED: u64 = 20180507; // the paper's arXiv v2 date
+
+/// Builds the Sensor-Scope-like dataset at the requested scale.
+pub fn sensorscope(scale: Scale) -> (SensorScopeConfig, SensorScopeDataset) {
+    let config = match scale {
+        Scale::Paper => SensorScopeConfig::default(),
+        Scale::Quick => SensorScopeConfig {
+            cells: 16,
+            grid_rows: 4,
+            grid_cols: 4,
+            cycles: 3 * 48,
+            ..SensorScopeConfig::default()
+        },
+    };
+    let ds = SensorScopeDataset::generate(&config, EXPERIMENT_SEED);
+    (config, ds)
+}
+
+/// Builds the U-Air-like dataset at the requested scale.
+pub fn uair(scale: Scale) -> (UAirConfig, UAirDataset) {
+    let config = match scale {
+        Scale::Paper => UAirConfig::default(),
+        Scale::Quick => UAirConfig {
+            grid_rows: 4,
+            grid_cols: 4,
+            cycles: 5 * 24,
+            ..UAirConfig::default()
+        },
+    };
+    let ds = UAirDataset::generate(&config, EXPERIMENT_SEED);
+    (config, ds)
+}
+
+/// The temperature task: (0.3 °C, p)-quality, 2-day training stage
+/// (paper §5.3/§5.4).
+///
+/// # Errors
+///
+/// Propagates task-construction failures.
+pub fn temperature_task(scale: Scale) -> Result<SensingTask, CoreError> {
+    let (config, ds) = sensorscope(scale);
+    let train = 2 * config.cycles_per_day;
+    SensingTask::new(
+        "temperature",
+        ds.temperature,
+        ds.grid,
+        ErrorMetric::MeanAbsolute,
+        QualityRequirement::new(0.3, 0.9).map_err(drcell_core::CoreError::Quality)?,
+        train,
+    )
+}
+
+/// The humidity task: (1.5 %, 0.9)-quality (paper §5.4).
+///
+/// # Errors
+///
+/// Propagates task-construction failures.
+pub fn humidity_task(scale: Scale) -> Result<SensingTask, CoreError> {
+    let (config, ds) = sensorscope(scale);
+    let train = 2 * config.cycles_per_day;
+    SensingTask::new(
+        "humidity",
+        ds.humidity,
+        ds.grid,
+        ErrorMetric::MeanAbsolute,
+        QualityRequirement::new(1.5, 0.9).map_err(drcell_core::CoreError::Quality)?,
+        train,
+    )
+}
+
+/// The PM2.5 task: (9/36, p)-classification-quality, 2-day training stage
+/// (paper §5.1/§5.4).
+///
+/// # Errors
+///
+/// Propagates task-construction failures.
+pub fn pm25_task(scale: Scale) -> Result<SensingTask, CoreError> {
+    let (config, ds) = uair(scale);
+    let train = 2 * config.cycles_per_day;
+    SensingTask::new(
+        "PM2.5",
+        ds.pm25,
+        ds.grid,
+        ErrorMetric::AqiClassification,
+        QualityRequirement::new(0.25, 0.9).map_err(drcell_core::CoreError::Quality)?,
+        train,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_tasks_build() {
+        let t = temperature_task(Scale::Quick).unwrap();
+        assert_eq!(t.cells(), 16);
+        assert_eq!(t.train_cycles(), 96);
+        let h = humidity_task(Scale::Quick).unwrap();
+        assert_eq!(h.cells(), 16);
+        let p = pm25_task(Scale::Quick).unwrap();
+        assert_eq!(p.cells(), 16);
+        assert_eq!(p.train_cycles(), 48);
+    }
+
+    #[test]
+    fn paper_tasks_match_table1() {
+        let t = temperature_task(Scale::Paper).unwrap();
+        assert_eq!(t.cells(), 57);
+        assert_eq!(t.cycles(), 336);
+        assert_eq!(t.train_cycles(), 96);
+        let p = pm25_task(Scale::Paper).unwrap();
+        assert_eq!(p.cells(), 36);
+        assert_eq!(p.cycles(), 264);
+        assert_eq!(p.train_cycles(), 48);
+    }
+}

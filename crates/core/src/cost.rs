@@ -1,0 +1,183 @@
+//! Heterogeneous data-collection costs — the paper's §6 future-work item
+//! ("we will also consider a case where the data collection costs of
+//! different cells are diverse").
+//!
+//! A [`CostModel`] prices each cell's data submission. The training
+//! environment can charge the per-cell price in its reward (so DR-Cell
+//! learns to avoid expensive cells when cheaper ones are as informative),
+//! and [`crate::RunReport`] can be re-priced after the fact.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CoreError, RunReport};
+
+/// Per-cell data-collection prices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    costs: Vec<f64>,
+}
+
+impl CostModel {
+    /// Every cell costs the same `c` (the paper's main-body setting).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for non-positive `c` or zero
+    /// cells.
+    pub fn uniform(cells: usize, c: f64) -> Result<Self, CoreError> {
+        if cells == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "cost model needs at least one cell".to_owned(),
+            });
+        }
+        if !c.is_finite() || c <= 0.0 {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("uniform cost must be positive, got {c}"),
+            });
+        }
+        Ok(CostModel {
+            costs: vec![c; cells],
+        })
+    }
+
+    /// Explicit per-cell prices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when empty or any price is not
+    /// strictly positive and finite.
+    pub fn per_cell(costs: Vec<f64>) -> Result<Self, CoreError> {
+        if costs.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                reason: "cost model needs at least one cell".to_owned(),
+            });
+        }
+        if let Some((i, &c)) = costs
+            .iter()
+            .enumerate()
+            .find(|(_, c)| !c.is_finite() || **c <= 0.0)
+        {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("cell {i} has invalid cost {c}"),
+            });
+        }
+        Ok(CostModel { costs })
+    }
+
+    /// Number of cells priced.
+    pub fn cells(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Price of sensing `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn cost(&self, cell: usize) -> f64 {
+        self.costs[cell]
+    }
+
+    /// Borrows all prices.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.costs
+    }
+
+    /// Total price of a selection set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn total(&self, cells: &[usize]) -> f64 {
+        cells.iter().map(|&i| self.costs[i]).sum()
+    }
+
+    /// Re-prices a finished run: the total collection cost the organiser
+    /// would have paid under this model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when a recorded selection is
+    /// outside this model's cell range.
+    pub fn price_report(&self, report: &RunReport) -> Result<f64, CoreError> {
+        let mut total = 0.0;
+        for c in &report.cycles {
+            for &cell in &c.selected {
+                if cell >= self.costs.len() {
+                    return Err(CoreError::InvalidConfig {
+                        reason: format!(
+                            "report references cell {cell}, cost model has {}",
+                            self.costs.len()
+                        ),
+                    });
+                }
+                total += self.costs[cell];
+            }
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CycleRecord;
+    use drcell_quality::QualityRequirement;
+
+    fn report(selections: Vec<Vec<usize>>) -> RunReport {
+        RunReport {
+            policy: "X".into(),
+            task: "t".into(),
+            requirement: QualityRequirement::new(0.3, 0.9).unwrap(),
+            cycles: selections
+                .into_iter()
+                .enumerate()
+                .map(|(i, selected)| CycleRecord {
+                    cycle: i,
+                    selected,
+                    true_error: 0.1,
+                    estimated_probability: 0.95,
+                    within_epsilon: true,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn uniform_prices_everything_equally() {
+        let m = CostModel::uniform(4, 2.0).unwrap();
+        assert_eq!(m.cells(), 4);
+        assert_eq!(m.cost(3), 2.0);
+        assert_eq!(m.total(&[0, 1, 2]), 6.0);
+    }
+
+    #[test]
+    fn per_cell_prices() {
+        let m = CostModel::per_cell(vec![1.0, 5.0, 2.0]).unwrap();
+        assert_eq!(m.total(&[1, 2]), 7.0);
+        assert_eq!(m.as_slice(), &[1.0, 5.0, 2.0]);
+    }
+
+    #[test]
+    fn invalid_models_rejected() {
+        assert!(CostModel::uniform(0, 1.0).is_err());
+        assert!(CostModel::uniform(3, 0.0).is_err());
+        assert!(CostModel::per_cell(vec![]).is_err());
+        assert!(CostModel::per_cell(vec![1.0, -2.0]).is_err());
+        assert!(CostModel::per_cell(vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn price_report_sums_selections() {
+        let m = CostModel::per_cell(vec![1.0, 10.0, 100.0]).unwrap();
+        let r = report(vec![vec![0, 1], vec![2]]);
+        assert_eq!(m.price_report(&r).unwrap(), 111.0);
+    }
+
+    #[test]
+    fn price_report_range_checked() {
+        let m = CostModel::uniform(2, 1.0).unwrap();
+        let r = report(vec![vec![5]]);
+        assert!(m.price_report(&r).is_err());
+    }
+}

@@ -1,0 +1,99 @@
+use std::error::Error;
+use std::fmt;
+
+use drcell_inference::InferenceError;
+use drcell_neural::NeuralError;
+use drcell_quality::QualityError;
+use drcell_rl::RlError;
+
+/// Errors produced by the DR-Cell core.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A configuration value was invalid.
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// The task definition was inconsistent (shapes, splits).
+    InvalidTask {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A substrate error bubbled up.
+    Inference(InferenceError),
+    /// A quality-assessment error bubbled up.
+    Quality(QualityError),
+    /// An RL error bubbled up.
+    Rl(RlError),
+    /// A network error bubbled up.
+    Neural(NeuralError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            CoreError::InvalidTask { reason } => write!(f, "invalid task: {reason}"),
+            CoreError::Inference(e) => write!(f, "inference failure: {e}"),
+            CoreError::Quality(e) => write!(f, "quality-assessment failure: {e}"),
+            CoreError::Rl(e) => write!(f, "reinforcement-learning failure: {e}"),
+            CoreError::Neural(e) => write!(f, "network failure: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Inference(e) => Some(e),
+            CoreError::Quality(e) => Some(e),
+            CoreError::Rl(e) => Some(e),
+            CoreError::Neural(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<InferenceError> for CoreError {
+    fn from(e: InferenceError) -> Self {
+        CoreError::Inference(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<QualityError> for CoreError {
+    fn from(e: QualityError) -> Self {
+        CoreError::Quality(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<RlError> for CoreError {
+    fn from(e: RlError) -> Self {
+        CoreError::Rl(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<NeuralError> for CoreError {
+    fn from(e: NeuralError) -> Self {
+        CoreError::Neural(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::Inference(InferenceError::NoObservations);
+        assert!(e.to_string().contains("inference"));
+        assert!(e.source().is_some());
+        let e = CoreError::InvalidConfig {
+            reason: "bad".into(),
+        };
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,286 @@
+//! Experiment harness reproducing the paper's evaluation (§5).
+//!
+//! Each function regenerates the data behind one table or figure; the
+//! `drcell-bench` binaries call these at full paper scale, while tests call
+//! them on scaled-down tasks. Rows are plain structs so callers can print,
+//! assert, or serialise them.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use drcell_neural::Adam;
+use drcell_quality::QualityRequirement;
+use drcell_rl::{DqnAgent, DrqnQNetwork};
+
+use crate::transfer::{limited_training_task, short_train};
+use crate::{
+    CoreError, DrCellPolicy, DrCellTrainer, QbcPolicy, RandomPolicy, RunReport, RunnerConfig,
+    SensingTask, SparseMcsRunner,
+};
+
+/// One bar of Figure 6: a policy's average number of selected cells per
+/// cycle under an (ε, p) requirement.
+#[derive(Debug, Clone)]
+pub struct Fig6Row {
+    /// Task name.
+    pub task: String,
+    /// Policy name (DR-Cell / QBC / RANDOM).
+    pub policy: String,
+    /// The p of the (ε, p)-quality requirement.
+    pub p: f64,
+    /// Average selected cells per cycle (the bar height).
+    pub mean_cells: f64,
+    /// Realised fraction of cycles within ε (sanity check of the
+    /// guarantee).
+    pub within_epsilon: f64,
+}
+
+impl Fig6Row {
+    fn from_report(report: &RunReport, p: f64) -> Self {
+        Fig6Row {
+            task: report.task.clone(),
+            policy: report.policy.clone(),
+            p,
+            mean_cells: report.mean_cells_per_cycle(),
+            within_epsilon: report.fraction_within_epsilon(),
+        }
+    }
+
+    /// Formatted output row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<14} p={:<5} {:<10} {:>6.2} cells/cycle (within-ε {:>5.1}%)",
+            self.task,
+            self.p,
+            self.policy,
+            self.mean_cells,
+            self.within_epsilon * 100.0
+        )
+    }
+}
+
+/// Reproduces one task's portion of **Figure 6**: DR-Cell vs QBC vs RANDOM
+/// at each requested `p`, reporting average selected cells per cycle.
+///
+/// # Errors
+///
+/// Propagates training, policy and runner failures.
+pub fn fig6(
+    task: &SensingTask,
+    ps: &[f64],
+    trainer: &DrCellTrainer,
+    runner_config: &RunnerConfig,
+    seed: u64,
+) -> Result<Vec<Fig6Row>, CoreError> {
+    // The Q-function only depends on ε (the training-stage quality signal),
+    // not on p, so train once and reuse the agent for every p.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let agent = trainer.train_drqn(task, &mut rng)?;
+    let mut drcell = DrCellPolicy::new(agent, trainer.config().env.history_k);
+
+    let mut rows = Vec::new();
+    for &p in ps {
+        let req = QualityRequirement::new(task.requirement().epsilon, p)?;
+        let task_p = task.with_requirement(req);
+        let runner = SparseMcsRunner::new(&task_p, runner_config.clone())?;
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        rows.push(Fig6Row::from_report(
+            &runner.run(&mut drcell, &mut rng)?,
+            p,
+        ));
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut qbc = QbcPolicy::new(task_p.grid(), runner_config.window)?;
+        rows.push(Fig6Row::from_report(&runner.run(&mut qbc, &mut rng)?, p));
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut random = RandomPolicy::new();
+        rows.push(Fig6Row::from_report(
+            &runner.run(&mut random, &mut rng)?,
+            p,
+        ));
+    }
+    Ok(rows)
+}
+
+/// One bar of Figure 7: a transfer-learning variant's average number of
+/// selected cells per cycle on the target task.
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    /// Target task name.
+    pub target: String,
+    /// Variant (TRANSFER / NO-TRANSFER / SHORT-TRAIN / RANDOM).
+    pub variant: String,
+    /// Average selected cells per cycle.
+    pub mean_cells: f64,
+    /// Realised fraction of cycles within ε.
+    pub within_epsilon: f64,
+}
+
+impl Fig7Row {
+    fn from_report(report: &RunReport) -> Self {
+        Fig7Row {
+            target: report.task.clone(),
+            variant: report.policy.clone(),
+            mean_cells: report.mean_cells_per_cycle(),
+            within_epsilon: report.fraction_within_epsilon(),
+        }
+    }
+
+    /// Formatted output row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<14} {:<12} {:>6.2} cells/cycle (within-ε {:>5.1}%)",
+            self.target,
+            self.variant,
+            self.mean_cells,
+            self.within_epsilon * 100.0
+        )
+    }
+}
+
+/// Reproduces one direction of **Figure 7**: TRANSFER vs NO-TRANSFER vs
+/// SHORT-TRAIN vs RANDOM on the target task, where the target has only
+/// `target_cycles` of training data (paper: 10 cycles).
+///
+/// # Errors
+///
+/// Propagates training, policy and runner failures.
+pub fn fig7(
+    source_task: &SensingTask,
+    target_task: &SensingTask,
+    target_cycles: usize,
+    trainer: &DrCellTrainer,
+    runner_config: &RunnerConfig,
+    seed: u64,
+) -> Result<Vec<Fig7Row>, CoreError> {
+    let runner = SparseMcsRunner::new(target_task, runner_config.clone())?;
+    let k = trainer.config().env.history_k;
+    let mut rows = Vec::new();
+
+    // The source Q-function is shared by TRANSFER (as the fine-tuning
+    // initialisation) and NO-TRANSFER (used as-is), so train it once.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let source_agent = trainer.train_drqn(source_task, &mut rng)?;
+    let source_params = source_agent.export_params();
+
+    let limited = limited_training_task(target_task, target_cycles)?;
+    let mut target_agent = DqnAgent::new(
+        DrqnQNetwork::new(target_task.cells(), trainer.config().hidden, &mut rng)?,
+        Box::new(Adam::new(trainer.config().learning_rate)),
+        trainer.config().dqn,
+    )?;
+    target_agent.import_params(&source_params);
+    let agent = trainer.train_agent(&limited, target_agent, &mut rng)?;
+    let mut policy = DrCellPolicy::new(agent, k).with_name("TRANSFER");
+    let mut rng = StdRng::seed_from_u64(seed);
+    rows.push(Fig7Row::from_report(&runner.run(&mut policy, &mut rng)?));
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut policy = DrCellPolicy::new(source_agent, k).with_name("NO-TRANSFER");
+    rows.push(Fig7Row::from_report(&runner.run(&mut policy, &mut rng)?));
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let agent = short_train(trainer, target_task, target_cycles, &mut rng)?;
+    let mut policy = DrCellPolicy::new(agent, k).with_name("SHORT-TRAIN");
+    rows.push(Fig7Row::from_report(&runner.run(&mut policy, &mut rng)?));
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut random = RandomPolicy::new();
+    rows.push(Fig7Row::from_report(&runner.run(&mut random, &mut rng)?));
+
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{McsEnvConfig, TrainerConfig};
+    use drcell_datasets::{CellGrid, DataMatrix};
+    use drcell_quality::{ErrorMetric, QualityRequirement};
+    use drcell_rl::{DqnConfig, EpsilonSchedule};
+
+    fn toy_task(name: &str, phase: f64) -> SensingTask {
+        let truth = DataMatrix::from_fn(6, 14, |i, t| {
+            3.0 + ((i as f64 + phase) * 0.8).sin() * 0.3 + (t as f64 * 0.5).sin() * 0.1
+        });
+        SensingTask::new(
+            name,
+            truth,
+            CellGrid::full_grid(2, 3, 10.0, 10.0),
+            ErrorMetric::MeanAbsolute,
+            QualityRequirement::new(0.25, 0.9).unwrap(),
+            8,
+        )
+        .unwrap()
+    }
+
+    fn fast_trainer() -> DrCellTrainer {
+        DrCellTrainer::new(TrainerConfig {
+            episodes: 2,
+            hidden: 8,
+            epsilon: EpsilonSchedule::Linear {
+                start: 1.0,
+                end: 0.2,
+                steps: 50,
+            },
+            dqn: DqnConfig {
+                batch_size: 8,
+                learning_starts: 8,
+                target_update_interval: 20,
+                ..Default::default()
+            },
+            env: McsEnvConfig {
+                history_k: 2,
+                window: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+    }
+
+    fn fast_runner() -> RunnerConfig {
+        RunnerConfig {
+            window: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fig6_produces_three_policies_per_p() {
+        let task = toy_task("toy", 0.0);
+        let rows = fig6(&task, &[0.9], &fast_trainer(), &fast_runner(), 1).unwrap();
+        assert_eq!(rows.len(), 3);
+        let names: Vec<&str> = rows.iter().map(|r| r.policy.as_str()).collect();
+        assert!(names.contains(&"DR-Cell"));
+        assert!(names.contains(&"QBC"));
+        assert!(names.contains(&"RANDOM"));
+        for r in &rows {
+            assert!(r.mean_cells >= 2.0, "{}", r.row());
+            assert!(r.mean_cells <= 6.0);
+            assert!(!r.row().is_empty());
+        }
+    }
+
+    #[test]
+    fn fig6_multiple_p_values() {
+        let task = toy_task("toy", 0.0);
+        let rows = fig6(&task, &[0.9, 0.95], &fast_trainer(), &fast_runner(), 2).unwrap();
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().any(|r| r.p == 0.9));
+        assert!(rows.iter().any(|r| r.p == 0.95));
+    }
+
+    #[test]
+    fn fig7_produces_four_variants() {
+        let src = toy_task("source", 0.0);
+        let tgt = toy_task("target", 0.4);
+        let rows = fig7(&src, &tgt, 4, &fast_trainer(), &fast_runner(), 3).unwrap();
+        assert_eq!(rows.len(), 4);
+        let names: Vec<&str> = rows.iter().map(|r| r.variant.as_str()).collect();
+        for expected in ["TRANSFER", "NO-TRANSFER", "SHORT-TRAIN", "RANDOM"] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+}

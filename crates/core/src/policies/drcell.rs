@@ -1,0 +1,179 @@
+use drcell_inference::ObservedMatrix;
+use drcell_rl::{DqnAgent, QNetwork, TabularQLearning};
+use rand::RngCore;
+
+use crate::{selection_history, CellSelectionPolicy, CoreError};
+
+/// The DR-Cell policy: greedy (ε = 0 at test time) action selection from a
+/// trained Q-network over the `k`-cycle selection-history state
+/// (paper §4.1/§4.3 — "choose the cell with the largest reward score").
+pub struct DrCellPolicy<N: QNetwork> {
+    agent: DqnAgent<N>,
+    history_k: usize,
+    name: String,
+}
+
+impl<N: QNetwork> std::fmt::Debug for DrCellPolicy<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DrCellPolicy")
+            .field("history_k", &self.history_k)
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl<N: QNetwork> DrCellPolicy<N> {
+    /// Wraps a trained agent; `history_k` must match the training state
+    /// model.
+    pub fn new(agent: DqnAgent<N>, history_k: usize) -> Self {
+        DrCellPolicy {
+            agent,
+            history_k,
+            name: "DR-Cell".to_owned(),
+        }
+    }
+
+    /// Overrides the display name (used by the transfer-learning
+    /// experiments to label TRANSFER / NO-TRANSFER / SHORT-TRAIN variants).
+    pub fn with_name(mut self, name: &str) -> Self {
+        self.name = name.to_owned();
+        self
+    }
+
+    /// Borrows the wrapped agent.
+    pub fn agent(&self) -> &DqnAgent<N> {
+        &self.agent
+    }
+}
+
+impl<N: QNetwork> CellSelectionPolicy for DrCellPolicy<N> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn select_next(
+        &mut self,
+        obs: &ObservedMatrix,
+        cycle: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<usize, CoreError> {
+        let state = selection_history(obs, cycle, self.history_k);
+        let mask: Vec<bool> = (0..obs.cells())
+            .map(|i| !obs.is_observed(i, cycle))
+            .collect();
+        Ok(self.agent.select_action(&state, &mask, 0.0, rng)?)
+    }
+}
+
+/// Tabular DR-Cell (paper §4.2): the same greedy selection backed by a
+/// learned Q-table — viable only for small areas, used by the Fig. 5
+/// walkthrough example and ablations.
+#[derive(Debug, Clone)]
+pub struct DrCellTabularPolicy {
+    table: TabularQLearning,
+    history_k: usize,
+}
+
+impl DrCellTabularPolicy {
+    /// Wraps a trained Q-table; `history_k` must match training.
+    pub fn new(table: TabularQLearning, history_k: usize) -> Self {
+        DrCellTabularPolicy { table, history_k }
+    }
+}
+
+impl CellSelectionPolicy for DrCellTabularPolicy {
+    fn name(&self) -> &str {
+        "DR-Cell (tabular)"
+    }
+
+    fn select_next(
+        &mut self,
+        obs: &ObservedMatrix,
+        cycle: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<usize, CoreError> {
+        let state = selection_history(obs, cycle, self.history_k);
+        let mask: Vec<bool> = (0..obs.cells())
+            .map(|i| !obs.is_observed(i, cycle))
+            .collect();
+        Ok(self.table.select_action(&state, &mask, 0.0, rng)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drcell_neural::Adam;
+    use drcell_rl::{DqnConfig, DrqnQNetwork, TabularConfig, Transition};
+    use drcell_linalg::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn agent(cells: usize, seed: u64) -> DqnAgent<DrqnQNetwork> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        DqnAgent::new(
+            DrqnQNetwork::new(cells, 8, &mut rng).unwrap(),
+            Box::new(Adam::new(1e-3)),
+            DqnConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn never_selects_observed_cell() {
+        let mut policy = DrCellPolicy::new(agent(4, 0), 2);
+        let mut obs = ObservedMatrix::new(4, 3);
+        obs.observe(0, 2, 1.0);
+        obs.observe(2, 2, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let a = policy.select_next(&obs, 2, &mut rng).unwrap();
+            assert!(a == 1 || a == 3);
+        }
+    }
+
+    #[test]
+    fn exhausted_cycle_errors() {
+        let mut policy = DrCellPolicy::new(agent(2, 1), 2);
+        let mut obs = ObservedMatrix::new(2, 1);
+        obs.observe(0, 0, 1.0);
+        obs.observe(1, 0, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(policy.select_next(&obs, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn name_override() {
+        let policy = DrCellPolicy::new(agent(3, 2), 2).with_name("TRANSFER");
+        assert_eq!(policy.name(), "TRANSFER");
+    }
+
+    #[test]
+    fn tabular_policy_uses_learned_values() {
+        let mut table = TabularQLearning::new(
+            3,
+            TabularConfig {
+                alpha: 1.0,
+                gamma: 0.9,
+            },
+        )
+        .unwrap();
+        // Teach: from the empty 1-cycle history state, action 2 is best.
+        let s0 = Matrix::zeros(1, 3);
+        let mut s1 = Matrix::zeros(1, 3);
+        s1[(0, 2)] = 1.0;
+        table.update(&Transition::new(
+            s0,
+            2,
+            5.0,
+            s1,
+            vec![true, true, false],
+            true,
+        ));
+        let mut policy = DrCellTabularPolicy::new(table, 1);
+        let obs = ObservedMatrix::new(3, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(policy.select_next(&obs, 0, &mut rng).unwrap(), 2);
+        assert_eq!(policy.name(), "DR-Cell (tabular)");
+    }
+}

@@ -1,0 +1,137 @@
+use drcell_datasets::DataMatrix;
+use drcell_inference::{
+    CompressiveSensing, CompressiveSensingConfig, InferenceAlgorithm, ObservedMatrix,
+};
+use drcell_linalg::vector;
+use rand::{Rng, RngCore};
+
+use crate::{CellSelectionPolicy, CoreError};
+
+/// An *oracle* policy for ablations only: it peeks at the ground truth and
+/// senses the unsensed cell whose current inferred value is most wrong.
+///
+/// The paper (footnote 1) notes the optimal strategy "needs to know the
+/// ground truth data of each cell in advance, which is absolutely
+/// impossible in reality" — this greedy oracle is a practical upper-bound
+/// proxy used to contextualise DR-Cell's gap from optimal.
+pub struct GreedyErrorPolicy {
+    truth: DataMatrix,
+    truth_offset: usize,
+    cs: CompressiveSensing,
+    window: usize,
+}
+
+impl std::fmt::Debug for GreedyErrorPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GreedyErrorPolicy")
+            .field("window", &self.window)
+            .field("truth_offset", &self.truth_offset)
+            .finish()
+    }
+}
+
+impl GreedyErrorPolicy {
+    /// Creates the oracle. `truth` is the *full* ground-truth matrix and
+    /// `truth_offset` maps the runner's cycle indices into it (the runner
+    /// works on the testing stage, whose cycle 0 is `truth_offset` in the
+    /// full matrix — pass 0 when the observation matrix and truth align).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a zero window.
+    pub fn new(truth: DataMatrix, truth_offset: usize, window: usize) -> Result<Self, CoreError> {
+        if window == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "window must be positive".to_owned(),
+            });
+        }
+        Ok(GreedyErrorPolicy {
+            truth,
+            truth_offset,
+            cs: CompressiveSensing::new(CompressiveSensingConfig {
+                max_iters: 15,
+                ..CompressiveSensingConfig::default()
+            })?,
+            window,
+        })
+    }
+}
+
+impl CellSelectionPolicy for GreedyErrorPolicy {
+    fn name(&self) -> &str {
+        "GREEDY-ORACLE"
+    }
+
+    fn select_next(
+        &mut self,
+        obs: &ObservedMatrix,
+        cycle: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<usize, CoreError> {
+        let candidates = obs.unobserved_cells_at(cycle);
+        if candidates.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                reason: "select_next called with every cell already sensed".to_owned(),
+            });
+        }
+        if obs.observed_count() == 0 {
+            return Ok(candidates[rng.gen_range(0..candidates.len())]);
+        }
+        let w = self.window.min(cycle + 1);
+        let from = cycle + 1 - w;
+        let mut win = ObservedMatrix::new(obs.cells(), w);
+        for i in 0..obs.cells() {
+            for t in 0..w {
+                if let Some(v) = obs.get(i, from + t) {
+                    win.observe(i, t, v);
+                }
+            }
+        }
+        let completed = self.cs.complete(&win)?;
+        let mut errors = vec![0.0; obs.cells()];
+        for &i in &candidates {
+            let truth_v = self.truth.value(i, self.truth_offset + cycle);
+            errors[i] = (completed.value(i, w - 1) - truth_v).abs();
+        }
+        Ok(vector::argmax(&errors).expect("non-empty"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn picks_the_most_mispredicted_cell() {
+        // Flat field except cell 3 which spikes: with only flat cells
+        // observed, the completion badly mispredicts cell 3.
+        let truth = DataMatrix::from_fn(4, 2, |i, t| {
+            if i == 3 && t == 1 {
+                100.0
+            } else {
+                1.0
+            }
+        });
+        let obs = ObservedMatrix::from_selection(&truth, |i, t| t == 0 || i < 2);
+        let mut p = GreedyErrorPolicy::new(truth, 0, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = p.select_next(&obs, 1, &mut rng).unwrap();
+        assert_eq!(a, 3);
+    }
+
+    #[test]
+    fn cold_start_random_valid() {
+        let truth = DataMatrix::zeros(3, 1);
+        let obs = ObservedMatrix::new(3, 1);
+        let mut p = GreedyErrorPolicy::new(truth, 0, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(p.select_next(&obs, 0, &mut rng).unwrap() < 3);
+    }
+
+    #[test]
+    fn zero_window_rejected() {
+        assert!(GreedyErrorPolicy::new(DataMatrix::zeros(2, 1), 0, 0).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+use drcell_inference::ObservedMatrix;
+use rand::{Rng, RngCore};
+
+use crate::{CellSelectionPolicy, CoreError};
+
+/// The RANDOM baseline (paper §5.2): select cells uniformly at random one
+/// by one until the quality requirement is satisfied.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomPolicy {
+    _priv: (),
+}
+
+impl RandomPolicy {
+    /// Creates the random policy.
+    pub fn new() -> Self {
+        RandomPolicy::default()
+    }
+}
+
+impl CellSelectionPolicy for RandomPolicy {
+    fn name(&self) -> &str {
+        "RANDOM"
+    }
+
+    fn select_next(
+        &mut self,
+        obs: &ObservedMatrix,
+        cycle: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<usize, CoreError> {
+        let candidates = obs.unobserved_cells_at(cycle);
+        if candidates.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                reason: "select_next called with every cell already sensed".to_owned(),
+            });
+        }
+        Ok(candidates[rng.gen_range(0..candidates.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn only_unobserved_cells_selected() {
+        let mut obs = ObservedMatrix::new(4, 1);
+        obs.observe(1, 0, 1.0);
+        obs.observe(3, 0, 1.0);
+        let mut p = RandomPolicy::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            let a = p.select_next(&obs, 0, &mut rng).unwrap();
+            assert!(a == 0 || a == 2);
+        }
+    }
+
+    #[test]
+    fn covers_all_candidates_eventually() {
+        let obs = ObservedMatrix::new(5, 1);
+        let mut p = RandomPolicy::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(p.select_next(&obs, 0, &mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn exhausted_cycle_errors() {
+        let mut obs = ObservedMatrix::new(2, 1);
+        obs.observe(0, 0, 1.0);
+        obs.observe(1, 0, 1.0);
+        let mut p = RandomPolicy::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(p.select_next(&obs, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn name_is_random() {
+        assert_eq!(RandomPolicy::new().name(), "RANDOM");
+    }
+}

@@ -1,0 +1,98 @@
+//! State modelling (paper §4.1(1), Fig. 4): the RL state is the selection
+//! history of the most recent `k` cycles, with the current cycle last.
+
+use drcell_inference::ObservedMatrix;
+use drcell_linalg::Matrix;
+
+/// Builds the `k × m` selection-history state for `cycle` from the
+/// observation mask: row `k−1` is the current cycle's selection vector,
+/// row `k−2` the previous cycle's, and so on; cycles before the start of
+/// the task contribute zero rows.
+///
+/// ```
+/// use drcell_core::selection_history;
+/// use drcell_inference::ObservedMatrix;
+///
+/// let mut obs = ObservedMatrix::new(3, 4);
+/// obs.observe(1, 2, 5.0); // current cycle: cell 1 selected
+/// obs.observe(0, 1, 4.0); // previous cycle: cell 0 selected
+/// let s = selection_history(&obs, 2, 2);
+/// assert_eq!(s.shape(), (2, 3));
+/// assert_eq!(s[(0, 0)], 1.0); // previous cycle, cell 0
+/// assert_eq!(s[(1, 1)], 1.0); // current cycle, cell 1
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `cycle >= obs.cycles()`.
+pub fn selection_history(obs: &ObservedMatrix, cycle: usize, k: usize) -> Matrix {
+    assert!(k > 0, "history window must be positive");
+    assert!(cycle < obs.cycles(), "cycle out of range");
+    let m = obs.cells();
+    Matrix::from_fn(k, m, |row, cell| {
+        // row 0 is the oldest cycle in the window; row k−1 the current one.
+        let offset = (k - 1) - row;
+        if offset > cycle {
+            0.0
+        } else {
+            let c = cycle - offset;
+            if obs.is_observed(cell, c) {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn early_cycles_zero_padded() {
+        let mut obs = ObservedMatrix::new(2, 5);
+        obs.observe(0, 0, 1.0);
+        let s = selection_history(&obs, 0, 3);
+        assert_eq!(s.shape(), (3, 2));
+        // Rows 0 and 1 are before the task start: all zeros.
+        assert_eq!(s.row(0), &[0.0, 0.0]);
+        assert_eq!(s.row(1), &[0.0, 0.0]);
+        assert_eq!(s.row(2), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn window_slides_with_cycle() {
+        let mut obs = ObservedMatrix::new(2, 5);
+        obs.observe(0, 1, 1.0);
+        obs.observe(1, 2, 2.0);
+        obs.observe(0, 3, 3.0);
+        let s = selection_history(&obs, 3, 2);
+        // Rows: cycle 2 then cycle 3.
+        assert_eq!(s.row(0), &[0.0, 1.0]);
+        assert_eq!(s.row(1), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn matches_paper_fig4_shape() {
+        // Fig. 4: 5 cells, two recent cycles -> 2 × 5 state (we store rows
+        // as cycles; the paper draws columns, the content is identical).
+        let obs = ObservedMatrix::new(5, 4);
+        let s = selection_history(&obs, 3, 2);
+        assert_eq!(s.shape(), (2, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle out of range")]
+    fn cycle_bound_checked() {
+        let obs = ObservedMatrix::new(2, 3);
+        selection_history(&obs, 3, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "history window")]
+    fn zero_window_rejected() {
+        let obs = ObservedMatrix::new(2, 3);
+        selection_history(&obs, 0, 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Transfer learning between correlated sensing tasks (paper §4.4).
+//!
+//! When two tasks in the same area are correlated (temperature ↔ humidity),
+//! the Q-function trained on the data-rich *source* task initialises the
+//! *target* task's network, which is then fine-tuned on the target's small
+//! training set — the paper's Figure 7 TRANSFER method. The comparison
+//! variants are provided alongside:
+//!
+//! * [`transfer_train`] — TRANSFER: source params + fine-tuning,
+//! * [`no_transfer`] — NO-TRANSFER: use the source Q-function directly,
+//! * [`short_train`] — SHORT-TRAIN: train from scratch on the small set.
+
+use rand::Rng;
+
+use drcell_neural::Adam;
+use drcell_rl::{DqnAgent, DrqnQNetwork};
+
+use crate::{CoreError, DrCellTrainer, SensingTask};
+
+/// Builds the target task limited to `cycles` of training data (the paper
+/// uses 10 cycles ≈ 5 hours) while keeping the same testing stage.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidTask`] when `cycles` is zero or not smaller
+/// than the task's training stage.
+pub fn limited_training_task(task: &SensingTask, cycles: usize) -> Result<SensingTask, CoreError> {
+    if cycles == 0 || cycles > task.train_cycles() {
+        return Err(CoreError::InvalidTask {
+            reason: format!(
+                "limited training cycles {} must be in 1..={}",
+                cycles,
+                task.train_cycles()
+            ),
+        });
+    }
+    // Same underlying data; only the training boundary shrinks. Testing
+    // still starts at the original boundary, so runs stay comparable — the
+    // extra cycles between `cycles` and the boundary are simply unused.
+    SensingTask::new(
+        task.name(),
+        task.truth().clone(),
+        task.grid().clone(),
+        task.metric(),
+        task.requirement(),
+        cycles,
+    )
+}
+
+/// TRANSFER (paper §4.4): train on the source task, copy the parameters
+/// into the target network, fine-tune on the target's limited data.
+///
+/// # Errors
+///
+/// Propagates training failures.
+pub fn transfer_train<R: Rng + ?Sized>(
+    trainer: &DrCellTrainer,
+    source_task: &SensingTask,
+    target_task: &SensingTask,
+    target_cycles: usize,
+    rng: &mut R,
+) -> Result<DqnAgent<DrqnQNetwork>, CoreError> {
+    let source_agent = trainer.train_drqn(source_task, rng)?;
+    let limited = limited_training_task(target_task, target_cycles)?;
+    let mut target_agent = DqnAgent::new(
+        DrqnQNetwork::new(target_task.cells(), trainer.config().hidden, rng)?,
+        Box::new(Adam::new(trainer.config().learning_rate)),
+        trainer.config().dqn,
+    )?;
+    target_agent.import_params(&source_agent.export_params());
+    trainer.train_agent(&limited, target_agent, rng)
+}
+
+/// NO-TRANSFER (paper §5.4): apply the source task's Q-function to the
+/// target task without any fine-tuning.
+///
+/// # Errors
+///
+/// Propagates training failures.
+pub fn no_transfer<R: Rng + ?Sized>(
+    trainer: &DrCellTrainer,
+    source_task: &SensingTask,
+    rng: &mut R,
+) -> Result<DqnAgent<DrqnQNetwork>, CoreError> {
+    trainer.train_drqn(source_task, rng)
+}
+
+/// SHORT-TRAIN (paper §5.4): train the target task from scratch on only the
+/// limited training data.
+///
+/// # Errors
+///
+/// Propagates training failures.
+pub fn short_train<R: Rng + ?Sized>(
+    trainer: &DrCellTrainer,
+    target_task: &SensingTask,
+    target_cycles: usize,
+    rng: &mut R,
+) -> Result<DqnAgent<DrqnQNetwork>, CoreError> {
+    let limited = limited_training_task(target_task, target_cycles)?;
+    trainer.train_drqn(&limited, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{McsEnvConfig, TrainerConfig};
+    use drcell_datasets::{CellGrid, DataMatrix};
+    use drcell_quality::{ErrorMetric, QualityRequirement};
+    use drcell_rl::{DqnConfig, EpsilonSchedule};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn task(name: &str, phase: f64) -> SensingTask {
+        let truth = DataMatrix::from_fn(4, 12, |i, t| {
+            1.0 + ((i as f64 + phase) * 0.7).sin() * 0.3 + t as f64 * 0.01
+        });
+        SensingTask::new(
+            name,
+            truth,
+            CellGrid::full_grid(2, 2, 10.0, 10.0),
+            ErrorMetric::MeanAbsolute,
+            QualityRequirement::new(0.2, 0.9).unwrap(),
+            8,
+        )
+        .unwrap()
+    }
+
+    fn trainer() -> DrCellTrainer {
+        DrCellTrainer::new(TrainerConfig {
+            episodes: 2,
+            hidden: 8,
+            epsilon: EpsilonSchedule::Linear {
+                start: 1.0,
+                end: 0.2,
+                steps: 40,
+            },
+            dqn: DqnConfig {
+                batch_size: 8,
+                learning_starts: 8,
+                target_update_interval: 20,
+                ..Default::default()
+            },
+            env: McsEnvConfig {
+                history_k: 2,
+                window: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn limited_task_shrinks_training_only() {
+        let t = task("src", 0.0);
+        let limited = limited_training_task(&t, 3).unwrap();
+        assert_eq!(limited.train_cycles(), 3);
+        assert_eq!(limited.cycles(), t.cycles());
+        assert!(limited_training_task(&t, 0).is_err());
+        assert!(limited_training_task(&t, 9).is_err());
+    }
+
+    #[test]
+    fn transfer_produces_trained_agent() {
+        let src = task("src", 0.0);
+        let tgt = task("tgt", 0.3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let agent = transfer_train(&trainer(), &src, &tgt, 4, &mut rng).unwrap();
+        assert!(agent.train_steps() > 0);
+        assert_eq!(agent.num_actions(), 4);
+    }
+
+    #[test]
+    fn variants_produce_distinct_parameters() {
+        let src = task("src", 0.0);
+        let tgt = task("tgt", 0.3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let tr = trainer();
+        let transfer = transfer_train(&tr, &src, &tgt, 4, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let no_tr = no_transfer(&tr, &src, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let short = short_train(&tr, &tgt, 4, &mut rng).unwrap();
+        // Fine-tuning must have moved the transferred network away from the
+        // raw source network.
+        assert_ne!(transfer.export_params(), no_tr.export_params());
+        assert_ne!(transfer.export_params(), short.export_params());
+    }
+}

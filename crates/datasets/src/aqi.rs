@@ -1,0 +1,135 @@
+use serde::{Deserialize, Serialize};
+
+/// The six air-quality-index categories used by the U-Air PM2.5 task
+/// (paper §5.1, footnote 4).
+///
+/// ```
+/// use drcell_datasets::AqiCategory;
+///
+/// assert_eq!(AqiCategory::from_pm25(42.0), AqiCategory::Good);
+/// assert_eq!(AqiCategory::from_pm25(155.0), AqiCategory::Unhealthy);
+/// assert!(AqiCategory::Hazardous > AqiCategory::Good);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum AqiCategory {
+    /// PM2.5 in [0, 50].
+    Good,
+    /// PM2.5 in (50, 100].
+    Moderate,
+    /// PM2.5 in (100, 150].
+    UnhealthyForSensitiveGroups,
+    /// PM2.5 in (150, 200].
+    Unhealthy,
+    /// PM2.5 in (200, 300].
+    VeryUnhealthy,
+    /// PM2.5 above 300.
+    Hazardous,
+}
+
+impl AqiCategory {
+    /// Categorises a PM2.5 concentration (µg/m³). Negative readings are
+    /// clamped to `Good`.
+    pub fn from_pm25(pm25: f64) -> Self {
+        if pm25 <= 50.0 {
+            AqiCategory::Good
+        } else if pm25 <= 100.0 {
+            AqiCategory::Moderate
+        } else if pm25 <= 150.0 {
+            AqiCategory::UnhealthyForSensitiveGroups
+        } else if pm25 <= 200.0 {
+            AqiCategory::Unhealthy
+        } else if pm25 <= 300.0 {
+            AqiCategory::VeryUnhealthy
+        } else {
+            AqiCategory::Hazardous
+        }
+    }
+
+    /// All categories in severity order.
+    pub fn all() -> [AqiCategory; 6] {
+        [
+            AqiCategory::Good,
+            AqiCategory::Moderate,
+            AqiCategory::UnhealthyForSensitiveGroups,
+            AqiCategory::Unhealthy,
+            AqiCategory::VeryUnhealthy,
+            AqiCategory::Hazardous,
+        ]
+    }
+
+    /// Category index 0..6 in severity order.
+    pub fn index(self) -> usize {
+        match self {
+            AqiCategory::Good => 0,
+            AqiCategory::Moderate => 1,
+            AqiCategory::UnhealthyForSensitiveGroups => 2,
+            AqiCategory::Unhealthy => 3,
+            AqiCategory::VeryUnhealthy => 4,
+            AqiCategory::Hazardous => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for AqiCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AqiCategory::Good => "Good",
+            AqiCategory::Moderate => "Moderate",
+            AqiCategory::UnhealthyForSensitiveGroups => "Unhealthy for Sensitive Groups",
+            AqiCategory::Unhealthy => "Unhealthy",
+            AqiCategory::VeryUnhealthy => "Very Unhealthy",
+            AqiCategory::Hazardous => "Hazardous",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_match_paper_footnote() {
+        assert_eq!(AqiCategory::from_pm25(0.0), AqiCategory::Good);
+        assert_eq!(AqiCategory::from_pm25(50.0), AqiCategory::Good);
+        assert_eq!(AqiCategory::from_pm25(50.1), AqiCategory::Moderate);
+        assert_eq!(AqiCategory::from_pm25(100.0), AqiCategory::Moderate);
+        assert_eq!(
+            AqiCategory::from_pm25(150.0),
+            AqiCategory::UnhealthyForSensitiveGroups
+        );
+        assert_eq!(AqiCategory::from_pm25(200.0), AqiCategory::Unhealthy);
+        assert_eq!(AqiCategory::from_pm25(300.0), AqiCategory::VeryUnhealthy);
+        assert_eq!(AqiCategory::from_pm25(300.1), AqiCategory::Hazardous);
+        assert_eq!(AqiCategory::from_pm25(1000.0), AqiCategory::Hazardous);
+    }
+
+    #[test]
+    fn negative_clamps_to_good() {
+        assert_eq!(AqiCategory::from_pm25(-5.0), AqiCategory::Good);
+    }
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, cat) in AqiCategory::all().iter().enumerate() {
+            assert_eq!(cat.index(), i);
+        }
+    }
+
+    #[test]
+    fn ordering_by_severity() {
+        let all = AqiCategory::all();
+        for w in all.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for cat in AqiCategory::all() {
+            assert!(!cat.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,225 @@
+use serde::{Deserialize, Serialize};
+
+/// A ground-truth data matrix `D[m × n]`: `m` cells by `n` sensing cycles
+/// (paper §3, Definition 3).
+///
+/// Storage is row-major by cell, i.e. `value(i, t)` reads cell `i` at cycle
+/// `t`. The type is a passive data structure; interpretation (units, error
+/// metric) lives with the dataset that produced it.
+///
+/// ```
+/// use drcell_datasets::DataMatrix;
+///
+/// let mut d = DataMatrix::zeros(3, 4);
+/// d.set(2, 1, 7.5);
+/// assert_eq!(d.value(2, 1), 7.5);
+/// assert_eq!(d.cycle_snapshot(1), vec![0.0, 0.0, 7.5]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataMatrix {
+    cells: usize,
+    cycles: usize,
+    values: Vec<f64>,
+}
+
+impl DataMatrix {
+    /// Creates an all-zero matrix for `cells × cycles`.
+    pub fn zeros(cells: usize, cycles: usize) -> Self {
+        DataMatrix {
+            cells,
+            cycles,
+            values: vec![0.0; cells * cycles],
+        }
+    }
+
+    /// Creates a matrix by evaluating `f(cell, cycle)` for every entry.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(
+        cells: usize,
+        cycles: usize,
+        mut f: F,
+    ) -> Self {
+        let mut values = Vec::with_capacity(cells * cycles);
+        for i in 0..cells {
+            for t in 0..cycles {
+                values.push(f(i, t));
+            }
+        }
+        DataMatrix {
+            cells,
+            cycles,
+            values,
+        }
+    }
+
+    /// Number of cells (rows).
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// Number of sensing cycles (columns).
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+
+    /// Reads cell `i` at cycle `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn value(&self, cell: usize, cycle: usize) -> f64 {
+        assert!(cell < self.cells && cycle < self.cycles, "index out of bounds");
+        self.values[cell * self.cycles + cycle]
+    }
+
+    /// Writes cell `i` at cycle `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set(&mut self, cell: usize, cycle: usize, v: f64) {
+        assert!(cell < self.cells && cycle < self.cycles, "index out of bounds");
+        self.values[cell * self.cycles + cycle] = v;
+    }
+
+    /// The full time series of one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of bounds.
+    pub fn cell_series(&self, cell: usize) -> &[f64] {
+        assert!(cell < self.cells, "cell index out of bounds");
+        &self.values[cell * self.cycles..(cell + 1) * self.cycles]
+    }
+
+    /// The values of every cell at one cycle (a fresh `Vec`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` is out of bounds.
+    pub fn cycle_snapshot(&self, cycle: usize) -> Vec<f64> {
+        assert!(cycle < self.cycles, "cycle index out of bounds");
+        (0..self.cells).map(|i| self.value(i, cycle)).collect()
+    }
+
+    /// Restricts to the cycle range `[from, to)` — used to carve the
+    /// training stage ("first 2-day data", paper §5.3) from the full matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from > to` or `to > self.cycles()`.
+    pub fn cycle_window(&self, from: usize, to: usize) -> DataMatrix {
+        assert!(from <= to && to <= self.cycles, "invalid cycle window");
+        DataMatrix::from_fn(self.cells, to - from, |i, t| self.value(i, from + t))
+    }
+
+    /// Iterates over all values (row-major: cell-by-cell).
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.values.iter()
+    }
+
+    /// Mean of all entries; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// Population standard deviation of all entries; `None` when empty.
+    pub fn std_dev(&self) -> Option<f64> {
+        let m = self.mean()?;
+        let var =
+            self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.values.len() as f64;
+        Some(var.sqrt())
+    }
+
+    /// Affine rescale of all entries so the matrix has exactly
+    /// `target_mean` and `target_std` (used to calibrate generators to the
+    /// paper's Table 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or constant matrix, or `target_std < 0`.
+    pub fn calibrate(&mut self, target_mean: f64, target_std: f64) {
+        assert!(target_std >= 0.0, "target_std must be non-negative");
+        let m = self.mean().expect("calibrate on empty matrix");
+        let s = self.std_dev().expect("calibrate on empty matrix");
+        assert!(s > 0.0, "calibrate on constant matrix");
+        for v in &mut self.values {
+            *v = (*v - m) / s * target_std + target_mean;
+        }
+    }
+
+    /// Applies `f` to every entry in place (e.g. exponentiation for
+    /// log-normal marginals, clamping to physical ranges).
+    pub fn map_inplace<F: FnMut(f64) -> f64>(&mut self, mut f: F) {
+        for v in &mut self.values {
+            *v = f(*v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_layout() {
+        let d = DataMatrix::from_fn(2, 3, |i, t| (i * 10 + t) as f64);
+        assert_eq!(d.value(1, 2), 12.0);
+        assert_eq!(d.cell_series(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(d.cycle_snapshot(1), vec![1.0, 11.0]);
+    }
+
+    #[test]
+    fn cycle_window_extracts_training_stage() {
+        let d = DataMatrix::from_fn(2, 10, |i, t| (i * 100 + t) as f64);
+        let train = d.cycle_window(0, 4);
+        assert_eq!(train.cycles(), 4);
+        assert_eq!(train.value(1, 3), 103.0);
+        let test = d.cycle_window(4, 10);
+        assert_eq!(test.cycles(), 6);
+        assert_eq!(test.value(0, 0), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cycle window")]
+    fn cycle_window_bounds_checked() {
+        DataMatrix::zeros(1, 3).cycle_window(2, 5);
+    }
+
+    #[test]
+    fn mean_std_known() {
+        let d = DataMatrix::from_fn(1, 4, |_, t| t as f64); // 0,1,2,3
+        assert_eq!(d.mean().unwrap(), 1.5);
+        assert!((d.std_dev().unwrap() - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibrate_hits_targets_exactly() {
+        let mut d = DataMatrix::from_fn(3, 5, |i, t| (i * t) as f64);
+        d.calibrate(79.11, 81.21);
+        assert!((d.mean().unwrap() - 79.11).abs() < 1e-9);
+        assert!((d.std_dev().unwrap() - 81.21).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant matrix")]
+    fn calibrate_rejects_constant() {
+        DataMatrix::zeros(2, 2).calibrate(0.0, 1.0);
+    }
+
+    #[test]
+    fn map_inplace_applies() {
+        let mut d = DataMatrix::from_fn(1, 3, |_, t| t as f64);
+        d.map_inplace(|v| v * 2.0);
+        assert_eq!(d.cell_series(0), &[0.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_matrix_mean_none() {
+        assert_eq!(DataMatrix::zeros(0, 0).mean(), None);
+        assert_eq!(DataMatrix::zeros(0, 0).std_dev(), None);
+    }
+}

@@ -1,0 +1,361 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{CellGrid, DataMatrix};
+
+/// Parameters of the synthetic spatio-temporal field generator.
+///
+/// The generated field is a sum of
+///
+/// * a **diurnal component** shared by all cells (24 h and 12 h harmonics),
+/// * a **spatial component**: `anchors` Gaussian bumps whose weights evolve
+///   as an AR(1) process over cycles — this gives the cell × cycle matrix an
+///   effective rank of roughly `anchors + 2`, the low-rank structure
+///   compressive sensing exploits,
+/// * white **observation noise**.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FieldConfig {
+    /// Number of Gaussian spatial bumps (controls effective rank).
+    pub anchors: usize,
+    /// RBF length scale of the bumps in metres (controls spatial smoothness).
+    pub length_scale: f64,
+    /// AR(1) coefficient of the anchor weights in `[0, 1)` (temporal
+    /// persistence of the spatial pattern).
+    pub ar_coeff: f64,
+    /// Standard deviation of the stationary anchor-weight distribution.
+    pub spatial_std: f64,
+    /// Amplitude of the 24-hour harmonic.
+    pub diurnal_amplitude: f64,
+    /// Amplitude of the 12-hour harmonic.
+    pub semidiurnal_amplitude: f64,
+    /// Number of sensing cycles per day (48 for 0.5 h cycles, 24 for 1 h).
+    pub cycles_per_day: usize,
+    /// Standard deviation of white observation noise.
+    pub noise_std: f64,
+}
+
+impl Default for FieldConfig {
+    fn default() -> Self {
+        FieldConfig {
+            anchors: 6,
+            length_scale: 120.0,
+            ar_coeff: 0.95,
+            spatial_std: 1.0,
+            diurnal_amplitude: 1.0,
+            semidiurnal_amplitude: 0.3,
+            cycles_per_day: 48,
+            noise_std: 0.1,
+        }
+    }
+}
+
+/// Generates correlated spatio-temporal fields over a [`CellGrid`].
+///
+/// ```
+/// use drcell_datasets::{CellGrid, FieldConfig, FieldGenerator};
+/// use rand::SeedableRng;
+///
+/// let grid = CellGrid::full_grid(4, 4, 50.0, 30.0);
+/// let gen = FieldGenerator::new(grid, FieldConfig::default());
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let field = gen.generate(100, &mut rng);
+/// assert_eq!(field.cells(), 16);
+/// assert_eq!(field.cycles(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FieldGenerator {
+    grid: CellGrid,
+    config: FieldConfig,
+}
+
+/// Draws a standard normal variate via Box–Muller.
+pub(crate) fn randn<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+impl FieldGenerator {
+    /// Creates a generator for the given grid and parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.ar_coeff ∉ [0, 1)`, `config.length_scale <= 0`, or
+    /// `config.cycles_per_day == 0`.
+    pub fn new(grid: CellGrid, config: FieldConfig) -> Self {
+        assert!(
+            (0.0..1.0).contains(&config.ar_coeff),
+            "ar_coeff must be in [0, 1)"
+        );
+        assert!(config.length_scale > 0.0, "length_scale must be positive");
+        assert!(config.cycles_per_day > 0, "cycles_per_day must be positive");
+        FieldGenerator { grid, config }
+    }
+
+    /// Borrows the underlying grid.
+    pub fn grid(&self) -> &CellGrid {
+        &self.grid
+    }
+
+    /// Borrows the configuration.
+    pub fn config(&self) -> &FieldConfig {
+        &self.config
+    }
+
+    /// Generates a zero-mean field for `cycles` sensing cycles.
+    pub fn generate<R: Rng + ?Sized>(&self, cycles: usize, rng: &mut R) -> DataMatrix {
+        let m = self.grid.cells();
+        let cfg = &self.config;
+
+        // Anchor positions sampled uniformly over the grid's bounding box.
+        let (min_x, max_x, min_y, max_y) = self.bounding_box();
+        let anchors: Vec<(f64, f64)> = (0..cfg.anchors)
+            .map(|_| {
+                (
+                    min_x + rng.gen::<f64>() * (max_x - min_x),
+                    min_y + rng.gen::<f64>() * (max_y - min_y),
+                )
+            })
+            .collect();
+
+        // Precompute the m × anchors RBF basis.
+        let two_l2 = 2.0 * cfg.length_scale * cfg.length_scale;
+        let basis: Vec<Vec<f64>> = (0..m)
+            .map(|i| {
+                let (cx, cy) = self.grid.centre(i);
+                anchors
+                    .iter()
+                    .map(|&(ax, ay)| {
+                        let d2 = (cx - ax).powi(2) + (cy - ay).powi(2);
+                        (-d2 / two_l2).exp()
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // AR(1) anchor weights, started from the stationary distribution.
+        let innovation = cfg.spatial_std * (1.0 - cfg.ar_coeff * cfg.ar_coeff).sqrt();
+        let mut weights: Vec<f64> = (0..cfg.anchors)
+            .map(|_| cfg.spatial_std * randn(rng))
+            .collect();
+
+        let omega_day = 2.0 * std::f64::consts::PI / cfg.cycles_per_day as f64;
+        let phase: f64 = rng.gen::<f64>() * 2.0 * std::f64::consts::PI;
+
+        let mut d = DataMatrix::zeros(m, cycles);
+        for t in 0..cycles {
+            let tf = t as f64;
+            let diurnal = cfg.diurnal_amplitude * (omega_day * tf + phase).sin()
+                + cfg.semidiurnal_amplitude * (2.0 * omega_day * tf + 0.7 * phase).sin();
+            for i in 0..m {
+                let spatial: f64 = basis[i]
+                    .iter()
+                    .zip(&weights)
+                    .map(|(b, w)| b * w)
+                    .sum();
+                let noise = cfg.noise_std * randn(rng);
+                d.set(i, t, diurnal + spatial + noise);
+            }
+            for w in &mut weights {
+                *w = cfg.ar_coeff * *w + innovation * randn(rng);
+            }
+        }
+        d
+    }
+
+    /// Generates a field correlated with `base`: the result is
+    /// `coupling · standardized(base) + sqrt(1 − coupling²) · own-field`,
+    /// then still zero-mean/unit-free (calibrate afterwards). Negative
+    /// `coupling` produces anti-correlation (temperature vs humidity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|coupling| > 1`, the shapes mismatch, or `base` is
+    /// constant.
+    pub fn generate_correlated<R: Rng + ?Sized>(
+        &self,
+        base: &DataMatrix,
+        coupling: f64,
+        rng: &mut R,
+    ) -> DataMatrix {
+        assert!(coupling.abs() <= 1.0, "|coupling| must be <= 1");
+        assert_eq!(base.cells(), self.grid.cells(), "grid/base cell mismatch");
+        let own = self.generate(base.cycles(), rng);
+
+        let bm = base.mean().expect("non-empty base");
+        let bs = base.std_dev().expect("non-empty base");
+        assert!(bs > 0.0, "base field is constant");
+        let om = own.mean().expect("non-empty own");
+        let os = own.std_dev().expect("non-empty own").max(1e-12);
+
+        let orth = (1.0 - coupling * coupling).sqrt();
+        DataMatrix::from_fn(base.cells(), base.cycles(), |i, t| {
+            let zb = (base.value(i, t) - bm) / bs;
+            let zo = (own.value(i, t) - om) / os;
+            coupling * zb + orth * zo
+        })
+    }
+
+    fn bounding_box(&self) -> (f64, f64, f64, f64) {
+        let mut min_x = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for i in 0..self.grid.cells() {
+            let (x, y) = self.grid.centre(i);
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            min_y = min_y.min(y);
+            max_y = max_y.max(y);
+        }
+        (min_x, max_x, min_y, max_y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn generator() -> FieldGenerator {
+        FieldGenerator::new(
+            CellGrid::full_grid(5, 5, 50.0, 30.0),
+            FieldConfig::default(),
+        )
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = generator();
+        let a = g.generate(50, &mut StdRng::seed_from_u64(11));
+        let b = g.generate(50, &mut StdRng::seed_from_u64(11));
+        assert_eq!(a, b);
+        let c = g.generate(50, &mut StdRng::seed_from_u64(12));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn spatial_correlation_decays_with_distance() {
+        // Nearby cells should correlate more strongly than far cells.
+        let g = FieldGenerator::new(
+            CellGrid::full_grid(1, 10, 60.0, 60.0),
+            FieldConfig {
+                noise_std: 0.05,
+                diurnal_amplitude: 0.0,
+                semidiurnal_amplitude: 0.0,
+                ..FieldConfig::default()
+            },
+        );
+        let d = g.generate(600, &mut StdRng::seed_from_u64(3));
+        let corr = |a: usize, b: usize| {
+            let xa = d.cell_series(a);
+            let xb = d.cell_series(b);
+            let ma = xa.iter().sum::<f64>() / xa.len() as f64;
+            let mb = xb.iter().sum::<f64>() / xb.len() as f64;
+            let mut sxy = 0.0;
+            let mut sxx = 0.0;
+            let mut syy = 0.0;
+            for (x, y) in xa.iter().zip(xb) {
+                sxy += (x - ma) * (y - mb);
+                sxx += (x - ma) * (x - ma);
+                syy += (y - mb) * (y - mb);
+            }
+            sxy / (sxx * syy).sqrt()
+        };
+        let near = corr(0, 1);
+        let far = corr(0, 9);
+        assert!(
+            near > far,
+            "near correlation {near} should exceed far correlation {far}"
+        );
+    }
+
+    #[test]
+    fn temporal_autocorrelation_positive() {
+        let g = generator();
+        let d = g.generate(400, &mut StdRng::seed_from_u64(5));
+        // Lag-1 autocorrelation of cell 0 should be clearly positive.
+        let xs = d.cell_series(0);
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for w in xs.windows(2) {
+            num += (w[0] - m) * (w[1] - m);
+        }
+        for x in xs {
+            den += (x - m) * (x - m);
+        }
+        assert!(num / den > 0.3, "lag-1 autocorr = {}", num / den);
+    }
+
+    #[test]
+    fn correlated_field_achieves_coupling() {
+        let g = generator();
+        let mut rng = StdRng::seed_from_u64(9);
+        let base = g.generate(300, &mut rng);
+        let cor = g.generate_correlated(&base, -0.8, &mut rng);
+        // Sample correlation across all entries should be near -0.8.
+        let bm = base.mean().unwrap();
+        let cm = cor.mean().unwrap();
+        let mut sxy = 0.0;
+        let mut sxx = 0.0;
+        let mut syy = 0.0;
+        for (x, y) in base.iter().zip(cor.iter()) {
+            sxy += (x - bm) * (y - cm);
+            sxx += (x - bm) * (x - bm);
+            syy += (y - cm) * (y - cm);
+        }
+        let r = sxy / (sxx * syy).sqrt();
+        assert!((r + 0.8).abs() < 0.1, "achieved coupling {r}");
+    }
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..20000).map(|_| randn(&mut rng)).collect();
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+        assert!(m.abs() < 0.03, "mean {m}");
+        assert!((v - 1.0).abs() < 0.05, "variance {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ar_coeff")]
+    fn invalid_ar_rejected() {
+        FieldGenerator::new(
+            CellGrid::full_grid(2, 2, 1.0, 1.0),
+            FieldConfig {
+                ar_coeff: 1.0,
+                ..FieldConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn diurnal_period_visible() {
+        // With strong diurnal amplitude and no noise/spatial field, the lag
+        // equal to one day should correlate near 1.
+        let g = FieldGenerator::new(
+            CellGrid::full_grid(2, 2, 10.0, 10.0),
+            FieldConfig {
+                anchors: 0,
+                noise_std: 0.0,
+                diurnal_amplitude: 1.0,
+                semidiurnal_amplitude: 0.0,
+                cycles_per_day: 24,
+                ..FieldConfig::default()
+            },
+        );
+        let d = g.generate(96, &mut StdRng::seed_from_u64(2));
+        let xs = d.cell_series(0);
+        for t in 0..(96 - 24) {
+            assert!((xs[t] - xs[t + 24]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+use serde::{Deserialize, Serialize};
+
+/// The geometry of the target sensing area: cell centres in metres
+/// (paper §3, Definition 1 — e.g. 50 m × 30 m grid cells on the EPFL campus,
+/// 1 km × 1 km cells in Beijing).
+///
+/// Cells are identified by dense indices `0..cells()`; the grid knows each
+/// cell's centre coordinate and answers distance and nearest-neighbour
+/// queries for the spatial-KNN inference algorithm.
+///
+/// ```
+/// use drcell_datasets::CellGrid;
+///
+/// let g = CellGrid::full_grid(2, 3, 100.0, 100.0);
+/// assert_eq!(g.cells(), 6);
+/// assert!((g.distance(0, 1) - 100.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellGrid {
+    centres: Vec<(f64, f64)>,
+}
+
+impl CellGrid {
+    /// Creates a grid from explicit cell-centre coordinates (metres).
+    pub fn new(centres: Vec<(f64, f64)>) -> Self {
+        CellGrid { centres }
+    }
+
+    /// A full `rows × cols` rectangular grid with the given cell size in
+    /// metres; cell `i` sits at row `i / cols`, column `i % cols`.
+    pub fn full_grid(rows: usize, cols: usize, cell_w: f64, cell_h: f64) -> Self {
+        let mut centres = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                centres.push((
+                    (c as f64 + 0.5) * cell_w,
+                    (r as f64 + 0.5) * cell_h,
+                ));
+            }
+        }
+        CellGrid { centres }
+    }
+
+    /// A rectangular grid with only a subset of valid cells (Sensor-Scope:
+    /// 57 of 100 grid positions carry sensors). `valid` lists the kept grid
+    /// positions in row-major order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index in `valid` is `>= rows * cols`.
+    pub fn partial_grid(
+        rows: usize,
+        cols: usize,
+        cell_w: f64,
+        cell_h: f64,
+        valid: &[usize],
+    ) -> Self {
+        let full = CellGrid::full_grid(rows, cols, cell_w, cell_h);
+        let centres = valid
+            .iter()
+            .map(|&i| {
+                assert!(i < rows * cols, "valid index {i} out of grid");
+                full.centres[i]
+            })
+            .collect();
+        CellGrid { centres }
+    }
+
+    /// Number of cells.
+    pub fn cells(&self) -> usize {
+        self.centres.len()
+    }
+
+    /// Centre coordinate of a cell in metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of bounds.
+    pub fn centre(&self, cell: usize) -> (f64, f64) {
+        self.centres[cell]
+    }
+
+    /// Euclidean distance between two cell centres in metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn distance(&self, a: usize, b: usize) -> f64 {
+        let (ax, ay) = self.centres[a];
+        let (bx, by) = self.centres[b];
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+
+    /// Indices of the `k` cells from `candidates` nearest to `cell`
+    /// (excluding `cell` itself), closest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` or any candidate is out of bounds.
+    pub fn nearest_among(&self, cell: usize, candidates: &[usize], k: usize) -> Vec<usize> {
+        let mut sorted: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&c| c != cell)
+            .collect();
+        sorted.sort_by(|&a, &b| {
+            self.distance(cell, a)
+                .partial_cmp(&self.distance(cell, b))
+                .expect("finite distances")
+        });
+        sorted.truncate(k);
+        sorted
+    }
+
+    /// Largest pairwise distance in the grid (the area "diameter"); `0.0`
+    /// for grids with fewer than two cells.
+    pub fn diameter(&self) -> f64 {
+        let mut d = 0.0f64;
+        for a in 0..self.cells() {
+            for b in (a + 1)..self.cells() {
+                d = d.max(self.distance(a, b));
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_grid_layout() {
+        let g = CellGrid::full_grid(2, 2, 50.0, 30.0);
+        assert_eq!(g.cells(), 4);
+        assert_eq!(g.centre(0), (25.0, 15.0));
+        assert_eq!(g.centre(3), (75.0, 45.0));
+    }
+
+    #[test]
+    fn distances_symmetric_and_zero_on_diagonal() {
+        let g = CellGrid::full_grid(3, 3, 10.0, 10.0);
+        for a in 0..9 {
+            assert_eq!(g.distance(a, a), 0.0);
+            for b in 0..9 {
+                assert!((g.distance(a, b) - g.distance(b, a)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn partial_grid_keeps_selected_positions() {
+        let g = CellGrid::partial_grid(2, 2, 10.0, 10.0, &[0, 3]);
+        assert_eq!(g.cells(), 2);
+        assert_eq!(g.centre(0), (5.0, 5.0));
+        assert_eq!(g.centre(1), (15.0, 15.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of grid")]
+    fn partial_grid_checks_indices() {
+        CellGrid::partial_grid(2, 2, 10.0, 10.0, &[4]);
+    }
+
+    #[test]
+    fn nearest_among_orders_by_distance() {
+        let g = CellGrid::full_grid(1, 4, 10.0, 10.0); // cells on a line
+        let nn = g.nearest_among(0, &[1, 2, 3], 2);
+        assert_eq!(nn, vec![1, 2]);
+        // Excludes self.
+        let nn = g.nearest_among(1, &[0, 1, 2, 3], 10);
+        assert_eq!(nn.len(), 3);
+        assert!(!nn.contains(&1));
+    }
+
+    #[test]
+    fn nearest_among_empty_candidates() {
+        let g = CellGrid::full_grid(1, 3, 10.0, 10.0);
+        assert!(g.nearest_among(0, &[], 3).is_empty());
+        assert!(g.nearest_among(0, &[0], 3).is_empty());
+    }
+
+    #[test]
+    fn diameter_of_line() {
+        let g = CellGrid::full_grid(1, 5, 10.0, 10.0);
+        assert!((g.diameter() - 40.0).abs() < 1e-12);
+        assert_eq!(CellGrid::new(vec![(0.0, 0.0)]).diameter(), 0.0);
+    }
+
+    #[test]
+    fn triangle_inequality() {
+        let g = CellGrid::full_grid(3, 4, 17.0, 23.0);
+        for a in 0..g.cells() {
+            for b in 0..g.cells() {
+                for c in 0..g.cells() {
+                    assert!(g.distance(a, c) <= g.distance(a, b) + g.distance(b, c) + 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::{CellGrid, DataMatrix, FieldConfig, FieldGenerator};
+
+/// Configuration of the Sensor-Scope-like synthetic dataset
+/// (paper Table 1, left column).
+///
+/// Defaults match the paper: 57 cells out of a 10 × 10 grid of
+/// 50 m × 30 m cells, 0.5 h cycles for 7 days (336 cycles), temperature
+/// 6.04 ± 1.87 °C and humidity 84.52 ± 6.32 %.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorScopeConfig {
+    /// Number of valid (sensor-equipped) cells.
+    pub cells: usize,
+    /// Grid rows of the full campus grid.
+    pub grid_rows: usize,
+    /// Grid columns of the full campus grid.
+    pub grid_cols: usize,
+    /// Cell width in metres.
+    pub cell_w: f64,
+    /// Cell height in metres.
+    pub cell_h: f64,
+    /// Number of sensing cycles (7 days × 48 half-hour cycles).
+    pub cycles: usize,
+    /// Sensing cycles per day (48 for 0.5 h cycles).
+    pub cycles_per_day: usize,
+    /// Target temperature mean (°C).
+    pub temperature_mean: f64,
+    /// Target temperature standard deviation (°C).
+    pub temperature_std: f64,
+    /// Target humidity mean (%).
+    pub humidity_mean: f64,
+    /// Target humidity standard deviation (%).
+    pub humidity_std: f64,
+    /// Temperature–humidity coupling in `[-1, 1]` (negative: humid when
+    /// cold, the empirically common case).
+    pub coupling: f64,
+    /// Field-shape parameters shared by both signals.
+    pub field: FieldConfig,
+}
+
+impl Default for SensorScopeConfig {
+    fn default() -> Self {
+        SensorScopeConfig {
+            cells: 57,
+            grid_rows: 10,
+            grid_cols: 10,
+            cell_w: 50.0,
+            cell_h: 30.0,
+            cycles: 7 * 48,
+            cycles_per_day: 48,
+            temperature_mean: 6.04,
+            temperature_std: 1.87,
+            humidity_mean: 84.52,
+            humidity_std: 6.32,
+            coupling: -0.75,
+            field: FieldConfig {
+                anchors: 6,
+                length_scale: 140.0,
+                ar_coeff: 0.97,
+                spatial_std: 1.0,
+                diurnal_amplitude: 1.2,
+                semidiurnal_amplitude: 0.3,
+                cycles_per_day: 48,
+                // Low observation noise: campus-scale temperature fields are
+                // spatially very smooth, which is what makes Sparse MCS
+                // viable at the paper's ε = 0.3 °C.
+                noise_std: 0.04,
+            },
+        }
+    }
+}
+
+/// The generated Sensor-Scope-like dataset: grid plus calibrated
+/// temperature and humidity matrices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorScopeDataset {
+    /// Geometry of the valid cells.
+    pub grid: CellGrid,
+    /// Temperature (°C), `cells × cycles`, calibrated to Table 1.
+    pub temperature: DataMatrix,
+    /// Humidity (%), `cells × cycles`, calibrated to Table 1 and
+    /// anti-correlated with temperature.
+    pub humidity: DataMatrix,
+}
+
+impl SensorScopeDataset {
+    /// Generates the dataset deterministically from a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.cells > grid_rows * grid_cols` or any field
+    /// parameter is invalid.
+    pub fn generate(config: &SensorScopeConfig, seed: u64) -> Self {
+        let total = config.grid_rows * config.grid_cols;
+        assert!(
+            config.cells <= total,
+            "cannot place {} cells on a {} position grid",
+            config.cells,
+            total
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Choose which grid positions carry sensors (57 of 100 in the paper).
+        let mut positions: Vec<usize> = (0..total).collect();
+        positions.shuffle(&mut rng);
+        let mut valid: Vec<usize> = positions.into_iter().take(config.cells).collect();
+        valid.sort_unstable();
+
+        let grid = CellGrid::partial_grid(
+            config.grid_rows,
+            config.grid_cols,
+            config.cell_w,
+            config.cell_h,
+            &valid,
+        );
+        let field_cfg = FieldConfig {
+            cycles_per_day: config.cycles_per_day,
+            ..config.field.clone()
+        };
+        let gen = FieldGenerator::new(grid.clone(), field_cfg);
+
+        let mut temperature = gen.generate(config.cycles, &mut rng);
+        let mut humidity = gen.generate_correlated(&temperature, config.coupling, &mut rng);
+        temperature.calibrate(config.temperature_mean, config.temperature_std);
+        humidity.calibrate(config.humidity_mean, config.humidity_std);
+        // Physical clamp: relative humidity cannot exceed 100 %.
+        humidity.map_inplace(|v| v.clamp(0.0, 100.0));
+
+        SensorScopeDataset {
+            grid,
+            temperature,
+            humidity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1_shape() {
+        let c = SensorScopeConfig::default();
+        assert_eq!(c.cells, 57);
+        assert_eq!(c.cycles, 336);
+        assert_eq!(c.cycles_per_day, 48);
+    }
+
+    #[test]
+    fn generated_statistics_match_table1() {
+        let ds = SensorScopeDataset::generate(&SensorScopeConfig::default(), 1);
+        let tm = ds.temperature.mean().unwrap();
+        let ts = ds.temperature.std_dev().unwrap();
+        assert!((tm - 6.04).abs() < 1e-6, "temperature mean {tm}");
+        assert!((ts - 1.87).abs() < 1e-6, "temperature std {ts}");
+        let hm = ds.humidity.mean().unwrap();
+        // Humidity clamped at 100 may move mean slightly.
+        assert!((hm - 84.52).abs() < 1.0, "humidity mean {hm}");
+    }
+
+    #[test]
+    fn temperature_humidity_anticorrelated() {
+        let ds = SensorScopeDataset::generate(&SensorScopeConfig::default(), 2);
+        let tm = ds.temperature.mean().unwrap();
+        let hm = ds.humidity.mean().unwrap();
+        let mut sxy = 0.0;
+        let mut sxx = 0.0;
+        let mut syy = 0.0;
+        for (x, y) in ds.temperature.iter().zip(ds.humidity.iter()) {
+            sxy += (x - tm) * (y - hm);
+            sxx += (x - tm) * (x - tm);
+            syy += (y - hm) * (y - hm);
+        }
+        let r = sxy / (sxx * syy).sqrt();
+        assert!(r < -0.5, "coupling should be strongly negative, got {r}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SensorScopeDataset::generate(&SensorScopeConfig::default(), 7);
+        let b = SensorScopeDataset::generate(&SensorScopeConfig::default(), 7);
+        assert_eq!(a, b);
+        let c = SensorScopeDataset::generate(&SensorScopeConfig::default(), 8);
+        assert_ne!(a.temperature, c.temperature);
+    }
+
+    #[test]
+    fn humidity_within_physical_range() {
+        let ds = SensorScopeDataset::generate(&SensorScopeConfig::default(), 3);
+        assert!(ds.humidity.iter().all(|&v| (0.0..=100.0).contains(&v)));
+    }
+
+    #[test]
+    fn smaller_custom_config() {
+        let cfg = SensorScopeConfig {
+            cells: 9,
+            grid_rows: 3,
+            grid_cols: 3,
+            cycles: 48,
+            ..SensorScopeConfig::default()
+        };
+        let ds = SensorScopeDataset::generate(&cfg, 5);
+        assert_eq!(ds.grid.cells(), 9);
+        assert_eq!(ds.temperature.cycles(), 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn too_many_cells_rejected() {
+        let cfg = SensorScopeConfig {
+            cells: 10,
+            grid_rows: 3,
+            grid_cols: 3,
+            ..SensorScopeConfig::default()
+        };
+        SensorScopeDataset::generate(&cfg, 0);
+    }
+}

@@ -1,0 +1,131 @@
+use serde::{Deserialize, Serialize};
+
+use crate::DataMatrix;
+
+/// Summary statistics of a dataset signal — the rows of the paper's
+/// Table 1 ("Statistics of Two Evaluation Datasets").
+///
+/// ```
+/// use drcell_datasets::{DataMatrix, DatasetSummary};
+///
+/// let d = DataMatrix::from_fn(2, 4, |i, t| (i + t) as f64);
+/// let s = DatasetSummary::describe("toy", "unitless", 0.5, &d);
+/// assert_eq!(s.cells, 2);
+/// assert_eq!(s.cycles, 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSummary {
+    /// Signal name ("temperature", "humidity", "PM2.5").
+    pub name: String,
+    /// Unit string for display.
+    pub unit: String,
+    /// Number of cells.
+    pub cells: usize,
+    /// Number of sensing cycles.
+    pub cycles: usize,
+    /// Cycle length in hours.
+    pub cycle_hours: f64,
+    /// Duration in days implied by `cycles` and `cycle_hours`.
+    pub duration_days: f64,
+    /// Mean over all entries.
+    pub mean: f64,
+    /// Population standard deviation over all entries.
+    pub std_dev: f64,
+    /// Minimum entry.
+    pub min: f64,
+    /// Maximum entry.
+    pub max: f64,
+}
+
+impl DatasetSummary {
+    /// Computes the summary of a data matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty matrix.
+    pub fn describe(name: &str, unit: &str, cycle_hours: f64, d: &DataMatrix) -> Self {
+        let mean = d.mean().expect("describe on empty matrix");
+        let std_dev = d.std_dev().expect("describe on empty matrix");
+        let min = d.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = d.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        DatasetSummary {
+            name: name.to_owned(),
+            unit: unit.to_owned(),
+            cells: d.cells(),
+            cycles: d.cycles(),
+            cycle_hours,
+            duration_days: d.cycles() as f64 * cycle_hours / 24.0,
+            mean,
+            std_dev,
+            min,
+            max,
+        }
+    }
+
+    /// One formatted Table-1-style row: `name: mean ± std unit (m cells, n
+    /// cycles, d days)`.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<12} {:>8.2} ± {:>6.2} {:<6} | {:>3} cells | {:>4} cycles ({:.1} h) | {:>4.1} d",
+            self.name,
+            self.mean,
+            self.std_dev,
+            self.unit,
+            self.cells,
+            self.cycles,
+            self.cycle_hours,
+            self.duration_days
+        )
+    }
+}
+
+impl std::fmt::Display for DatasetSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.table_row())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SensorScopeConfig, SensorScopeDataset, UAirConfig, UAirDataset};
+
+    #[test]
+    fn summary_fields_consistent() {
+        let d = DataMatrix::from_fn(3, 6, |i, t| (i * t) as f64);
+        let s = DatasetSummary::describe("x", "u", 1.0, &d);
+        assert_eq!(s.cells, 3);
+        assert_eq!(s.cycles, 6);
+        assert_eq!(s.duration_days, 0.25);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 10.0);
+    }
+
+    #[test]
+    fn sensorscope_summary_reproduces_table1() {
+        let ds = SensorScopeDataset::generate(&SensorScopeConfig::default(), 1);
+        let s = DatasetSummary::describe("temperature", "°C", 0.5, &ds.temperature);
+        assert_eq!(s.cells, 57);
+        assert_eq!(s.cycles, 336);
+        assert!((s.duration_days - 7.0).abs() < 1e-9);
+        assert!((s.mean - 6.04).abs() < 0.01);
+        assert!((s.std_dev - 1.87).abs() < 0.01);
+    }
+
+    #[test]
+    fn uair_summary_reproduces_table1_shape() {
+        let ds = UAirDataset::generate(&UAirConfig::default(), 1);
+        let s = DatasetSummary::describe("PM2.5", "µg/m³", 1.0, &ds.pm25);
+        assert_eq!(s.cells, 36);
+        assert_eq!(s.cycles, 264);
+        assert!((s.duration_days - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_row_contains_name_and_counts() {
+        let d = DataMatrix::from_fn(2, 2, |i, t| (i + t) as f64);
+        let row = DatasetSummary::describe("humidity", "%", 0.5, &d).table_row();
+        assert!(row.contains("humidity"));
+        assert!(row.contains("2 cells"));
+    }
+}

@@ -1,0 +1,248 @@
+//! CSV import/export of sensing traces.
+//!
+//! The adoption path for real deployments: organisers who hold actual
+//! Sensor-Scope/U-Air-style traces can load them as a [`DataMatrix`] plus
+//! [`CellGrid`] instead of using the synthetic generators.
+//!
+//! Format — one header line, then one row per cell:
+//!
+//! ```text
+//! cell_id,x_m,y_m,v0,v1,v2,...
+//! 0,25.0,15.0,6.1,6.0,5.9
+//! 1,75.0,15.0,6.3,6.2,6.0
+//! ```
+//!
+//! Every row must list the same number of cycle values; cell ids must be
+//! the dense range `0..cells` (any order).
+
+use std::fmt::Write as _;
+
+use crate::{CellGrid, DataMatrix};
+
+/// Errors produced by trace parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The header line was missing or malformed.
+    BadHeader {
+        /// What was found instead.
+        found: String,
+    },
+    /// A data line could not be parsed.
+    BadLine {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// Cell ids were not the dense range `0..cells`.
+    BadCellIds,
+    /// The trace contained no data rows.
+    Empty,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadHeader { found } => write!(f, "bad trace header: {found:?}"),
+            TraceError::BadLine { line, reason } => write!(f, "bad trace line {line}: {reason}"),
+            TraceError::BadCellIds => write!(f, "cell ids must be the dense range 0..cells"),
+            TraceError::Empty => write!(f, "trace has no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Serialises a data matrix and grid to the CSV trace format.
+///
+/// # Panics
+///
+/// Panics if `grid.cells() != data.cells()`.
+pub fn to_csv(data: &DataMatrix, grid: &CellGrid) -> String {
+    assert_eq!(grid.cells(), data.cells(), "grid/data cell mismatch");
+    let mut out = String::from("cell_id,x_m,y_m");
+    for t in 0..data.cycles() {
+        let _ = write!(out, ",v{t}");
+    }
+    out.push('\n');
+    for i in 0..data.cells() {
+        let (x, y) = grid.centre(i);
+        let _ = write!(out, "{i},{x},{y}");
+        for &v in data.cell_series(i) {
+            let _ = write!(out, ",{v}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the CSV trace format back into a data matrix and grid.
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] describing the first malformed element.
+pub fn from_csv(text: &str) -> Result<(DataMatrix, CellGrid), TraceError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.starts_with("cell_id,x_m,y_m") => {}
+        other => {
+            return Err(TraceError::BadHeader {
+                found: other.map(|(_, h)| h.to_owned()).unwrap_or_default(),
+            })
+        }
+    }
+
+    let mut rows: Vec<(usize, (f64, f64), Vec<f64>)> = Vec::new();
+    let mut cycles: Option<usize> = None;
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() < 4 {
+            return Err(TraceError::BadLine {
+                line: line_no,
+                reason: "need cell_id,x,y and at least one value".to_owned(),
+            });
+        }
+        let cell: usize = fields[0].trim().parse().map_err(|_| TraceError::BadLine {
+            line: line_no,
+            reason: format!("bad cell id {:?}", fields[0]),
+        })?;
+        let parse_f = |s: &str, what: &str| -> Result<f64, TraceError> {
+            let v: f64 = s.trim().parse().map_err(|_| TraceError::BadLine {
+                line: line_no,
+                reason: format!("bad {what} {s:?}"),
+            })?;
+            if v.is_finite() {
+                Ok(v)
+            } else {
+                Err(TraceError::BadLine {
+                    line: line_no,
+                    reason: format!("non-finite {what}"),
+                })
+            }
+        };
+        let x = parse_f(fields[1], "x coordinate")?;
+        let y = parse_f(fields[2], "y coordinate")?;
+        let values: Vec<f64> = fields[3..]
+            .iter()
+            .map(|s| parse_f(s, "value"))
+            .collect::<Result<_, _>>()?;
+        match cycles {
+            None => cycles = Some(values.len()),
+            Some(n) if n == values.len() => {}
+            Some(n) => {
+                return Err(TraceError::BadLine {
+                    line: line_no,
+                    reason: format!("expected {n} values, got {}", values.len()),
+                })
+            }
+        }
+        rows.push((cell, (x, y), values));
+    }
+    if rows.is_empty() {
+        return Err(TraceError::Empty);
+    }
+
+    // Cell ids must form 0..cells.
+    let cells = rows.len();
+    let mut seen = vec![false; cells];
+    for (id, _, _) in &rows {
+        if *id >= cells || seen[*id] {
+            return Err(TraceError::BadCellIds);
+        }
+        seen[*id] = true;
+    }
+    rows.sort_by_key(|(id, _, _)| *id);
+
+    let cycles = cycles.expect("non-empty rows imply a cycle count");
+    let centres: Vec<(f64, f64)> = rows.iter().map(|(_, c, _)| *c).collect();
+    let data = DataMatrix::from_fn(cells, cycles, |i, t| rows[i].2[t]);
+    Ok((data, CellGrid::new(centres)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (DataMatrix, CellGrid) {
+        let data = DataMatrix::from_fn(3, 4, |i, t| i as f64 * 10.0 + t as f64 * 0.5);
+        let grid = CellGrid::full_grid(1, 3, 50.0, 30.0);
+        (data, grid)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let (data, grid) = sample();
+        let csv = to_csv(&data, &grid);
+        let (d2, g2) = from_csv(&csv).unwrap();
+        assert_eq!(d2, data);
+        assert_eq!(g2, grid);
+    }
+
+    #[test]
+    fn shuffled_cell_ids_reordered() {
+        let csv = "cell_id,x_m,y_m,v0\n1,10.0,0.0,2.0\n0,0.0,0.0,1.0\n";
+        let (d, g) = from_csv(csv).unwrap();
+        assert_eq!(d.value(0, 0), 1.0);
+        assert_eq!(d.value(1, 0), 2.0);
+        assert_eq!(g.centre(1), (10.0, 0.0));
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(matches!(
+            from_csv("id,x,y,v0\n0,0,0,1\n"),
+            Err(TraceError::BadHeader { .. })
+        ));
+        assert!(matches!(from_csv(""), Err(TraceError::BadHeader { .. })));
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let csv = "cell_id,x_m,y_m,v0,v1\n0,0,0,1,2\n1,1,0,3\n";
+        assert!(matches!(from_csv(csv), Err(TraceError::BadLine { line: 3, .. })));
+    }
+
+    #[test]
+    fn non_dense_ids_rejected() {
+        let csv = "cell_id,x_m,y_m,v0\n0,0,0,1\n2,1,0,2\n";
+        assert!(matches!(from_csv(csv), Err(TraceError::BadCellIds)));
+        let dup = "cell_id,x_m,y_m,v0\n0,0,0,1\n0,1,0,2\n";
+        assert!(matches!(from_csv(dup), Err(TraceError::BadCellIds)));
+    }
+
+    #[test]
+    fn non_finite_values_rejected() {
+        let csv = "cell_id,x_m,y_m,v0\n0,0,0,NaN\n";
+        assert!(matches!(from_csv(csv), Err(TraceError::BadLine { .. })));
+        let csv = "cell_id,x_m,y_m,v0\n0,0,0,inf\n";
+        assert!(matches!(from_csv(csv), Err(TraceError::BadLine { .. })));
+    }
+
+    #[test]
+    fn empty_body_rejected() {
+        assert!(matches!(
+            from_csv("cell_id,x_m,y_m,v0\n"),
+            Err(TraceError::Empty)
+        ));
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let csv = "cell_id,x_m,y_m,v0\n\n0,0,0,1\n\n";
+        let (d, _) = from_csv(csv).unwrap();
+        assert_eq!(d.cells(), 1);
+    }
+
+    #[test]
+    fn display_messages_informative() {
+        let e = TraceError::BadLine {
+            line: 7,
+            reason: "x".into(),
+        };
+        assert!(e.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,182 @@
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::{AqiCategory, CellGrid, DataMatrix, FieldConfig, FieldGenerator};
+
+/// Configuration of the U-Air-like synthetic dataset
+/// (paper Table 1, right column).
+///
+/// Defaults match the paper: 36 cells of 1 km × 1 km, 1 h cycles for 11 days
+/// (264 cycles), PM2.5 calibrated to 79.11 ± 81.21 µg/m³ with a log-normal
+/// marginal (the heavy right tail of urban pollution).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UAirConfig {
+    /// Grid rows (6 × 6 = 36 cells).
+    pub grid_rows: usize,
+    /// Grid columns.
+    pub grid_cols: usize,
+    /// Cell edge length in metres (1 km in the paper).
+    pub cell_size: f64,
+    /// Number of sensing cycles (11 days × 24 one-hour cycles).
+    pub cycles: usize,
+    /// Sensing cycles per day (24 for 1 h cycles).
+    pub cycles_per_day: usize,
+    /// Target PM2.5 mean (µg/m³).
+    pub pm25_mean: f64,
+    /// Target PM2.5 standard deviation (µg/m³).
+    pub pm25_std: f64,
+    /// Field-shape parameters of the latent Gaussian field.
+    pub field: FieldConfig,
+}
+
+impl Default for UAirConfig {
+    fn default() -> Self {
+        UAirConfig {
+            grid_rows: 6,
+            grid_cols: 6,
+            cell_size: 1000.0,
+            cycles: 11 * 24,
+            cycles_per_day: 24,
+            pm25_mean: 79.11,
+            pm25_std: 81.21,
+            field: FieldConfig {
+                anchors: 5,
+                length_scale: 2200.0,
+                ar_coeff: 0.97,
+                spatial_std: 1.0,
+                diurnal_amplitude: 0.6,
+                semidiurnal_amplitude: 0.15,
+                cycles_per_day: 24,
+                noise_std: 0.1,
+            },
+        }
+    }
+}
+
+/// The generated U-Air-like dataset: grid plus PM2.5 matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UAirDataset {
+    /// Geometry of the 36 Beijing-like cells.
+    pub grid: CellGrid,
+    /// PM2.5 concentration (µg/m³), `cells × cycles`, log-normal marginal.
+    pub pm25: DataMatrix,
+}
+
+impl UAirDataset {
+    /// Generates the dataset deterministically from a seed.
+    pub fn generate(config: &UAirConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let grid = CellGrid::full_grid(
+            config.grid_rows,
+            config.grid_cols,
+            config.cell_size,
+            config.cell_size,
+        );
+        let field_cfg = FieldConfig {
+            cycles_per_day: config.cycles_per_day,
+            ..config.field.clone()
+        };
+        let gen = FieldGenerator::new(grid.clone(), field_cfg);
+
+        // Latent Gaussian field -> standardise -> log-normal transform with
+        // moments matched to the target mean/std:
+        //   sigma² = ln(1 + (s/m)²),  mu = ln(m) − sigma²/2.
+        let mut latent = gen.generate(config.cycles, &mut rng);
+        latent.calibrate(0.0, 1.0);
+        let cv2 = (config.pm25_std / config.pm25_mean).powi(2);
+        let sigma2 = (1.0 + cv2).ln();
+        let mu = config.pm25_mean.ln() - sigma2 / 2.0;
+        let sigma = sigma2.sqrt();
+        latent.map_inplace(|z| (mu + sigma * z).exp());
+
+        UAirDataset { grid, pm25: latent }
+    }
+
+    /// Categorises the whole matrix into AQI classes (the classification
+    /// target of the U-Air experiment).
+    pub fn categories(&self) -> Vec<Vec<AqiCategory>> {
+        (0..self.pm25.cells())
+            .map(|i| {
+                self.pm25
+                    .cell_series(i)
+                    .iter()
+                    .map(|&v| AqiCategory::from_pm25(v))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1_shape() {
+        let c = UAirConfig::default();
+        assert_eq!(c.grid_rows * c.grid_cols, 36);
+        assert_eq!(c.cycles, 264);
+    }
+
+    #[test]
+    fn statistics_near_table1() {
+        let ds = UAirDataset::generate(&UAirConfig::default(), 1);
+        let m = ds.pm25.mean().unwrap();
+        let s = ds.pm25.std_dev().unwrap();
+        // Log-normal moment matching is approximate on finite samples.
+        assert!((m - 79.11).abs() < 20.0, "pm25 mean {m}");
+        assert!(s > 40.0 && s < 160.0, "pm25 std {s}");
+    }
+
+    #[test]
+    fn all_values_positive() {
+        let ds = UAirDataset::generate(&UAirConfig::default(), 2);
+        assert!(ds.pm25.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn heavy_right_tail() {
+        // Log-normal: mean > median.
+        let ds = UAirDataset::generate(&UAirConfig::default(), 3);
+        let mut vals: Vec<f64> = ds.pm25.iter().copied().collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = vals[vals.len() / 2];
+        assert!(
+            ds.pm25.mean().unwrap() > median,
+            "expected right-skewed marginal"
+        );
+    }
+
+    #[test]
+    fn categories_span_multiple_classes() {
+        let ds = UAirDataset::generate(&UAirConfig::default(), 4);
+        let cats = ds.categories();
+        let mut seen = std::collections::HashSet::new();
+        for row in &cats {
+            for c in row {
+                seen.insert(*c);
+            }
+        }
+        assert!(
+            seen.len() >= 3,
+            "expected at least 3 AQI classes, got {}",
+            seen.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = UAirDataset::generate(&UAirConfig::default(), 11);
+        let b = UAirDataset::generate(&UAirConfig::default(), 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn category_matrix_dimensions() {
+        let ds = UAirDataset::generate(&UAirConfig::default(), 5);
+        let cats = ds.categories();
+        assert_eq!(cats.len(), 36);
+        assert!(cats.iter().all(|r| r.len() == 264));
+    }
+}

@@ -1,0 +1,356 @@
+use serde::{Deserialize, Serialize};
+
+use drcell_datasets::DataMatrix;
+use drcell_linalg::{solve, Matrix};
+
+use crate::{InferenceAlgorithm, InferenceError, ObservedMatrix};
+
+/// Configuration of the compressive-sensing matrix completion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompressiveSensingConfig {
+    /// Factorisation rank `r` (the assumed effective rank of the
+    /// spatio-temporal field; 3–6 covers the paper's datasets).
+    pub rank: usize,
+    /// Tikhonov regularisation weight λ on both factors.
+    pub lambda: f64,
+    /// Maximum number of ALS sweeps.
+    pub max_iters: usize,
+    /// Relative objective-change tolerance for early stopping.
+    pub tol: f64,
+    /// Seed of the deterministic factor initialisation.
+    pub seed: u64,
+}
+
+impl Default for CompressiveSensingConfig {
+    fn default() -> Self {
+        CompressiveSensingConfig {
+            rank: 4,
+            lambda: 1e-2,
+            max_iters: 40,
+            tol: 1e-6,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Compressive-sensing data inference: rank-`r` matrix completion by
+/// alternating least squares on the observed entries, the de facto
+/// inference algorithm of Sparse MCS (paper §3, Definition 5).
+///
+/// The observed matrix is mean-centred, factorised as `X ≈ U·Vᵀ` with ridge
+/// regularisation `λ(‖U‖² + ‖V‖²)`, and reconstructed. Observed entries are
+/// passed through unchanged.
+///
+/// ```
+/// use drcell_inference::{CompressiveSensing, InferenceAlgorithm, ObservedMatrix};
+/// use drcell_datasets::DataMatrix;
+///
+/// # fn main() -> Result<(), drcell_inference::InferenceError> {
+/// // Rank-2 truth, 60% observed.
+/// let truth = DataMatrix::from_fn(6, 8, |i, t| {
+///     (i as f64).sin() * (t as f64 * 0.3).cos() + 0.5 * (i as f64) * 0.1
+/// });
+/// let obs = ObservedMatrix::from_selection(&truth, |i, t| (i * 3 + t * 7) % 5 != 0);
+/// let filled = CompressiveSensing::default().complete(&obs)?;
+/// assert_eq!(filled.cells(), 6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CompressiveSensing {
+    config: CompressiveSensingConfig,
+}
+
+impl CompressiveSensing {
+    /// Creates the algorithm with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InferenceError::InvalidConfig`] if `rank == 0`,
+    /// `lambda < 0`, or `max_iters == 0`.
+    pub fn new(config: CompressiveSensingConfig) -> Result<Self, InferenceError> {
+        if config.rank == 0 {
+            return Err(InferenceError::InvalidConfig {
+                name: "rank",
+                expected: "> 0",
+            });
+        }
+        if config.lambda < 0.0 {
+            return Err(InferenceError::InvalidConfig {
+                name: "lambda",
+                expected: ">= 0",
+            });
+        }
+        if config.max_iters == 0 {
+            return Err(InferenceError::InvalidConfig {
+                name: "max_iters",
+                expected: "> 0",
+            });
+        }
+        Ok(CompressiveSensing { config })
+    }
+
+    /// Borrows the configuration.
+    pub fn config(&self) -> &CompressiveSensingConfig {
+        &self.config
+    }
+
+    /// Deterministic pseudo-random factor initialisation (splitmix64 over
+    /// the configured seed) in `[-0.5, 0.5]`, scaled by `scale`.
+    fn init_factor(&self, rows: usize, cols: usize, scale: f64, salt: u64) -> Matrix {
+        let mut state = self.config.seed ^ salt;
+        Matrix::from_fn(rows, cols, |_, _| {
+            // splitmix64 step
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            ((z as f64 / u64::MAX as f64) - 0.5) * scale
+        })
+    }
+}
+
+impl InferenceAlgorithm for CompressiveSensing {
+    fn complete(&self, obs: &ObservedMatrix) -> Result<DataMatrix, InferenceError> {
+        let mean = obs.observed_mean()?;
+        let m = obs.cells();
+        let n = obs.cycles();
+        let r = self.config.rank.min(m).min(n).max(1);
+        let lambda = self.config.lambda.max(1e-9);
+
+        // Per-row / per-column observation index lists.
+        let mut row_obs: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+        let mut col_obs: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for (i, t, v) in obs.observations() {
+            let centred = v - mean;
+            row_obs[i].push((t, centred));
+            col_obs[t].push((i, centred));
+        }
+
+        let scale = 1.0 / (r as f64).sqrt();
+        let mut u = self.init_factor(m, r, scale, 0xA5A5);
+        let mut v = self.init_factor(n, r, scale, 0x5A5A);
+
+        let mut prev_obj = f64::INFINITY;
+        for _ in 0..self.config.max_iters {
+            // Solve for each row of U given V.
+            for i in 0..m {
+                if row_obs[i].is_empty() {
+                    // No data for this cell: shrink towards zero (global mean).
+                    for k in 0..r {
+                        u[(i, k)] = 0.0;
+                    }
+                    continue;
+                }
+                let mut gram = Matrix::zeros(r, r);
+                let mut rhs = vec![0.0; r];
+                for &(t, d) in &row_obs[i] {
+                    let vt = v.row(t);
+                    for a in 0..r {
+                        rhs[a] += d * vt[a];
+                        for b in 0..r {
+                            gram[(a, b)] += vt[a] * vt[b];
+                        }
+                    }
+                }
+                for a in 0..r {
+                    gram[(a, a)] += lambda;
+                }
+                let sol = solve::solve_spd(&gram, &rhs)?;
+                u.set_row(i, &sol);
+            }
+            // Solve for each row of V given U.
+            for t in 0..n {
+                if col_obs[t].is_empty() {
+                    for k in 0..r {
+                        v[(t, k)] = 0.0;
+                    }
+                    continue;
+                }
+                let mut gram = Matrix::zeros(r, r);
+                let mut rhs = vec![0.0; r];
+                for &(i, d) in &col_obs[t] {
+                    let ui = u.row(i);
+                    for a in 0..r {
+                        rhs[a] += d * ui[a];
+                        for b in 0..r {
+                            gram[(a, b)] += ui[a] * ui[b];
+                        }
+                    }
+                }
+                for a in 0..r {
+                    gram[(a, a)] += lambda;
+                }
+                let sol = solve::solve_spd(&gram, &rhs)?;
+                v.set_row(t, &sol);
+            }
+
+            // Objective for early stopping.
+            let mut obj = 0.0;
+            for i in 0..m {
+                for &(t, d) in &row_obs[i] {
+                    let pred: f64 = u.row(i).iter().zip(v.row(t)).map(|(a, b)| a * b).sum();
+                    obj += (d - pred) * (d - pred);
+                }
+            }
+            obj += lambda * (u.fro_norm().powi(2) + v.fro_norm().powi(2));
+            if prev_obj.is_finite()
+                && (prev_obj - obj).abs() <= self.config.tol * prev_obj.max(1e-12)
+            {
+                break;
+            }
+            prev_obj = obj;
+        }
+
+        Ok(obs.fill_with(|i, t| {
+            let pred: f64 = u.row(i).iter().zip(v.row(t)).map(|(a, b)| a * b).sum();
+            mean + pred
+        }))
+    }
+
+    fn name(&self) -> &'static str {
+        "compressive-sensing"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact rank-2 matrix.
+    fn rank2_truth(m: usize, n: usize) -> DataMatrix {
+        DataMatrix::from_fn(m, n, |i, t| {
+            let a = (i as f64 * 0.7).sin();
+            let b = (i as f64 * 0.3).cos();
+            let c = (t as f64 * 0.2).cos();
+            let d = (t as f64 * 0.5).sin();
+            3.0 + 2.0 * a * c + 1.5 * b * d
+        })
+    }
+
+    #[test]
+    fn recovers_low_rank_matrix_from_60pct() {
+        let truth = rank2_truth(12, 20);
+        let obs = ObservedMatrix::from_selection(&truth, |i, t| (i * 7 + t * 3) % 5 != 0);
+        let cs = CompressiveSensing::new(CompressiveSensingConfig {
+            rank: 3,
+            ..Default::default()
+        })
+        .unwrap();
+        let filled = cs.complete(&obs).unwrap();
+        let mut max_err = 0.0f64;
+        for i in 0..12 {
+            for t in 0..20 {
+                max_err = max_err.max((filled.value(i, t) - truth.value(i, t)).abs());
+            }
+        }
+        assert!(max_err < 0.3, "max error {max_err}");
+    }
+
+    #[test]
+    fn observed_entries_preserved_exactly() {
+        let truth = rank2_truth(6, 8);
+        let obs = ObservedMatrix::from_selection(&truth, |i, t| (i + t) % 2 == 0);
+        let filled = CompressiveSensing::default().complete(&obs).unwrap();
+        for (i, t, v) in obs.observations() {
+            assert_eq!(filled.value(i, t), v);
+        }
+    }
+
+    #[test]
+    fn all_outputs_finite_even_sparse() {
+        let truth = rank2_truth(10, 10);
+        // Only 3 observations.
+        let obs = ObservedMatrix::from_selection(&truth, |i, t| i == t && i < 3);
+        let filled = CompressiveSensing::default().complete(&obs).unwrap();
+        assert!(filled.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn unobserved_cell_falls_back_to_mean() {
+        let truth = rank2_truth(5, 6);
+        // Cell 4 never observed.
+        let obs = ObservedMatrix::from_selection(&truth, |i, _| i < 4);
+        let filled = CompressiveSensing::default().complete(&obs).unwrap();
+        let mean = obs.observed_mean().unwrap();
+        for t in 0..6 {
+            assert!(
+                (filled.value(4, t) - mean).abs() < 2.0,
+                "unobserved cell should stay near the global mean"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let obs = ObservedMatrix::new(4, 4);
+        assert!(matches!(
+            CompressiveSensing::default().complete(&obs),
+            Err(InferenceError::NoObservations)
+        ));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        assert!(CompressiveSensing::new(CompressiveSensingConfig {
+            rank: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(CompressiveSensing::new(CompressiveSensingConfig {
+            lambda: -1.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(CompressiveSensing::new(CompressiveSensingConfig {
+            max_iters: 0,
+            ..Default::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let truth = rank2_truth(8, 8);
+        let obs = ObservedMatrix::from_selection(&truth, |i, t| (i + 2 * t) % 3 != 0);
+        let a = CompressiveSensing::default().complete(&obs).unwrap();
+        let b = CompressiveSensing::default().complete(&obs).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rank_clamped_to_matrix_size() {
+        let truth = rank2_truth(2, 3);
+        let obs = ObservedMatrix::from_selection(&truth, |_, _| true);
+        let cs = CompressiveSensing::new(CompressiveSensingConfig {
+            rank: 10,
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(cs.complete(&obs).is_ok());
+    }
+
+    #[test]
+    fn more_observations_reduce_error() {
+        let truth = rank2_truth(10, 16);
+        let sparse = ObservedMatrix::from_selection(&truth, |i, t| (i * 5 + t * 11) % 4 == 0);
+        let dense = ObservedMatrix::from_selection(&truth, |i, t| (i * 5 + t * 11) % 4 != 3);
+        let cs = CompressiveSensing::default();
+        let err = |filled: &DataMatrix| {
+            let mut s = 0.0;
+            for i in 0..10 {
+                for t in 0..16 {
+                    s += (filled.value(i, t) - truth.value(i, t)).abs();
+                }
+            }
+            s
+        };
+        let e_sparse = err(&cs.complete(&sparse).unwrap());
+        let e_dense = err(&cs.complete(&dense).unwrap());
+        assert!(
+            e_dense < e_sparse,
+            "dense {e_dense} should beat sparse {e_sparse}"
+        );
+    }
+}

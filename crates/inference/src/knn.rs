@@ -1,0 +1,210 @@
+use drcell_datasets::{CellGrid, DataMatrix};
+
+use crate::{InferenceAlgorithm, InferenceError, ObservedMatrix};
+
+/// Spatial K-nearest-neighbour inference with inverse-distance weighting.
+///
+/// For each unobserved entry `(i, t)`, the value is the inverse-distance
+/// weighted average of the `k` nearest cells *observed at cycle `t`*. When a
+/// cycle has no observations at all, the cell's own temporal mean (or the
+/// global observed mean) is used. This is one of the committee members of
+/// the QBC baseline (paper §5.2).
+///
+/// ```
+/// use drcell_datasets::{CellGrid, DataMatrix};
+/// use drcell_inference::{InferenceAlgorithm, KnnInference, ObservedMatrix};
+///
+/// # fn main() -> Result<(), drcell_inference::InferenceError> {
+/// let grid = CellGrid::full_grid(1, 3, 10.0, 10.0);
+/// let mut obs = ObservedMatrix::new(3, 1);
+/// obs.observe(0, 0, 1.0);
+/// obs.observe(2, 0, 3.0);
+/// // Cell 1 is equidistant from both neighbours -> average 2.0.
+/// let filled = KnnInference::new(grid, 2)?.complete(&obs)?;
+/// assert!((filled.value(1, 0) - 2.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct KnnInference {
+    grid: CellGrid,
+    k: usize,
+}
+
+impl KnnInference {
+    /// Creates a KNN inferrer over the given grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InferenceError::InvalidConfig`] if `k == 0`.
+    pub fn new(grid: CellGrid, k: usize) -> Result<Self, InferenceError> {
+        if k == 0 {
+            return Err(InferenceError::InvalidConfig {
+                name: "k",
+                expected: "> 0",
+            });
+        }
+        Ok(KnnInference { grid, k })
+    }
+
+    /// Number of neighbours.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Temporal mean of a cell's observed values, if any.
+    fn cell_mean(&self, obs: &ObservedMatrix, cell: usize) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for t in 0..obs.cycles() {
+            if let Some(v) = obs.get(cell, t) {
+                sum += v;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+}
+
+impl InferenceAlgorithm for KnnInference {
+    fn complete(&self, obs: &ObservedMatrix) -> Result<DataMatrix, InferenceError> {
+        if obs.cells() != self.grid.cells() {
+            return Err(InferenceError::InvalidConfig {
+                name: "grid",
+                expected: "grid cell count matching the observed matrix",
+            });
+        }
+        let global = obs.observed_mean()?;
+        let mut out = DataMatrix::zeros(obs.cells(), obs.cycles());
+        for t in 0..obs.cycles() {
+            let sensed = obs.observed_cells_at(t);
+            for i in 0..obs.cells() {
+                let v = if let Some(v) = obs.get(i, t) {
+                    v
+                } else if !sensed.is_empty() {
+                    let neighbours = self.grid.nearest_among(i, &sensed, self.k);
+                    let mut wsum = 0.0;
+                    let mut vsum = 0.0;
+                    let mut exact = None;
+                    for &nb in &neighbours {
+                        let d = self.grid.distance(i, nb);
+                        let val = obs.get(nb, t).expect("neighbour observed");
+                        if d < 1e-9 {
+                            exact = Some(val);
+                            break;
+                        }
+                        let w = 1.0 / d;
+                        wsum += w;
+                        vsum += w * val;
+                    }
+                    match exact {
+                        Some(v) => v,
+                        None if wsum > 0.0 => vsum / wsum,
+                        None => self.cell_mean(obs, i).unwrap_or(global),
+                    }
+                } else {
+                    self.cell_mean(obs, i).unwrap_or(global)
+                };
+                out.set(i, t, v);
+            }
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "knn-spatial"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_grid(n: usize) -> CellGrid {
+        CellGrid::full_grid(1, n, 10.0, 10.0)
+    }
+
+    #[test]
+    fn inverse_distance_weighting() {
+        // Cells at x = 5, 15, 25, 35; observe 0 and 3; infer cell 1.
+        // d(1,0)=10, d(1,3)=20 -> weights 0.1 / 0.05 -> (0.1·1 + 0.05·4)/0.15 = 2.0
+        let grid = line_grid(4);
+        let mut obs = ObservedMatrix::new(4, 1);
+        obs.observe(0, 0, 1.0);
+        obs.observe(3, 0, 4.0);
+        let filled = KnnInference::new(grid, 2).unwrap().complete(&obs).unwrap();
+        assert!((filled.value(1, 0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_limits_neighbourhood() {
+        let grid = line_grid(4);
+        let mut obs = ObservedMatrix::new(4, 1);
+        obs.observe(1, 0, 10.0);
+        obs.observe(3, 0, 99.0);
+        // k = 1: cell 0 copies its single nearest observed neighbour (cell 1).
+        let filled = KnnInference::new(grid, 1).unwrap().complete(&obs).unwrap();
+        assert_eq!(filled.value(0, 0), 10.0);
+    }
+
+    #[test]
+    fn empty_cycle_falls_back_to_cell_mean() {
+        let grid = line_grid(2);
+        let mut obs = ObservedMatrix::new(2, 3);
+        obs.observe(0, 0, 4.0);
+        obs.observe(0, 1, 6.0);
+        // Cycle 2 has no observations; cell 0 uses its own mean, cell 1 the
+        // global mean.
+        let filled = KnnInference::new(grid, 2).unwrap().complete(&obs).unwrap();
+        assert!((filled.value(0, 2) - 5.0).abs() < 1e-9);
+        assert!((filled.value(1, 2) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observed_entries_preserved() {
+        let grid = line_grid(3);
+        let truth = DataMatrix::from_fn(3, 4, |i, t| (i * 10 + t) as f64);
+        let obs = ObservedMatrix::from_selection(&truth, |i, t| (i + t) % 2 == 0);
+        let filled = KnnInference::new(grid, 2).unwrap().complete(&obs).unwrap();
+        for (i, t, v) in obs.observations() {
+            assert_eq!(filled.value(i, t), v);
+        }
+    }
+
+    #[test]
+    fn zero_k_rejected() {
+        assert!(KnnInference::new(line_grid(2), 0).is_err());
+    }
+
+    #[test]
+    fn grid_mismatch_rejected() {
+        let knn = KnnInference::new(line_grid(3), 1).unwrap();
+        let obs = ObservedMatrix::new(5, 2);
+        assert!(knn.complete(&obs).is_err());
+    }
+
+    #[test]
+    fn no_observations_rejected() {
+        let knn = KnnInference::new(line_grid(2), 1).unwrap();
+        assert!(matches!(
+            knn.complete(&ObservedMatrix::new(2, 2)),
+            Err(InferenceError::NoObservations)
+        ));
+    }
+
+    #[test]
+    fn spatially_smooth_field_interpolates_well() {
+        // Linear field over the line: KNN should interpolate near-exactly
+        // for interior cells.
+        let grid = line_grid(5);
+        let truth = DataMatrix::from_fn(5, 1, |i, _| i as f64);
+        let obs = ObservedMatrix::from_selection(&truth, |i, _| i % 2 == 0);
+        let filled = KnnInference::new(grid, 2).unwrap().complete(&obs).unwrap();
+        assert!((filled.value(1, 0) - 1.0).abs() < 1e-9);
+        assert!((filled.value(3, 0) - 3.0).abs() < 1e-9);
+    }
+}

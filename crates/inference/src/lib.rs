@@ -1,0 +1,83 @@
+//! # drcell-inference — data inference for Sparse MCS
+//!
+//! In Sparse MCS only a few cells are sensed per cycle; the rest are
+//! *inferred*. This crate implements the inference algorithms the DR-Cell
+//! paper relies on:
+//!
+//! * [`CompressiveSensing`] — low-rank matrix completion via alternating
+//!   least squares, "the de facto choice of the inference algorithm" in
+//!   Sparse MCS (paper §3, Definition 5; Candès & Recht 2009, Donoho 2006),
+//! * [`KnnInference`] — spatial K-nearest-neighbour / inverse-distance
+//!   interpolation (a QBC committee member, per Wang et al. SPACE-TA),
+//! * [`TemporalInference`] — per-cell temporal interpolation,
+//! * [`GlobalMeanInference`] — trivial baseline,
+//! * [`Committee`] — a query-by-committee ensemble that measures per-cell
+//!   disagreement, the selection criterion of the QBC baseline (paper §5.2).
+//!
+//! All algorithms consume an [`ObservedMatrix`] (values + observation mask)
+//! and produce a completed [`drcell_datasets::DataMatrix`].
+//!
+//! ```
+//! use drcell_inference::{
+//!     CompressiveSensing, CompressiveSensingConfig, InferenceAlgorithm, ObservedMatrix,
+//! };
+//!
+//! # fn main() -> Result<(), drcell_inference::InferenceError> {
+//! // Rank-1 ground truth: d[i][t] = (i+1)·(t+1), ~80% observed.
+//! // (A scattered mask matters: structured masks like a checkerboard make
+//! // completion non-identifiable.)
+//! let mut obs = ObservedMatrix::new(4, 5);
+//! for i in 0..4 {
+//!     for t in 0..5 {
+//!         if (i * 3 + t * 7) % 5 != 0 {
+//!             obs.observe(i, t, ((i + 1) * (t + 1)) as f64);
+//!         }
+//!     }
+//! }
+//! let cs = CompressiveSensing::new(CompressiveSensingConfig {
+//!     rank: 2,
+//!     ..Default::default()
+//! })?;
+//! let filled = cs.complete(&obs)?;
+//! assert!((filled.value(1, 2) - 6.0).abs() < 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod committee;
+mod compressive;
+mod error;
+mod knn;
+mod observed;
+mod svt;
+mod temporal;
+
+pub use committee::Committee;
+pub use compressive::{CompressiveSensing, CompressiveSensingConfig};
+pub use error::InferenceError;
+pub use knn::KnnInference;
+pub use observed::ObservedMatrix;
+pub use svt::{SvtConfig, SvtInference};
+pub use temporal::{GlobalMeanInference, TemporalInference};
+
+use drcell_datasets::DataMatrix;
+
+/// A data-inference algorithm that completes a partially observed
+/// cell × cycle matrix.
+///
+/// Implementations must preserve observed entries exactly and fill every
+/// unobserved entry with a finite value.
+pub trait InferenceAlgorithm: Send + Sync {
+    /// Completes the matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InferenceError::NoObservations`] when the input has no
+    /// observed entries at all, or algorithm-specific numerical failures.
+    fn complete(&self, obs: &ObservedMatrix) -> Result<DataMatrix, InferenceError>;
+
+    /// Human-readable algorithm name (used in committee diagnostics).
+    fn name(&self) -> &'static str;
+}

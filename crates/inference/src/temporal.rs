@@ -1,0 +1,159 @@
+use drcell_datasets::DataMatrix;
+
+use crate::{InferenceAlgorithm, InferenceError, ObservedMatrix};
+
+/// Per-cell temporal interpolation: each cell's missing cycles are linearly
+/// interpolated between its nearest observed cycles (and extended flat at
+/// the boundaries). A committee member exploiting *temporal* correlation,
+/// complementing the spatial KNN member.
+///
+/// ```
+/// use drcell_inference::{InferenceAlgorithm, ObservedMatrix, TemporalInference};
+///
+/// # fn main() -> Result<(), drcell_inference::InferenceError> {
+/// let mut obs = ObservedMatrix::new(1, 5);
+/// obs.observe(0, 0, 1.0);
+/// obs.observe(0, 4, 5.0);
+/// let filled = TemporalInference::default().complete(&obs)?;
+/// assert!((filled.value(0, 2) - 3.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TemporalInference {
+    _priv: (),
+}
+
+impl TemporalInference {
+    /// Creates the temporal interpolator.
+    pub fn new() -> Self {
+        TemporalInference::default()
+    }
+}
+
+impl InferenceAlgorithm for TemporalInference {
+    fn complete(&self, obs: &ObservedMatrix) -> Result<DataMatrix, InferenceError> {
+        let global = obs.observed_mean()?;
+        let mut out = DataMatrix::zeros(obs.cells(), obs.cycles());
+        for i in 0..obs.cells() {
+            let observed: Vec<(usize, f64)> = (0..obs.cycles())
+                .filter_map(|t| obs.get(i, t).map(|v| (t, v)))
+                .collect();
+            for t in 0..obs.cycles() {
+                let v = if let Some(v) = obs.get(i, t) {
+                    v
+                } else if observed.is_empty() {
+                    global
+                } else {
+                    // Find bracketing observations.
+                    let before = observed.iter().rev().find(|&&(ot, _)| ot < t);
+                    let after = observed.iter().find(|&&(ot, _)| ot > t);
+                    match (before, after) {
+                        (Some(&(t0, v0)), Some(&(t1, v1))) => {
+                            let frac = (t - t0) as f64 / (t1 - t0) as f64;
+                            v0 + frac * (v1 - v0)
+                        }
+                        (Some(&(_, v0)), None) => v0,
+                        (None, Some(&(_, v1))) => v1,
+                        (None, None) => global,
+                    }
+                };
+                out.set(i, t, v);
+            }
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "temporal-interpolation"
+    }
+}
+
+/// Trivial baseline: fills every unobserved entry with the global observed
+/// mean. Useful as a worst-reasonable-case committee member and in tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GlobalMeanInference {
+    _priv: (),
+}
+
+impl GlobalMeanInference {
+    /// Creates the global-mean filler.
+    pub fn new() -> Self {
+        GlobalMeanInference::default()
+    }
+}
+
+impl InferenceAlgorithm for GlobalMeanInference {
+    fn complete(&self, obs: &ObservedMatrix) -> Result<DataMatrix, InferenceError> {
+        let mean = obs.observed_mean()?;
+        Ok(obs.fill_with(|_, _| mean))
+    }
+
+    fn name(&self) -> &'static str {
+        "global-mean"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_interpolation_between_observations() {
+        let mut obs = ObservedMatrix::new(1, 4);
+        obs.observe(0, 0, 0.0);
+        obs.observe(0, 3, 9.0);
+        let filled = TemporalInference::new().complete(&obs).unwrap();
+        assert!((filled.value(0, 1) - 3.0).abs() < 1e-9);
+        assert!((filled.value(0, 2) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_extension_is_flat() {
+        let mut obs = ObservedMatrix::new(1, 5);
+        obs.observe(0, 2, 7.0);
+        let filled = TemporalInference::new().complete(&obs).unwrap();
+        assert_eq!(filled.value(0, 0), 7.0);
+        assert_eq!(filled.value(0, 4), 7.0);
+    }
+
+    #[test]
+    fn unobserved_cell_gets_global_mean() {
+        let mut obs = ObservedMatrix::new(2, 2);
+        obs.observe(0, 0, 2.0);
+        obs.observe(0, 1, 4.0);
+        let filled = TemporalInference::new().complete(&obs).unwrap();
+        assert_eq!(filled.value(1, 0), 3.0);
+        assert_eq!(filled.value(1, 1), 3.0);
+    }
+
+    #[test]
+    fn observed_preserved_and_no_observations_rejected() {
+        let mut obs = ObservedMatrix::new(1, 2);
+        obs.observe(0, 1, 5.5);
+        let filled = TemporalInference::new().complete(&obs).unwrap();
+        assert_eq!(filled.value(0, 1), 5.5);
+        assert!(TemporalInference::new()
+            .complete(&ObservedMatrix::new(2, 2))
+            .is_err());
+    }
+
+    #[test]
+    fn global_mean_fills_everything() {
+        let mut obs = ObservedMatrix::new(2, 2);
+        obs.observe(0, 0, 1.0);
+        obs.observe(1, 1, 3.0);
+        let filled = GlobalMeanInference::new().complete(&obs).unwrap();
+        assert_eq!(filled.value(0, 1), 2.0);
+        assert_eq!(filled.value(1, 0), 2.0);
+        assert_eq!(filled.value(0, 0), 1.0);
+    }
+
+    #[test]
+    fn names_distinct() {
+        assert_ne!(
+            TemporalInference::new().name(),
+            GlobalMeanInference::new().name()
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests of the inference algorithms.
+
+use drcell_datasets::{CellGrid, DataMatrix};
+use drcell_inference::{
+    Committee, CompressiveSensing, CompressiveSensingConfig, GlobalMeanInference,
+    InferenceAlgorithm, KnnInference, ObservedMatrix, TemporalInference,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random smooth-ish truth matrix plus an observation mask that
+/// keeps at least one entry.
+fn observed_case() -> impl Strategy<Value = (DataMatrix, ObservedMatrix)> {
+    (2usize..6, 2usize..8, any::<u64>()).prop_map(|(cells, cycles, seed)| {
+        let truth = DataMatrix::from_fn(cells, cycles, |i, t| {
+            let s = seed as f64 / u64::MAX as f64;
+            2.0 + s + (i as f64 * 0.7 + s).sin() * 0.5 + (t as f64 * 0.4).cos() * 0.3
+        });
+        let mut any_kept = false;
+        let mut obs = ObservedMatrix::from_selection(&truth, |i, t| {
+            let keep = (i
+                .wrapping_mul(31)
+                .wrapping_add(t.wrapping_mul(17))
+                .wrapping_add(seed as usize))
+                % 3
+                != 0;
+            any_kept |= keep;
+            keep
+        });
+        if !any_kept {
+            obs.observe(0, 0, truth.value(0, 0));
+        }
+        (truth, obs)
+    })
+}
+
+fn algorithms(cells: usize) -> Vec<Box<dyn InferenceAlgorithm>> {
+    vec![
+        Box::new(CompressiveSensing::new(CompressiveSensingConfig {
+            rank: 2,
+            max_iters: 10,
+            ..Default::default()
+        })
+        .expect("valid config")),
+        Box::new(KnnInference::new(CellGrid::full_grid(1, cells, 10.0, 10.0), 2).expect("k > 0")),
+        Box::new(TemporalInference::new()),
+        Box::new(GlobalMeanInference::new()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn every_algorithm_preserves_observations((_, obs) in observed_case()) {
+        for algo in algorithms(obs.cells()) {
+            let filled = algo.complete(&obs).unwrap();
+            for (i, t, v) in obs.observations() {
+                prop_assert_eq!(filled.value(i, t), v, "{} changed an observation", algo.name());
+            }
+        }
+    }
+
+    #[test]
+    fn every_algorithm_outputs_finite((_, obs) in observed_case()) {
+        for algo in algorithms(obs.cells()) {
+            let filled = algo.complete(&obs).unwrap();
+            prop_assert!(filled.iter().all(|v| v.is_finite()), "{} produced non-finite", algo.name());
+        }
+    }
+
+    #[test]
+    fn completions_stay_within_plausible_range((truth, obs) in observed_case()) {
+        // Inferred values should stay within a generous envelope of the
+        // observed range (no wild extrapolation).
+        let lo = obs.observations().map(|(_, _, v)| v).fold(f64::INFINITY, f64::min);
+        let hi = obs.observations().map(|(_, _, v)| v).fold(f64::NEG_INFINITY, f64::max);
+        let span = (hi - lo).max(1.0);
+        for algo in algorithms(truth.cells()) {
+            let filled = algo.complete(&obs).unwrap();
+            for v in filled.iter() {
+                prop_assert!(
+                    *v >= lo - 3.0 * span && *v <= hi + 3.0 * span,
+                    "{} extrapolated wildly: {v} outside [{lo}, {hi}]",
+                    algo.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn committee_disagreement_nonnegative_and_zero_on_observed((_, obs) in observed_case()) {
+        let committee = Committee::new(vec![
+            Box::new(TemporalInference::new()),
+            Box::new(GlobalMeanInference::new()),
+            Box::new(KnnInference::new(CellGrid::full_grid(1, obs.cells(), 10.0, 10.0), 2).unwrap()),
+        ]).unwrap();
+        let cycle = obs.cycles() - 1;
+        let d = committee.disagreement(&obs, cycle).unwrap();
+        prop_assert_eq!(d.len(), obs.cells());
+        for (i, &v) in d.iter().enumerate() {
+            prop_assert!(v >= 0.0);
+            if obs.is_observed(i, cycle) {
+                prop_assert_eq!(v, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_window_preserves_recent_observations((_, obs) in observed_case()) {
+        let w = (obs.cycles() / 2).max(1);
+        let win = obs.trailing_window(w);
+        let from = obs.cycles() - w;
+        for i in 0..obs.cells() {
+            for t in 0..w {
+                prop_assert_eq!(win.get(i, t), obs.get(i, from + t));
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+use crate::{LinalgError, Matrix};
+
+/// Eigendecomposition of a symmetric matrix via the cyclic Jacobi method:
+/// `A = V·diag(λ)·Vᵀ`.
+///
+/// Eigenvalues are returned in descending order with matching eigenvector
+/// columns. Used by the SVD and by dataset-rank diagnostics.
+///
+/// ```
+/// use drcell_linalg::{decomp::SymmetricEigen, Matrix};
+///
+/// # fn main() -> Result<(), drcell_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]])?;
+/// let eig = SymmetricEigen::new(&a)?;
+/// assert!((eig.eigenvalues()[0] - 3.0).abs() < 1e-10);
+/// assert!((eig.eigenvalues()[1] - 1.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    eigenvalues: Vec<f64>,
+    eigenvectors: Matrix,
+}
+
+const MAX_SWEEPS: usize = 100;
+const OFF_DIAG_TOL: f64 = 1e-12;
+
+impl SymmetricEigen {
+    /// Computes the eigendecomposition of a symmetric matrix.
+    ///
+    /// Only symmetry up to rounding is assumed; the strictly-upper triangle
+    /// is used.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] if `a` is not square.
+    /// * [`LinalgError::NoConvergence`] if the off-diagonal mass does not
+    ///   fall below tolerance within 100 sweeps (practically unreachable for
+    ///   genuine symmetric input).
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "symmetric_eigen",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+        let n = a.rows();
+        let mut m = a.clone();
+        let mut v = Matrix::identity(n);
+
+        if n <= 1 {
+            let eigenvalues = (0..n).map(|i| m[(i, i)]).collect();
+            return Ok(SymmetricEigen {
+                eigenvalues,
+                eigenvectors: v,
+            });
+        }
+
+        for sweep in 0..MAX_SWEEPS {
+            let mut off = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    off += m[(i, j)] * m[(i, j)];
+                }
+            }
+            if off.sqrt() < OFF_DIAG_TOL {
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by(|&x, &y| m[(y, y)].partial_cmp(&m[(x, x)]).unwrap());
+                let eigenvalues: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+                let mut vectors = Matrix::zeros(n, n);
+                for (new_c, &old_c) in order.iter().enumerate() {
+                    vectors.set_col(new_c, &v.col(old_c));
+                }
+                return Ok(SymmetricEigen {
+                    eigenvalues,
+                    eigenvectors: vectors,
+                });
+            }
+            let _ = sweep;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m[(p, q)];
+                    if apq.abs() < OFF_DIAG_TOL / (n * n) as f64 {
+                        continue;
+                    }
+                    let app = m[(p, p)];
+                    let aqq = m[(q, q)];
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        1.0 / (theta - (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+                    // Rotate rows/cols p and q of M.
+                    for k in 0..n {
+                        let mkp = m[(k, p)];
+                        let mkq = m[(k, q)];
+                        m[(k, p)] = c * mkp - s * mkq;
+                        m[(k, q)] = s * mkp + c * mkq;
+                    }
+                    for k in 0..n {
+                        let mpk = m[(p, k)];
+                        let mqk = m[(q, k)];
+                        m[(p, k)] = c * mpk - s * mqk;
+                        m[(q, k)] = s * mpk + c * mqk;
+                    }
+                    // Accumulate eigenvectors.
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+        Err(LinalgError::NoConvergence {
+            algorithm: "jacobi eigen",
+            iterations: MAX_SWEEPS,
+        })
+    }
+
+    /// Eigenvalues in descending order.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Eigenvector matrix; column `i` corresponds to `eigenvalues()[i]`.
+    pub fn eigenvectors(&self) -> &Matrix {
+        &self.eigenvectors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym3() -> Matrix {
+        Matrix::from_rows(&[
+            vec![4.0, 1.0, 1.0],
+            vec![1.0, 3.0, 0.0],
+            vec![1.0, 0.0, 2.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = sym3();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let d = Matrix::diag(eig.eigenvalues());
+        let rec = eig
+            .eigenvectors()
+            .matmul(&d)
+            .unwrap()
+            .matmul(&eig.eigenvectors().transpose())
+            .unwrap();
+        assert!(rec.approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn eigenvalues_descending() {
+        let eig = SymmetricEigen::new(&sym3()).unwrap();
+        let ev = eig.eigenvalues();
+        for w in ev.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let eig = SymmetricEigen::new(&sym3()).unwrap();
+        let vtv = eig
+            .eigenvectors()
+            .transpose()
+            .matmul(eig.eigenvectors())
+            .unwrap();
+        assert!(vtv.approx_eq(&Matrix::identity(3), 1e-9));
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = sym3();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let s: f64 = eig.eigenvalues().iter().sum();
+        assert!((s - a.trace()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_sorted() {
+        let a = Matrix::diag(&[1.0, 5.0, 3.0]);
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert!((eig.eigenvalues()[0] - 5.0).abs() < 1e-12);
+        assert!((eig.eigenvalues()[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_by_one() {
+        let eig = SymmetricEigen::new(&Matrix::diag(&[7.0])).unwrap();
+        assert_eq!(eig.eigenvalues(), &[7.0]);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(SymmetricEigen::new(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn rank_one_matrix_has_one_nonzero_eigenvalue() {
+        // u uᵀ with u = (1,2,2) has eigenvalues (9, 0, 0).
+        let u = Matrix::column(&[1.0, 2.0, 2.0]);
+        let a = u.matmul(&u.transpose()).unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert!((eig.eigenvalues()[0] - 9.0).abs() < 1e-9);
+        assert!(eig.eigenvalues()[1].abs() < 1e-9);
+        assert!(eig.eigenvalues()[2].abs() < 1e-9);
+    }
+}

@@ -1,0 +1,18 @@
+//! Matrix decompositions: LU, Cholesky, QR, symmetric eigen, SVD.
+//!
+//! Each decomposition is a struct produced by a constructor that consumes or
+//! borrows a [`crate::Matrix`] and exposes solve/reconstruct methods. All
+//! algorithms are textbook implementations tuned for the small dense problems
+//! (tens to low hundreds of rows) that the DR-Cell pipeline produces.
+
+mod cholesky;
+mod eigen;
+mod lu;
+mod qr;
+mod svd;
+
+pub use cholesky::Cholesky;
+pub use eigen::SymmetricEigen;
+pub use lu::Lu;
+pub use qr::Qr;
+pub use svd::Svd;

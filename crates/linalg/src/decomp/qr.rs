@@ -1,0 +1,233 @@
+use crate::{LinalgError, Matrix};
+
+/// Householder QR decomposition: `A = Q·R` with `Q` orthonormal columns and
+/// `R` upper triangular. Supports tall (`m ≥ n`) matrices and least-squares
+/// solves.
+///
+/// ```
+/// use drcell_linalg::{decomp::Qr, Matrix};
+///
+/// # fn main() -> Result<(), drcell_linalg::LinalgError> {
+/// // Overdetermined system: fit y = a + b·t through three points.
+/// let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0]])?;
+/// let qr = Qr::new(&a)?;
+/// let coef = qr.solve_least_squares(&[1.0, 3.0, 5.0])?;
+/// assert!((coef[0] - 1.0).abs() < 1e-10 && (coef[1] - 2.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    q: Matrix,
+    r: Matrix,
+}
+
+impl Qr {
+    /// Factorises `a` (requires `rows ≥ cols`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `a.rows() < a.cols()` and
+    /// [`LinalgError::Empty`] for an empty matrix.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if a.is_empty() {
+            return Err(LinalgError::Empty { op: "qr" });
+        }
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr (needs rows >= cols)",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+        let mut r = a.clone();
+        let mut q = Matrix::identity(m);
+
+        for k in 0..n {
+            // Householder vector for column k.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += r[(i, k)] * r[(i, k)];
+            }
+            let norm = norm.sqrt();
+            if norm == 0.0 {
+                continue;
+            }
+            let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
+            let mut v = vec![0.0; m];
+            v[k] = r[(k, k)] - alpha;
+            for i in (k + 1)..m {
+                v[i] = r[(i, k)];
+            }
+            let vtv: f64 = v[k..].iter().map(|x| x * x).sum();
+            if vtv == 0.0 {
+                continue;
+            }
+            // Apply H = I - 2 v vᵀ / (vᵀv) to R (columns k..n).
+            for c in k..n {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += v[i] * r[(i, c)];
+                }
+                let f = 2.0 * dot / vtv;
+                for i in k..m {
+                    r[(i, c)] -= f * v[i];
+                }
+            }
+            // Accumulate Q = Q·H.
+            for row in 0..m {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += q[(row, i)] * v[i];
+                }
+                let f = 2.0 * dot / vtv;
+                for i in k..m {
+                    q[(row, i)] -= f * v[i];
+                }
+            }
+        }
+        // Zero the strictly-lower part of R (numerical noise).
+        for i in 1..m {
+            for j in 0..n.min(i) {
+                r[(i, j)] = 0.0;
+            }
+        }
+        Ok(Qr { q, r })
+    }
+
+    /// Borrows the full `m × m` orthogonal factor `Q`.
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// Borrows the `m × n` upper-triangular factor `R`.
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// Solves `min ‖A·x − b‖₂` via back substitution on `R·x = Qᵀ·b`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] if `b.len() != A.rows()`.
+    /// * [`LinalgError::Singular`] if `R` has a (near-)zero diagonal entry,
+    ///   i.e. `A` is rank deficient.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let (m, n) = self.r.shape();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr_solve",
+                lhs: (m, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let qtb = self.q.vecmat(b); // Qᵀ·b since vecmat(v) = Qᵀv.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = qtb[i];
+            for j in (i + 1)..n {
+                s -= self.r[(i, j)] * x[j];
+            }
+            let d = self.r[(i, i)];
+            if d.abs() < 1e-12 {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            x[i] = s / d;
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tall() -> Matrix {
+        Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let a = tall();
+        let qr = Qr::new(&a).unwrap();
+        let rec = qr.q().matmul(qr.r()).unwrap();
+        assert!(rec.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn q_is_orthogonal() {
+        let qr = Qr::new(&tall()).unwrap();
+        let qtq = qr.q().transpose().matmul(qr.q()).unwrap();
+        assert!(qtq.approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let qr = Qr::new(&tall()).unwrap();
+        for i in 0..qr.r().rows() {
+            for j in 0..qr.r().cols().min(i) {
+                assert_eq!(qr.r()[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_exact_for_square_system() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let x_true = [1.5, -0.5];
+        let b = a.matvec(&x_true);
+        let x = Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn least_squares_projects_residual() {
+        // Residual of a least-squares fit must be orthogonal to the columns.
+        let a = tall();
+        let b = [1.0, 0.0, 2.0];
+        let x = Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        let ax = a.matvec(&x);
+        let res: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+        for c in 0..a.cols() {
+            let col = a.col(c);
+            let dot: f64 = col.iter().zip(&res).map(|(x, y)| x * y).sum();
+            assert!(dot.abs() < 1e-10, "residual not orthogonal: {dot}");
+        }
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        assert!(Qr::new(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn rank_deficient_detected_on_solve() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![3.0, 3.0],
+        ])
+        .unwrap();
+        let qr = Qr::new(&a).unwrap();
+        assert!(matches!(
+            qr.solve_least_squares(&[1.0, 2.0, 3.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(matches!(
+            Qr::new(&Matrix::default()),
+            Err(LinalgError::Empty { .. })
+        ));
+    }
+}

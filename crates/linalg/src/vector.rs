@@ -1,0 +1,162 @@
+//! BLAS-1 style helpers on `&[f64]` slices.
+//!
+//! These free functions avoid pulling the full [`crate::Matrix`] machinery
+//! into hot inner loops (neural-network forward passes, replay sampling).
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// ```
+/// assert_eq!(drcell_linalg::vector::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// In-place AXPY: `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// L1 norm (sum of absolute values).
+pub fn norm1(a: &[f64]) -> f64 {
+    a.iter().map(|v| v.abs()).sum()
+}
+
+/// Infinity norm (largest absolute value); `0.0` for an empty slice.
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+}
+
+/// Scales a slice in place.
+pub fn scale(alpha: f64, a: &mut [f64]) {
+    for v in a {
+        *v *= alpha;
+    }
+}
+
+/// Element-wise sum of two slices as a new `Vec`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Element-wise difference `a - b` as a new `Vec`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Mean of a slice; `None` when empty.
+pub fn mean(a: &[f64]) -> Option<f64> {
+    if a.is_empty() {
+        None
+    } else {
+        Some(a.iter().sum::<f64>() / a.len() as f64)
+    }
+}
+
+/// Index of the maximum value; ties broken toward the lowest index.
+/// Returns `None` for an empty slice or when every value is NaN.
+///
+/// ```
+/// assert_eq!(drcell_linalg::vector::argmax(&[1.0, 5.0, 5.0, 2.0]), Some(1));
+/// ```
+pub fn argmax(a: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in a.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if bv >= v => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the minimum value; ties broken toward the lowest index.
+/// Returns `None` for an empty slice or when every value is NaN.
+pub fn argmin(a: &[f64]) -> Option<usize> {
+    argmax(&a.iter().map(|v| -v).collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_orthogonal_is_zero() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, 3.0], &mut y);
+        assert_eq!(y, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn norms_on_pythagorean_triple() {
+        let v = [3.0, -4.0];
+        assert!((norm2(&v) - 5.0).abs() < 1e-12);
+        assert_eq!(norm1(&v), 7.0);
+        assert_eq!(norm_inf(&v), 4.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn scale_add_sub() {
+        let mut v = vec![1.0, 2.0];
+        scale(3.0, &mut v);
+        assert_eq!(v, vec![3.0, 6.0]);
+        assert_eq!(add(&[1.0], &[2.0]), vec![3.0]);
+        assert_eq!(sub(&[1.0], &[2.0]), vec![-1.0]);
+    }
+
+    #[test]
+    fn mean_of_empty_is_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+    }
+
+    #[test]
+    fn argmax_handles_ties_and_nan() {
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[f64::NAN]), None);
+        assert_eq!(argmax(&[f64::NAN, 2.0, 2.0]), Some(1));
+        assert_eq!(argmin(&[3.0, -1.0, 4.0]), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,320 @@
+use rand::Rng;
+
+use drcell_linalg::Matrix;
+
+use crate::{Activation, NeuralError, Parameterized};
+
+/// A fully connected layer `y = act(W·x + b)` with `W ∈ ℝ^{out × in}`.
+///
+/// The layer is *stateless across calls*: forward passes return the caches
+/// that the corresponding backward pass needs, so one layer instance can be
+/// used for many batches (and the borrow checker stays happy).
+///
+/// ```
+/// use drcell_neural::{Activation, DenseLayer};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let layer = DenseLayer::new(3, 2, Activation::Tanh, &mut rng).unwrap();
+/// let y = layer.forward(&[0.5, -0.5, 1.0]);
+/// assert_eq!(y.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DenseLayer {
+    in_dim: usize,
+    out_dim: usize,
+    activation: Activation,
+    /// Parameters: `W` (row-major, out × in) followed by `b` (out).
+    params: Vec<f64>,
+    /// Gradient accumulators with identical layout.
+    grads: Vec<f64>,
+}
+
+impl DenseLayer {
+    /// Creates a layer with Xavier-uniform initialised weights and zero
+    /// biases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::InvalidConfig`] for zero dimensions.
+    pub fn new<R: Rng + ?Sized>(
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Result<Self, NeuralError> {
+        if in_dim == 0 || out_dim == 0 {
+            return Err(NeuralError::InvalidConfig {
+                reason: format!("dense layer dims must be positive, got {in_dim}x{out_dim}"),
+            });
+        }
+        let bound = (6.0 / (in_dim + out_dim) as f64).sqrt();
+        let mut params = vec![0.0; in_dim * out_dim + out_dim];
+        for w in params.iter_mut().take(in_dim * out_dim) {
+            *w = rng.gen_range(-bound..bound);
+        }
+        let grads = vec![0.0; params.len()];
+        Ok(DenseLayer {
+            in_dim,
+            out_dim,
+            activation,
+            params,
+            grads,
+        })
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// The layer's activation.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    #[inline]
+    fn weight(&self, o: usize, i: usize) -> f64 {
+        self.params[o * self.in_dim + i]
+    }
+
+    #[inline]
+    fn bias(&self, o: usize) -> f64 {
+        self.params[self.in_dim * self.out_dim + o]
+    }
+
+    /// Single-sample forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.in_dim()`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_dim, "dense forward input length");
+        (0..self.out_dim)
+            .map(|o| {
+                let z: f64 = (0..self.in_dim).map(|i| self.weight(o, i) * x[i]).sum::<f64>()
+                    + self.bias(o);
+                self.activation.apply(z)
+            })
+            .collect()
+    }
+
+    /// Batch forward pass on `x` (batch × in). Returns `(pre, post)` where
+    /// `pre` holds pre-activations (needed by backward) and `post` the
+    /// activated outputs, both batch × out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.in_dim()`.
+    pub fn forward_batch(&self, x: &Matrix) -> (Matrix, Matrix) {
+        assert_eq!(x.cols(), self.in_dim, "dense forward_batch input width");
+        let n = x.rows();
+        let mut pre = Matrix::zeros(n, self.out_dim);
+        for s in 0..n {
+            let xs = x.row(s);
+            for o in 0..self.out_dim {
+                let mut z = self.bias(o);
+                let wrow = &self.params[o * self.in_dim..(o + 1) * self.in_dim];
+                for (wi, xi) in wrow.iter().zip(xs) {
+                    z += wi * xi;
+                }
+                pre[(s, o)] = z;
+            }
+        }
+        let post = pre.map(|z| self.activation.apply(z));
+        (pre, post)
+    }
+
+    /// Batch backward pass. `x` and `pre` must come from the matching
+    /// [`DenseLayer::forward_batch`]; `d_post` is ∂L/∂post. Accumulates
+    /// parameter gradients and returns ∂L/∂x.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches between `x`, `pre` and `d_post`.
+    pub fn backward_batch(&mut self, x: &Matrix, pre: &Matrix, d_post: &Matrix) -> Matrix {
+        let n = x.rows();
+        assert_eq!(pre.shape(), (n, self.out_dim), "pre shape");
+        assert_eq!(d_post.shape(), (n, self.out_dim), "d_post shape");
+        assert_eq!(x.cols(), self.in_dim, "x width");
+
+        let mut dx = Matrix::zeros(n, self.in_dim);
+        for s in 0..n {
+            let xs = x.row(s);
+            for o in 0..self.out_dim {
+                let dz = d_post[(s, o)] * self.activation.derivative(pre[(s, o)]);
+                if dz == 0.0 {
+                    continue;
+                }
+                // dW[o][i] += dz * x[i]; db[o] += dz; dx[i] += dz * W[o][i].
+                let wrow_start = o * self.in_dim;
+                for i in 0..self.in_dim {
+                    self.grads[wrow_start + i] += dz * xs[i];
+                    dx[(s, i)] += dz * self.params[wrow_start + i];
+                }
+                self.grads[self.in_dim * self.out_dim + o] += dz;
+            }
+        }
+        dx
+    }
+}
+
+impl Parameterized for DenseLayer {
+    fn param_len(&self) -> usize {
+        self.params.len()
+    }
+
+    fn params(&self) -> Vec<f64> {
+        self.params.clone()
+    }
+
+    fn set_params(&mut self, params: &[f64]) {
+        assert_eq!(params.len(), self.params.len(), "param length mismatch");
+        self.params.copy_from_slice(params);
+    }
+
+    fn grads(&self) -> Vec<f64> {
+        self.grads.clone()
+    }
+
+    fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            *g = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer(act: Activation) -> DenseLayer {
+        let mut rng = StdRng::seed_from_u64(42);
+        DenseLayer::new(3, 2, act, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let mut l = layer(Activation::Identity);
+        // Set known params: W = [[1,0,0],[0,2,0]], b = [0.5, -0.5].
+        l.set_params(&[1.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.5, -0.5]);
+        let y = l.forward(&[3.0, 4.0, 5.0]);
+        assert_eq!(y, vec![3.5, 7.5]);
+    }
+
+    #[test]
+    fn forward_batch_consistent_with_forward() {
+        let l = layer(Activation::Tanh);
+        let x = Matrix::from_rows(&[vec![0.1, 0.2, 0.3], vec![-0.5, 0.0, 0.5]]).unwrap();
+        let (_, post) = l.forward_batch(&x);
+        for s in 0..2 {
+            let single = l.forward(x.row(s));
+            for o in 0..2 {
+                assert!((post[(s, o)] - single[o]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_check_weights_and_inputs() {
+        // Loss = sum of outputs; check dL/dparam and dL/dx numerically.
+        let h = 1e-6;
+        for act in [Activation::Identity, Activation::Tanh, Activation::Sigmoid] {
+            let mut l = layer(act);
+            let x = Matrix::from_rows(&[vec![0.3, -0.7, 0.9], vec![0.1, 0.4, -0.2]]).unwrap();
+            let (pre, post) = l.forward_batch(&x);
+            let d_post = Matrix::filled(post.rows(), post.cols(), 1.0);
+            l.zero_grads();
+            let dx = l.backward_batch(&x, &pre, &d_post);
+            let analytic = l.grads();
+
+            let loss = |l: &DenseLayer, x: &Matrix| {
+                let (_, p) = l.forward_batch(x);
+                p.sum()
+            };
+            // Parameter gradients.
+            let base_params = l.params();
+            for pi in 0..base_params.len() {
+                let mut lp = l.clone();
+                let mut pp = base_params.clone();
+                pp[pi] += h;
+                lp.set_params(&pp);
+                let up = loss(&lp, &x);
+                pp[pi] -= 2.0 * h;
+                lp.set_params(&pp);
+                let down = loss(&lp, &x);
+                let num = (up - down) / (2.0 * h);
+                assert!(
+                    (num - analytic[pi]).abs() < 1e-5,
+                    "{act:?} param {pi}: numeric {num} vs analytic {}",
+                    analytic[pi]
+                );
+            }
+            // Input gradients.
+            for s in 0..x.rows() {
+                for i in 0..x.cols() {
+                    let mut xp = x.clone();
+                    xp[(s, i)] += h;
+                    let up = loss(&l, &xp);
+                    xp[(s, i)] -= 2.0 * h;
+                    let down = loss(&l, &xp);
+                    let num = (up - down) / (2.0 * h);
+                    assert!(
+                        (num - dx[(s, i)]).abs() < 1e-5,
+                        "{act:?} input ({s},{i}): numeric {num} vs analytic {}",
+                        dx[(s, i)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grads_accumulate_until_zeroed() {
+        let mut l = layer(Activation::Identity);
+        let x = Matrix::from_rows(&[vec![1.0, 1.0, 1.0]]).unwrap();
+        let (pre, post) = l.forward_batch(&x);
+        let d = Matrix::filled(post.rows(), post.cols(), 1.0);
+        l.zero_grads();
+        l.backward_batch(&x, &pre, &d);
+        let g1 = l.grads();
+        l.backward_batch(&x, &pre, &d);
+        let g2 = l.grads();
+        for (a, b) in g1.iter().zip(&g2) {
+            assert!((2.0 * a - b).abs() < 1e-12);
+        }
+        l.zero_grads();
+        assert!(l.grads().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn zero_dims_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(DenseLayer::new(0, 2, Activation::Relu, &mut rng).is_err());
+        assert!(DenseLayer::new(2, 0, Activation::Relu, &mut rng).is_err());
+    }
+
+    #[test]
+    fn param_roundtrip() {
+        let mut l = layer(Activation::Relu);
+        let p = l.params();
+        assert_eq!(p.len(), l.param_len());
+        assert_eq!(p.len(), 3 * 2 + 2);
+        let doubled: Vec<f64> = p.iter().map(|v| v * 2.0).collect();
+        l.set_params(&doubled);
+        assert_eq!(l.params(), doubled);
+    }
+
+    #[test]
+    #[should_panic(expected = "param length mismatch")]
+    fn set_params_length_checked() {
+        layer(Activation::Relu).set_params(&[1.0]);
+    }
+}

@@ -1,0 +1,52 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by network construction and training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NeuralError {
+    /// A layer-size or hyper-parameter configuration was invalid.
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// Input dimensions did not match the network.
+    DimensionMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was received.
+        got: usize,
+        /// Which dimension ("input", "output", "sequence length", ...).
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for NeuralError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NeuralError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            NeuralError::DimensionMismatch {
+                expected,
+                got,
+                what,
+            } => write!(f, "{what} dimension mismatch: expected {expected}, got {got}"),
+        }
+    }
+}
+
+impl Error for NeuralError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_detail() {
+        let e = NeuralError::DimensionMismatch {
+            expected: 4,
+            got: 3,
+            what: "input",
+        };
+        assert!(e.to_string().contains("input"));
+        assert!(e.to_string().contains('4'));
+    }
+}

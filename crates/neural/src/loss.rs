@@ -1,0 +1,133 @@
+use serde::{Deserialize, Serialize};
+
+/// Training losses.
+///
+/// Both the loss value and its gradient are averaged over all elements, so
+/// learning rates transfer between batch sizes.
+///
+/// ```
+/// use drcell_neural::Loss;
+///
+/// let (v, g) = Loss::Mse.evaluate(&[1.0, 2.0], &[1.0, 4.0]);
+/// assert!((v - 2.0).abs() < 1e-12); // ((0)² + (−2)²) / 2
+/// assert_eq!(g, vec![0.0, -2.0]);   // 2(pred−target)/n
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Loss {
+    /// Mean squared error.
+    Mse,
+    /// Huber loss with transition point `delta` — the standard robust loss
+    /// for DQN temporal-difference errors.
+    Huber(f64),
+}
+
+impl Loss {
+    /// Computes `(loss, dloss/dprediction)` for a prediction/target pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or are empty.
+    pub fn evaluate(self, prediction: &[f64], target: &[f64]) -> (f64, Vec<f64>) {
+        assert_eq!(prediction.len(), target.len(), "loss length mismatch");
+        assert!(!prediction.is_empty(), "loss on empty slices");
+        let n = prediction.len() as f64;
+        match self {
+            Loss::Mse => {
+                let mut loss = 0.0;
+                let grad = prediction
+                    .iter()
+                    .zip(target)
+                    .map(|(p, t)| {
+                        let d = p - t;
+                        loss += d * d;
+                        2.0 * d / n
+                    })
+                    .collect();
+                (loss / n, grad)
+            }
+            Loss::Huber(delta) => {
+                assert!(delta > 0.0, "Huber delta must be positive");
+                let mut loss = 0.0;
+                let grad = prediction
+                    .iter()
+                    .zip(target)
+                    .map(|(p, t)| {
+                        let d = p - t;
+                        if d.abs() <= delta {
+                            loss += 0.5 * d * d;
+                            d / n
+                        } else {
+                            loss += delta * (d.abs() - 0.5 * delta);
+                            delta * d.signum() / n
+                        }
+                    })
+                    .collect();
+                (loss / n, grad)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_at_target() {
+        let (v, g) = Loss::Mse.evaluate(&[1.0, -2.0], &[1.0, -2.0]);
+        assert_eq!(v, 0.0);
+        assert!(g.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn huber_quadratic_inside_linear_outside() {
+        let delta = 1.0;
+        // Inside: behaves like 0.5 d².
+        let (v_in, g_in) = Loss::Huber(delta).evaluate(&[0.5], &[0.0]);
+        assert!((v_in - 0.125).abs() < 1e-12);
+        assert!((g_in[0] - 0.5).abs() < 1e-12);
+        // Outside: linear with slope delta.
+        let (v_out, g_out) = Loss::Huber(delta).evaluate(&[3.0], &[0.0]);
+        assert!((v_out - (3.0 - 0.5)).abs() < 1e-12);
+        assert!((g_out[0] - 1.0).abs() < 1e-12);
+        let (_, g_neg) = Loss::Huber(delta).evaluate(&[-3.0], &[0.0]);
+        assert!((g_neg[0] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let h = 1e-6;
+        let targets = [0.3, -1.2, 2.0];
+        for loss in [Loss::Mse, Loss::Huber(0.7)] {
+            let preds = [0.1, -2.0, 2.5];
+            let (_, grad) = loss.evaluate(&preds, &targets);
+            for i in 0..preds.len() {
+                let mut up = preds;
+                up[i] += h;
+                let mut dn = preds;
+                dn[i] -= h;
+                let num = (loss.evaluate(&up, &targets).0 - loss.evaluate(&dn, &targets).0)
+                    / (2.0 * h);
+                assert!(
+                    (num - grad[i]).abs() < 1e-6,
+                    "{loss:?} grad {i}: numeric {num} vs {}",
+                    grad[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn huber_continuous_at_delta() {
+        let delta = 1.0;
+        let (a, _) = Loss::Huber(delta).evaluate(&[delta - 1e-9], &[0.0]);
+        let (b, _) = Loss::Huber(delta).evaluate(&[delta + 1e-9], &[0.0]);
+        assert!((a - b).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        Loss::Mse.evaluate(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,425 @@
+use rand::Rng;
+
+use drcell_linalg::Matrix;
+
+use crate::activation::sigmoid;
+use crate::{NeuralError, Parameterized};
+
+/// A single-layer LSTM processing one sequence at a time, with exact
+/// backpropagation through time.
+///
+/// This is the recurrent core of the paper's DRQN (§4.3, after Hausknecht &
+/// Stone 2015): the state `S = [s₋ₖ₊₁, …, s₀]` is fed as a `k`-step sequence
+/// of per-cycle cell-selection vectors, and the final hidden state drives
+/// the Q-value head.
+///
+/// Gate layout follows the usual convention `i, f, g, o` (input, forget,
+/// cell candidate, output):
+///
+/// ```text
+/// z = Wx·xₜ + Wh·hₜ₋₁ + b          (4H)
+/// cₜ = σ(z_f)·cₜ₋₁ + σ(z_i)·tanh(z_g)
+/// hₜ = σ(z_o)·tanh(cₜ)
+/// ```
+///
+/// ```
+/// use drcell_neural::LstmLayer;
+/// use drcell_linalg::Matrix;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let lstm = LstmLayer::new(2, 4, &mut rng).unwrap();
+/// let seq = Matrix::from_rows(&[vec![0.1, 0.2], vec![0.3, 0.4]]).unwrap();
+/// let h = lstm.forward(&seq);
+/// assert_eq!(h.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LstmLayer {
+    in_dim: usize,
+    hidden: usize,
+    /// Layout: `Wx` (4H × in), then `Wh` (4H × H), then `b` (4H).
+    params: Vec<f64>,
+    grads: Vec<f64>,
+}
+
+/// Forward-pass caches needed for backpropagation through time. Produced by
+/// [`LstmLayer::forward_cached`]; opaque to callers.
+#[derive(Debug, Clone)]
+pub struct LstmCache {
+    xs: Matrix,
+    /// h[t] for t = 0..=T (h[0] is the zero initial state).
+    h: Vec<Vec<f64>>,
+    /// c[t] for t = 0..=T.
+    c: Vec<Vec<f64>>,
+    /// Activated gates per step: (i, f, g, o), each of length H.
+    gates: Vec<[Vec<f64>; 4]>,
+}
+
+impl LstmCache {
+    /// The final hidden state `h_T`.
+    pub fn final_hidden(&self) -> &[f64] {
+        self.h.last().expect("cache has at least the initial state")
+    }
+
+    /// Sequence length.
+    pub fn steps(&self) -> usize {
+        self.gates.len()
+    }
+}
+
+impl LstmLayer {
+    /// Creates an LSTM with Xavier-uniform weights and forget-gate bias 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::InvalidConfig`] for zero dimensions.
+    pub fn new<R: Rng + ?Sized>(
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut R,
+    ) -> Result<Self, NeuralError> {
+        if in_dim == 0 || hidden == 0 {
+            return Err(NeuralError::InvalidConfig {
+                reason: format!("lstm dims must be positive, got in={in_dim}, hidden={hidden}"),
+            });
+        }
+        let wx_len = 4 * hidden * in_dim;
+        let wh_len = 4 * hidden * hidden;
+        let mut params = vec![0.0; wx_len + wh_len + 4 * hidden];
+        let bx = (6.0 / (in_dim + hidden) as f64).sqrt();
+        for w in params.iter_mut().take(wx_len) {
+            *w = rng.gen_range(-bx..bx);
+        }
+        let bh = (6.0 / (2 * hidden) as f64).sqrt();
+        for w in params.iter_mut().skip(wx_len).take(wh_len) {
+            *w = rng.gen_range(-bh..bh);
+        }
+        // Forget-gate bias starts at 1 so early training does not forget.
+        for hcell in 0..hidden {
+            params[wx_len + wh_len + hidden + hcell] = 1.0;
+        }
+        let grads = vec![0.0; params.len()];
+        Ok(LstmLayer {
+            in_dim,
+            hidden,
+            params,
+            grads,
+        })
+    }
+
+    /// Input dimension per time step.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Hidden-state dimension.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    #[inline]
+    fn wx(&self) -> &[f64] {
+        &self.params[..4 * self.hidden * self.in_dim]
+    }
+
+    #[inline]
+    fn wh(&self) -> &[f64] {
+        let s = 4 * self.hidden * self.in_dim;
+        &self.params[s..s + 4 * self.hidden * self.hidden]
+    }
+
+    #[inline]
+    fn b(&self) -> &[f64] {
+        let s = 4 * self.hidden * (self.in_dim + self.hidden);
+        &self.params[s..]
+    }
+
+    /// Runs the sequence and returns only the final hidden state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq.cols() != self.in_dim()` or the sequence is empty.
+    pub fn forward(&self, seq: &Matrix) -> Vec<f64> {
+        self.forward_cached(seq).final_hidden().to_vec()
+    }
+
+    /// Runs the sequence, keeping the caches needed by
+    /// [`LstmLayer::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq.cols() != self.in_dim()` or the sequence is empty.
+    pub fn forward_cached(&self, seq: &Matrix) -> LstmCache {
+        assert_eq!(seq.cols(), self.in_dim, "lstm input width");
+        assert!(seq.rows() > 0, "lstm needs a non-empty sequence");
+        let steps = seq.rows();
+        let hd = self.hidden;
+        let mut h = vec![vec![0.0; hd]];
+        let mut c = vec![vec![0.0; hd]];
+        let mut gates = Vec::with_capacity(steps);
+
+        for t in 0..steps {
+            let x = seq.row(t);
+            let h_prev = &h[t];
+            let c_prev = &c[t];
+            // z = Wx·x + Wh·h_prev + b, for all 4H rows.
+            let mut z = vec![0.0; 4 * hd];
+            for (r, zr) in z.iter_mut().enumerate() {
+                let wx_row = &self.wx()[r * self.in_dim..(r + 1) * self.in_dim];
+                let wh_row = &self.wh()[r * hd..(r + 1) * hd];
+                let mut acc = self.b()[r];
+                for (w, xi) in wx_row.iter().zip(x) {
+                    acc += w * xi;
+                }
+                for (w, hi) in wh_row.iter().zip(h_prev) {
+                    acc += w * hi;
+                }
+                *zr = acc;
+            }
+            let mut gi = vec![0.0; hd];
+            let mut gf = vec![0.0; hd];
+            let mut gg = vec![0.0; hd];
+            let mut go = vec![0.0; hd];
+            let mut c_new = vec![0.0; hd];
+            let mut h_new = vec![0.0; hd];
+            for j in 0..hd {
+                gi[j] = sigmoid(z[j]);
+                gf[j] = sigmoid(z[hd + j]);
+                gg[j] = z[2 * hd + j].tanh();
+                go[j] = sigmoid(z[3 * hd + j]);
+                c_new[j] = gf[j] * c_prev[j] + gi[j] * gg[j];
+                h_new[j] = go[j] * c_new[j].tanh();
+            }
+            gates.push([gi, gf, gg, go]);
+            h.push(h_new);
+            c.push(c_new);
+        }
+        LstmCache {
+            xs: seq.clone(),
+            h,
+            c,
+            gates,
+        }
+    }
+
+    /// Backpropagation through time from a gradient on the final hidden
+    /// state. Accumulates parameter gradients and returns ∂L/∂input
+    /// (`steps × in_dim`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_h_last.len() != self.hidden()`.
+    pub fn backward(&mut self, cache: &LstmCache, d_h_last: &[f64]) -> Matrix {
+        assert_eq!(d_h_last.len(), self.hidden, "d_h_last length");
+        let hd = self.hidden;
+        let steps = cache.steps();
+        let wx_len = 4 * hd * self.in_dim;
+        let wh_len = 4 * hd * hd;
+
+        let mut dx = Matrix::zeros(steps, self.in_dim);
+        let mut dh = d_h_last.to_vec();
+        let mut dc = vec![0.0; hd];
+
+        for t in (0..steps).rev() {
+            let [gi, gf, gg, go] = &cache.gates[t];
+            let c_prev = &cache.c[t];
+            let c_t = &cache.c[t + 1];
+            let h_prev = &cache.h[t];
+            let x = cache.xs.row(t);
+
+            // Gate pre-activation gradients dz (4H).
+            let mut dz = vec![0.0; 4 * hd];
+            for j in 0..hd {
+                let tc = c_t[j].tanh();
+                let do_ = dh[j] * tc;
+                let dc_j = dc[j] + dh[j] * go[j] * (1.0 - tc * tc);
+                let di = dc_j * gg[j];
+                let dg = dc_j * gi[j];
+                let df = dc_j * c_prev[j];
+                dz[j] = di * gi[j] * (1.0 - gi[j]);
+                dz[hd + j] = df * gf[j] * (1.0 - gf[j]);
+                dz[2 * hd + j] = dg * (1.0 - gg[j] * gg[j]);
+                dz[3 * hd + j] = do_ * go[j] * (1.0 - go[j]);
+                dc[j] = dc_j * gf[j];
+            }
+
+            // Accumulate parameter gradients and input/hidden gradients.
+            let mut dh_prev = vec![0.0; hd];
+            for (r, &dzr) in dz.iter().enumerate() {
+                if dzr == 0.0 {
+                    continue;
+                }
+                let wx_row_start = r * self.in_dim;
+                for i in 0..self.in_dim {
+                    self.grads[wx_row_start + i] += dzr * x[i];
+                    dx[(t, i)] += dzr * self.params[wx_row_start + i];
+                }
+                let wh_row_start = wx_len + r * hd;
+                for j in 0..hd {
+                    self.grads[wh_row_start + j] += dzr * h_prev[j];
+                    dh_prev[j] += dzr * self.params[wh_row_start + j];
+                }
+                self.grads[wx_len + wh_len + r] += dzr;
+            }
+            dh = dh_prev;
+        }
+        dx
+    }
+}
+
+impl Parameterized for LstmLayer {
+    fn param_len(&self) -> usize {
+        self.params.len()
+    }
+
+    fn params(&self) -> Vec<f64> {
+        self.params.clone()
+    }
+
+    fn set_params(&mut self, params: &[f64]) {
+        assert_eq!(params.len(), self.params.len(), "param length mismatch");
+        self.params.copy_from_slice(params);
+    }
+
+    fn grads(&self) -> Vec<f64> {
+        self.grads.clone()
+    }
+
+    fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            *g = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn lstm() -> LstmLayer {
+        let mut rng = StdRng::seed_from_u64(21);
+        LstmLayer::new(3, 4, &mut rng).unwrap()
+    }
+
+    fn seq() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.2, -0.4, 0.6],
+            vec![-0.1, 0.3, 0.5],
+            vec![0.7, 0.0, -0.3],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let l = lstm();
+        let h = l.forward(&seq());
+        assert_eq!(h.len(), 4);
+        assert!(h.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn forward_cached_matches_forward() {
+        let l = lstm();
+        let cache = l.forward_cached(&seq());
+        assert_eq!(cache.final_hidden(), l.forward(&seq()).as_slice());
+        assert_eq!(cache.steps(), 3);
+    }
+
+    #[test]
+    fn longer_history_changes_output() {
+        let l = lstm();
+        let s3 = seq();
+        let s2 = s3.submatrix(1, 3, 0, 3);
+        assert_ne!(l.forward(&s3), l.forward(&s2));
+    }
+
+    #[test]
+    fn gradient_check_parameters() {
+        // Loss = sum(h_T). Numerical vs analytic gradient for all params.
+        let h_step = 1e-6;
+        let mut l = lstm();
+        let s = seq();
+        let cache = l.forward_cached(&s);
+        l.zero_grads();
+        let d = vec![1.0; 4];
+        let _ = l.backward(&cache, &d);
+        let analytic = l.grads();
+        let base = l.params();
+        let loss = |l: &LstmLayer, s: &Matrix| l.forward(s).iter().sum::<f64>();
+        for pi in 0..base.len() {
+            let mut lp = l.clone();
+            let mut pp = base.clone();
+            pp[pi] += h_step;
+            lp.set_params(&pp);
+            let up = loss(&lp, &s);
+            pp[pi] -= 2.0 * h_step;
+            lp.set_params(&pp);
+            let down = loss(&lp, &s);
+            let num = (up - down) / (2.0 * h_step);
+            assert!(
+                (num - analytic[pi]).abs() < 1e-5,
+                "param {pi}: numeric {num} vs analytic {}",
+                analytic[pi]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_check_inputs() {
+        let h_step = 1e-6;
+        let mut l = lstm();
+        let s = seq();
+        let cache = l.forward_cached(&s);
+        l.zero_grads();
+        let dx = l.backward(&cache, &[1.0; 4]);
+        let loss = |l: &LstmLayer, s: &Matrix| l.forward(s).iter().sum::<f64>();
+        for t in 0..s.rows() {
+            for i in 0..s.cols() {
+                let mut sp = s.clone();
+                sp[(t, i)] += h_step;
+                let up = loss(&l, &sp);
+                sp[(t, i)] -= 2.0 * h_step;
+                let down = loss(&l, &sp);
+                let num = (up - down) / (2.0 * h_step);
+                assert!(
+                    (num - dx[(t, i)]).abs() < 1e-5,
+                    "input ({t},{i}): numeric {num} vs analytic {}",
+                    dx[(t, i)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn param_count_formula() {
+        let l = lstm();
+        // 4H·in + 4H·H + 4H = 4·4·3 + 4·4·4 + 16 = 48 + 64 + 16.
+        assert_eq!(l.param_len(), 128);
+    }
+
+    #[test]
+    fn forget_bias_initialised_to_one() {
+        let l = lstm();
+        let b = l.b().to_vec();
+        for j in 0..4 {
+            assert_eq!(b[4 + j], 1.0, "forget bias");
+            assert_eq!(b[j], 0.0, "input bias");
+        }
+    }
+
+    #[test]
+    fn zero_dims_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(LstmLayer::new(0, 4, &mut rng).is_err());
+        assert!(LstmLayer::new(4, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty sequence")]
+    fn empty_sequence_panics() {
+        lstm().forward(&Matrix::zeros(0, 3));
+    }
+}

@@ -1,0 +1,221 @@
+//! Plain-text parameter persistence.
+//!
+//! Trained Q-functions are the artifact an MCS organiser keeps between the
+//! preliminary study and deployment (and ships between correlated tasks for
+//! transfer learning, paper §4.4). The format is deliberately trivial —
+//! a header line with the parameter count, then one `f64` per line in the
+//! [`crate::Parameterized`] layout — so checkpoints diff cleanly and can be
+//! inspected by hand.
+
+use std::fmt::Write as _;
+
+use crate::{NeuralError, Parameterized};
+
+/// Magic header tag of the checkpoint format.
+const MAGIC: &str = "drcell-params-v1";
+
+/// Serialises a model's parameters to the text checkpoint format.
+///
+/// ```
+/// use drcell_neural::{persist, Activation, Mlp, MlpConfig};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let cfg = MlpConfig {
+///     layer_sizes: vec![2, 3, 1],
+///     hidden_activation: Activation::Tanh,
+///     output_activation: Activation::Identity,
+/// };
+/// let a = Mlp::new(&cfg, &mut rng).unwrap();
+/// let text = persist::to_text(&a);
+/// let mut b = Mlp::new(&cfg, &mut rng).unwrap();
+/// persist::from_text(&mut b, &text).unwrap();
+/// assert_eq!(drcell_neural::Parameterized::params(&a),
+///            drcell_neural::Parameterized::params(&b));
+/// ```
+pub fn to_text(model: &dyn Parameterized) -> String {
+    let params = model.params();
+    let mut out = String::with_capacity(params.len() * 24 + 64);
+    let _ = writeln!(out, "{MAGIC}");
+    let _ = writeln!(out, "{}", params.len());
+    for p in params {
+        // Hex-float round-trips f64 exactly (fallback to max-precision
+        // decimal would too, but hex is unambiguous).
+        let _ = writeln!(out, "{}", hexf(p));
+    }
+    out
+}
+
+/// Restores a model's parameters from the text checkpoint format.
+///
+/// # Errors
+///
+/// Returns [`NeuralError::InvalidConfig`] on a malformed header or value,
+/// and [`NeuralError::DimensionMismatch`] when the checkpoint length does
+/// not match the model.
+pub fn from_text(model: &mut dyn Parameterized, text: &str) -> Result<(), NeuralError> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(l) if l.trim() == MAGIC => {}
+        other => {
+            return Err(NeuralError::InvalidConfig {
+                reason: format!("bad checkpoint header: {other:?}"),
+            })
+        }
+    }
+    let count: usize = lines
+        .next()
+        .and_then(|l| l.trim().parse().ok())
+        .ok_or_else(|| NeuralError::InvalidConfig {
+            reason: "missing parameter count".to_owned(),
+        })?;
+    if count != model.param_len() {
+        return Err(NeuralError::DimensionMismatch {
+            expected: model.param_len(),
+            got: count,
+            what: "checkpoint parameter count",
+        });
+    }
+    let mut params = Vec::with_capacity(count);
+    for (i, line) in lines.enumerate().take(count) {
+        let v = parse_hexf(line.trim()).ok_or_else(|| NeuralError::InvalidConfig {
+            reason: format!("bad value at parameter {i}: {line:?}"),
+        })?;
+        params.push(v);
+    }
+    if params.len() != count {
+        return Err(NeuralError::DimensionMismatch {
+            expected: count,
+            got: params.len(),
+            what: "checkpoint body length",
+        });
+    }
+    model.set_params(&params);
+    Ok(())
+}
+
+/// Exact textual representation of an `f64` via its bit pattern.
+fn hexf(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn parse_hexf(s: &str) -> Option<f64> {
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, Mlp, MlpConfig, RecurrentNetwork, RecurrentNetworkConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mlp(seed: u64) -> Mlp {
+        Mlp::new(
+            &MlpConfig {
+                layer_sizes: vec![3, 5, 2],
+                hidden_activation: Activation::Relu,
+                output_activation: Activation::Identity,
+            },
+            &mut StdRng::seed_from_u64(seed),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let a = mlp(1);
+        let text = to_text(&a);
+        let mut b = mlp(2);
+        assert_ne!(a.params(), b.params());
+        from_text(&mut b, &text).unwrap();
+        assert_eq!(a.params(), b.params());
+    }
+
+    #[test]
+    fn roundtrip_recurrent_network() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = RecurrentNetwork::new(
+            &RecurrentNetworkConfig {
+                input_dim: 4,
+                hidden_dim: 6,
+                output_dim: 4,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let mut b = RecurrentNetwork::new(
+            &RecurrentNetworkConfig {
+                input_dim: 4,
+                hidden_dim: 6,
+                output_dim: 4,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        from_text(&mut b, &to_text(&a)).unwrap();
+        assert_eq!(a.params(), b.params());
+    }
+
+    #[test]
+    fn special_values_roundtrip() {
+        // NaN, infinities, subnormals all survive the bit-level encoding.
+        for v in [
+            0.0,
+            -0.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE / 2.0,
+            1.0 / 3.0,
+        ] {
+            let s = hexf(v);
+            let back = parse_hexf(&s).unwrap();
+            assert_eq!(v.to_bits(), back.to_bits(), "value {v}");
+        }
+        assert!(parse_hexf(&hexf(f64::NAN)).unwrap().is_nan());
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let mut m = mlp(4);
+        assert!(from_text(&mut m, "not-a-checkpoint\n3\n").is_err());
+        assert!(from_text(&mut m, "").is_err());
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let a = mlp(5);
+        let text = to_text(&a);
+        let mut small = Mlp::new(
+            &MlpConfig {
+                layer_sizes: vec![2, 2],
+                hidden_activation: Activation::Relu,
+                output_activation: Activation::Identity,
+            },
+            &mut StdRng::seed_from_u64(6),
+        )
+        .unwrap();
+        assert!(matches!(
+            from_text(&mut small, &text),
+            Err(NeuralError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let a = mlp(7);
+        let text = to_text(&a);
+        let truncated: String = text.lines().take(5).collect::<Vec<_>>().join("\n");
+        let mut b = mlp(8);
+        assert!(from_text(&mut b, &truncated).is_err());
+    }
+
+    #[test]
+    fn corrupt_value_rejected() {
+        let a = mlp(9);
+        let mut text = to_text(&a);
+        text = text.replacen(&hexf(a.params()[0]), "zzzz", 1);
+        let mut b = mlp(10);
+        assert!(from_text(&mut b, &text).is_err());
+    }
+}

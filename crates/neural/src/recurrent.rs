@@ -1,0 +1,276 @@
+use rand::Rng;
+
+use drcell_linalg::Matrix;
+
+use crate::{Activation, DenseLayer, Loss, LstmLayer, NeuralError, Optimizer, Parameterized};
+
+/// Configuration of the recurrent Q-network (DRQN).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecurrentNetworkConfig {
+    /// Input width per time step (the per-cycle cell-selection vector, so
+    /// `m` cells).
+    pub input_dim: usize,
+    /// LSTM hidden size.
+    pub hidden_dim: usize,
+    /// Output width (Q-values, one per cell, so `m` again for DR-Cell).
+    pub output_dim: usize,
+}
+
+/// The paper's DRQN topology (§4.3): an LSTM over the `k` most recent
+/// per-cycle selection vectors, followed by a linear head mapping the final
+/// hidden state to one Q-value per action.
+///
+/// ```
+/// use drcell_neural::{RecurrentNetwork, RecurrentNetworkConfig};
+/// use drcell_linalg::Matrix;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let net = RecurrentNetwork::new(
+///     &RecurrentNetworkConfig { input_dim: 4, hidden_dim: 8, output_dim: 4 },
+///     &mut rng,
+/// ).unwrap();
+/// let state = Matrix::zeros(3, 4); // 3-cycle history, 4 cells
+/// let q = net.forward(&state);
+/// assert_eq!(q.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RecurrentNetwork {
+    lstm: LstmLayer,
+    head: DenseLayer,
+}
+
+impl RecurrentNetwork {
+    /// Builds the network with fresh parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::InvalidConfig`] for zero dimensions.
+    pub fn new<R: Rng + ?Sized>(
+        config: &RecurrentNetworkConfig,
+        rng: &mut R,
+    ) -> Result<Self, NeuralError> {
+        let lstm = LstmLayer::new(config.input_dim, config.hidden_dim, rng)?;
+        let head = DenseLayer::new(config.hidden_dim, config.output_dim, Activation::Identity, rng)?;
+        Ok(RecurrentNetwork { lstm, head })
+    }
+
+    /// Input width per time step.
+    pub fn input_dim(&self) -> usize {
+        self.lstm.in_dim()
+    }
+
+    /// LSTM hidden size.
+    pub fn hidden_dim(&self) -> usize {
+        self.lstm.hidden()
+    }
+
+    /// Number of outputs (actions).
+    pub fn output_dim(&self) -> usize {
+        self.head.out_dim()
+    }
+
+    /// Q-values for a state sequence (`steps × input_dim`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence width differs from `input_dim` or is empty.
+    pub fn forward(&self, seq: &Matrix) -> Vec<f64> {
+        let h = self.lstm.forward(seq);
+        self.head.forward(&h)
+    }
+
+    /// One optimisation step on a batch of `(sequence, target-Q-vector)`
+    /// pairs. Returns the mean per-sample loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or shapes mismatch.
+    pub fn train_on_batch(
+        &mut self,
+        seqs: &[Matrix],
+        targets: &[Vec<f64>],
+        loss: Loss,
+        optimizer: &mut dyn Optimizer,
+    ) -> f64 {
+        assert_eq!(seqs.len(), targets.len(), "batch size mismatch");
+        assert!(!seqs.is_empty(), "empty batch");
+        let batch = seqs.len() as f64;
+
+        self.zero_grads();
+        let mut total_loss = 0.0;
+        for (seq, target) in seqs.iter().zip(targets) {
+            assert_eq!(target.len(), self.output_dim(), "target width");
+            let cache = self.lstm.forward_cached(seq);
+            let h = Matrix::row_vector(cache.final_hidden());
+            let (pre, post) = self.head.forward_batch(&h);
+            let (l, mut dpred) = loss.evaluate(post.as_slice(), target);
+            total_loss += l;
+            // Average the gradient over the batch.
+            for g in &mut dpred {
+                *g /= batch;
+            }
+            let d_post = Matrix::from_vec(1, self.output_dim(), dpred)
+                .expect("gradient has output shape");
+            let dh = self.head.backward_batch(&h, &pre, &d_post);
+            let _ = self.lstm.backward(&cache, dh.row(0));
+        }
+
+        let mut params = self.params();
+        let grads = self.grads();
+        optimizer.step(&mut params, &grads);
+        self.set_params(&params);
+        total_loss / batch
+    }
+}
+
+impl Parameterized for RecurrentNetwork {
+    fn param_len(&self) -> usize {
+        self.lstm.param_len() + self.head.param_len()
+    }
+
+    fn params(&self) -> Vec<f64> {
+        let mut out = self.lstm.params();
+        out.extend(self.head.params());
+        out
+    }
+
+    fn set_params(&mut self, params: &[f64]) {
+        assert_eq!(params.len(), self.param_len(), "param length mismatch");
+        let n = self.lstm.param_len();
+        self.lstm.set_params(&params[..n]);
+        self.head.set_params(&params[n..]);
+    }
+
+    fn grads(&self) -> Vec<f64> {
+        let mut out = self.lstm.grads();
+        out.extend(self.head.grads());
+        out
+    }
+
+    fn zero_grads(&mut self) {
+        self.lstm.zero_grads();
+        self.head.zero_grads();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Adam;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(seed: u64) -> RecurrentNetwork {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RecurrentNetwork::new(
+            &RecurrentNetworkConfig {
+                input_dim: 3,
+                hidden_dim: 6,
+                output_dim: 2,
+            },
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn forward_shape() {
+        let n = net(1);
+        let q = n.forward(&Matrix::zeros(4, 3));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn learns_sequence_dependent_function() {
+        // Target depends on *which step* carried the flag: only a recurrent
+        // model can separate these inputs.
+        let mut n = net(2);
+        let seq_a = Matrix::from_rows(&[vec![1.0, 0.0, 0.0], vec![0.0, 0.0, 0.0]]).unwrap();
+        let seq_b = Matrix::from_rows(&[vec![0.0, 0.0, 0.0], vec![1.0, 0.0, 0.0]]).unwrap();
+        let seqs = vec![seq_a.clone(), seq_b.clone()];
+        let targets = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let mut opt = Adam::new(0.02);
+        let mut last = f64::INFINITY;
+        for _ in 0..800 {
+            last = n.train_on_batch(&seqs, &targets, Loss::Mse, &mut opt);
+        }
+        assert!(last < 0.01, "sequence loss {last}");
+        let qa = n.forward(&seq_a);
+        let qb = n.forward(&seq_b);
+        assert!(qa[0] > qa[1], "qa = {qa:?}");
+        assert!(qb[1] > qb[0], "qb = {qb:?}");
+    }
+
+    #[test]
+    fn gradient_check_end_to_end() {
+        let h = 1e-6;
+        let mut n = net(3);
+        let seq = Matrix::from_rows(&[vec![0.2, -0.1, 0.4], vec![0.0, 0.3, -0.2]]).unwrap();
+        let target = vec![0.7, -0.3];
+
+        // Analytic gradients (replicate train_on_batch without the update).
+        n.zero_grads();
+        let cache = n.lstm.forward_cached(&seq);
+        let hm = Matrix::row_vector(cache.final_hidden());
+        let (pre, post) = n.head.forward_batch(&hm);
+        let (_, dpred) = Loss::Mse.evaluate(post.as_slice(), &target);
+        let d_post = Matrix::from_vec(1, 2, dpred).unwrap();
+        let dh = n.head.backward_batch(&hm, &pre, &d_post);
+        let _ = n.lstm.backward(&cache, dh.row(0));
+        let analytic = n.grads();
+
+        let base = n.params();
+        let loss_at = |n: &RecurrentNetwork, params: &[f64]| {
+            let mut nc = n.clone();
+            nc.set_params(params);
+            let pred = nc.forward(&seq);
+            Loss::Mse.evaluate(&pred, &target).0
+        };
+        for pi in (0..base.len()).step_by(7) {
+            // Every 7th parameter keeps the test fast while covering all
+            // parameter blocks.
+            let mut pp = base.clone();
+            pp[pi] += h;
+            let up = loss_at(&n, &pp);
+            pp[pi] -= 2.0 * h;
+            let down = loss_at(&n, &pp);
+            let num = (up - down) / (2.0 * h);
+            assert!(
+                (num - analytic[pi]).abs() < 1e-5,
+                "param {pi}: numeric {num} vs analytic {}",
+                analytic[pi]
+            );
+        }
+    }
+
+    #[test]
+    fn transfer_learning_param_copy() {
+        // The §4.4 mechanism: copy source params into a fresh target net.
+        let source = net(4);
+        let mut target = net(5);
+        assert_ne!(source.params(), target.params());
+        target.set_params(&source.params());
+        assert_eq!(source.params(), target.params());
+        let s = Matrix::zeros(2, 3);
+        assert_eq!(source.forward(&s), target.forward(&s));
+    }
+
+    #[test]
+    fn batch_training_handles_variable_sequence_lengths() {
+        let mut n = net(6);
+        let seqs = vec![Matrix::zeros(1, 3), Matrix::zeros(4, 3)];
+        let targets = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
+        let mut opt = Adam::new(0.01);
+        let l = n.train_on_batch(&seqs, &targets, Loss::Mse, &mut opt);
+        assert!(l.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_panics() {
+        let mut n = net(7);
+        let mut opt = Adam::new(0.01);
+        n.train_on_batch(&[], &[], Loss::Mse, &mut opt);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests of the neural substrate.
+
+use drcell_linalg::Matrix;
+use drcell_neural::{
+    Activation, Loss, Mlp, MlpConfig, Parameterized, RecurrentNetwork, RecurrentNetworkConfig,
+    Sgd,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mlp(sizes: &[usize], seed: u64) -> Mlp {
+    Mlp::new(
+        &MlpConfig {
+            layer_sizes: sizes.to_vec(),
+            hidden_activation: Activation::Tanh,
+            output_activation: Activation::Identity,
+        },
+        &mut StdRng::seed_from_u64(seed),
+    )
+    .expect("valid sizes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(30))]
+
+    #[test]
+    fn forward_is_deterministic(
+        seed in any::<u64>(),
+        x in proptest::collection::vec(-5.0f64..5.0, 4),
+    ) {
+        let m = mlp(&[4, 8, 3], seed);
+        prop_assert_eq!(m.forward(&x), m.forward(&x));
+    }
+
+    #[test]
+    fn params_roundtrip_preserves_behaviour(
+        seed in any::<u64>(),
+        x in proptest::collection::vec(-5.0f64..5.0, 4),
+    ) {
+        let m = mlp(&[4, 6, 2], seed);
+        let mut m2 = mlp(&[4, 6, 2], seed.wrapping_add(1));
+        prop_assert_ne!(m.params(), m2.params());
+        m2.set_params(&m.params());
+        prop_assert_eq!(m.forward(&x), m2.forward(&x));
+    }
+
+    #[test]
+    fn losses_are_nonnegative_and_zero_at_target(
+        target in proptest::collection::vec(-10.0f64..10.0, 1..8),
+        delta in proptest::collection::vec(-5.0f64..5.0, 1..8),
+    ) {
+        let n = target.len().min(delta.len());
+        let target = &target[..n];
+        let pred: Vec<f64> = target.iter().zip(&delta[..n]).map(|(t, d)| t + d).collect();
+        for loss in [Loss::Mse, Loss::Huber(1.0)] {
+            let (v, _) = loss.evaluate(&pred, target);
+            prop_assert!(v >= 0.0);
+            let (z, g) = loss.evaluate(target, target);
+            prop_assert_eq!(z, 0.0);
+            prop_assert!(g.iter().all(|&gi| gi == 0.0));
+        }
+    }
+
+    #[test]
+    fn single_sgd_step_reduces_loss_on_fixed_batch(
+        seed in any::<u64>(),
+    ) {
+        // For a small enough learning rate one gradient step cannot
+        // increase the batch loss.
+        let mut m = mlp(&[3, 6, 2], seed);
+        let x = Matrix::from_rows(&[vec![0.5, -0.3, 0.8], vec![-0.2, 0.9, 0.1]]).unwrap();
+        let y = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let mut opt = Sgd::new(1e-4);
+        let before = m.train_on_batch(&x, &y, Loss::Mse, &mut opt);
+        let after = m.train_on_batch(&x, &y, Loss::Mse, &mut opt);
+        prop_assert!(after <= before + 1e-9, "loss rose: {before} -> {after}");
+    }
+
+    #[test]
+    fn recurrent_output_depends_only_on_sequence(
+        seed in any::<u64>(),
+        step in proptest::collection::vec(0.0f64..1.0, 3),
+    ) {
+        let net = RecurrentNetwork::new(
+            &RecurrentNetworkConfig { input_dim: 3, hidden_dim: 5, output_dim: 2 },
+            &mut StdRng::seed_from_u64(seed),
+        ).unwrap();
+        let seq = Matrix::from_rows(&[step.clone(), step.clone()]).unwrap();
+        prop_assert_eq!(net.forward(&seq), net.forward(&seq));
+        // Zero-padding an extra leading step generally changes the output;
+        // at minimum it must stay finite.
+        let padded = Matrix::zeros(1, 3).vstack(&seq).unwrap();
+        prop_assert!(net.forward(&padded).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn grads_zero_after_zeroing(seed in any::<u64>()) {
+        let mut m = mlp(&[3, 4, 2], seed);
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]).unwrap();
+        let y = Matrix::from_rows(&[vec![0.0, 0.0]]).unwrap();
+        let mut opt = Sgd::new(1e-3);
+        let _ = m.train_on_batch(&x, &y, Loss::Mse, &mut opt);
+        m.zero_grads();
+        prop_assert!(m.grads().iter().all(|&g| g == 0.0));
+    }
+}

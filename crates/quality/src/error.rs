@@ -1,0 +1,99 @@
+use std::error::Error;
+use std::fmt;
+
+use drcell_inference::InferenceError;
+use drcell_stats::StatsError;
+
+/// Errors produced by quality assessment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QualityError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Rejected value.
+        value: f64,
+        /// Human-readable valid domain.
+        expected: &'static str,
+    },
+    /// Mismatched slice lengths in an error-metric computation.
+    LengthMismatch {
+        /// Length of the ground-truth slice.
+        truth: usize,
+        /// Length of the inferred slice.
+        inferred: usize,
+    },
+    /// A subset index was out of range.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of cells available.
+        cells: usize,
+    },
+    /// The underlying inference failed.
+    Inference(InferenceError),
+    /// The underlying statistics failed.
+    Stats(StatsError),
+}
+
+impl fmt::Display for QualityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QualityError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "invalid parameter {name}={value}, expected {expected}"),
+            QualityError::LengthMismatch { truth, inferred } => {
+                write!(f, "length mismatch: truth {truth} vs inferred {inferred}")
+            }
+            QualityError::IndexOutOfRange { index, cells } => {
+                write!(f, "cell index {index} out of range (cells = {cells})")
+            }
+            QualityError::Inference(e) => write!(f, "inference failure: {e}"),
+            QualityError::Stats(e) => write!(f, "statistics failure: {e}"),
+        }
+    }
+}
+
+impl Error for QualityError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QualityError::Inference(e) => Some(e),
+            QualityError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<InferenceError> for QualityError {
+    fn from(e: InferenceError) -> Self {
+        QualityError::Inference(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<StatsError> for QualityError {
+    fn from(e: StatsError) -> Self {
+        QualityError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = QualityError::Inference(InferenceError::NoObservations);
+        assert!(e.to_string().contains("inference"));
+        assert!(e.source().is_some());
+        let e = QualityError::LengthMismatch {
+            truth: 3,
+            inferred: 4,
+        };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains('3'));
+    }
+}

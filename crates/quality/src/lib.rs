@@ -1,0 +1,36 @@
+//! # drcell-quality — (ε, p)-quality assessment for Sparse MCS
+//!
+//! Sparse MCS promises *(ε, p)-quality*: in at least `p·100%` of cycles the
+//! inference error is at most ε (paper §3, Definition 6). Since ground truth
+//! is unknown at run time, each cycle needs an *estimate* of
+//! `P(error ≤ ε)`; data collection stops for the cycle once that estimate
+//! reaches `p`. Following the paper (and CCS-TA / SPACE-TA), the estimate
+//! comes from **leave-one-out Bayesian inference**:
+//!
+//! 1. for every cell sensed this cycle, hide its observation, re-infer it
+//!    from the rest, and record the reconstruction error;
+//! 2. feed those leave-one-out errors to a conjugate Bayesian model
+//!    ([`drcell_stats::bayes::NormalInverseGamma`] for continuous metrics,
+//!    [`drcell_stats::bayes::BetaBernoulli`] for classification);
+//! 3. query the posterior predictive for the probability that the error of
+//!    the *unsensed* cells is within ε.
+//!
+//! ```
+//! use drcell_quality::{ErrorMetric, QualityRequirement};
+//!
+//! let req = QualityRequirement::new(0.3, 0.9).unwrap();
+//! assert_eq!(req.epsilon, 0.3);
+//! let m = ErrorMetric::MeanAbsolute;
+//! let e = m.cycle_error(&[1.0, 2.0], &[1.5, 2.5], &[0, 1]).unwrap();
+//! assert!((e - 0.5).abs() < 1e-12);
+//! ```
+
+#![deny(missing_docs)]
+
+mod assessor;
+mod error;
+mod metrics;
+
+pub use assessor::{QualityAssessment, QualityAssessor};
+pub use error::QualityError;
+pub use metrics::{ErrorMetric, QualityRequirement};

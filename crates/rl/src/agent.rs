@@ -1,0 +1,573 @@
+use rand::Rng;
+
+use drcell_linalg::Matrix;
+use drcell_neural::{Loss, Optimizer};
+
+use crate::{epsilon_greedy, masked_max, QNetwork, ReplayBuffer, RlError, Transition};
+
+/// Hyper-parameters of the DQN/DRQN agent (paper Algorithm 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DqnConfig {
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// Minibatch size sampled from replay per training step.
+    pub batch_size: usize,
+    /// Replay-buffer capacity (the memory pool `D`).
+    pub replay_capacity: usize,
+    /// `REPLACE_ITER`: training steps between target-network syncs
+    /// (the fixed Q-targets technique).
+    pub target_update_interval: usize,
+    /// Minimum experiences in replay before training starts.
+    pub learning_starts: usize,
+    /// Training loss on the TD error.
+    pub loss: Loss,
+    /// Use Double-DQN targets (van Hasselt et al. 2016): the online network
+    /// picks the bootstrap action, the target network values it. Reduces
+    /// the max-operator over-estimation bias; off by default to match the
+    /// paper's Algorithm 2.
+    pub double_dqn: bool,
+}
+
+impl Default for DqnConfig {
+    fn default() -> Self {
+        DqnConfig {
+            gamma: 0.95,
+            batch_size: 32,
+            replay_capacity: 10_000,
+            target_update_interval: 100,
+            learning_starts: 64,
+            loss: Loss::Huber(1.0),
+            double_dqn: false,
+        }
+    }
+}
+
+/// Deep Q-learning agent with experience replay and fixed Q-targets
+/// (paper §4.3, Algorithm 2), generic over the Q-network architecture
+/// ([`crate::MlpQNetwork`] for DQN, [`crate::DrqnQNetwork`] for DRQN).
+///
+/// ```
+/// use drcell_rl::{DqnAgent, DqnConfig, DrqnQNetwork};
+/// use drcell_neural::Adam;
+/// use drcell_linalg::Matrix;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let net = DrqnQNetwork::new(3, 8, &mut rng).unwrap();
+/// let agent = DqnAgent::new(net, Box::new(Adam::new(1e-3)), DqnConfig::default()).unwrap();
+/// let q = agent.q_values(&Matrix::zeros(2, 3));
+/// assert_eq!(q.len(), 3);
+/// ```
+pub struct DqnAgent<N: QNetwork> {
+    online: N,
+    target: N,
+    replay: ReplayBuffer<Transition>,
+    optimizer: Box<dyn Optimizer>,
+    config: DqnConfig,
+    train_steps: u64,
+}
+
+impl<N: QNetwork + std::fmt::Debug> std::fmt::Debug for DqnAgent<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DqnAgent")
+            .field("online", &self.online)
+            .field("replay_len", &self.replay.len())
+            .field("train_steps", &self.train_steps)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl<N: QNetwork> DqnAgent<N> {
+    /// Creates an agent; the target network starts as a copy of `network`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::InvalidConfig`] for zero batch size / capacity /
+    /// target interval, or `gamma ∉ [0, 1]`.
+    pub fn new(
+        network: N,
+        optimizer: Box<dyn Optimizer>,
+        config: DqnConfig,
+    ) -> Result<Self, RlError> {
+        if config.batch_size == 0 {
+            return Err(RlError::InvalidConfig {
+                name: "batch_size",
+                expected: "> 0",
+            });
+        }
+        if config.target_update_interval == 0 {
+            return Err(RlError::InvalidConfig {
+                name: "target_update_interval",
+                expected: "> 0",
+            });
+        }
+        if !(0.0..=1.0).contains(&config.gamma) {
+            return Err(RlError::InvalidConfig {
+                name: "gamma",
+                expected: "in [0, 1]",
+            });
+        }
+        let replay = ReplayBuffer::new(config.replay_capacity)?;
+        let target = network.clone();
+        Ok(DqnAgent {
+            online: network,
+            target,
+            replay,
+            optimizer,
+            config,
+            train_steps: 0,
+        })
+    }
+
+    /// Q-values of the online network for a state.
+    pub fn q_values(&self, state: &Matrix) -> Vec<f64> {
+        self.online.q_values(state)
+    }
+
+    /// Number of actions.
+    pub fn num_actions(&self) -> usize {
+        self.online.num_actions()
+    }
+
+    /// Completed training steps.
+    pub fn train_steps(&self) -> u64 {
+        self.train_steps
+    }
+
+    /// Number of stored experiences.
+    pub fn replay_len(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// Borrows the online network (e.g. for parameter export).
+    pub fn network(&self) -> &N {
+        &self.online
+    }
+
+    /// δ-greedy action selection under a validity mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::NoValidAction`] when every action is masked.
+    pub fn select_action<R: Rng + ?Sized>(
+        &self,
+        state: &Matrix,
+        mask: &[bool],
+        epsilon: f64,
+        rng: &mut R,
+    ) -> Result<usize, RlError> {
+        let q = self.online.q_values(state);
+        epsilon_greedy(&q, mask, epsilon, rng).ok_or(RlError::NoValidAction)
+    }
+
+    /// Stores an experience in the replay memory.
+    pub fn observe(&mut self, transition: Transition) {
+        self.replay.push(transition);
+    }
+
+    /// One training step: sample a minibatch, regress the online network
+    /// towards the fixed-target TD values (paper eq. 7), and periodically
+    /// sync the target network. Returns the batch loss, or `None` while the
+    /// replay buffer is still warming up.
+    pub fn train_step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<f64> {
+        if self.replay.len() < self.config.learning_starts.max(self.config.batch_size) {
+            return None;
+        }
+        let batch: Vec<Transition> = self
+            .replay
+            .sample(self.config.batch_size, rng)
+            .into_iter()
+            .cloned()
+            .collect();
+
+        let mut states = Vec::with_capacity(batch.len());
+        let mut targets = Vec::with_capacity(batch.len());
+        for t in &batch {
+            // Target vector = online prediction with only the taken action
+            // replaced by the TD target, so the loss gradient touches only
+            // that action's output.
+            let mut target_vec = self.online.q_values(&t.state);
+            let bootstrap = if t.terminal {
+                0.0
+            } else if self.config.double_dqn {
+                // Double DQN: select with the online net, evaluate with the
+                // target net.
+                let q_online_next = self.online.q_values(&t.next_state);
+                match epsilon_greedy(&q_online_next, &t.next_mask, 0.0, rng) {
+                    Some(a_star) => self.target.q_values(&t.next_state)[a_star],
+                    None => 0.0,
+                }
+            } else {
+                let q_next = self.target.q_values(&t.next_state);
+                masked_max(&q_next, &t.next_mask).unwrap_or(0.0)
+            };
+            target_vec[t.action] = t.reward + self.config.gamma * bootstrap;
+            states.push(t.state.clone());
+            targets.push(target_vec);
+        }
+
+        let loss = self
+            .online
+            .train_batch(&states, &targets, self.config.loss, &mut *self.optimizer);
+
+        self.train_steps += 1;
+        if self.train_steps % self.config.target_update_interval as u64 == 0 {
+            self.sync_target();
+        }
+        Some(loss)
+    }
+
+    /// Copies the online parameters into the target network (`θ′ = θ`).
+    pub fn sync_target(&mut self) {
+        self.target.set_params(&self.online.params());
+    }
+
+    /// Exports the online parameters (transfer learning, §4.4).
+    pub fn export_params(&self) -> Vec<f64> {
+        self.online.params()
+    }
+
+    /// Imports parameters into both online and target networks —
+    /// the fine-tuning initialisation of transfer learning (§4.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length does not match the network.
+    pub fn import_params(&mut self, params: &[f64]) {
+        self.online.set_params(params);
+        self.target.set_params(params);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DrqnQNetwork, Environment, MlpQNetwork, StepOutcome};
+    use drcell_neural::{Adam, Parameterized};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Toy Sparse-MCS-like environment: `m` cells, a hidden "informative"
+    /// subset; the cycle completes as soon as every informative cell is
+    /// selected. Reward: `R − c` on completion, `−c` otherwise. The optimal
+    /// policy selects exactly the informative cells.
+    struct SelectInformative {
+        m: usize,
+        informative: Vec<usize>,
+        selected: Vec<bool>,
+        steps: usize,
+        max_steps: usize,
+    }
+
+    impl SelectInformative {
+        fn new(m: usize, informative: Vec<usize>) -> Self {
+            SelectInformative {
+                m,
+                informative,
+                selected: vec![false; m],
+                steps: 0,
+                max_steps: 200,
+            }
+        }
+        fn satisfied(&self) -> bool {
+            self.informative.iter().all(|&i| self.selected[i])
+        }
+    }
+
+    impl Environment for SelectInformative {
+        fn num_actions(&self) -> usize {
+            self.m
+        }
+        fn state(&self) -> Matrix {
+            Matrix::from_rows(&[self
+                .selected
+                .iter()
+                .map(|&b| if b { 1.0 } else { 0.0 })
+                .collect()])
+            .expect("fixed shape")
+        }
+        fn action_mask(&self) -> Vec<bool> {
+            self.selected.iter().map(|&b| !b).collect()
+        }
+        fn step(&mut self, action: usize) -> StepOutcome {
+            assert!(!self.selected[action], "invalid action replayed");
+            self.selected[action] = true;
+            self.steps += 1;
+            let done_cycle = self.satisfied();
+            let reward = if done_cycle {
+                self.m as f64 - 1.0
+            } else {
+                -1.0
+            };
+            if done_cycle {
+                // New cycle: clear selections.
+                self.selected = vec![false; self.m];
+            }
+            StepOutcome {
+                reward,
+                cycle_done: done_cycle,
+                episode_done: self.steps >= self.max_steps,
+            }
+        }
+        fn reset(&mut self) {
+            self.selected = vec![false; self.m];
+            self.steps = 0;
+        }
+    }
+
+    fn train_agent<N: QNetwork>(agent: &mut DqnAgent<N>, env: &mut SelectInformative, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schedule = crate::EpsilonSchedule::linear(1.0, 0.05, 600).unwrap();
+        let mut step = 0usize;
+        for _ in 0..12 {
+            env.reset();
+            loop {
+                let state = env.state();
+                let mask = env.action_mask();
+                let a = agent
+                    .select_action(&state, &mask, schedule.value(step), &mut rng)
+                    .unwrap();
+                let out = env.step(a);
+                let t = Transition::new(
+                    state,
+                    a,
+                    out.reward,
+                    env.state(),
+                    env.action_mask(),
+                    out.episode_done,
+                );
+                agent.observe(t);
+                let _ = agent.train_step(&mut rng);
+                step += 1;
+                if out.episode_done {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// After training, the greedy policy should finish a cycle by picking
+    /// (mostly) informative cells.
+    fn greedy_cycle_length<N: QNetwork>(agent: &DqnAgent<N>, env: &mut SelectInformative) -> usize {
+        env.reset();
+        let mut rng = StdRng::seed_from_u64(999);
+        let mut picks = 0;
+        loop {
+            let a = agent
+                .select_action(&env.state(), &env.action_mask(), 0.0, &mut rng)
+                .unwrap();
+            let out = env.step(a);
+            picks += 1;
+            if out.cycle_done || picks > env.m {
+                return picks;
+            }
+        }
+    }
+
+    #[test]
+    fn dqn_learns_to_pick_informative_cells() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = MlpQNetwork::new(1, 4, &[32], &mut rng).unwrap();
+        let mut agent = DqnAgent::new(
+            net,
+            Box::new(Adam::new(5e-3)),
+            DqnConfig {
+                batch_size: 16,
+                learning_starts: 32,
+                target_update_interval: 50,
+                gamma: 0.9,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut env = SelectInformative::new(4, vec![1, 3]);
+        train_agent(&mut agent, &mut env, 17);
+        let len = greedy_cycle_length(&agent, &mut env);
+        assert!(len <= 3, "greedy policy used {len} picks (optimal 2)");
+    }
+
+    #[test]
+    fn drqn_learns_to_pick_informative_cells() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let net = DrqnQNetwork::new(4, 16, &mut rng).unwrap();
+        let mut agent = DqnAgent::new(
+            net,
+            Box::new(Adam::new(5e-3)),
+            DqnConfig {
+                batch_size: 16,
+                learning_starts: 32,
+                target_update_interval: 50,
+                gamma: 0.9,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut env = SelectInformative::new(4, vec![0, 2]);
+        train_agent(&mut agent, &mut env, 23);
+        let len = greedy_cycle_length(&agent, &mut env);
+        assert!(len <= 3, "greedy policy used {len} picks (optimal 2)");
+    }
+
+    #[test]
+    fn train_step_waits_for_warmup() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = MlpQNetwork::new(1, 2, &[8], &mut rng).unwrap();
+        let mut agent = DqnAgent::new(
+            net,
+            Box::new(Adam::new(1e-3)),
+            DqnConfig {
+                batch_size: 4,
+                learning_starts: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(agent.train_step(&mut rng).is_none());
+        for _ in 0..8 {
+            agent.observe(Transition::new(
+                Matrix::zeros(1, 2),
+                0,
+                0.0,
+                Matrix::zeros(1, 2),
+                vec![true, true],
+                false,
+            ));
+        }
+        assert!(agent.train_step(&mut rng).is_some());
+        assert_eq!(agent.train_steps(), 1);
+    }
+
+    #[test]
+    fn target_sync_happens_at_interval() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let net = MlpQNetwork::new(1, 2, &[8], &mut rng).unwrap();
+        let mut agent = DqnAgent::new(
+            net,
+            Box::new(Adam::new(1e-2)),
+            DqnConfig {
+                batch_size: 2,
+                learning_starts: 2,
+                target_update_interval: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for i in 0..4 {
+            agent.observe(Transition::new(
+                Matrix::zeros(1, 2),
+                i % 2,
+                1.0,
+                Matrix::zeros(1, 2),
+                vec![true, true],
+                false,
+            ));
+        }
+        // After two steps online and target diverge.
+        agent.train_step(&mut rng);
+        agent.train_step(&mut rng);
+        assert_ne!(agent.online.params(), agent.target.params());
+        // Third step triggers the sync.
+        agent.train_step(&mut rng);
+        assert_eq!(agent.online.params(), agent.target.params());
+    }
+
+    #[test]
+    fn double_dqn_variant_learns_too() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let net = MlpQNetwork::new(1, 4, &[32], &mut rng).unwrap();
+        let mut agent = DqnAgent::new(
+            net,
+            Box::new(Adam::new(5e-3)),
+            DqnConfig {
+                batch_size: 16,
+                learning_starts: 32,
+                target_update_interval: 50,
+                gamma: 0.9,
+                double_dqn: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut env = SelectInformative::new(4, vec![1, 3]);
+        train_agent(&mut agent, &mut env, 41);
+        let len = greedy_cycle_length(&agent, &mut env);
+        assert!(len <= 3, "double-DQN greedy policy used {len} picks");
+    }
+
+    #[test]
+    fn double_dqn_terminal_still_no_bootstrap() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let net = MlpQNetwork::new(1, 2, &[8], &mut rng).unwrap();
+        let mut agent = DqnAgent::new(
+            net,
+            Box::new(Adam::new(1e-2)),
+            DqnConfig {
+                batch_size: 2,
+                learning_starts: 2,
+                double_dqn: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for _ in 0..4 {
+            agent.observe(Transition::new(
+                Matrix::zeros(1, 2),
+                0,
+                1.0,
+                Matrix::zeros(1, 2),
+                vec![true, true],
+                true,
+            ));
+        }
+        assert!(agent.train_step(&mut rng).is_some());
+    }
+
+    #[test]
+    fn param_import_export_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let source = DqnAgent::new(
+            DrqnQNetwork::new(3, 4, &mut rng).unwrap(),
+            Box::new(Adam::new(1e-3)),
+            DqnConfig::default(),
+        )
+        .unwrap();
+        let mut target = DqnAgent::new(
+            DrqnQNetwork::new(3, 4, &mut rng).unwrap(),
+            Box::new(Adam::new(1e-3)),
+            DqnConfig::default(),
+        )
+        .unwrap();
+        assert_ne!(source.export_params(), target.export_params());
+        target.import_params(&source.export_params());
+        assert_eq!(source.export_params(), target.export_params());
+        let s = Matrix::zeros(2, 3);
+        assert_eq!(source.q_values(&s), target.q_values(&s));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let net = MlpQNetwork::new(1, 2, &[4], &mut rng).unwrap();
+        let bad = |cfg: DqnConfig| {
+            DqnAgent::new(net.clone(), Box::new(Adam::new(1e-3)) as Box<dyn Optimizer>, cfg)
+                .is_err()
+        };
+        assert!(bad(DqnConfig {
+            batch_size: 0,
+            ..Default::default()
+        }));
+        assert!(bad(DqnConfig {
+            target_update_interval: 0,
+            ..Default::default()
+        }));
+        assert!(bad(DqnConfig {
+            gamma: 1.5,
+            ..Default::default()
+        }));
+        assert!(bad(DqnConfig {
+            replay_capacity: 0,
+            ..Default::default()
+        }));
+    }
+}

@@ -1,0 +1,93 @@
+use drcell_linalg::Matrix;
+
+/// The outcome of one environment step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepOutcome {
+    /// Immediate reward `R = q·R − c` (paper §4.1(3)).
+    pub reward: f64,
+    /// `true` when the action completed the current sensing cycle (the
+    /// quality requirement was met and the state advanced to a new cycle).
+    pub cycle_done: bool,
+    /// `true` when the whole episode (training pass over the data) ended.
+    pub episode_done: bool,
+}
+
+/// A reinforcement-learning environment in the DR-Cell state/action model:
+/// states are `k × m` binary selection histories, actions are cell indices.
+///
+/// Implemented by the Sparse-MCS simulator in `drcell-core`; small toy
+/// environments implement it in tests.
+pub trait Environment {
+    /// Number of actions (`m`, the number of cells).
+    fn num_actions(&self) -> usize;
+
+    /// The current state: the recent `k` cycles' selection vectors as a
+    /// `k × m` matrix, oldest cycle first (paper Fig. 4).
+    fn state(&self) -> Matrix;
+
+    /// Which actions are currently valid (cells not yet selected this
+    /// cycle — paper §4.1(2): already-selected cells get probability 0).
+    fn action_mask(&self) -> Vec<bool>;
+
+    /// Performs an action, mutating the environment.
+    fn step(&mut self, action: usize) -> StepOutcome;
+
+    /// Restarts the episode from the beginning.
+    fn reset(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal conforming environment used to smoke-test the trait object.
+    struct TwoCell {
+        selected: [bool; 2],
+    }
+
+    impl Environment for TwoCell {
+        fn num_actions(&self) -> usize {
+            2
+        }
+        fn state(&self) -> Matrix {
+            Matrix::from_rows(&[vec![
+                self.selected[0] as u8 as f64,
+                self.selected[1] as u8 as f64,
+            ]])
+            .expect("fixed shape")
+        }
+        fn action_mask(&self) -> Vec<bool> {
+            self.selected.iter().map(|s| !s).collect()
+        }
+        fn step(&mut self, action: usize) -> StepOutcome {
+            self.selected[action] = true;
+            let done = self.selected.iter().all(|&s| s);
+            StepOutcome {
+                reward: if done { 1.0 } else { -0.1 },
+                cycle_done: done,
+                episode_done: done,
+            }
+        }
+        fn reset(&mut self) {
+            self.selected = [false; 2];
+        }
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut env: Box<dyn Environment> = Box::new(TwoCell {
+            selected: [false; 2],
+        });
+        assert_eq!(env.num_actions(), 2);
+        assert_eq!(env.action_mask(), vec![true, true]);
+        let o = env.step(0);
+        assert!(!o.episode_done);
+        assert_eq!(env.action_mask(), vec![false, true]);
+        let o = env.step(1);
+        assert!(o.episode_done);
+        assert_eq!(o.reward, 1.0);
+        env.reset();
+        assert_eq!(env.action_mask(), vec![true, true]);
+        assert_eq!(env.state().shape(), (1, 2));
+    }
+}

@@ -1,0 +1,62 @@
+use std::error::Error;
+use std::fmt;
+
+use drcell_neural::NeuralError;
+
+/// Errors produced by agents and learning components.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RlError {
+    /// A hyper-parameter was out of range.
+    InvalidConfig {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable valid domain.
+        expected: &'static str,
+    },
+    /// A network error bubbled up.
+    Network(NeuralError),
+    /// No valid action was available in the current state.
+    NoValidAction,
+}
+
+impl fmt::Display for RlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RlError::InvalidConfig { name, expected } => {
+                write!(f, "invalid config {name}: expected {expected}")
+            }
+            RlError::Network(e) => write!(f, "network failure: {e}"),
+            RlError::NoValidAction => write!(f, "no valid action available"),
+        }
+    }
+}
+
+impl Error for RlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RlError::Network(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<NeuralError> for RlError {
+    fn from(e: NeuralError) -> Self {
+        RlError::Network(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(RlError::NoValidAction.to_string().contains("valid action"));
+        let e = RlError::Network(NeuralError::InvalidConfig {
+            reason: "x".into(),
+        });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,274 @@
+use rand::Rng;
+
+use drcell_linalg::Matrix;
+use drcell_neural::{
+    Activation, Loss, Mlp, MlpConfig, NeuralError, Optimizer, Parameterized, RecurrentNetwork,
+    RecurrentNetworkConfig,
+};
+
+/// A trainable Q-function over `k × m` state-history matrices.
+///
+/// Two implementations mirror the paper's §4.3 discussion: a dense network
+/// on the flattened history ([`MlpQNetwork`], "one common way is using
+/// dense layers") and the recurrent DRQN ([`DrqnQNetwork`]) that feeds the
+/// history through an LSTM to "catch the temporal patterns".
+pub trait QNetwork: Parameterized + Clone + Send {
+    /// Q-values, one per action, for a state.
+    fn q_values(&self, state: &Matrix) -> Vec<f64>;
+
+    /// One optimisation step on `(state, target-Q-vector)` pairs; returns
+    /// the batch loss.
+    fn train_batch(
+        &mut self,
+        states: &[Matrix],
+        targets: &[Vec<f64>],
+        loss: Loss,
+        optimizer: &mut dyn Optimizer,
+    ) -> f64;
+
+    /// Number of actions.
+    fn num_actions(&self) -> usize;
+}
+
+/// Dense Q-network: flattens the `k × m` history and passes it through an
+/// MLP. The DQN ablation baseline.
+#[derive(Debug, Clone)]
+pub struct MlpQNetwork {
+    mlp: Mlp,
+    history: usize,
+    cells: usize,
+}
+
+impl MlpQNetwork {
+    /// Builds a dense Q-network for `history` cycles of `cells` cells, with
+    /// the given hidden layer sizes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NeuralError::InvalidConfig`] for bad sizes.
+    pub fn new<R: Rng + ?Sized>(
+        history: usize,
+        cells: usize,
+        hidden: &[usize],
+        rng: &mut R,
+    ) -> Result<Self, NeuralError> {
+        let mut sizes = Vec::with_capacity(hidden.len() + 2);
+        sizes.push(history * cells);
+        sizes.extend_from_slice(hidden);
+        sizes.push(cells);
+        let mlp = Mlp::new(
+            &MlpConfig {
+                layer_sizes: sizes,
+                hidden_activation: Activation::Relu,
+                output_activation: Activation::Identity,
+            },
+            rng,
+        )?;
+        Ok(MlpQNetwork {
+            mlp,
+            history,
+            cells,
+        })
+    }
+
+    /// The expected history length `k`.
+    pub fn history(&self) -> usize {
+        self.history
+    }
+
+    fn flatten(&self, state: &Matrix) -> Vec<f64> {
+        assert_eq!(
+            state.shape(),
+            (self.history, self.cells),
+            "state must be history × cells"
+        );
+        state.as_slice().to_vec()
+    }
+}
+
+impl QNetwork for MlpQNetwork {
+    fn q_values(&self, state: &Matrix) -> Vec<f64> {
+        self.mlp.forward(&self.flatten(state))
+    }
+
+    fn train_batch(
+        &mut self,
+        states: &[Matrix],
+        targets: &[Vec<f64>],
+        loss: Loss,
+        optimizer: &mut dyn Optimizer,
+    ) -> f64 {
+        assert_eq!(states.len(), targets.len(), "batch size mismatch");
+        assert!(!states.is_empty(), "empty batch");
+        let x_rows: Vec<Vec<f64>> = states.iter().map(|s| self.flatten(s)).collect();
+        let x = Matrix::from_rows(&x_rows).expect("uniform state shapes");
+        let t = Matrix::from_rows(targets).expect("uniform target shapes");
+        self.mlp.train_on_batch(&x, &t, loss, optimizer)
+    }
+
+    fn num_actions(&self) -> usize {
+        self.cells
+    }
+}
+
+impl Parameterized for MlpQNetwork {
+    fn param_len(&self) -> usize {
+        self.mlp.param_len()
+    }
+    fn params(&self) -> Vec<f64> {
+        self.mlp.params()
+    }
+    fn set_params(&mut self, params: &[f64]) {
+        self.mlp.set_params(params);
+    }
+    fn grads(&self) -> Vec<f64> {
+        self.mlp.grads()
+    }
+    fn zero_grads(&mut self) {
+        self.mlp.zero_grads();
+    }
+}
+
+/// Recurrent Q-network (DRQN): the `k × m` history is consumed as a
+/// `k`-step sequence by an LSTM whose final hidden state drives a linear
+/// Q-value head — the paper's proposed architecture (§4.3, eq. 8).
+#[derive(Debug, Clone)]
+pub struct DrqnQNetwork {
+    net: RecurrentNetwork,
+}
+
+impl DrqnQNetwork {
+    /// Builds a DRQN for `cells` cells with the given LSTM hidden size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NeuralError::InvalidConfig`] for zero sizes.
+    pub fn new<R: Rng + ?Sized>(
+        cells: usize,
+        hidden: usize,
+        rng: &mut R,
+    ) -> Result<Self, NeuralError> {
+        let net = RecurrentNetwork::new(
+            &RecurrentNetworkConfig {
+                input_dim: cells,
+                hidden_dim: hidden,
+                output_dim: cells,
+            },
+            rng,
+        )?;
+        Ok(DrqnQNetwork { net })
+    }
+
+    /// LSTM hidden size.
+    pub fn hidden(&self) -> usize {
+        self.net.hidden_dim()
+    }
+}
+
+impl QNetwork for DrqnQNetwork {
+    fn q_values(&self, state: &Matrix) -> Vec<f64> {
+        self.net.forward(state)
+    }
+
+    fn train_batch(
+        &mut self,
+        states: &[Matrix],
+        targets: &[Vec<f64>],
+        loss: Loss,
+        optimizer: &mut dyn Optimizer,
+    ) -> f64 {
+        self.net.train_on_batch(states, targets, loss, optimizer)
+    }
+
+    fn num_actions(&self) -> usize {
+        self.net.output_dim()
+    }
+}
+
+impl Parameterized for DrqnQNetwork {
+    fn param_len(&self) -> usize {
+        self.net.param_len()
+    }
+    fn params(&self) -> Vec<f64> {
+        self.net.params()
+    }
+    fn set_params(&mut self, params: &[f64]) {
+        self.net.set_params(params);
+    }
+    fn grads(&self) -> Vec<f64> {
+        self.net.grads()
+    }
+    fn zero_grads(&mut self) {
+        self.net.zero_grads();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drcell_neural::Adam;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mlp_qnet_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let q = MlpQNetwork::new(3, 5, &[16], &mut rng).unwrap();
+        assert_eq!(q.num_actions(), 5);
+        assert_eq!(q.history(), 3);
+        let v = q.q_values(&Matrix::zeros(3, 5));
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn drqn_qnet_accepts_variable_history() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let q = DrqnQNetwork::new(4, 8, &mut rng).unwrap();
+        assert_eq!(q.q_values(&Matrix::zeros(1, 4)).len(), 4);
+        assert_eq!(q.q_values(&Matrix::zeros(6, 4)).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "history × cells")]
+    fn mlp_qnet_rejects_wrong_history() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let q = MlpQNetwork::new(2, 3, &[8], &mut rng).unwrap();
+        let _ = q.q_values(&Matrix::zeros(3, 3));
+    }
+
+    #[test]
+    fn both_networks_fit_simple_targets() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let states = vec![
+            Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 0.0]]).unwrap(),
+            Matrix::from_rows(&[vec![0.0, 1.0], vec![0.0, 0.0]]).unwrap(),
+        ];
+        let targets = vec![vec![1.0, -1.0], vec![-1.0, 1.0]];
+
+        let mut mlp_q = MlpQNetwork::new(2, 2, &[16], &mut rng).unwrap();
+        let mut opt = Adam::new(0.02);
+        let mut last = f64::INFINITY;
+        for _ in 0..400 {
+            last = mlp_q.train_batch(&states, &targets, Loss::Mse, &mut opt);
+        }
+        assert!(last < 0.05, "mlp loss {last}");
+
+        let mut drqn_q = DrqnQNetwork::new(2, 12, &mut rng).unwrap();
+        let mut opt = Adam::new(0.02);
+        for _ in 0..600 {
+            last = drqn_q.train_batch(&states, &targets, Loss::Mse, &mut opt);
+        }
+        assert!(last < 0.05, "drqn loss {last}");
+    }
+
+    #[test]
+    fn parameterized_passthrough() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut q = DrqnQNetwork::new(3, 4, &mut rng).unwrap();
+        let p = q.params();
+        assert_eq!(p.len(), q.param_len());
+        q.set_params(&p);
+        q.zero_grads();
+        assert!(q.grads().iter().all(|&g| g == 0.0));
+    }
+}

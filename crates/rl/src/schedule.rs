@@ -1,0 +1,173 @@
+use serde::{Deserialize, Serialize};
+
+use crate::RlError;
+
+/// The δ-greedy exploration schedule of the paper (§4.2): start with a
+/// relatively large exploration probability and reduce it as training
+/// proceeds.
+///
+/// ```
+/// use drcell_rl::EpsilonSchedule;
+///
+/// let s = EpsilonSchedule::exponential(1.0, 0.05, 0.99).unwrap();
+/// assert!(s.value(100) < s.value(10));
+/// assert!(s.value(100_000) >= 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EpsilonSchedule {
+    /// Constant exploration probability.
+    Constant(f64),
+    /// Linear decay from `start` to `end` over `steps` steps, then flat.
+    Linear {
+        /// Initial ε.
+        start: f64,
+        /// Final ε.
+        end: f64,
+        /// Steps over which to interpolate.
+        steps: usize,
+    },
+    /// Exponential decay `max(end, start · rate^step)`.
+    Exponential {
+        /// Initial ε.
+        start: f64,
+        /// Floor ε.
+        end: f64,
+        /// Per-step decay rate in `(0, 1)`.
+        rate: f64,
+    },
+}
+
+fn check_eps(name: &'static str, v: f64) -> Result<(), RlError> {
+    if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+        return Err(RlError::InvalidConfig {
+            name,
+            expected: "in [0, 1]",
+        });
+    }
+    Ok(())
+}
+
+impl EpsilonSchedule {
+    /// A constant schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::InvalidConfig`] for ε outside `[0, 1]`.
+    pub fn constant(eps: f64) -> Result<Self, RlError> {
+        check_eps("eps", eps)?;
+        Ok(EpsilonSchedule::Constant(eps))
+    }
+
+    /// A linear schedule from `start` to `end` over `steps` steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::InvalidConfig`] for values outside `[0, 1]`,
+    /// `start < end`, or `steps == 0`.
+    pub fn linear(start: f64, end: f64, steps: usize) -> Result<Self, RlError> {
+        check_eps("start", start)?;
+        check_eps("end", end)?;
+        if start < end {
+            return Err(RlError::InvalidConfig {
+                name: "start",
+                expected: ">= end (decaying schedule)",
+            });
+        }
+        if steps == 0 {
+            return Err(RlError::InvalidConfig {
+                name: "steps",
+                expected: "> 0",
+            });
+        }
+        Ok(EpsilonSchedule::Linear { start, end, steps })
+    }
+
+    /// An exponential schedule `max(end, start · rate^step)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::InvalidConfig`] for values outside `[0, 1]`,
+    /// `start < end`, or `rate ∉ (0, 1)`.
+    pub fn exponential(start: f64, end: f64, rate: f64) -> Result<Self, RlError> {
+        check_eps("start", start)?;
+        check_eps("end", end)?;
+        if start < end {
+            return Err(RlError::InvalidConfig {
+                name: "start",
+                expected: ">= end (decaying schedule)",
+            });
+        }
+        if !(rate > 0.0 && rate < 1.0) {
+            return Err(RlError::InvalidConfig {
+                name: "rate",
+                expected: "in (0, 1)",
+            });
+        }
+        Ok(EpsilonSchedule::Exponential { start, end, rate })
+    }
+
+    /// The exploration probability at training step `step`.
+    pub fn value(&self, step: usize) -> f64 {
+        match *self {
+            EpsilonSchedule::Constant(e) => e,
+            EpsilonSchedule::Linear { start, end, steps } => {
+                if step >= steps {
+                    end
+                } else {
+                    start + (end - start) * step as f64 / steps as f64
+                }
+            }
+            EpsilonSchedule::Exponential { start, end, rate } => {
+                (start * rate.powi(step.min(i32::MAX as usize) as i32)).max(end)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_endpoints_and_midpoint() {
+        let s = EpsilonSchedule::linear(0.8, 0.2, 60).unwrap();
+        assert_eq!(s.value(0), 0.8);
+        assert!((s.value(30) - 0.5).abs() < 1e-12);
+        assert_eq!(s.value(60), 0.2);
+        assert_eq!(s.value(10_000), 0.2);
+    }
+
+    #[test]
+    fn exponential_decays_to_floor() {
+        let s = EpsilonSchedule::exponential(1.0, 0.1, 0.9).unwrap();
+        assert_eq!(s.value(0), 1.0);
+        assert!(s.value(5) < 1.0);
+        assert_eq!(s.value(1_000), 0.1);
+    }
+
+    #[test]
+    fn monotone_nonincreasing() {
+        for s in [
+            EpsilonSchedule::constant(0.3).unwrap(),
+            EpsilonSchedule::linear(1.0, 0.0, 37).unwrap(),
+            EpsilonSchedule::exponential(0.9, 0.05, 0.95).unwrap(),
+        ] {
+            let mut prev = f64::INFINITY;
+            for step in 0..200 {
+                let v = s.value(step);
+                assert!(v <= prev + 1e-12, "{s:?} increased at step {step}");
+                assert!((0.0..=1.0).contains(&v));
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(EpsilonSchedule::constant(1.5).is_err());
+        assert!(EpsilonSchedule::linear(0.1, 0.5, 10).is_err());
+        assert!(EpsilonSchedule::linear(0.5, 0.1, 0).is_err());
+        assert!(EpsilonSchedule::exponential(0.5, 0.1, 1.0).is_err());
+        assert!(EpsilonSchedule::exponential(f64::NAN, 0.1, 0.5).is_err());
+    }
+}

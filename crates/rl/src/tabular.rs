@@ -1,0 +1,348 @@
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use drcell_linalg::Matrix;
+
+use crate::{epsilon_greedy, masked_max, RlError, Transition};
+
+/// Configuration of tabular Q-learning (paper Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TabularConfig {
+    /// Learning rate α ∈ (0, 1].
+    pub alpha: f64,
+    /// Discount factor γ ∈ [0, 1].
+    pub gamma: f64,
+}
+
+impl Default for TabularConfig {
+    fn default() -> Self {
+        TabularConfig {
+            alpha: 0.5,
+            gamma: 0.95,
+        }
+    }
+}
+
+/// Tabular Q-learning over binary selection-history states
+/// (paper §4.2, Algorithm 1, Fig. 5).
+///
+/// The Q-table maps a state key (the bits of the `k × m` history) to one
+/// Q-value per action. Practical only for small areas — exactly the paper's
+/// motivation for moving to DQN — but ideal for exact tests and the Fig. 5
+/// walkthrough.
+///
+/// ```
+/// use drcell_rl::{TabularConfig, TabularQLearning, Transition};
+/// use drcell_linalg::Matrix;
+///
+/// let mut q = TabularQLearning::new(2, TabularConfig { alpha: 1.0, gamma: 1.0 }).unwrap();
+/// let s0 = Matrix::zeros(1, 2);
+/// let mut s1 = Matrix::zeros(1, 2);
+/// s1[(0, 0)] = 1.0;
+/// q.update(&Transition::new(s0.clone(), 0, 4.0, s1, vec![false, true], false));
+/// assert_eq!(q.q_values(&s0)[0], 4.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TabularQLearning {
+    table: HashMap<Vec<u8>, Vec<f64>>,
+    num_actions: usize,
+    config: TabularConfig,
+}
+
+/// Encodes a binary state matrix as a compact byte key.
+fn state_key(state: &Matrix) -> Vec<u8> {
+    // Pack 8 entries per byte; entries > 0.5 count as 1.
+    let bits = state.as_slice();
+    let mut key = Vec::with_capacity(bits.len() / 8 + 3);
+    key.push(state.rows() as u8);
+    key.push(state.cols() as u8);
+    let mut acc = 0u8;
+    for (idx, &b) in bits.iter().enumerate() {
+        if b > 0.5 {
+            acc |= 1 << (idx % 8);
+        }
+        if idx % 8 == 7 {
+            key.push(acc);
+            acc = 0;
+        }
+    }
+    if bits.len() % 8 != 0 {
+        key.push(acc);
+    }
+    key
+}
+
+impl TabularQLearning {
+    /// Creates an empty Q-table for `num_actions` actions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::InvalidConfig`] for zero actions, `alpha ∉ (0, 1]`
+    /// or `gamma ∉ [0, 1]`.
+    pub fn new(num_actions: usize, config: TabularConfig) -> Result<Self, RlError> {
+        if num_actions == 0 {
+            return Err(RlError::InvalidConfig {
+                name: "num_actions",
+                expected: "> 0",
+            });
+        }
+        if !(config.alpha > 0.0 && config.alpha <= 1.0) {
+            return Err(RlError::InvalidConfig {
+                name: "alpha",
+                expected: "in (0, 1]",
+            });
+        }
+        if !(0.0..=1.0).contains(&config.gamma) {
+            return Err(RlError::InvalidConfig {
+                name: "gamma",
+                expected: "in [0, 1]",
+            });
+        }
+        Ok(TabularQLearning {
+            table: HashMap::new(),
+            num_actions,
+            config,
+        })
+    }
+
+    /// Number of actions.
+    pub fn num_actions(&self) -> usize {
+        self.num_actions
+    }
+
+    /// Number of distinct states visited so far.
+    pub fn states_visited(&self) -> usize {
+        self.table.len()
+    }
+
+    /// The Q-value row of a state (zeros if never visited).
+    pub fn q_values(&self, state: &Matrix) -> Vec<f64> {
+        self.table
+            .get(&state_key(state))
+            .cloned()
+            .unwrap_or_else(|| vec![0.0; self.num_actions])
+    }
+
+    /// δ-greedy action selection under a validity mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::NoValidAction`] when every action is masked.
+    pub fn select_action<R: Rng + ?Sized>(
+        &self,
+        state: &Matrix,
+        mask: &[bool],
+        epsilon: f64,
+        rng: &mut R,
+    ) -> Result<usize, RlError> {
+        let q = self.q_values(state);
+        epsilon_greedy(&q, mask, epsilon, rng).ok_or(RlError::NoValidAction)
+    }
+
+    /// Applies the Q-learning update (paper eq. 2–3):
+    /// `Q[S,A] ← (1−α)·Q[S,A] + α·(R + γ·V(S′))` with
+    /// `V(S′) = max_{A′ valid} Q[S′,A′]` (zero when terminal).
+    pub fn update(&mut self, t: &Transition) {
+        let v_next = if t.terminal {
+            0.0
+        } else {
+            let q_next = self.q_values(&t.next_state);
+            masked_max(&q_next, &t.next_mask).unwrap_or(0.0)
+        };
+        let target = t.reward + self.config.gamma * v_next;
+        let row = self
+            .table
+            .entry(state_key(&t.state))
+            .or_insert_with(|| vec![0.0; self.num_actions]);
+        row[t.action] = (1.0 - self.config.alpha) * row[t.action] + self.config.alpha * target;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn s(bits: &[f64]) -> Matrix {
+        Matrix::from_rows(&[bits.to_vec()]).unwrap()
+    }
+
+    #[test]
+    fn paper_fig5_walkthrough() {
+        // Reproduces the Fig. 5 example: 5 cells, alpha = gamma = 1,
+        // c = 1, R = 5.
+        let mut q = TabularQLearning::new(
+            5,
+            TabularConfig {
+                alpha: 1.0,
+                gamma: 1.0,
+            },
+        )
+        .unwrap();
+        let s0 = s(&[0.0, 0.0, 0.0, 0.0, 0.0]);
+        let s1 = s(&[0.0, 0.0, 1.0, 0.0, 0.0]);
+        let s2 = s(&[0.0, 0.0, 1.0, 0.0, 1.0]);
+        let mask1 = vec![true, true, false, true, true];
+        let mask2 = vec![true, true, false, true, false];
+
+        // t1: choose A3 under S0, quality unmet: R = −c = −1.
+        q.update(&Transition::new(
+            s0.clone(),
+            2,
+            -1.0,
+            s1.clone(),
+            mask1.clone(),
+            false,
+        ));
+        assert_eq!(q.q_values(&s0)[2], -1.0);
+
+        // t2: choose A5 under S1, quality met: R = 5 − 1 = 4.
+        q.update(&Transition::new(
+            s1.clone(),
+            4,
+            4.0,
+            s2.clone(),
+            mask2,
+            false,
+        ));
+        assert_eq!(q.q_values(&s1)[4], 4.0);
+
+        // tk+1: revisiting S0 with A3 now propagates the future reward:
+        // Q[S0,A3] = −1 + max Q[S1] = −1 + 4 = 3.
+        q.update(&Transition::new(s0.clone(), 2, -1.0, s1, mask1, false));
+        assert_eq!(q.q_values(&s0)[2], 3.0);
+    }
+
+    #[test]
+    fn terminal_transition_does_not_bootstrap() {
+        let mut q = TabularQLearning::new(
+            2,
+            TabularConfig {
+                alpha: 1.0,
+                gamma: 1.0,
+            },
+        )
+        .unwrap();
+        let s1 = s(&[1.0, 0.0]);
+        // Give next state a large value that must be ignored.
+        q.update(&Transition::new(
+            s1.clone(),
+            1,
+            100.0,
+            s(&[1.0, 1.0]),
+            vec![false, false],
+            false,
+        ));
+        q.update(&Transition::new(
+            s(&[0.0, 0.0]),
+            0,
+            1.0,
+            s1,
+            vec![false, true],
+            true,
+        ));
+        assert_eq!(q.q_values(&s(&[0.0, 0.0]))[0], 1.0);
+    }
+
+    #[test]
+    fn learning_rate_blends() {
+        let mut q = TabularQLearning::new(
+            1,
+            TabularConfig {
+                alpha: 0.5,
+                gamma: 0.0,
+            },
+        )
+        .unwrap();
+        let s0 = s(&[0.0]);
+        let t = Transition::new(s0.clone(), 0, 10.0, s(&[1.0]), vec![false], false);
+        q.update(&t);
+        assert_eq!(q.q_values(&s0)[0], 5.0);
+        q.update(&t);
+        assert_eq!(q.q_values(&s0)[0], 7.5);
+    }
+
+    #[test]
+    fn distinct_states_distinct_rows() {
+        let mut q = TabularQLearning::new(2, TabularConfig::default()).unwrap();
+        q.update(&Transition::new(
+            s(&[0.0, 1.0]),
+            0,
+            1.0,
+            s(&[1.0, 1.0]),
+            vec![false, false],
+            true,
+        ));
+        q.update(&Transition::new(
+            s(&[1.0, 0.0]),
+            1,
+            -1.0,
+            s(&[1.0, 1.0]),
+            vec![false, false],
+            true,
+        ));
+        assert_eq!(q.states_visited(), 2);
+        assert!(q.q_values(&s(&[0.0, 1.0]))[0] > 0.0);
+        assert!(q.q_values(&s(&[1.0, 0.0]))[1] < 0.0);
+    }
+
+    #[test]
+    fn state_key_distinguishes_shapes_and_bits() {
+        let a = state_key(&Matrix::zeros(1, 8));
+        let b = state_key(&Matrix::zeros(2, 4));
+        assert_ne!(a, b, "same bits, different shape");
+        let mut m = Matrix::zeros(1, 8);
+        m[(0, 7)] = 1.0;
+        assert_ne!(state_key(&m), state_key(&Matrix::zeros(1, 8)));
+    }
+
+    #[test]
+    fn select_action_masked_and_greedy() {
+        let mut q = TabularQLearning::new(3, TabularConfig::default()).unwrap();
+        let s0 = s(&[0.0, 0.0, 0.0]);
+        q.update(&Transition::new(
+            s0.clone(),
+            1,
+            5.0,
+            s(&[0.0, 1.0, 0.0]),
+            vec![true, false, true],
+            true,
+        ));
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = q
+            .select_action(&s0, &[true, true, true], 0.0, &mut rng)
+            .unwrap();
+        assert_eq!(a, 1);
+        let a = q
+            .select_action(&s0, &[true, false, true], 0.0, &mut rng)
+            .unwrap();
+        assert_ne!(a, 1);
+        assert!(matches!(
+            q.select_action(&s0, &[false, false, false], 0.0, &mut rng),
+            Err(RlError::NoValidAction)
+        ));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        assert!(TabularQLearning::new(0, TabularConfig::default()).is_err());
+        assert!(TabularQLearning::new(
+            2,
+            TabularConfig {
+                alpha: 0.0,
+                gamma: 0.5
+            }
+        )
+        .is_err());
+        assert!(TabularQLearning::new(
+            2,
+            TabularConfig {
+                alpha: 0.5,
+                gamma: 1.5
+            }
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,82 @@
+use drcell_linalg::Matrix;
+
+/// One experience tuple `e = ⟨S, A, R, S′⟩` (paper §4.3) plus the action
+/// mask of the next state, needed to compute `max_{A′} Q(S′, A′)` over
+/// *valid* actions only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// State before the action (`k × m` selection history).
+    pub state: Matrix,
+    /// The action taken (cell index).
+    pub action: usize,
+    /// Immediate reward.
+    pub reward: f64,
+    /// State after the action.
+    pub next_state: Matrix,
+    /// Valid actions in `next_state`.
+    pub next_mask: Vec<bool>,
+    /// `true` when `next_state` is terminal for the episode (no bootstrap).
+    pub terminal: bool,
+}
+
+impl Transition {
+    /// Convenience constructor validating the mask width against the state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `next_mask.len() != next_state.cols()`.
+    pub fn new(
+        state: Matrix,
+        action: usize,
+        reward: f64,
+        next_state: Matrix,
+        next_mask: Vec<bool>,
+        terminal: bool,
+    ) -> Self {
+        assert_eq!(
+            next_mask.len(),
+            next_state.cols(),
+            "mask width must match the number of cells"
+        );
+        Transition {
+            state,
+            action,
+            reward,
+            next_state,
+            next_mask,
+            terminal,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates_mask() {
+        let t = Transition::new(
+            Matrix::zeros(2, 3),
+            1,
+            -0.5,
+            Matrix::zeros(2, 3),
+            vec![true, false, true],
+            false,
+        );
+        assert_eq!(t.action, 1);
+        assert_eq!(t.reward, -0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask width")]
+    fn wrong_mask_width_panics() {
+        Transition::new(
+            Matrix::zeros(2, 3),
+            0,
+            0.0,
+            Matrix::zeros(2, 3),
+            vec![true],
+            false,
+        );
+    }
+}

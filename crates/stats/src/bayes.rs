@@ -1,0 +1,423 @@
+//! Bayesian conjugate posteriors used by the leave-one-out quality
+//! assessment of Sparse MCS (paper §3, Definition 6 and §5.3).
+//!
+//! The assessment pipeline observes leave-one-out reconstruction errors of
+//! the cells sensed so far in a cycle and must answer: *"with what
+//! probability is the inference error of the remaining (unsensed) cells
+//! below ε?"* Two conjugate models cover the paper's tasks:
+//!
+//! * continuous metrics (mean absolute error for temperature/humidity) —
+//!   [`NormalInverseGamma`] over the per-cell absolute error, queried for the
+//!   posterior predictive probability that the *mean* of the unsensed cells'
+//!   errors is ≤ ε;
+//! * categorical metrics (classification error for PM2.5/AQI) —
+//!   [`BetaBernoulli`] over the per-cell misclassification probability,
+//!   queried through the Beta-Binomial predictive for the probability that
+//!   at most `⌊ε·n⌋` of the `n` unsensed cells are misclassified.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dist::{BetaBinomial, Normal, StudentT};
+use crate::StatsError;
+
+/// Conjugate Normal-Inverse-Gamma model over i.i.d. normal observations with
+/// unknown mean and variance.
+///
+/// Parameterisation: `μ | σ² ~ N(μ₀, σ²/κ₀)`, `σ² ~ InvGamma(α₀, β₀)`.
+///
+/// ```
+/// use drcell_stats::bayes::NormalInverseGamma;
+///
+/// let mut m = NormalInverseGamma::weak_prior(0.5, 0.5);
+/// m.observe_all(&[0.2, 0.3, 0.25, 0.22, 0.27, 0.24, 0.26, 0.23, 0.25, 0.28]);
+/// // Errors hover near 0.25, so P(mean error of 10 new cells <= 0.5) is high
+/// // while P(mean error <= 0.05) is low.
+/// assert!(m.prob_mean_below(0.5, 10).unwrap() > 0.9);
+/// assert!(m.prob_mean_below(0.05, 10).unwrap() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NormalInverseGamma {
+    mu: f64,
+    kappa: f64,
+    alpha: f64,
+    beta: f64,
+}
+
+impl NormalInverseGamma {
+    /// Creates a model with explicit hyper-parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `kappa > 0`,
+    /// `alpha > 0` and `beta > 0`.
+    pub fn new(mu: f64, kappa: f64, alpha: f64, beta: f64) -> Result<Self, StatsError> {
+        for (name, v) in [("kappa", kappa), ("alpha", alpha), ("beta", beta)] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(StatsError::InvalidParameter {
+                    name,
+                    value: v,
+                    expected: "finite and > 0",
+                });
+            }
+        }
+        Ok(NormalInverseGamma {
+            mu,
+            kappa,
+            alpha,
+            beta,
+        })
+    }
+
+    /// A weakly informative prior centred at `prior_mean` with prior scale
+    /// `prior_scale` and effective strength of a single pseudo-observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prior_scale <= 0`.
+    pub fn weak_prior(prior_mean: f64, prior_scale: f64) -> Self {
+        assert!(prior_scale > 0.0, "prior_scale must be positive");
+        NormalInverseGamma {
+            mu: prior_mean,
+            kappa: 1.0,
+            alpha: 1.0,
+            beta: prior_scale * prior_scale,
+        }
+    }
+
+    /// Posterior mean of μ.
+    pub fn posterior_mean(&self) -> f64 {
+        self.mu
+    }
+
+    /// Effective number of observations absorbed (including the prior's
+    /// pseudo-count).
+    pub fn effective_count(&self) -> f64 {
+        self.kappa
+    }
+
+    /// Posterior expectation of σ² (defined for `alpha > 1`).
+    pub fn posterior_variance_mean(&self) -> Option<f64> {
+        if self.alpha > 1.0 {
+            Some(self.beta / (self.alpha - 1.0))
+        } else {
+            None
+        }
+    }
+
+    /// Absorbs one observation (standard conjugate update).
+    pub fn observe(&mut self, x: f64) {
+        let kappa_new = self.kappa + 1.0;
+        let mu_new = (self.kappa * self.mu + x) / kappa_new;
+        self.alpha += 0.5;
+        self.beta += 0.5 * self.kappa * (x - self.mu) * (x - self.mu) / kappa_new;
+        self.mu = mu_new;
+        self.kappa = kappa_new;
+    }
+
+    /// Absorbs a batch of observations.
+    pub fn observe_all(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.observe(x);
+        }
+    }
+
+    /// Posterior predictive distribution of a single future observation:
+    /// Student-t with `2α` d.o.f., location `μ`, scale
+    /// `sqrt(β(κ+1)/(ακ))`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StatsError::InvalidParameter`] when the posterior scale
+    /// underflows to zero (all observations identical and no prior mass).
+    pub fn posterior_predictive(&self) -> Result<StudentT, StatsError> {
+        let scale = (self.beta * (self.kappa + 1.0) / (self.alpha * self.kappa)).sqrt();
+        StudentT::new(2.0 * self.alpha, self.mu, scale.max(1e-12))
+    }
+
+    /// Probability that the *mean of `n` future observations* is below `t`.
+    ///
+    /// The mean of `n` predictive draws is approximately Student-t with the
+    /// same degrees of freedom, location `μ`, and scale
+    /// `sqrt(β/(α) · (1/n + 1/κ))` — the `1/n` term is the sampling noise of
+    /// the future mean, the `1/κ` term the remaining uncertainty about μ.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `n == 0`.
+    pub fn prob_mean_below(&self, t: f64, n: usize) -> Result<f64, StatsError> {
+        if n == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "n",
+                value: 0.0,
+                expected: "> 0",
+            });
+        }
+        let var = self.beta / self.alpha * (1.0 / n as f64 + 1.0 / self.kappa);
+        let t_dist = StudentT::new(2.0 * self.alpha, self.mu, var.sqrt().max(1e-12))?;
+        Ok(t_dist.cdf(t))
+    }
+
+    /// Gaussian approximation of the posterior over μ (useful for
+    /// diagnostics and plotting).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] when `alpha <= 1` (posterior
+    /// variance undefined).
+    pub fn posterior_mu_approx(&self) -> Result<Normal, StatsError> {
+        match self.posterior_variance_mean() {
+            Some(v) => Normal::new(self.mu, (v / self.kappa).sqrt().max(1e-12)),
+            None => Err(StatsError::InvalidParameter {
+                name: "alpha",
+                value: self.alpha,
+                expected: "> 1 for a defined posterior variance",
+            }),
+        }
+    }
+}
+
+/// Conjugate Beta-Bernoulli model over a misclassification probability.
+///
+/// ```
+/// use drcell_stats::bayes::BetaBernoulli;
+///
+/// let mut m = BetaBernoulli::uniform_prior();
+/// // 1 misclassification out of 30 leave-one-out checks.
+/// m.observe_counts(1, 30);
+/// // P(at most 9 of 36 unsensed cells misclassified) should be high.
+/// assert!(m.prob_error_count_at_most(9, 36).unwrap() > 0.9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BetaBernoulli {
+    alpha: f64,
+    beta: f64,
+}
+
+impl BetaBernoulli {
+    /// Creates a model with explicit Beta hyper-parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless both shapes are
+    /// positive.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self, StatsError> {
+        for (name, v) in [("alpha", alpha), ("beta", beta)] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(StatsError::InvalidParameter {
+                    name,
+                    value: v,
+                    expected: "finite and > 0",
+                });
+            }
+        }
+        Ok(BetaBernoulli { alpha, beta })
+    }
+
+    /// The uniform `Beta(1, 1)` prior.
+    pub fn uniform_prior() -> Self {
+        BetaBernoulli {
+            alpha: 1.0,
+            beta: 1.0,
+        }
+    }
+
+    /// Absorbs one Bernoulli observation (`true` = misclassified).
+    pub fn observe(&mut self, error: bool) {
+        if error {
+            self.alpha += 1.0;
+        } else {
+            self.beta += 1.0;
+        }
+    }
+
+    /// Absorbs `errors` misclassifications out of `total` trials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `errors > total`.
+    pub fn observe_counts(&mut self, errors: usize, total: usize) {
+        assert!(errors <= total, "errors cannot exceed total");
+        self.alpha += errors as f64;
+        self.beta += (total - errors) as f64;
+    }
+
+    /// Posterior mean error rate.
+    pub fn posterior_mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    /// Probability that at most `k` of `n` future cells are misclassified
+    /// (Beta-Binomial predictive CDF).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `n` exceeds `u32::MAX`.
+    pub fn prob_error_count_at_most(&self, k: usize, n: usize) -> Result<f64, StatsError> {
+        let n32 = u32::try_from(n).map_err(|_| StatsError::InvalidParameter {
+            name: "n",
+            value: n as f64,
+            expected: "<= u32::MAX",
+        })?;
+        let k32 = u32::try_from(k.min(n)).expect("k clamped to n fits in u32");
+        let bb = BetaBinomial::new(n32, self.alpha, self.beta)?;
+        Ok(bb.cdf(k32))
+    }
+
+    /// Probability that the misclassification *rate* of `n` future cells is
+    /// at most `rate` (i.e. at most `⌊rate·n⌋` errors).
+    ///
+    /// # Errors
+    ///
+    /// Propagates from [`Self::prob_error_count_at_most`]; additionally
+    /// rejects `rate ∉ [0, 1]`.
+    pub fn prob_error_rate_at_most(&self, rate: f64, n: usize) -> Result<f64, StatsError> {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(StatsError::InvalidParameter {
+                name: "rate",
+                value: rate,
+                expected: "in [0, 1]",
+            });
+        }
+        self.prob_error_count_at_most((rate * n as f64).floor() as usize, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nig_update_matches_closed_form() {
+        // Single observation against the textbook one-step update.
+        let mut m = NormalInverseGamma::new(0.0, 1.0, 1.0, 1.0).unwrap();
+        m.observe(2.0);
+        assert!((m.posterior_mean() - 1.0).abs() < 1e-12); // (1·0 + 2)/2
+        assert!((m.effective_count() - 2.0).abs() < 1e-12);
+        // beta' = 1 + 0.5·(1·(2-0)²/2) = 2
+        assert!((m.posterior_variance_mean().unwrap() - 2.0 / 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nig_batch_equals_sequential() {
+        let xs = [0.2, 0.5, 0.1, 0.4, 0.3];
+        let mut a = NormalInverseGamma::weak_prior(0.0, 1.0);
+        let mut b = a;
+        a.observe_all(&xs);
+        for &x in &xs {
+            b.observe(x);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nig_concentrates_with_data() {
+        let mut m = NormalInverseGamma::weak_prior(0.0, 1.0);
+        for _ in 0..100 {
+            m.observe_all(&[0.3, 0.31, 0.29]);
+        }
+        assert!((m.posterior_mean() - 0.3).abs() < 0.01);
+        // P(mean of future errors <= 0.35) should be near 1.
+        assert!(m.prob_mean_below(0.35, 20).unwrap() > 0.99);
+        // P(mean <= 0.25) near 0.
+        assert!(m.prob_mean_below(0.25, 20).unwrap() < 0.01);
+    }
+
+    #[test]
+    fn nig_prob_monotone_in_threshold() {
+        let mut m = NormalInverseGamma::weak_prior(0.5, 0.5);
+        m.observe_all(&[0.4, 0.6, 0.5]);
+        let mut prev = 0.0;
+        for t in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let p = m.prob_mean_below(t, 5).unwrap();
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn nig_more_future_samples_tightens() {
+        // With more future samples the predictive mean concentrates around μ;
+        // for a threshold above μ the probability increases.
+        let mut m = NormalInverseGamma::weak_prior(0.0, 1.0);
+        m.observe_all(&[0.2, 0.3, 0.25, 0.28, 0.22]);
+        let p1 = m.prob_mean_below(0.4, 1).unwrap();
+        let p50 = m.prob_mean_below(0.4, 50).unwrap();
+        assert!(p50 > p1);
+    }
+
+    #[test]
+    fn nig_rejects_zero_n() {
+        let m = NormalInverseGamma::weak_prior(0.0, 1.0);
+        assert!(m.prob_mean_below(0.5, 0).is_err());
+    }
+
+    #[test]
+    fn nig_invalid_params_rejected() {
+        assert!(NormalInverseGamma::new(0.0, 0.0, 1.0, 1.0).is_err());
+        assert!(NormalInverseGamma::new(0.0, 1.0, -1.0, 1.0).is_err());
+        assert!(NormalInverseGamma::new(0.0, 1.0, 1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn nig_posterior_predictive_is_student_t() {
+        let mut m = NormalInverseGamma::weak_prior(0.0, 1.0);
+        m.observe_all(&[1.0, 2.0, 3.0]);
+        let t = m.posterior_predictive().unwrap();
+        assert!((t.cdf(m.posterior_mean()) - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn beta_bernoulli_update_counts() {
+        let mut m = BetaBernoulli::uniform_prior();
+        m.observe_counts(3, 10);
+        assert!((m.posterior_mean() - 4.0 / 12.0).abs() < 1e-12);
+        let mut s = BetaBernoulli::uniform_prior();
+        for _ in 0..3 {
+            s.observe(true);
+        }
+        for _ in 0..7 {
+            s.observe(false);
+        }
+        assert_eq!(m, s);
+    }
+
+    #[test]
+    fn beta_bernoulli_quality_probability_behaviour() {
+        // Strong low-error evidence: quality probability near 1.
+        let mut good = BetaBernoulli::uniform_prior();
+        good.observe_counts(0, 50);
+        assert!(good.prob_error_rate_at_most(0.25, 36).unwrap() > 0.99);
+
+        // Strong high-error evidence: near 0.
+        let mut bad = BetaBernoulli::uniform_prior();
+        bad.observe_counts(40, 50);
+        assert!(bad.prob_error_rate_at_most(0.25, 36).unwrap() < 0.01);
+    }
+
+    #[test]
+    fn beta_bernoulli_monotone_in_k() {
+        let mut m = BetaBernoulli::uniform_prior();
+        m.observe_counts(2, 10);
+        let mut prev = 0.0;
+        for k in 0..=10 {
+            let p = m.prob_error_count_at_most(k, 10).unwrap();
+            assert!(p >= prev - 1e-12);
+            prev = p;
+        }
+        assert!((prev - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beta_bernoulli_rejects_bad_rate() {
+        let m = BetaBernoulli::uniform_prior();
+        assert!(m.prob_error_rate_at_most(1.5, 10).is_err());
+        assert!(m.prob_error_rate_at_most(-0.1, 10).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "errors cannot exceed total")]
+    fn beta_bernoulli_counts_invariant() {
+        let mut m = BetaBernoulli::uniform_prior();
+        m.observe_counts(5, 3);
+    }
+}

@@ -1,0 +1,332 @@
+//! Descriptive statistics: means, variances, quantiles, correlation, and the
+//! numerically stable [`Welford`] streaming accumulator.
+
+use serde::{Deserialize, Serialize};
+
+use crate::StatsError;
+
+/// Arithmetic mean.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for an empty slice.
+pub fn mean(xs: &[f64]) -> Result<f64, StatsError> {
+    if xs.is_empty() {
+        return Err(StatsError::InsufficientData {
+            what: "mean",
+            needed: 1,
+            got: 0,
+        });
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Unbiased sample variance (divides by `n − 1`).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for fewer than two points.
+pub fn variance(xs: &[f64]) -> Result<f64, StatsError> {
+    if xs.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            what: "variance",
+            needed: 2,
+            got: xs.len(),
+        });
+    }
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Sample standard deviation.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for fewer than two points.
+pub fn std_dev(xs: &[f64]) -> Result<f64, StatsError> {
+    Ok(variance(xs)?.sqrt())
+}
+
+/// Population variance (divides by `n`); used when the slice *is* the whole
+/// population, e.g. the committee disagreement in QBC.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for an empty slice.
+pub fn population_variance(xs: &[f64]) -> Result<f64, StatsError> {
+    if xs.is_empty() {
+        return Err(StatsError::InsufficientData {
+            what: "population_variance",
+            needed: 1,
+            got: 0,
+        });
+    }
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Linear-interpolated quantile, `q ∈ [0, 1]` (type-7, the numpy default).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for an empty slice and
+/// [`StatsError::InvalidParameter`] for `q` outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> Result<f64, StatsError> {
+    if xs.is_empty() {
+        return Err(StatsError::InsufficientData {
+            what: "quantile",
+            needed: 1,
+            got: 0,
+        });
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::InvalidParameter {
+            name: "q",
+            value: q,
+            expected: "in [0, 1]",
+        });
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (0.5 quantile).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for an empty slice.
+pub fn median(xs: &[f64]) -> Result<f64, StatsError> {
+    quantile(xs, 0.5)
+}
+
+/// Pearson correlation coefficient of two equal-length slices.
+///
+/// # Errors
+///
+/// * [`StatsError::InsufficientData`] for fewer than two points.
+/// * [`StatsError::InvalidParameter`] if the lengths differ or a slice is
+///   constant (zero variance).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, StatsError> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::InvalidParameter {
+            name: "ys.len()",
+            value: ys.len() as f64,
+            expected: "same length as xs",
+        });
+    }
+    if xs.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            what: "pearson",
+            needed: 2,
+            got: xs.len(),
+        });
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "variance",
+            value: 0.0,
+            expected: "non-constant inputs",
+        });
+    }
+    Ok(sxy / (sxx * syy).sqrt())
+}
+
+/// Numerically stable streaming mean/variance accumulator
+/// (Welford's algorithm).
+///
+/// ```
+/// use drcell_stats::describe::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 6.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.mean(), 4.0);
+/// assert_eq!(w.sample_variance(), Some(4.0));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean; `0.0` before any observation.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance; `None` with fewer than two observations.
+    pub fn sample_variance(&self) -> Option<f64> {
+        if self.count < 2 {
+            None
+        } else {
+            Some(self.m2 / (self.count - 1) as f64)
+        }
+    }
+
+    /// Sample standard deviation; `None` with fewer than two observations.
+    pub fn sample_std_dev(&self) -> Option<f64> {
+        self.sample_variance().map(f64::sqrt)
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean = new_mean;
+        self.count = total;
+    }
+}
+
+impl Extend<f64> for Welford {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Welford {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut w = Welford::new();
+        w.extend(iter);
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_known() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs).unwrap(), 5.0);
+        assert!((population_variance(&xs).unwrap() - 4.0).abs() < 1e-12);
+        assert!((variance(&xs).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        assert!(mean(&[]).is_err());
+        assert!(variance(&[1.0]).is_err());
+        assert!(quantile(&[], 0.5).is_err());
+        assert!(median(&[]).is_err());
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 4.0);
+        assert_eq!(quantile(&xs, 0.5).unwrap(), 2.5);
+        assert!((quantile(&xs, 1.0 / 3.0).unwrap() - 2.0).abs() < 1e-12);
+        assert!(quantile(&xs, 1.5).is_err());
+    }
+
+    #[test]
+    fn median_unsorted_input() {
+        assert_eq!(median(&[9.0, 1.0, 5.0]).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_rejects_constant_and_mismatch() {
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn welford_matches_batch() {
+        let xs = [1.5, -2.0, 0.25, 10.0, 3.5];
+        let w: Welford = xs.iter().copied().collect();
+        assert!((w.mean() - mean(&xs).unwrap()).abs() < 1e-12);
+        assert!((w.sample_variance().unwrap() - variance(&xs).unwrap()).abs() < 1e-12);
+        assert_eq!(w.count(), 5);
+    }
+
+    #[test]
+    fn welford_merge_equals_concatenation() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0];
+        let mut wa: Welford = a.iter().copied().collect();
+        let wb: Welford = b.iter().copied().collect();
+        wa.merge(&wb);
+        let all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        assert!((wa.mean() - mean(&all).unwrap()).abs() < 1e-12);
+        assert!((wa.sample_variance().unwrap() - variance(&all).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut w: Welford = [5.0, 7.0].iter().copied().collect();
+        let before = w;
+        w.merge(&Welford::new());
+        assert_eq!(w, before);
+        let mut e = Welford::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn welford_underflow_guard() {
+        let mut w = Welford::new();
+        assert_eq!(w.sample_variance(), None);
+        w.push(1.0);
+        assert_eq!(w.sample_variance(), None);
+        assert_eq!(w.mean(), 1.0);
+    }
+}

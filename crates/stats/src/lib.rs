@@ -1,0 +1,32 @@
+//! # drcell-stats — statistics substrate
+//!
+//! Special functions, probability distributions, descriptive statistics and
+//! Bayesian conjugate posteriors used by the Sparse-MCS quality-assessment
+//! pipeline ([leave-one-out Bayesian (ε, p)-quality], per Wang et al.
+//! CCS-TA / SPACE-TA and the DR-Cell paper §3 Definition 6).
+//!
+//! Everything is implemented from scratch on `f64`:
+//!
+//! * [`special`] — `erf`, `ln_gamma`, regularised incomplete beta/gamma.
+//! * [`dist`] — Normal, Student-t, Beta, Beta-Binomial.
+//! * [`describe`] — means, variances, quantiles, [`describe::Welford`].
+//! * [`bayes`] — [`bayes::NormalInverseGamma`] and [`bayes::BetaBernoulli`]
+//!   conjugate updates with posterior-predictive queries.
+//!
+//! ```
+//! use drcell_stats::dist::Normal;
+//!
+//! let n = Normal::standard();
+//! assert!((n.cdf(0.0) - 0.5).abs() < 1e-12);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod bayes;
+pub mod describe;
+pub mod dist;
+pub mod special;
+
+mod error;
+
+pub use error::StatsError;

@@ -1,0 +1,76 @@
+//! Air-quality monitoring (the paper's U-Air scenario): PM2.5 sensing over
+//! a Beijing-like grid with *classification* (ε, p)-quality — the inference
+//! must put at least (1 − ε) of the unsensed cells in the correct AQI
+//! category.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example air_quality
+//! ```
+
+use drcell::core::{
+    DrCellPolicy, DrCellTrainer, RandomPolicy, RunnerConfig, SensingTask, SparseMcsRunner,
+    TrainerConfig,
+};
+use drcell::datasets::{AqiCategory, UAirConfig, UAirDataset};
+use drcell::quality::{ErrorMetric, QualityRequirement};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Scaled-down U-Air: 16 cells, 6 days of hourly cycles.
+    let config = UAirConfig {
+        grid_rows: 4,
+        grid_cols: 4,
+        cycles: 6 * 24,
+        ..UAirConfig::default()
+    };
+    let dataset = UAirDataset::generate(&config, 2024);
+
+    // Show the AQI class mix of the generated city.
+    let mut class_counts = [0usize; 6];
+    for row in dataset.categories() {
+        for c in row {
+            class_counts[c.index()] += 1;
+        }
+    }
+    println!("AQI class distribution of the synthetic city:");
+    for (cat, count) in AqiCategory::all().iter().zip(class_counts) {
+        println!("  {cat:<35} {count:>6}");
+    }
+
+    // (9/36 ≈ 0.25, 0.9)-quality on classification error, 2-day training.
+    let task = SensingTask::new(
+        "PM2.5",
+        dataset.pm25,
+        dataset.grid,
+        ErrorMetric::AqiClassification,
+        QualityRequirement::new(0.25, 0.9)?,
+        48,
+    )?;
+
+    let trainer = DrCellTrainer::new(TrainerConfig {
+        episodes: 5,
+        ..TrainerConfig::default()
+    });
+    let runner = SparseMcsRunner::new(&task, RunnerConfig::default())?;
+
+    println!("\ntraining DR-Cell for categorical quality ...");
+    let mut rng = StdRng::seed_from_u64(11);
+    let agent = trainer.train_drqn(&task, &mut rng)?;
+
+    let mut drcell = DrCellPolicy::new(agent, trainer.config().env.history_k);
+    let dr_report = runner.run(&mut drcell, &mut rng)?;
+    let mut random = RandomPolicy::new();
+    let mut rng = StdRng::seed_from_u64(11);
+    let rnd_report = runner.run(&mut random, &mut rng)?;
+
+    println!("\n{}", dr_report.summary_row());
+    println!("{}", rnd_report.summary_row());
+    println!(
+        "\nDR-Cell saved {:.1}% of submissions vs RANDOM",
+        100.0 * (1.0 - dr_report.mean_cells_per_cycle() / rnd_report.mean_cells_per_cycle())
+    );
+    Ok(())
+}

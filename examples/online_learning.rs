@@ -1,0 +1,88 @@
+//! Online cell selection without a preliminary study — the paper's §6
+//! future-work item. The agent starts untrained and keeps learning *during
+//! deployment*, using the Bayesian quality estimate as its reward signal
+//! (ground truth of unsensed cells is never available online).
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example online_learning
+//! ```
+
+use drcell::core::{
+    OnlineDrCellConfig, OnlineDrCellPolicy, RandomPolicy, RunnerConfig, SensingTask,
+    SparseMcsRunner,
+};
+use drcell::datasets::{SensorScopeConfig, SensorScopeDataset};
+use drcell::neural::Adam;
+use drcell::quality::{ErrorMetric, QualityRequirement};
+use drcell::rl::{DqnAgent, DqnConfig, DrqnQNetwork};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SensorScopeConfig {
+        cells: 16,
+        grid_rows: 4,
+        grid_cols: 4,
+        cycles: 4 * 48,
+        ..SensorScopeConfig::default()
+    };
+    let ds = SensorScopeDataset::generate(&config, 99);
+    // Tiny 2-cycle "training" stage: effectively cold start; the runner
+    // only uses it to warm the inference window.
+    let task = SensingTask::new(
+        "temperature",
+        ds.temperature,
+        ds.grid,
+        ErrorMetric::MeanAbsolute,
+        QualityRequirement::new(0.35, 0.9)?,
+        2,
+    )?;
+    let runner = SparseMcsRunner::new(&task, RunnerConfig::default())?;
+
+    // Fresh, untrained DRQN that will learn on the job.
+    let mut rng = StdRng::seed_from_u64(3);
+    let agent = DqnAgent::new(
+        DrqnQNetwork::new(task.cells(), 48, &mut rng)?,
+        Box::new(Adam::new(1e-3)),
+        DqnConfig {
+            batch_size: 16,
+            learning_starts: 32,
+            ..Default::default()
+        },
+    )?;
+    let mut online = OnlineDrCellPolicy::new(
+        agent,
+        OnlineDrCellConfig::for_task(task.cells(), task.requirement().p),
+    )?;
+
+    println!("running {} testing cycles with online learning ...", task.test_cycles());
+    let report = runner.run(&mut online, &mut rng)?;
+    println!("{}", report.summary_row());
+    println!(
+        "online learner made {} selections, {} gradient steps",
+        online.selections_made(),
+        online.agent().train_steps()
+    );
+
+    // Compare first-quarter vs last-quarter selection counts: learning
+    // should reduce them over time.
+    let quarter = report.cycles.len() / 4;
+    let early: f64 = report.cycles[..quarter]
+        .iter()
+        .map(|c| c.selected.len() as f64)
+        .sum::<f64>()
+        / quarter as f64;
+    let late: f64 = report.cycles[report.cycles.len() - quarter..]
+        .iter()
+        .map(|c| c.selected.len() as f64)
+        .sum::<f64>()
+        / quarter as f64;
+    println!("cells/cycle: first quarter {early:.2} -> last quarter {late:.2}");
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let random = runner.run(&mut RandomPolicy::new(), &mut rng)?;
+    println!("{}", random.summary_row());
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Quickstart: train DR-Cell on a small synthetic temperature task and
+//! compare it with the QBC and RANDOM baselines.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use drcell::core::{
+    DrCellPolicy, DrCellTrainer, QbcPolicy, RandomPolicy, RunnerConfig, SensingTask,
+    SparseMcsRunner, TrainerConfig,
+};
+use drcell::datasets::{SensorScopeConfig, SensorScopeDataset};
+use drcell::quality::{ErrorMetric, QualityRequirement};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A scaled-down Sensor-Scope-like area so the example finishes in
+    // seconds: 16 cells, 3 days of half-hour cycles.
+    let config = SensorScopeConfig {
+        cells: 16,
+        grid_rows: 4,
+        grid_cols: 4,
+        cycles: 3 * 48,
+        ..SensorScopeConfig::default()
+    };
+    let dataset = SensorScopeDataset::generate(&config, 42);
+    println!("generated {} cells x {} cycles of synthetic temperature",
+        dataset.temperature.cells(), dataset.temperature.cycles());
+
+    // (0.3 °C, 0.9)-quality, first day as the preliminary study.
+    let task = SensingTask::new(
+        "temperature",
+        dataset.temperature,
+        dataset.grid,
+        ErrorMetric::MeanAbsolute,
+        QualityRequirement::new(0.3, 0.9)?,
+        48,
+    )?;
+
+    let trainer = DrCellTrainer::new(TrainerConfig {
+        episodes: 6,
+        ..TrainerConfig::default()
+    });
+    let runner = SparseMcsRunner::new(&task, RunnerConfig::default())?;
+
+    println!("\ntraining the DRQN cell-selection policy ...");
+    let mut rng = StdRng::seed_from_u64(7);
+    let agent = trainer.train_drqn(&task, &mut rng)?;
+    println!("trained: {} gradient steps", agent.train_steps());
+
+    let mut drcell = DrCellPolicy::new(agent, trainer.config().env.history_k);
+    let report = runner.run(&mut drcell, &mut rng)?;
+    println!("\n{}", report.summary_row());
+
+    let mut qbc = QbcPolicy::new(task.grid(), 24)?;
+    let mut rng = StdRng::seed_from_u64(7);
+    println!("{}", runner.run(&mut qbc, &mut rng)?.summary_row());
+
+    let mut random = RandomPolicy::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    println!("{}", runner.run(&mut random, &mut rng)?.summary_row());
+
+    Ok(())
+}

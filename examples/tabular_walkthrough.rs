@@ -1,0 +1,96 @@
+//! Reproduces the paper's Figure 5 walkthrough: tabular Q-learning on a
+//! five-cell area with α = γ = 1, c = 1, R = 5, printing the evolving
+//! Q-values exactly as the paper's t₀ … tₖ₊₁ snapshots describe.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --example tabular_walkthrough
+//! ```
+
+use drcell::linalg::Matrix;
+use drcell::rl::{TabularConfig, TabularQLearning, Transition};
+
+fn show(q: &TabularQLearning, label: &str, states: &[(&str, Matrix)]) {
+    println!("--- Q-table at {label} ---");
+    for (name, s) in states {
+        let row = q.q_values(s);
+        let cells: Vec<String> = row.iter().map(|v| format!("{v:>5.1}")).collect();
+        println!("  {name}: [{}]", cells.join(" "));
+    }
+    println!();
+}
+
+fn main() {
+    // Five cells, one-cycle history (the current cycle's selections).
+    let s0 = Matrix::zeros(1, 5);
+    let mut s1 = Matrix::zeros(1, 5);
+    s1[(0, 2)] = 1.0; // cell 3 selected
+    let mut s2 = s1.clone();
+    s2[(0, 4)] = 1.0; // cells 3 and 5 selected
+
+    let mask1 = vec![true, true, false, true, true];
+    let mask2 = vec![true, true, false, true, false];
+
+    let mut q = TabularQLearning::new(
+        5,
+        TabularConfig {
+            alpha: 1.0,
+            gamma: 1.0,
+        },
+    )
+    .expect("valid config");
+
+    let states = [("S0", s0.clone()), ("S1", s1.clone()), ("S2", s2.clone())];
+    show(&q, "t0 (all zeros)", &states);
+
+    // t1: under S0 choose A3; quality not yet satisfied -> R = −c = −1.
+    q.update(&Transition::new(
+        s0.clone(),
+        2,
+        -1.0,
+        s1.clone(),
+        mask1.clone(),
+        false,
+    ));
+    show(&q, "t1 (Q[S0,A3] = −1)", &states);
+
+    // t2: under S1 choose A5; quality satisfied -> R = R − c = 5 − 1 = 4.
+    q.update(&Transition::new(
+        s1.clone(),
+        4,
+        4.0,
+        s2.clone(),
+        mask2,
+        false,
+    ));
+    show(&q, "t2 (Q[S1,A5] = 4)", &states);
+
+    // tk: exploring taught us the other actions under S0 are worse.
+    for (a, r) in [(0usize, -2.0), (1, -3.0), (3, -4.0), (4, -2.0)] {
+        q.update(&Transition::new(
+            s0.clone(),
+            a,
+            r,
+            s1.clone(),
+            vec![false; 5],
+            true,
+        ));
+    }
+    show(&q, "tk (other actions under S0 look bad)", &states);
+
+    // tk+1: revisiting S0 with A3 propagates the future reward:
+    // Q[S0,A3] = −1 + max Q[S1,·] = −1 + 4 = 3.
+    q.update(&Transition::new(s0.clone(), 2, -1.0, s1.clone(), mask1, false));
+    show(&q, "tk+1 (Q[S0,A3] = −1 + 4 = 3)", &states);
+
+    let greedy = q.q_values(&s0);
+    let best = greedy
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(i, _)| i + 1)
+        .expect("five actions");
+    println!("greedy action under S0 is now A{best} (the paper's A3)");
+    assert_eq!(best, 3);
+}

@@ -1,0 +1,76 @@
+//! Transfer learning between correlated tasks (paper §4.4 / Figure 7):
+//! temperature as the data-rich source task, humidity as the target with
+//! only 10 cycles of training data.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example transfer_learning
+//! ```
+
+use drcell::core::experiments::fig7;
+use drcell::core::{DrCellTrainer, RunnerConfig, SensingTask, TrainerConfig};
+use drcell::datasets::{SensorScopeConfig, SensorScopeDataset};
+use drcell::quality::{ErrorMetric, QualityRequirement};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Scaled-down Sensor-Scope with both signals.
+    let config = SensorScopeConfig {
+        cells: 16,
+        grid_rows: 4,
+        grid_cols: 4,
+        cycles: 3 * 48,
+        ..SensorScopeConfig::default()
+    };
+    let dataset = SensorScopeDataset::generate(&config, 77);
+
+    let source = SensingTask::new(
+        "temperature",
+        dataset.temperature,
+        dataset.grid.clone(),
+        ErrorMetric::MeanAbsolute,
+        QualityRequirement::new(0.3, 0.9)?,
+        48,
+    )?;
+    let target = SensingTask::new(
+        "humidity",
+        dataset.humidity,
+        dataset.grid,
+        ErrorMetric::MeanAbsolute,
+        QualityRequirement::new(1.5, 0.9)?,
+        48,
+    )?;
+
+    let trainer = DrCellTrainer::new(TrainerConfig {
+        episodes: 6,
+        ..TrainerConfig::default()
+    });
+
+    println!("temperature -> humidity transfer (10 target training cycles)\n");
+    let rows = fig7(
+        &source,
+        &target,
+        10,
+        &trainer,
+        &RunnerConfig::default(),
+        5,
+    )?;
+    for r in &rows {
+        println!("{}", r.row());
+    }
+
+    let transfer = rows
+        .iter()
+        .find(|r| r.variant == "TRANSFER")
+        .expect("fig7 emits TRANSFER");
+    let best_other = rows
+        .iter()
+        .filter(|r| r.variant != "TRANSFER")
+        .map(|r| r.mean_cells)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "\nTRANSFER used {:.2} cells/cycle; best non-transfer variant used {:.2}",
+        transfer.mean_cells, best_other
+    );
+    Ok(())
+}
