@@ -7,46 +7,35 @@
 //! * **oracle context** — the greedy ground-truth policy as an upper-bound
 //!   proxy (footnote 1).
 //!
+//! Routed through the `drcell-scenario` engine: every ablation arm is one
+//! policy on the policy axis of a single sweep, evaluated concurrently
+//! across cores instead of serially.
+//!
 //! ```sh
 //! cargo run --release -p drcell-bench --bin ablations [--quick]
 //! ```
 
-use drcell_bench::{temperature_task, Scale, EXPERIMENT_SEED};
-use drcell_core::{
-    CellSelectionPolicy, DrCellPolicy, DrCellTrainer, GreedyErrorPolicy, McsEnvConfig,
-    RandomPolicy, RunnerConfig, SensingTask, SparseMcsRunner, TrainerConfig,
+use drcell_bench::{Scale, EXPERIMENT_SEED};
+use drcell_datasets::PerturbationStack;
+use drcell_scenario::{
+    sink, DatasetSpec, NetworkKind, PolicySpec, QualitySpec, RunnerSpec, ScenarioSpec, SweepEngine,
+    SweepSpec,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn run(
-    task: &SensingTask,
-    policy: &mut dyn CellSelectionPolicy,
-    label: &str,
-) -> Result<f64, Box<dyn std::error::Error>> {
-    let runner = SparseMcsRunner::new(task, RunnerConfig::default())?;
-    let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED);
-    let report = runner.run(policy, &mut rng)?;
-    println!(
-        "  {:<24} {:>6.2} cells/cycle (within-ε {:>5.1}%)",
-        label,
-        report.mean_cells_per_cycle(),
-        report.fraction_within_epsilon() * 100.0
-    );
-    Ok(report.mean_cells_per_cycle())
-}
-
-fn trainer_with(episodes: usize, k: usize, bonus: Option<f64>, cost: f64) -> DrCellTrainer {
-    DrCellTrainer::new(TrainerConfig {
+fn drcell_variant(
+    episodes: usize,
+    history_k: usize,
+    network: NetworkKind,
+    reward_bonus: Option<f64>,
+) -> PolicySpec {
+    PolicySpec::DrCell {
         episodes,
-        env: McsEnvConfig {
-            history_k: k,
-            reward_bonus: bonus,
-            cost,
-            ..Default::default()
-        },
-        ..TrainerConfig::default()
-    })
+        hidden: 48,
+        history_k,
+        network,
+        reward_bonus,
+        cost: 1.0,
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -55,49 +44,62 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Scale::Paper => 12,
         Scale::Quick => 3,
     };
-    let task = temperature_task(scale)?;
+    let (cells, grid_rows, grid_cols, cycles) = match scale {
+        Scale::Paper => (57, 10, 10, 7 * 48),
+        Scale::Quick => (16, 4, 4, 3 * 48),
+    };
+    let m = cells as f64;
+
+    let base = ScenarioSpec {
+        name: "ablations".to_owned(),
+        seed: EXPERIMENT_SEED,
+        dataset: DatasetSpec::SensorScopeTemperature {
+            cells,
+            grid_rows,
+            grid_cols,
+            cycles,
+        },
+        perturbations: PerturbationStack::none(),
+        policy: PolicySpec::Random,
+        quality: QualitySpec {
+            epsilon: 0.3,
+            p: 0.9,
+        },
+        runner: RunnerSpec {
+            window: 24,
+            ..RunnerSpec::default()
+        },
+        train_cycles: 96,
+    };
+
+    // The ablation arms, in presentation order:
+    //   A1 network architecture, A2 history window, A3 reward shaping,
+    //   A4 reference points.
+    let sweep = SweepSpec {
+        policies: vec![
+            drcell_variant(episodes, 3, NetworkKind::Drqn, None), // A1: DRQN (paper)
+            drcell_variant(episodes, 3, NetworkKind::Dense, None), // A1: dense DQN
+            drcell_variant(episodes, 1, NetworkKind::Drqn, None), // A2: k = 1
+            drcell_variant(episodes, 5, NetworkKind::Drqn, None), // A2: k = 5
+            drcell_variant(episodes, 3, NetworkKind::Drqn, Some(m / 4.0)), // A3: R = m/4
+            drcell_variant(episodes, 3, NetworkKind::Drqn, Some(4.0 * m)), // A3: R = 4m
+            PolicySpec::Random,                                   // A4
+            PolicySpec::GreedyOracle,                             // A4 (cheating)
+        ],
+        ..SweepSpec::single(base)
+    };
+
+    let specs = sweep.expand();
     println!(
-        "=== Ablations on the temperature task ({} cells, scale {scale:?}) ===",
-        task.cells()
+        "=== Ablations on the temperature task ({cells} cells, scale {scale:?}; {} arms in parallel) ===",
+        specs.len()
     );
-
-    println!("\n[A1] network architecture (k = 3):");
-    let trainer = trainer_with(episodes, 3, None, 1.0);
-    let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED);
-    let drqn = trainer.train_drqn(&task, &mut rng)?;
-    run(&task, &mut DrCellPolicy::new(drqn, 3), "DRQN (LSTM)")?;
-    let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED);
-    let dqn = trainer.train_dqn(&task, &mut rng)?;
-    run(&task, &mut DrCellPolicy::new(dqn, 3), "DQN (dense)")?;
-
-    println!("\n[A2] history window k (DRQN):");
-    for k in [1usize, 3, 5] {
-        let trainer = trainer_with(episodes, k, None, 1.0);
-        let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED);
-        let agent = trainer.train_drqn(&task, &mut rng)?;
-        run(&task, &mut DrCellPolicy::new(agent, k), &format!("k = {k}"))?;
-    }
-
-    println!("\n[A3] reward shaping (DRQN, k = 3):");
-    let m = task.cells() as f64;
-    for (label, bonus, cost) in [
-        ("R = m, c = 1 (paper)", None, 1.0),
-        ("R = m/4, c = 1", Some(m / 4.0), 1.0),
-        ("R = 4m, c = 1", Some(4.0 * m), 1.0),
-    ] {
-        let trainer = trainer_with(episodes, 3, bonus, cost);
-        let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED);
-        let agent = trainer.train_drqn(&task, &mut rng)?;
-        run(&task, &mut DrCellPolicy::new(agent, 3), label)?;
-    }
-
-    println!("\n[A4] reference points:");
-    run(&task, &mut RandomPolicy::new(), "RANDOM")?;
-    run(
-        &task,
-        &mut GreedyErrorPolicy::new(task.truth().clone(), 0, 24)?,
-        "GREEDY-ORACLE (cheating)",
-    )?;
-
+    let results = SweepEngine::default().run(&specs);
+    let ok = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    let refs: Vec<&drcell_scenario::ScenarioResult> = ok.iter().collect();
+    print!("{}", sink::summary(&refs));
+    println!(
+        "arm key: DR-Cell#1 DRQN k=3 (paper) | DR-Cell-DQN dense | #2 k=1 | #3 k=5 | #4 R=m/4 | #5 R=4m"
+    );
     Ok(())
 }

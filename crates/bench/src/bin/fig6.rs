@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("temperature (ε = 0.3 °C)", temperature_task(scale)?),
         ("PM2.5 (ε = 9/36)", pm25_task(scale)?),
     ] {
-        println!("\n--- {label}: {} cells, {} testing cycles ---", task.cells(), task.test_cycles());
+        println!(
+            "\n--- {label}: {} cells, {} testing cycles ---",
+            task.cells(),
+            task.test_cycles()
+        );
         let t0 = Instant::now();
         let rows = fig6(&task, &[0.9, 0.95], &trainer, &runner, EXPERIMENT_SEED)?;
         for r in &rows {
@@ -41,9 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .find(|r| r.policy == name && (r.p - p).abs() < 1e-9)
                     .map(|r| r.mean_cells)
             };
-            if let (Some(dr), Some(qbc), Some(rnd)) =
-                (get("DR-Cell"), get("QBC"), get("RANDOM"))
-            {
+            if let (Some(dr), Some(qbc), Some(rnd)) = (get("DR-Cell"), get("QBC"), get("RANDOM")) {
                 println!(
                     "  p={p}: DR-Cell saves {:+.1}% vs QBC, {:+.1}% vs RANDOM",
                     100.0 * (1.0 - dr / qbc),

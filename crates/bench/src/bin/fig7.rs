@@ -36,7 +36,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         println!("\n--- target: {label} ---");
         let t0 = Instant::now();
-        let rows = fig7(source, target, target_cycles, &trainer, &runner, EXPERIMENT_SEED)?;
+        let rows = fig7(
+            source,
+            target,
+            target_cycles,
+            &trainer,
+            &runner,
+            EXPERIMENT_SEED,
+        )?;
         for r in &rows {
             println!("{}", r.row());
         }

@@ -2,16 +2,19 @@
 //! sensing problem is neither trivial nor saturated (paper-like ~20-30% of
 //! cells selected) and checks the policy ordering. Not part of the paper's
 //! tables; kept as a diagnostics tool.
+//!
+//! Routed through the `drcell-scenario` engine: the knobs become a
+//! declarative [`SweepSpec`] whose policy axis (DR-Cell / QBC / RANDOM)
+//! evaluates in parallel across cores.
+//!
+//! ```sh
+//! cargo run --release -p drcell-bench --bin tune [episodes] [noise] [eps] [length_scale] [anchors]
+//! ```
 
-use drcell_core::{
-    DrCellPolicy, DrCellTrainer, QbcPolicy, RandomPolicy, RunnerConfig, SensingTask,
-    SparseMcsRunner, TrainerConfig,
+use drcell_datasets::{FieldConfig, PerturbationStack};
+use drcell_scenario::{
+    sink, DatasetSpec, PolicySpec, QualitySpec, RunnerSpec, ScenarioSpec, SweepEngine, SweepSpec,
 };
-use drcell_datasets::{FieldConfig, SensorScopeConfig, SensorScopeDataset};
-use drcell_quality::{ErrorMetric, QualityRequirement};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
@@ -21,57 +24,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let length_scale: f64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(80.0);
     let anchors: usize = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(6);
 
-    let config = SensorScopeConfig {
-        cells: 16,
-        grid_rows: 4,
-        grid_cols: 4,
-        cycles: 3 * 48,
-        field: FieldConfig {
-            anchors,
-            length_scale,
-            noise_std: noise,
-            ar_coeff: 0.97,
-            spatial_std: 1.0,
-            diurnal_amplitude: 1.2,
-            semidiurnal_amplitude: 0.3,
-            cycles_per_day: 48,
+    println!("episodes={episodes} noise={noise} eps={eps} ls={length_scale} anchors={anchors}");
+
+    let base = ScenarioSpec {
+        name: "tune".to_owned(),
+        seed: 42,
+        dataset: DatasetSpec::Synthetic {
+            grid_rows: 4,
+            grid_cols: 4,
+            cell_w: 50.0,
+            cell_h: 30.0,
+            cycles: 3 * 48,
+            mean: 6.04,
+            std: 1.87,
+            field: FieldConfig {
+                anchors,
+                length_scale,
+                noise_std: noise,
+                ar_coeff: 0.97,
+                spatial_std: 1.0,
+                diurnal_amplitude: 1.2,
+                semidiurnal_amplitude: 0.3,
+                cycles_per_day: 48,
+            },
         },
-        ..SensorScopeConfig::default()
+        perturbations: PerturbationStack::none(),
+        policy: PolicySpec::Random,
+        quality: QualitySpec {
+            epsilon: eps,
+            p: 0.9,
+        },
+        runner: RunnerSpec {
+            window: 24,
+            ..RunnerSpec::default()
+        },
+        train_cycles: 48,
     };
-    let ds = SensorScopeDataset::generate(&config, 42);
-    let task = SensingTask::new(
-        "temp",
-        ds.temperature,
-        ds.grid,
-        ErrorMetric::MeanAbsolute,
-        QualityRequirement::new(eps, 0.9)?,
-        48,
-    )?;
+    let sweep = SweepSpec {
+        policies: vec![
+            PolicySpec::drcell(episodes, 48),
+            PolicySpec::Qbc,
+            PolicySpec::Random,
+        ],
+        ..SweepSpec::single(base)
+    };
 
-    println!(
-        "episodes={episodes} noise={noise} eps={eps} ls={length_scale} anchors={anchors}"
-    );
-    let trainer = DrCellTrainer::new(TrainerConfig {
-        episodes,
-        ..TrainerConfig::default()
-    });
-    let runner = SparseMcsRunner::new(&task, RunnerConfig::default())?;
-
-    let t0 = Instant::now();
-    let mut rng = StdRng::seed_from_u64(7);
-    let agent = trainer.train_drqn(&task, &mut rng)?;
-    println!("train: {:?} ({} steps)", t0.elapsed(), agent.train_steps());
-
-    let mut drcell = DrCellPolicy::new(agent, trainer.config().env.history_k);
-    let t0 = Instant::now();
-    println!("{}  [{:?}]", runner.run(&mut drcell, &mut rng)?.summary_row(), t0.elapsed());
-
-    let mut qbc = QbcPolicy::new(task.grid(), 24)?;
-    let mut rng = StdRng::seed_from_u64(7);
-    println!("{}", runner.run(&mut qbc, &mut rng)?.summary_row());
-
-    let mut random = RandomPolicy::new();
-    let mut rng = StdRng::seed_from_u64(7);
-    println!("{}", runner.run(&mut random, &mut rng)?.summary_row());
+    let results = SweepEngine::default().run(&sweep.expand());
+    let ok: Vec<_> = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    let refs: Vec<&drcell_scenario::ScenarioResult> = ok.iter().collect();
+    print!("{}", sink::summary(&refs));
     Ok(())
 }

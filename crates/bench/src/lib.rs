@@ -8,9 +8,7 @@
 #![deny(missing_docs)]
 
 use drcell_core::{CoreError, SensingTask};
-use drcell_datasets::{
-    SensorScopeConfig, SensorScopeDataset, UAirConfig, UAirDataset,
-};
+use drcell_datasets::{SensorScopeConfig, SensorScopeDataset, UAirConfig, UAirDataset};
 use drcell_quality::{ErrorMetric, QualityRequirement};
 
 /// How big to run an experiment.

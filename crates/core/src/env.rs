@@ -171,7 +171,10 @@ impl McsEnvironment {
             .map(|i| completed.value(i, w - 1))
             .collect();
         let unsensed = self.obs.unobserved_cells_at(self.cycle);
-        match self.metric.cycle_error(&truth_col, &inferred_col, &unsensed) {
+        match self
+            .metric
+            .cycle_error(&truth_col, &inferred_col, &unsensed)
+        {
             Ok(e) => e <= self.epsilon,
             Err(_) => false,
         }
@@ -425,9 +428,7 @@ mod tests {
             McsEnvConfig {
                 history_k: 2,
                 window: 4,
-                cell_costs: Some(
-                    crate::CostModel::per_cell(vec![1.0, 2.0, 3.0, 4.0]).unwrap(),
-                ),
+                cell_costs: Some(crate::CostModel::per_cell(vec![1.0, 2.0, 3.0, 4.0]).unwrap()),
                 ..Default::default()
             },
         )

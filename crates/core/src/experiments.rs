@@ -85,10 +85,7 @@ pub fn fig6(
         let runner = SparseMcsRunner::new(&task_p, runner_config.clone())?;
 
         let mut rng = StdRng::seed_from_u64(seed);
-        rows.push(Fig6Row::from_report(
-            &runner.run(&mut drcell, &mut rng)?,
-            p,
-        ));
+        rows.push(Fig6Row::from_report(&runner.run(&mut drcell, &mut rng)?, p));
 
         let mut rng = StdRng::seed_from_u64(seed);
         let mut qbc = QbcPolicy::new(task_p.grid(), runner_config.window)?;
@@ -96,10 +93,7 @@ pub fn fig6(
 
         let mut rng = StdRng::seed_from_u64(seed);
         let mut random = RandomPolicy::new();
-        rows.push(Fig6Row::from_report(
-            &runner.run(&mut random, &mut rng)?,
-            p,
-        ));
+        rows.push(Fig6Row::from_report(&runner.run(&mut random, &mut rng)?, p));
     }
     Ok(rows)
 }

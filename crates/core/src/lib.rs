@@ -61,8 +61,8 @@ pub use cost::CostModel;
 pub use env::{McsEnvConfig, McsEnvironment};
 pub use error::CoreError;
 pub use policies::{
-    CellSelectionPolicy, DrCellPolicy, DrCellTabularPolicy, GreedyErrorPolicy,
-    OnlineDrCellConfig, OnlineDrCellPolicy, QbcPolicy, RandomPolicy,
+    CellSelectionPolicy, DrCellPolicy, DrCellTabularPolicy, GreedyErrorPolicy, OnlineDrCellConfig,
+    OnlineDrCellPolicy, QbcPolicy, RandomPolicy,
 };
 pub use runner::{CycleRecord, RunReport, RunnerConfig, SparseMcsRunner};
 pub use state::selection_history;

@@ -103,9 +103,9 @@ impl CellSelectionPolicy for DrCellTabularPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use drcell_linalg::Matrix;
     use drcell_neural::Adam;
     use drcell_rl::{DqnConfig, DrqnQNetwork, TabularConfig, Transition};
-    use drcell_linalg::Matrix;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -107,13 +107,7 @@ mod tests {
     fn picks_the_most_mispredicted_cell() {
         // Flat field except cell 3 which spikes: with only flat cells
         // observed, the completion badly mispredicts cell 3.
-        let truth = DataMatrix::from_fn(4, 2, |i, t| {
-            if i == 3 && t == 1 {
-                100.0
-            } else {
-                1.0
-            }
-        });
+        let truth = DataMatrix::from_fn(4, 2, |i, t| if i == 3 && t == 1 { 100.0 } else { 1.0 });
         let obs = ObservedMatrix::from_selection(&truth, |i, t| t == 0 || i < 2);
         let mut p = GreedyErrorPolicy::new(truth, 0, 2).unwrap();
         let mut rng = StdRng::seed_from_u64(0);

@@ -23,7 +23,11 @@ use crate::{CoreError, CycleRecord};
 ///
 /// The runner guarantees `cycle < obs.cycles()` and that at least one cell
 /// is unobserved at `cycle` when calling `select_next`.
-pub trait CellSelectionPolicy {
+///
+/// Policies are `Send` so scenario engines can evaluate many of them on
+/// worker threads concurrently (each policy is still driven from a single
+/// thread at a time — no `Sync` requirement).
+pub trait CellSelectionPolicy: Send {
     /// Display name for reports ("DR-Cell", "QBC", "RANDOM", ...).
     fn name(&self) -> &str;
 

@@ -148,8 +148,7 @@ impl<N: QNetwork> CellSelectionPolicy for OnlineDrCellPolicy<N> {
         if self.pending.is_empty() {
             return;
         }
-        let satisfied =
-            record.estimated_probability >= self.config.satisfaction_threshold;
+        let satisfied = record.estimated_probability >= self.config.satisfaction_threshold;
         let cells = self.pending[0].0.cols();
         let n = self.pending.len();
         let pending = std::mem::take(&mut self.pending);
@@ -190,8 +189,8 @@ impl<N: QNetwork> CellSelectionPolicy for OnlineDrCellPolicy<N> {
 mod tests {
     use super::*;
     use drcell_neural::Adam;
-    use drcell_rl::{DqnConfig, DrqnQNetwork};
     use drcell_quality::QualityRequirement;
+    use drcell_rl::{DqnConfig, DrqnQNetwork};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -150,13 +150,17 @@ mod tests {
     fn prefers_high_disagreement_cells() {
         // Construct a window where cell 4 (far from all sensed cells, with a
         // trend) is the most uncertain for the committee.
-        let truth = DataMatrix::from_fn(5, 6, |i, t| {
-            if i == 4 {
-                10.0 * (t as f64)
-            } else {
-                i as f64
-            }
-        });
+        let truth = DataMatrix::from_fn(
+            5,
+            6,
+            |i, t| {
+                if i == 4 {
+                    10.0 * (t as f64)
+                } else {
+                    i as f64
+                }
+            },
+        );
         // Sense everything except cell 4 in all cycles; cell 4 only early.
         let obs = ObservedMatrix::from_selection(&truth, |i, t| i != 4 || t < 2);
         let mut p = QbcPolicy::new(&grid(), 6).unwrap();

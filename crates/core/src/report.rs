@@ -123,7 +123,11 @@ pub fn comparison_table(reports: &[&RunReport]) -> String {
             r.mean_cells_per_cycle(),
             r.total_selections(),
             r.fraction_within_epsilon() * 100.0,
-            if r.satisfies_requirement() { "yes" } else { "NO" },
+            if r.satisfies_requirement() {
+                "yes"
+            } else {
+                "NO"
+            },
         ));
     }
     out
@@ -132,7 +136,9 @@ pub fn comparison_table(reports: &[&RunReport]) -> String {
 /// Serialises per-cycle records as CSV (header + one row per cycle) for
 /// external plotting tools.
 pub fn to_csv(report: &RunReport) -> String {
-    let mut out = String::from("cycle,selected_count,true_error,estimated_probability,within_epsilon,selected_cells\n");
+    let mut out = String::from(
+        "cycle,selected_count,true_error,estimated_probability,within_epsilon,selected_cells\n",
+    );
     for c in &report.cycles {
         let cells: Vec<String> = c.selected.iter().map(|i| i.to_string()).collect();
         out.push_str(&format!(
@@ -211,11 +217,7 @@ mod tests {
 
     #[test]
     fn calibration_gap() {
-        let r = report(
-            vec![vec![0], vec![1]],
-            vec![true, true],
-            vec![0.9, 0.9],
-        );
+        let r = report(vec![vec![0], vec![1]], vec![true, true], vec![0.9, 0.9]);
         let c = AssessorCalibration::from_report(&r).unwrap();
         assert!((c.mean_estimated - 0.9).abs() < 1e-12);
         assert_eq!(c.realised, 1.0);

@@ -189,6 +189,22 @@ impl<'a> SparseMcsRunner<'a> {
         policy: &mut dyn CellSelectionPolicy,
         rng: &mut dyn RngCore,
     ) -> Result<RunReport, CoreError> {
+        self.run_with_hook(policy, rng, &mut |_| {})
+    }
+
+    /// Runs the policy over every testing cycle, invoking `hook` with each
+    /// finished [`CycleRecord`] — the streaming surface scenario engines and
+    /// progress reporters attach to.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy, inference and assessment failures.
+    pub fn run_with_hook(
+        &self,
+        policy: &mut dyn CellSelectionPolicy,
+        rng: &mut dyn RngCore,
+        hook: &mut dyn FnMut(&CycleRecord),
+    ) -> Result<RunReport, CoreError> {
         let truth = self.task.truth();
         let m = truth.cells();
         let cap = self
@@ -223,8 +239,7 @@ impl<'a> SparseMcsRunner<'a> {
                 }
                 if selected.len() >= self.config.min_selections_per_cycle
                     && (selected.len() - self.config.min_selections_per_cycle)
-                        % self.config.assess_every
-                        == 0
+                        .is_multiple_of(self.config.assess_every)
                 {
                     let (win, wc) = self.trailing_window(&obs, cycle);
                     let a = self.assessor.assess(&win, wc, &self.assess_cs)?;
@@ -252,6 +267,7 @@ impl<'a> SparseMcsRunner<'a> {
                 within_epsilon: true_error <= self.task.requirement().epsilon,
             };
             policy.on_cycle_end(&record, rng);
+            hook(&record);
             records.push(record);
         }
 
@@ -398,6 +414,21 @@ mod tests {
         ] {
             assert!(SparseMcsRunner::new(&task, cfg).is_err());
         }
+    }
+
+    #[test]
+    fn hook_sees_every_cycle_in_order() {
+        let task = smooth_task(0.5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut seen = Vec::new();
+        let report = SparseMcsRunner::new(&task, config())
+            .unwrap()
+            .run_with_hook(&mut RandomPolicy::new(), &mut rng, &mut |r| {
+                seen.push(r.cycle)
+            })
+            .unwrap();
+        let expected: Vec<usize> = report.cycles.iter().map(|c| c.cycle).collect();
+        assert_eq!(seen, expected);
     }
 
     #[test]

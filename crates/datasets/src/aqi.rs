@@ -10,9 +10,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(AqiCategory::from_pm25(155.0), AqiCategory::Unhealthy);
 /// assert!(AqiCategory::Hazardous > AqiCategory::Good);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum AqiCategory {
     /// PM2.5 in [0, 50].
     Good,

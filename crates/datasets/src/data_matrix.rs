@@ -33,11 +33,7 @@ impl DataMatrix {
     }
 
     /// Creates a matrix by evaluating `f(cell, cycle)` for every entry.
-    pub fn from_fn<F: FnMut(usize, usize) -> f64>(
-        cells: usize,
-        cycles: usize,
-        mut f: F,
-    ) -> Self {
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(cells: usize, cycles: usize, mut f: F) -> Self {
         let mut values = Vec::with_capacity(cells * cycles);
         for i in 0..cells {
             for t in 0..cycles {
@@ -67,7 +63,10 @@ impl DataMatrix {
     ///
     /// Panics when out of bounds.
     pub fn value(&self, cell: usize, cycle: usize) -> f64 {
-        assert!(cell < self.cells && cycle < self.cycles, "index out of bounds");
+        assert!(
+            cell < self.cells && cycle < self.cycles,
+            "index out of bounds"
+        );
         self.values[cell * self.cycles + cycle]
     }
 
@@ -77,7 +76,10 @@ impl DataMatrix {
     ///
     /// Panics when out of bounds.
     pub fn set(&mut self, cell: usize, cycle: usize, v: f64) {
-        assert!(cell < self.cells && cycle < self.cycles, "index out of bounds");
+        assert!(
+            cell < self.cells && cycle < self.cycles,
+            "index out of bounds"
+        );
         self.values[cell * self.cycles + cycle] = v;
     }
 

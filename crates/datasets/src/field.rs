@@ -152,12 +152,8 @@ impl FieldGenerator {
             let tf = t as f64;
             let diurnal = cfg.diurnal_amplitude * (omega_day * tf + phase).sin()
                 + cfg.semidiurnal_amplitude * (2.0 * omega_day * tf + 0.7 * phase).sin();
-            for i in 0..m {
-                let spatial: f64 = basis[i]
-                    .iter()
-                    .zip(&weights)
-                    .map(|(b, w)| b * w)
-                    .sum();
+            for (i, basis_row) in basis.iter().enumerate() {
+                let spatial: f64 = basis_row.iter().zip(&weights).map(|(b, w)| b * w).sum();
                 let noise = cfg.noise_std * randn(rng);
                 d.set(i, t, diurnal + spatial + noise);
             }

@@ -32,10 +32,7 @@ impl CellGrid {
         let mut centres = Vec::with_capacity(rows * cols);
         for r in 0..rows {
             for c in 0..cols {
-                centres.push((
-                    (c as f64 + 0.5) * cell_w,
-                    (r as f64 + 0.5) * cell_h,
-                ));
+                centres.push(((c as f64 + 0.5) * cell_w, (r as f64 + 0.5) * cell_h));
             }
         }
         CellGrid { centres }
@@ -98,11 +95,7 @@ impl CellGrid {
     ///
     /// Panics if `cell` or any candidate is out of bounds.
     pub fn nearest_among(&self, cell: usize, candidates: &[usize], k: usize) -> Vec<usize> {
-        let mut sorted: Vec<usize> = candidates
-            .iter()
-            .copied()
-            .filter(|&c| c != cell)
-            .collect();
+        let mut sorted: Vec<usize> = candidates.iter().copied().filter(|&c| c != cell).collect();
         sorted.sort_by(|&a, &b| {
             self.distance(cell, a)
                 .partial_cmp(&self.distance(cell, b))

@@ -29,6 +29,7 @@ mod aqi;
 mod data_matrix;
 mod field;
 mod grid;
+mod perturb;
 mod sensorscope;
 mod summary;
 mod uair;
@@ -39,6 +40,7 @@ pub use aqi::AqiCategory;
 pub use data_matrix::DataMatrix;
 pub use field::{FieldConfig, FieldGenerator};
 pub use grid::CellGrid;
+pub use perturb::{Perturbation, PerturbationStack};
 pub use sensorscope::{SensorScopeConfig, SensorScopeDataset};
 pub use summary::DatasetSummary;
 pub use uair::{UAirConfig, UAirDataset};

@@ -1,0 +1,434 @@
+//! Perturbation adapters over ground-truth matrices.
+//!
+//! Related work (IntelligentCrowd, Cells on Autopilot) stresses that RL
+//! selection policies are only trustworthy when exercised across *perturbed*
+//! environments — sensor outages, noise bursts, regime shifts — not a single
+//! curated trace. These adapters transform a [`DataMatrix`] (optionally
+//! using the [`CellGrid`] geometry) into a stressed variant, and are the
+//! building blocks of the `drcell-scenario` perturbation stacks.
+//!
+//! Every perturbation is deterministic given the RNG passed in; scenario
+//! specs derive that RNG from the scenario seed so sweeps reproduce exactly.
+
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use crate::field::randn;
+use crate::{CellGrid, DataMatrix};
+
+/// One declarative perturbation of a ground-truth matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Perturbation {
+    /// A random subset of cells goes dark for the rest of the run: from a
+    /// random onset cycle the cell's readings freeze at their last value
+    /// (a stuck sensor — the value is still "true" for the task, but
+    /// carries no new information).
+    SensorDropout {
+        /// Fraction of cells affected, in `[0, 1]`.
+        rate: f64,
+    },
+    /// Heteroscedastic observation noise: each cell gets its own noise
+    /// level, drawn log-uniformly in `[std_min, std_max]`, added i.i.d.
+    /// per cycle.
+    HeteroscedasticNoise {
+        /// Smallest per-cell noise standard deviation.
+        std_min: f64,
+        /// Largest per-cell noise standard deviation.
+        std_max: f64,
+    },
+    /// Non-stationary regime shift: at `at_fraction` of the run a moving
+    /// Gaussian hotspot of the given `amplitude` appears and drifts across
+    /// the grid, breaking the low-rank structure the training stage saw.
+    RegimeShift {
+        /// Onset as a fraction of the total cycles, in `[0, 1]`.
+        at_fraction: f64,
+        /// Peak added value of the hotspot.
+        amplitude: f64,
+        /// Hotspot radius as a fraction of the grid diameter, in `(0, 1]`.
+        radius_fraction: f64,
+    },
+    /// Bursts of whole missing cycles: readings hold the previous cycle's
+    /// value for `burst_len` consecutive cycles (a platform outage).
+    MissingCycleBursts {
+        /// Expected number of bursts over the run.
+        bursts: usize,
+        /// Length of each burst in cycles.
+        burst_len: usize,
+    },
+}
+
+impl Perturbation {
+    /// Checks the parameters against their documented domains, so callers
+    /// holding user-supplied specs can reject bad layers with an error
+    /// instead of the panic [`Perturbation::apply`] would raise.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated domain.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            Perturbation::SensorDropout { rate } => {
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("SensorDropout rate {rate} must be in [0, 1]"));
+                }
+            }
+            Perturbation::HeteroscedasticNoise { std_min, std_max } => {
+                if !(0.0 <= std_min && std_min <= std_max) {
+                    return Err(format!(
+                        "HeteroscedasticNoise needs 0 <= std_min <= std_max, got {std_min}..{std_max}"
+                    ));
+                }
+            }
+            Perturbation::RegimeShift {
+                at_fraction,
+                radius_fraction,
+                ..
+            } => {
+                if !(0.0..=1.0).contains(&at_fraction) {
+                    return Err(format!(
+                        "RegimeShift at_fraction {at_fraction} must be in [0, 1]"
+                    ));
+                }
+                if !(radius_fraction > 0.0 && radius_fraction <= 1.0) {
+                    return Err(format!(
+                        "RegimeShift radius_fraction {radius_fraction} must be in (0, 1]"
+                    ));
+                }
+            }
+            Perturbation::MissingCycleBursts { burst_len, .. } => {
+                if burst_len == 0 {
+                    return Err("MissingCycleBursts burst_len must be positive".to_owned());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the perturbation, returning the stressed matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when parameters are outside their documented domains (check
+    /// with [`Perturbation::validate`] first for user-supplied specs) or
+    /// the grid disagrees with the matrix cell count.
+    pub fn apply<R: RngCore + ?Sized>(
+        &self,
+        truth: &DataMatrix,
+        grid: &CellGrid,
+        rng: &mut R,
+    ) -> DataMatrix {
+        assert_eq!(
+            truth.cells(),
+            grid.cells(),
+            "grid/matrix cell count mismatch"
+        );
+        let m = truth.cells();
+        let n = truth.cycles();
+        let mut out = truth.clone();
+        match *self {
+            Perturbation::SensorDropout { rate } => {
+                assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+                for i in 0..m {
+                    if rng.gen::<f64>() < rate {
+                        let onset = rng.gen_range(0..n.max(1));
+                        let frozen = truth.value(i, onset);
+                        for t in onset..n {
+                            out.set(i, t, frozen);
+                        }
+                    }
+                }
+            }
+            Perturbation::HeteroscedasticNoise { std_min, std_max } => {
+                assert!(
+                    0.0 <= std_min && std_min <= std_max,
+                    "need 0 <= std_min <= std_max"
+                );
+                for i in 0..m {
+                    // Log-uniform spread of per-cell noise levels.
+                    let lo = std_min.max(1e-12).ln();
+                    let hi = std_max.max(1e-12).ln();
+                    let std = (lo + rng.gen::<f64>() * (hi - lo)).exp();
+                    for t in 0..n {
+                        out.set(i, t, truth.value(i, t) + std * randn(rng));
+                    }
+                }
+            }
+            Perturbation::RegimeShift {
+                at_fraction,
+                amplitude,
+                radius_fraction,
+            } => {
+                assert!(
+                    (0.0..=1.0).contains(&at_fraction),
+                    "at_fraction must be in [0, 1]"
+                );
+                assert!(
+                    radius_fraction > 0.0 && radius_fraction <= 1.0,
+                    "radius_fraction must be in (0, 1]"
+                );
+                let onset = ((n as f64) * at_fraction) as usize;
+                let radius = (grid.diameter() * radius_fraction).max(1e-9);
+                // Hotspot path: a random start cell drifting towards a
+                // random end cell over the post-onset cycles.
+                let from = grid.centre(rng.gen_range(0..m));
+                let to = grid.centre(rng.gen_range(0..m));
+                let span = (n - onset).max(1) as f64;
+                for t in onset..n {
+                    let f = (t - onset) as f64 / span;
+                    let cx = from.0 + f * (to.0 - from.0);
+                    let cy = from.1 + f * (to.1 - from.1);
+                    for i in 0..m {
+                        let (x, y) = grid.centre(i);
+                        let d2 = (x - cx).powi(2) + (y - cy).powi(2);
+                        let bump = amplitude * (-d2 / (2.0 * radius * radius)).exp();
+                        out.set(i, t, out.value(i, t) + bump);
+                    }
+                }
+            }
+            Perturbation::MissingCycleBursts { bursts, burst_len } => {
+                assert!(burst_len > 0, "burst_len must be positive");
+                for _ in 0..bursts {
+                    if n < 2 {
+                        break;
+                    }
+                    let start = rng.gen_range(1..n);
+                    let end = (start + burst_len).min(n);
+                    for t in start..end {
+                        for i in 0..m {
+                            let held = out.value(i, t - 1);
+                            out.set(i, t, held);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Compact human-readable tag used in scenario names and reports.
+    pub fn label(&self) -> String {
+        match *self {
+            Perturbation::SensorDropout { rate } => format!("dropout({rate})"),
+            Perturbation::HeteroscedasticNoise { std_min, std_max } => {
+                format!("noise({std_min}..{std_max})")
+            }
+            Perturbation::RegimeShift {
+                at_fraction,
+                amplitude,
+                ..
+            } => format!("shift(@{at_fraction},A{amplitude})"),
+            Perturbation::MissingCycleBursts { bursts, burst_len } => {
+                format!("bursts({bursts}x{burst_len})")
+            }
+        }
+    }
+}
+
+/// An ordered stack of perturbations applied left to right.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PerturbationStack {
+    /// The perturbations, applied in order.
+    pub layers: Vec<Perturbation>,
+}
+
+impl PerturbationStack {
+    /// The empty (identity) stack.
+    pub fn none() -> Self {
+        PerturbationStack { layers: Vec::new() }
+    }
+
+    /// Stack with the given layers.
+    pub fn new(layers: Vec<Perturbation>) -> Self {
+        PerturbationStack { layers }
+    }
+
+    /// Validates every layer (see [`Perturbation::validate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first layer's violation, prefixed with its position.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer.validate().map_err(|e| format!("layer {i}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Applies every layer in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a layer's parameters are invalid (see
+    /// [`Perturbation::apply`]).
+    pub fn apply<R: RngCore + ?Sized>(
+        &self,
+        truth: &DataMatrix,
+        grid: &CellGrid,
+        rng: &mut R,
+    ) -> DataMatrix {
+        let mut cur = truth.clone();
+        for layer in &self.layers {
+            cur = layer.apply(&cur, grid, rng);
+        }
+        cur
+    }
+
+    /// `/`-joined labels of the layers; `"clean"` for the empty stack.
+    pub fn label(&self) -> String {
+        if self.layers.is_empty() {
+            "clean".to_owned()
+        } else {
+            self.layers
+                .iter()
+                .map(Perturbation::label)
+                .collect::<Vec<_>>()
+                .join("/")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> (DataMatrix, CellGrid) {
+        let truth = DataMatrix::from_fn(9, 40, |i, t| {
+            (i as f64 * 0.5).sin() + (t as f64 * 0.25).cos()
+        });
+        (truth, CellGrid::full_grid(3, 3, 10.0, 10.0))
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (truth, grid) = toy();
+        let p = Perturbation::HeteroscedasticNoise {
+            std_min: 0.1,
+            std_max: 0.5,
+        };
+        let a = p.apply(&truth, &grid, &mut StdRng::seed_from_u64(3));
+        let b = p.apply(&truth, &grid, &mut StdRng::seed_from_u64(3));
+        let c = p.apply(&truth, &grid, &mut StdRng::seed_from_u64(4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn dropout_freezes_series_tails() {
+        let (truth, grid) = toy();
+        let p = Perturbation::SensorDropout { rate: 1.0 };
+        let out = p.apply(&truth, &grid, &mut StdRng::seed_from_u64(1));
+        // Every cell must end in a constant tail (frozen at onset).
+        for i in 0..truth.cells() {
+            let series = out.cell_series(i);
+            let last = *series.last().unwrap();
+            assert!(
+                series.iter().rev().take(2).all(|&v| v == last),
+                "cell {i} tail should be frozen"
+            );
+        }
+        // Zero rate is the identity.
+        let p0 = Perturbation::SensorDropout { rate: 0.0 };
+        assert_eq!(
+            p0.apply(&truth, &grid, &mut StdRng::seed_from_u64(1)),
+            truth
+        );
+    }
+
+    #[test]
+    fn noise_changes_values_but_not_shape() {
+        let (truth, grid) = toy();
+        let p = Perturbation::HeteroscedasticNoise {
+            std_min: 0.2,
+            std_max: 0.2,
+        };
+        let out = p.apply(&truth, &grid, &mut StdRng::seed_from_u64(5));
+        assert_eq!(out.cells(), truth.cells());
+        assert_eq!(out.cycles(), truth.cycles());
+        assert_ne!(out, truth);
+        // Deviations should be on the order of the configured std.
+        let mut sq = 0.0;
+        for (a, b) in out.iter().zip(truth.iter()) {
+            sq += (a - b) * (a - b);
+        }
+        let rms = (sq / (truth.cells() * truth.cycles()) as f64).sqrt();
+        assert!((rms - 0.2).abs() < 0.05, "rms {rms}");
+    }
+
+    #[test]
+    fn regime_shift_only_touches_post_onset() {
+        let (truth, grid) = toy();
+        let p = Perturbation::RegimeShift {
+            at_fraction: 0.5,
+            amplitude: 3.0,
+            radius_fraction: 0.5,
+        };
+        let out = p.apply(&truth, &grid, &mut StdRng::seed_from_u64(9));
+        let onset = truth.cycles() / 2;
+        for i in 0..truth.cells() {
+            for t in 0..onset {
+                assert_eq!(out.value(i, t), truth.value(i, t));
+            }
+        }
+        // Post-onset the hotspot must actually add energy somewhere.
+        let changed = (0..truth.cells())
+            .flat_map(|i| (onset..truth.cycles()).map(move |t| (i, t)))
+            .any(|(i, t)| (out.value(i, t) - truth.value(i, t)).abs() > 0.5);
+        assert!(changed, "hotspot should visibly perturb the field");
+    }
+
+    #[test]
+    fn bursts_hold_previous_cycle() {
+        let (truth, grid) = toy();
+        let p = Perturbation::MissingCycleBursts {
+            bursts: 3,
+            burst_len: 4,
+        };
+        let out = p.apply(&truth, &grid, &mut StdRng::seed_from_u64(2));
+        // Somewhere there must be at least one pair of identical adjacent
+        // cycles (the hold) — the clean field has none.
+        let held = (1..truth.cycles())
+            .any(|t| (0..truth.cells()).all(|i| out.value(i, t) == out.value(i, t - 1)));
+        assert!(held, "expected at least one held cycle");
+    }
+
+    #[test]
+    fn stack_applies_in_order_and_labels() {
+        let (truth, grid) = toy();
+        let stack = PerturbationStack::new(vec![
+            Perturbation::SensorDropout { rate: 0.3 },
+            Perturbation::HeteroscedasticNoise {
+                std_min: 0.05,
+                std_max: 0.1,
+            },
+        ]);
+        let out = stack.apply(&truth, &grid, &mut StdRng::seed_from_u64(8));
+        assert_ne!(out, truth);
+        assert!(stack.label().contains("dropout"));
+        assert!(stack.label().contains("noise"));
+        assert_eq!(PerturbationStack::none().label(), "clean");
+        assert_eq!(
+            PerturbationStack::none().apply(&truth, &grid, &mut StdRng::seed_from_u64(1)),
+            truth
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        use serde::{Deserialize, Serialize};
+        let stack = PerturbationStack::new(vec![
+            Perturbation::RegimeShift {
+                at_fraction: 0.25,
+                amplitude: 2.0,
+                radius_fraction: 0.3,
+            },
+            Perturbation::MissingCycleBursts {
+                bursts: 2,
+                burst_len: 3,
+            },
+        ]);
+        let v = stack.to_value();
+        assert_eq!(PerturbationStack::from_value(&v).unwrap(), stack);
+    }
+}

@@ -203,7 +203,10 @@ mod tests {
     #[test]
     fn ragged_rows_rejected() {
         let csv = "cell_id,x_m,y_m,v0,v1\n0,0,0,1,2\n1,1,0,3\n";
-        assert!(matches!(from_csv(csv), Err(TraceError::BadLine { line: 3, .. })));
+        assert!(matches!(
+            from_csv(csv),
+            Err(TraceError::BadLine { line: 3, .. })
+        ));
     }
 
     #[test]

@@ -11,7 +11,13 @@ pub struct CompressiveSensingConfig {
     /// Factorisation rank `r` (the assumed effective rank of the
     /// spatio-temporal field; 3–6 covers the paper's datasets).
     pub rank: usize,
-    /// Tikhonov regularisation weight λ on both factors.
+    /// Dimensionless Tikhonov regularisation weight λ on both factors.
+    ///
+    /// The effective ridge added to each row/column solve is
+    /// `λ · n_obs · var`, where `n_obs` counts that row's (column's)
+    /// observations and `var` is the variance of the centred observed
+    /// entries — so λ expresses a *fraction of signal variance* and the
+    /// same value works across datasets of any scale or density.
     pub lambda: f64,
     /// Maximum number of ALS sweeps.
     pub max_iters: usize,
@@ -117,16 +123,23 @@ impl InferenceAlgorithm for CompressiveSensing {
         let m = obs.cells();
         let n = obs.cycles();
         let r = self.config.rank.min(m).min(n).max(1);
-        let lambda = self.config.lambda.max(1e-9);
 
         // Per-row / per-column observation index lists.
         let mut row_obs: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
         let mut col_obs: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        let mut sum_sq = 0.0;
+        let mut count = 0usize;
         for (i, t, v) in obs.observations() {
             let centred = v - mean;
+            sum_sq += centred * centred;
+            count += 1;
             row_obs[i].push((t, centred));
             col_obs[t].push((i, centred));
         }
+        // Scale-invariant ridge: λ is a fraction of the observed signal
+        // variance, applied per observation (see `CompressiveSensingConfig`).
+        let var = (sum_sq / count as f64).max(1e-12);
+        let lambda = self.config.lambda.max(1e-9) * var;
 
         let scale = 1.0 / (r as f64).sqrt();
         let mut u = self.init_factor(m, r, scale, 0xA5A5);
@@ -154,8 +167,9 @@ impl InferenceAlgorithm for CompressiveSensing {
                         }
                     }
                 }
+                let ridge = lambda * row_obs[i].len() as f64;
                 for a in 0..r {
-                    gram[(a, a)] += lambda;
+                    gram[(a, a)] += ridge;
                 }
                 let sol = solve::solve_spd(&gram, &rhs)?;
                 u.set_row(i, &sol);
@@ -179,8 +193,9 @@ impl InferenceAlgorithm for CompressiveSensing {
                         }
                     }
                 }
+                let ridge = lambda * col_obs[t].len() as f64;
                 for a in 0..r {
-                    gram[(a, a)] += lambda;
+                    gram[(a, a)] += ridge;
                 }
                 let sol = solve::solve_spd(&gram, &rhs)?;
                 v.set_row(t, &sol);
@@ -188,8 +203,8 @@ impl InferenceAlgorithm for CompressiveSensing {
 
             // Objective for early stopping.
             let mut obj = 0.0;
-            for i in 0..m {
-                for &(t, d) in &row_obs[i] {
+            for (i, obs_row) in row_obs.iter().enumerate() {
+                for &(t, d) in obs_row {
                     let pred: f64 = u.row(i).iter().zip(v.row(t)).map(|(a, b)| a * b).sum();
                     obj += (d - pred) * (d - pred);
                 }

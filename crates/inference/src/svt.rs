@@ -83,10 +83,9 @@ fn shrink(x: &Matrix, tau: f64) -> Result<Matrix, InferenceError> {
         .iter()
         .map(|&s| (s - tau).max(0.0))
         .collect();
-    let k = shrunk.len();
     let mut out = Matrix::zeros(x.rows(), x.cols());
-    for j in 0..k {
-        if shrunk[j] == 0.0 {
+    for (j, &shrunk_j) in shrunk.iter().enumerate() {
+        if shrunk_j == 0.0 {
             continue;
         }
         let uj = svd.u().col(j);

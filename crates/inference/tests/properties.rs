@@ -35,12 +35,14 @@ fn observed_case() -> impl Strategy<Value = (DataMatrix, ObservedMatrix)> {
 
 fn algorithms(cells: usize) -> Vec<Box<dyn InferenceAlgorithm>> {
     vec![
-        Box::new(CompressiveSensing::new(CompressiveSensingConfig {
-            rank: 2,
-            max_iters: 10,
-            ..Default::default()
-        })
-        .expect("valid config")),
+        Box::new(
+            CompressiveSensing::new(CompressiveSensingConfig {
+                rank: 2,
+                max_iters: 10,
+                ..Default::default()
+            })
+            .expect("valid config"),
+        ),
         Box::new(KnnInference::new(CellGrid::full_grid(1, cells, 10.0, 10.0), 2).expect("k > 0")),
         Box::new(TemporalInference::new()),
         Box::new(GlobalMeanInference::new()),

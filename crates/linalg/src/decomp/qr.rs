@@ -126,8 +126,8 @@ impl Qr {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut s = qtb[i];
-            for j in (i + 1)..n {
-                s -= self.r[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                s -= self.r[(i, j)] * xj;
             }
             let d = self.r[(i, i)];
             if d.abs() < 1e-12 {
@@ -144,12 +144,7 @@ mod tests {
     use super::*;
 
     fn tall() -> Matrix {
-        Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![3.0, 4.0],
-            vec![5.0, 6.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap()
     }
 
     #[test]
@@ -210,12 +205,7 @@ mod tests {
 
     #[test]
     fn rank_deficient_detected_on_solve() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 1.0],
-            vec![2.0, 2.0],
-            vec![3.0, 3.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]).unwrap();
         let qr = Qr::new(&a).unwrap();
         assert!(matches!(
             qr.solve_least_squares(&[1.0, 2.0, 3.0]),

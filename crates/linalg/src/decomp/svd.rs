@@ -55,9 +55,8 @@ impl Svd {
             let v = eig.eigenvectors().submatrix(0, n, 0, k);
             let av = a.matmul(&v)?;
             let mut u = Matrix::zeros(m, k);
-            for j in 0..k {
+            for (j, &s) in sigma.iter().enumerate() {
                 let col = av.col(j);
-                let s = sigma[j];
                 if s > 1e-12 {
                     let scaled: Vec<f64> = col.iter().map(|x| x / s).collect();
                     u.set_col(j, &scaled);
@@ -81,8 +80,7 @@ impl Svd {
             let u = eig.eigenvectors().submatrix(0, m, 0, k);
             let uta = u.transpose().matmul(a)?;
             let mut vt = Matrix::zeros(k, n);
-            for i in 0..k {
-                let s = sigma[i];
+            for (i, &s) in sigma.iter().enumerate() {
                 if s > 1e-12 {
                     let row: Vec<f64> = uta.row(i).iter().map(|x| x / s).collect();
                     vt.set_row(i, &row);
@@ -152,11 +150,7 @@ mod tests {
     use super::*;
 
     fn rect() -> Matrix {
-        Matrix::from_rows(&[
-            vec![1.0, 2.0, 3.0],
-            vec![4.0, 5.0, 6.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap()
     }
 
     #[test]

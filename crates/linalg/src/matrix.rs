@@ -236,7 +236,9 @@ impl Matrix {
     /// Panics if `c >= self.cols()`.
     pub fn col(&self, c: usize) -> Vec<f64> {
         assert!(c < self.cols, "col index {c} out of bounds ({})", self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Overwrites column `c` with `v`.
@@ -548,14 +550,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -580,7 +588,8 @@ impl Sub for &Matrix {
     /// Panics when the shapes differ; use [`Matrix::axpy`] for a fallible
     /// version.
     fn sub(self, rhs: &Matrix) -> Matrix {
-        self.axpy(-1.0, rhs).expect("matrix subtraction shape mismatch")
+        self.axpy(-1.0, rhs)
+            .expect("matrix subtraction shape mismatch")
     }
 }
 
@@ -709,7 +718,10 @@ mod tests {
         let a = m22();
         let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]).unwrap()
+        );
     }
 
     #[test]

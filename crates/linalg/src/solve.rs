@@ -115,7 +115,10 @@ mod tests {
         let x0 = ridge(&a, &b, 0.0).unwrap();
         let x1 = ridge(&a, &b, 1.0).unwrap();
         assert!((x0[0] - 2.0).abs() < 1e-10);
-        assert!((x1[0] - 1.0).abs() < 1e-10, "λ=1 on identity halves the solution");
+        assert!(
+            (x1[0] - 1.0).abs() < 1e-10,
+            "λ=1 on identity halves the solution"
+        );
     }
 
     #[test]

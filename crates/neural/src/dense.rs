@@ -97,7 +97,9 @@ impl DenseLayer {
         assert_eq!(x.len(), self.in_dim, "dense forward input length");
         (0..self.out_dim)
             .map(|o| {
-                let z: f64 = (0..self.in_dim).map(|i| self.weight(o, i) * x[i]).sum::<f64>()
+                let z: f64 = (0..self.in_dim)
+                    .map(|i| self.weight(o, i) * x[i])
+                    .sum::<f64>()
                     + self.bias(o);
                 self.activation.apply(z)
             })

@@ -28,7 +28,10 @@ impl fmt::Display for NeuralError {
                 expected,
                 got,
                 what,
-            } => write!(f, "{what} dimension mismatch: expected {expected}, got {got}"),
+            } => write!(
+                f,
+                "{what} dimension mismatch: expected {expected}, got {got}"
+            ),
         }
     }
 }

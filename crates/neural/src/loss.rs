@@ -106,8 +106,8 @@ mod tests {
                 up[i] += h;
                 let mut dn = preds;
                 dn[i] -= h;
-                let num = (loss.evaluate(&up, &targets).0 - loss.evaluate(&dn, &targets).0)
-                    / (2.0 * h);
+                let num =
+                    (loss.evaluate(&up, &targets).0 - loss.evaluate(&dn, &targets).0) / (2.0 * h);
                 assert!(
                     (num - grad[i]).abs() < 1e-6,
                     "{loss:?} grad {i}: numeric {num} vs {}",

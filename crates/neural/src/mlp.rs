@@ -301,7 +301,11 @@ mod tests {
         let (_, grad_flat) = Loss::Mse.evaluate(cur.as_slice(), y.as_slice());
         let mut d = Matrix::from_vec(1, 2, grad_flat).unwrap();
         m.zero_grads();
-        for (layer, (input, pre)) in m.layers.iter_mut().zip(inputs.iter().zip(pres.iter())).rev()
+        for (layer, (input, pre)) in m
+            .layers
+            .iter_mut()
+            .zip(inputs.iter().zip(pres.iter()))
+            .rev()
         {
             d = layer.backward_batch(input, pre, &d);
         }

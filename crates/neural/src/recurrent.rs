@@ -51,7 +51,12 @@ impl RecurrentNetwork {
         rng: &mut R,
     ) -> Result<Self, NeuralError> {
         let lstm = LstmLayer::new(config.input_dim, config.hidden_dim, rng)?;
-        let head = DenseLayer::new(config.hidden_dim, config.output_dim, Activation::Identity, rng)?;
+        let head = DenseLayer::new(
+            config.hidden_dim,
+            config.output_dim,
+            Activation::Identity,
+            rng,
+        )?;
         Ok(RecurrentNetwork { lstm, head })
     }
 
@@ -110,8 +115,8 @@ impl RecurrentNetwork {
             for g in &mut dpred {
                 *g /= batch;
             }
-            let d_post = Matrix::from_vec(1, self.output_dim(), dpred)
-                .expect("gradient has output shape");
+            let d_post =
+                Matrix::from_vec(1, self.output_dim(), dpred).expect("gradient has output shape");
             let dh = self.head.backward_batch(&h, &pre, &d_post);
             let _ = self.lstm.backward(&cache, dh.row(0));
         }

@@ -2,8 +2,7 @@
 
 use drcell_linalg::Matrix;
 use drcell_neural::{
-    Activation, Loss, Mlp, MlpConfig, Parameterized, RecurrentNetwork, RecurrentNetworkConfig,
-    Sgd,
+    Activation, Loss, Mlp, MlpConfig, Parameterized, RecurrentNetwork, RecurrentNetworkConfig, Sgd,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;

@@ -271,7 +271,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn prior_scale_validated() {
-        let _ = QualityAssessor::new(requirement(0.3), ErrorMetric::MeanAbsolute)
-            .with_prior_scale(0.0);
+        let _ =
+            QualityAssessor::new(requirement(0.3), ErrorMetric::MeanAbsolute).with_prior_scale(0.0);
     }
 }

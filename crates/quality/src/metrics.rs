@@ -178,9 +178,7 @@ mod tests {
     #[test]
     fn subset_restricts_evaluation() {
         let m = ErrorMetric::MeanAbsolute;
-        let e = m
-            .cycle_error(&[1.0, 100.0], &[1.0, 0.0], &[0])
-            .unwrap();
+        let e = m.cycle_error(&[1.0, 100.0], &[1.0, 0.0], &[0]).unwrap();
         assert_eq!(e, 0.0);
     }
 

@@ -207,12 +207,15 @@ impl<N: QNetwork> DqnAgent<N> {
             targets.push(target_vec);
         }
 
-        let loss = self
-            .online
-            .train_batch(&states, &targets, self.config.loss, &mut *self.optimizer);
+        let loss =
+            self.online
+                .train_batch(&states, &targets, self.config.loss, &mut *self.optimizer);
 
         self.train_steps += 1;
-        if self.train_steps % self.config.target_update_interval as u64 == 0 {
+        if self
+            .train_steps
+            .is_multiple_of(self.config.target_update_interval as u64)
+        {
             self.sync_target();
         }
         Some(loss)
@@ -550,8 +553,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(10);
         let net = MlpQNetwork::new(1, 2, &[4], &mut rng).unwrap();
         let bad = |cfg: DqnConfig| {
-            DqnAgent::new(net.clone(), Box::new(Adam::new(1e-3)) as Box<dyn Optimizer>, cfg)
-                .is_err()
+            DqnAgent::new(
+                net.clone(),
+                Box::new(Adam::new(1e-3)) as Box<dyn Optimizer>,
+                cfg,
+            )
+            .is_err()
         };
         assert!(bad(DqnConfig {
             batch_size: 0,

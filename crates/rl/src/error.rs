@@ -54,9 +54,7 @@ mod tests {
     #[test]
     fn display_and_source() {
         assert!(RlError::NoValidAction.to_string().contains("valid action"));
-        let e = RlError::Network(NeuralError::InvalidConfig {
-            reason: "x".into(),
-        });
+        let e = RlError::Network(NeuralError::InvalidConfig { reason: "x".into() });
         assert!(e.source().is_some());
     }
 }

@@ -67,7 +67,7 @@ fn state_key(state: &Matrix) -> Vec<u8> {
             acc = 0;
         }
     }
-    if bits.len() % 8 != 0 {
+    if !bits.len().is_multiple_of(8) {
         key.push(acc);
     }
     key

@@ -1,0 +1,15 @@
+//! `drcell-scenario` — run and sweep declarative DR-Cell evaluation
+//! scenarios. See `drcell-scenario --help`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match drcell_scenario::cli::main_with_args(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type of the scenario engine.
+
+use std::fmt;
+
+use drcell_core::CoreError;
+
+/// Anything that can go wrong building or executing a scenario.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// Invalid specification (bad requirement, unknown name, bad axis).
+    Invalid(String),
+    /// Failure inside the core pipeline (training, inference, runner).
+    Core(CoreError),
+    /// Spec file parsing / deserialisation failure.
+    Parse(serde::Error),
+    /// Filesystem failure reading specs or writing results.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Invalid(msg) => write!(f, "invalid scenario: {msg}"),
+            ScenarioError::Core(e) => write!(f, "scenario execution failed: {e}"),
+            ScenarioError::Parse(e) => write!(f, "spec parse error: {e}"),
+            ScenarioError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Core(e) => Some(e),
+            ScenarioError::Parse(e) => Some(e),
+            ScenarioError::Io(e) => Some(e),
+            ScenarioError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<CoreError> for ScenarioError {
+    fn from(e: CoreError) -> Self {
+        ScenarioError::Core(e)
+    }
+}
+
+impl From<drcell_neural::NeuralError> for ScenarioError {
+    fn from(e: drcell_neural::NeuralError) -> Self {
+        ScenarioError::Core(CoreError::Neural(e))
+    }
+}
+
+impl From<drcell_rl::RlError> for ScenarioError {
+    fn from(e: drcell_rl::RlError) -> Self {
+        ScenarioError::Core(CoreError::Rl(e))
+    }
+}
+
+impl From<serde::Error> for ScenarioError {
+    fn from(e: serde::Error) -> Self {
+        ScenarioError::Parse(e)
+    }
+}
+
+impl From<std::io::Error> for ScenarioError {
+    fn from(e: std::io::Error) -> Self {
+        ScenarioError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = ScenarioError::Invalid("p out of range".into());
+        assert!(e.to_string().contains("p out of range"));
+        let e: ScenarioError = serde::Error::new("bad field").into();
+        assert!(e.to_string().contains("bad field"));
+    }
+}

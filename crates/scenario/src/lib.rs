@@ -1,0 +1,54 @@
+//! # drcell-scenario — declarative scenario engine + parallel sweep runner
+//!
+//! The DR-Cell paper evaluates on three fixed tasks; this crate turns those
+//! one-off experiment functions into a scalable evaluation engine:
+//!
+//! * [`ScenarioSpec`] — a declarative, serde-loadable (TOML/JSON)
+//!   description of one evaluation: dataset source, perturbation stack,
+//!   policy, (ε, p)-quality requirement and runner settings, all under one
+//!   master seed;
+//! * [`SweepSpec`] — parameter axes (policy, ε, p, seed, perturbations)
+//!   over a base scenario, expanded into a scenario matrix;
+//! * [`SweepEngine`] — executes the matrix on a worker thread pool
+//!   (`std::thread`, no external deps) with deterministic per-scenario
+//!   seeding: identical spec ⇒ byte-identical result rows at any thread
+//!   count;
+//! * [`sink`] — JSONL/CSV per-cycle rows (reusing
+//!   [`drcell_core::CycleRecord`]) plus an aggregate summary with
+//!   per-scenario wall-clock;
+//! * [`registry`] — built-in named scenarios covering the paper's tasks and
+//!   a perturbation stress suite;
+//! * a `drcell-scenario` CLI binary (`run`, `sweep`, `list`).
+//!
+//! ```
+//! use drcell_scenario::{registry, PolicySpec, SweepEngine, SweepSpec};
+//!
+//! // Evaluate one built-in scenario on every core.
+//! let spec = registry::find("synthetic-smooth").expect("built-in");
+//! let mut quick = spec.clone();
+//! quick.policy = PolicySpec::Random; // skip training in docs
+//! let results = SweepEngine::default().run(&SweepSpec::single(quick).expand());
+//! assert_eq!(results.len(), 1);
+//! assert!(results[0].is_ok());
+//! ```
+
+#![deny(missing_docs)]
+
+mod engine;
+mod error;
+mod exec;
+pub mod json;
+pub mod registry;
+pub mod sink;
+mod spec;
+pub mod toml_cfg;
+
+pub mod cli;
+
+pub use engine::SweepEngine;
+pub use error::ScenarioError;
+pub use exec::{run_scenario, ScenarioResult};
+pub use spec::{
+    stream_seed, streams, DatasetSpec, NetworkKind, PolicySpec, QualitySpec, RunnerSpec,
+    ScenarioSpec, SweepSpec,
+};

@@ -1,0 +1,199 @@
+//! Results sinks: JSONL and CSV cycle rows plus an aggregate summary.
+//!
+//! Row writers are **deterministic**: rows are emitted in matrix order with
+//! stable field order and no timing data, so a re-run of the same sweep
+//! (any thread count) produces byte-identical files. Wall-clock lives only
+//! in the summary, which is expected to differ between runs.
+
+use std::io::{self, Write};
+
+use serde::Value;
+
+use crate::exec::ScenarioResult;
+use crate::json::to_json;
+
+/// Writes one JSON object per cycle record of every result, in matrix
+/// order.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_jsonl(out: &mut dyn Write, results: &[&ScenarioResult]) -> io::Result<()> {
+    for r in results {
+        for c in &r.report.cycles {
+            let row = Value::Map(vec![
+                ("scenario".into(), Value::Str(r.name.clone())),
+                ("scenario_index".into(), Value::Int(r.index as i64)),
+                ("policy".into(), Value::Str(r.policy.clone())),
+                ("task".into(), Value::Str(r.report.task.clone())),
+                ("cycle".into(), Value::Int(c.cycle as i64)),
+                (
+                    "selected".into(),
+                    Value::Seq(c.selected.iter().map(|&i| Value::Int(i as i64)).collect()),
+                ),
+                ("true_error".into(), Value::Float(c.true_error)),
+                (
+                    "estimated_probability".into(),
+                    Value::Float(c.estimated_probability),
+                ),
+                ("within_epsilon".into(), Value::Bool(c.within_epsilon)),
+            ]);
+            writeln!(out, "{}", to_json(&row))?;
+        }
+    }
+    Ok(())
+}
+
+/// CSV header matching [`write_csv`] rows.
+pub const CSV_HEADER: &str =
+    "scenario,scenario_index,policy,task,cycle,selected_count,true_error,estimated_probability,within_epsilon,selected_cells";
+
+/// Writes one CSV row per cycle record of every result, in matrix order.
+/// Selected cells are `;`-joined; scenario names are quoted.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_csv(out: &mut dyn Write, results: &[&ScenarioResult]) -> io::Result<()> {
+    writeln!(out, "{CSV_HEADER}")?;
+    for r in results {
+        for c in &r.report.cycles {
+            let cells: Vec<String> = c.selected.iter().map(|i| i.to_string()).collect();
+            writeln!(
+                out,
+                "\"{}\",{},\"{}\",\"{}\",{},{},{},{},{},{}",
+                r.name.replace('"', "\"\""),
+                r.index,
+                r.policy,
+                r.report.task,
+                c.cycle,
+                c.selected.len(),
+                c.true_error,
+                c.estimated_probability,
+                c.within_epsilon,
+                cells.join(";"),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Renders the aggregate summary: one row per scenario (mean cells/cycle,
+/// realised within-ε fraction, requirement verdict, wall-clock) plus sweep
+/// totals.
+pub fn summary(results: &[&ScenarioResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<52} {:>13} {:>22} {:>12}\n",
+        "scenario", "cells/cycle", "within-ε (target)", "wall"
+    ));
+    let mut total_wall = 0.0;
+    let mut met = 0usize;
+    for r in results {
+        total_wall += r.wall.as_secs_f64();
+        if r.report.satisfies_requirement() {
+            met += 1;
+        }
+        out.push_str(&format!(
+            "{:<52} {:>13.2} {:>12.1}% ({:>5.1}%) {:>10.0} ms\n",
+            r.name,
+            r.report.mean_cells_per_cycle(),
+            r.report.fraction_within_epsilon() * 100.0,
+            r.report.requirement.p * 100.0,
+            r.wall.as_secs_f64() * 1000.0,
+        ));
+    }
+    out.push_str(&format!(
+        "{} scenarios, {} met their requirement, total compute {:.2} s\n",
+        results.len(),
+        met,
+        total_wall,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drcell_core::{CycleRecord, RunReport};
+    use drcell_quality::QualityRequirement;
+    use std::time::Duration;
+
+    fn result(name: &str, index: usize) -> ScenarioResult {
+        ScenarioResult {
+            index,
+            name: name.to_owned(),
+            policy: "RANDOM".to_owned(),
+            report: RunReport {
+                policy: "RANDOM".into(),
+                task: "t".into(),
+                requirement: QualityRequirement::new(0.3, 0.9).unwrap(),
+                cycles: vec![
+                    CycleRecord {
+                        cycle: 10,
+                        selected: vec![2, 0, 5],
+                        true_error: 0.25,
+                        estimated_probability: 0.93,
+                        within_epsilon: true,
+                    },
+                    CycleRecord {
+                        cycle: 11,
+                        selected: vec![1],
+                        true_error: 0.4,
+                        estimated_probability: 0.91,
+                        within_epsilon: false,
+                    },
+                ],
+            },
+            wall: Duration::from_millis(12),
+        }
+    }
+
+    #[test]
+    fn jsonl_one_line_per_cycle_parseable() {
+        let a = result("s/a", 0);
+        let b = result("s/b", 1);
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &[&a, &b]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            let v = crate::json::parse_json(line).unwrap();
+            assert!(v.get("scenario").is_some());
+            assert!(v.get("true_error").unwrap().as_f64().is_some());
+        }
+        assert!(lines[0].contains("\"selected\":[2,0,5]"));
+    }
+
+    #[test]
+    fn jsonl_is_byte_stable() {
+        let a = result("s/a", 0);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        write_jsonl(&mut x, &[&a]).unwrap();
+        write_jsonl(&mut y, &[&a]).unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn csv_rows_and_header() {
+        let a = result("s,with,commas", 0);
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &[&a]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], CSV_HEADER);
+        assert!(lines[1].starts_with("\"s,with,commas\",0,\"RANDOM\""));
+        assert!(lines[1].ends_with("2;0;5"));
+    }
+
+    #[test]
+    fn summary_counts_requirements() {
+        let a = result("a", 0); // 1/2 within ε < 0.9 → not met
+        let text = summary(&[&a]);
+        assert!(text.contains("1 scenarios, 0 met"));
+        assert!(text.contains("cells/cycle"));
+    }
+}

@@ -280,7 +280,10 @@ impl BetaBinomial {
 
     /// `P(X <= k)`.
     pub fn cdf(&self, k: u32) -> f64 {
-        (0..=k.min(self.n)).map(|i| self.pmf(i)).sum::<f64>().min(1.0)
+        (0..=k.min(self.n))
+            .map(|i| self.pmf(i))
+            .sum::<f64>()
+            .min(1.0)
     }
 
     /// Distribution mean `n·α/(α+β)`.

@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         OnlineDrCellConfig::for_task(task.cells(), task.requirement().p),
     )?;
 
-    println!("running {} testing cycles with online learning ...", task.test_cycles());
+    println!(
+        "running {} testing cycles with online learning ...",
+        task.test_cycles()
+    );
     let report = runner.run(&mut online, &mut rng)?;
     println!("{}", report.summary_row());
     println!(

@@ -27,8 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..SensorScopeConfig::default()
     };
     let dataset = SensorScopeDataset::generate(&config, 42);
-    println!("generated {} cells x {} cycles of synthetic temperature",
-        dataset.temperature.cells(), dataset.temperature.cycles());
+    println!(
+        "generated {} cells x {} cycles of synthetic temperature",
+        dataset.temperature.cells(),
+        dataset.temperature.cycles()
+    );
 
     // (0.3 °C, 0.9)-quality, first day as the preliminary study.
     let task = SensingTask::new(

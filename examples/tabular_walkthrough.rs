@@ -81,7 +81,14 @@ fn main() {
 
     // tk+1: revisiting S0 with A3 propagates the future reward:
     // Q[S0,A3] = −1 + max Q[S1,·] = −1 + 4 = 3.
-    q.update(&Transition::new(s0.clone(), 2, -1.0, s1.clone(), mask1, false));
+    q.update(&Transition::new(
+        s0.clone(),
+        2,
+        -1.0,
+        s1.clone(),
+        mask1,
+        false,
+    ));
     show(&q, "tk+1 (Q[S0,A3] = −1 + 4 = 3)", &states);
 
     let greedy = q.q_values(&s0);

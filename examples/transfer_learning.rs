@@ -47,14 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
 
     println!("temperature -> humidity transfer (10 target training cycles)\n");
-    let rows = fig7(
-        &source,
-        &target,
-        10,
-        &trainer,
-        &RunnerConfig::default(),
-        5,
-    )?;
+    let rows = fig7(&source, &target, 10, &trainer, &RunnerConfig::default(), 5)?;
     for r in &rows {
         println!("{}", r.row());
     }

@@ -19,4 +19,5 @@ pub use drcell_linalg as linalg;
 pub use drcell_neural as neural;
 pub use drcell_quality as quality;
 pub use drcell_rl as rl;
+pub use drcell_scenario as scenario;
 pub use drcell_stats as stats;

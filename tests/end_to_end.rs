@@ -225,10 +225,7 @@ fn deterministic_experiment_reproduction() {
         let mut policy = DrCellPolicy::new(agent, 2);
         let runner = SparseMcsRunner::new(&task, fast_runner()).unwrap();
         let report = runner.run(&mut policy, &mut rng).unwrap();
-        (
-            report.total_selections(),
-            report.fraction_within_epsilon(),
-        )
+        (report.total_selections(), report.fraction_within_epsilon())
     };
     assert_eq!(run(21), run(21), "same seed must reproduce bit-for-bit");
 }

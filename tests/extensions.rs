@@ -2,8 +2,7 @@
 //! the real runner, heterogeneous costs, checkpointing and trace I/O.
 
 use drcell::core::{
-    CostModel, OnlineDrCellConfig, OnlineDrCellPolicy, RunnerConfig, SensingTask,
-    SparseMcsRunner,
+    CostModel, OnlineDrCellConfig, OnlineDrCellPolicy, RunnerConfig, SensingTask, SparseMcsRunner,
 };
 use drcell::datasets::{trace, CellGrid, DataMatrix};
 use drcell::neural::{persist, Adam, Parameterized};

@@ -1,0 +1,77 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// Deterministic xoshiro256++ generator, the stand-in for `rand::rngs::StdRng`.
+///
+/// Not bit-compatible with crates.io `StdRng` (which is ChaCha12); the
+/// workspace only relies on seed-determinism and statistical quality, both of
+/// which xoshiro256++ provides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let x = self.next_u64().to_le_bytes();
+            for (b, s) in chunk.iter_mut().zip(x) {
+                *b = s;
+            }
+        }
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        if s == [0; 4] {
+            // The all-zero state is a fixed point of xoshiro; remap it.
+            let mut st = 0x6A09_E667_F3BC_C909u64;
+            for word in &mut s {
+                *word = crate::splitmix64(&mut st);
+            }
+        }
+        StdRng { s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut rng = StdRng::from_seed([0u8; 32]);
+        let draws: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert!(draws.iter().any(|&x| x != 0));
+        assert_ne!(draws[0], draws[1]);
+    }
+}

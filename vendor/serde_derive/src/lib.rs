@@ -1,0 +1,413 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Parses the deriving item directly from the [`proc_macro::TokenStream`]
+//! (no `syn`/`quote` — crates.io is unavailable in this environment) and
+//! emits `impl ::serde::Serialize` / `impl ::serde::Deserialize` over the
+//! stand-in's `Value` tree.
+//!
+//! Supported shapes: structs with named fields, tuple structs, and enums
+//! with unit / tuple / struct variants (externally tagged, like real serde).
+//! Generic types and `#[serde(...)]` attributes are not supported — nothing
+//! in the workspace uses them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Derives `Serialize` for the annotated type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    let name = item_name(&item);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+/// Derives `Deserialize` for the annotated type.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    let name = item_name(&item);
+    let code = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    );
+    if std::env::var_os("SERDE_DERIVE_DEBUG").is_some() {
+        eprintln!("--- derive(Deserialize) for {name}:\n{code}");
+    }
+    code.parse().expect("generated Deserialize impl must parse")
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attributes_and_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derives do not support generic types ({name})");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Struct {
+                name,
+                fields: Fields::Tuple(count_tuple_fields(g.stream())),
+            },
+            _ => Item::Struct {
+                name,
+                fields: Fields::Unit,
+            },
+        },
+        "enum" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body for {name}, found {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde derives only apply to structs and enums, found `{other}`"),
+    }
+}
+
+fn skip_attributes_and_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            // `#[...]` attribute (doc comments included).
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // '#' + bracket group
+            }
+            // `pub` / `pub(crate)` etc.
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            i.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Splits a brace-group body into per-field names: `a: T, b: U<V, W>, ...`.
+/// Commas nested in `<...>` belong to the type, tracked by angle depth
+/// (bracket/paren nesting arrives pre-grouped as `TokenTree::Group`).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        fields.push(expect_ident(&tokens, &mut pos));
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        let mut angle_depth = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_trailing_comma = false;
+    for (i, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if i + 1 == tokens.len() {
+                    saw_trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = saw_trailing_comma;
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+        // Skip an optional discriminant and the trailing comma.
+        while pos < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[pos] {
+                if p.as_char() == ',' {
+                    pos += 1;
+                    break;
+                }
+            }
+            pos += 1;
+        }
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation
+
+fn serialize_struct(_name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Map(vec![])".to_owned(),
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!("(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))")
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+    }
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("{{ let _ = value; Ok({name}) }}"),
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(entries, \"{f}\")?"))
+                .collect();
+            format!(
+                "{{ let entries = value.as_map().ok_or_else(|| \
+                   ::serde::Error::expected(\"map for {name}\", value))?;\n\
+                   Ok({name} {{ {} }}) }}",
+                inits.join(", ")
+            )
+        }
+        Fields::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(value)?))"),
+        Fields::Tuple(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "{{ let items = value.as_seq().ok_or_else(|| \
+                   ::serde::Error::expected(\"sequence for {name}\", value))?;\n\
+                   if items.len() != {n} {{ return Err(::serde::Error::new(\
+                   format!(\"expected {n} elements for {name}, found {{}}\", items.len()))); }}\n\
+                   Ok({name}({})) }}",
+                gets.join(", ")
+            )
+        }
+    }
+}
+
+fn serialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|(v, fields)| match fields {
+            Fields::Unit => {
+                format!("{name}::{v} => ::serde::Value::Str(String::from(\"{v}\"))")
+            }
+            Fields::Tuple(1) => format!(
+                "{name}::{v}(x0) => ::serde::Value::Map(vec![(String::from(\"{v}\"), \
+                 ::serde::Serialize::to_value(x0))])"
+            ),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                    .collect();
+                format!(
+                    "{name}::{v}({}) => ::serde::Value::Map(vec![(String::from(\"{v}\"), \
+                     ::serde::Value::Seq(vec![{}]))])",
+                    binds.join(", "),
+                    items.join(", ")
+                )
+            }
+            Fields::Named(fs) => {
+                let binds = fs.join(", ");
+                let entries: Vec<String> = fs
+                    .iter()
+                    .map(|f| format!("(String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"))
+                    .collect();
+                format!(
+                    "{name}::{v} {{ {binds} }} => ::serde::Value::Map(vec![(String::from(\"{v}\"), \
+                     ::serde::Value::Map(vec![{}]))])",
+                    entries.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!("match self {{ {} }}", arms.join(",\n"))
+}
+
+fn deserialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, f)| matches!(f, Fields::Unit))
+        .map(|(v, _)| format!("\"{v}\" => return Ok({name}::{v})"))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|(v, fields)| match fields {
+            Fields::Unit => None,
+            Fields::Tuple(1) => Some(format!(
+                "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(inner)\
+                 .map_err(|e| e.in_field(\"{v}\"))?))"
+            )),
+            Fields::Tuple(n) => {
+                let gets: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                Some(format!(
+                    "\"{v}\" => {{ let items = inner.as_seq().ok_or_else(|| \
+                     ::serde::Error::expected(\"sequence for {name}::{v}\", inner))?;\n\
+                     if items.len() != {n} {{ return Err(::serde::Error::new(\
+                     format!(\"expected {n} elements for {name}::{v}, found {{}}\", items.len()))); }}\n\
+                     Ok({name}::{v}({})) }}",
+                    gets.join(", ")
+                ))
+            }
+            Fields::Named(fs) => {
+                let inits: Vec<String> = fs
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::field(entries, \"{f}\")?"))
+                    .collect();
+                Some(format!(
+                    "\"{v}\" => {{ let entries = inner.as_map().ok_or_else(|| \
+                     ::serde::Error::expected(\"map for {name}::{v}\", inner))?;\n\
+                     Ok({name}::{v} {{ {} }}) }}",
+                    inits.join(", ")
+                ))
+            }
+        })
+        .collect();
+
+    let unit_match = if unit_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "if let ::serde::Value::Str(s) = value {{\n\
+               match s.as_str() {{ {} , other => return Err(::serde::Error::new(\
+               format!(\"unknown variant `{{other}}` for {name}\"))) }}\n\
+             }}",
+            unit_arms.join(",\n")
+        )
+    };
+
+    format!(
+        "{{ {unit_match}\n\
+           let entries = value.as_map().ok_or_else(|| \
+           ::serde::Error::expected(\"variant of {name}\", value))?;\n\
+           if entries.len() != 1 {{ return Err(::serde::Error::new(\
+           format!(\"expected a single-variant map for {name}, found {{}} keys\", entries.len()))); }}\n\
+           let (tag, inner) = &entries[0];\n\
+           let _ = inner;\n\
+           match tag.as_str() {{\n\
+           {}\
+           other => Err(::serde::Error::new(format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+           }} }}",
+        tagged_arms
+            .iter()
+            .map(|arm| format!("{arm},\n"))
+            .collect::<String>()
+    )
+}
