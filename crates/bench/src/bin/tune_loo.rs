@@ -1,0 +1,78 @@
+//! Exploration harness for the assessment-inference defaults: sweeps
+//! (rank, λ, tol, max_iters) combinations and reports, for each, the
+//! naive/batched medians and the numerical gap between the two backends'
+//! LOO predictions — the data behind the defaults baked into
+//! `RunnerConfig` and the `BENCH_loo.json` gate.
+
+use drcell_bench::{loo_working_set, median_us};
+use drcell_inference::{
+    BatchedLooEngine, CompressiveSensing, CompressiveSensingConfig, LooSolver, NaiveLooSolver,
+};
+
+fn main() {
+    let obs = loo_working_set(16);
+    let cycle = obs.cycles() - 1;
+    let sensed = obs.observed_cells_at(cycle);
+    println!("sensed cells at last cycle: {}", sensed.len());
+    println!(
+        "{:<44} {:>10} {:>10} {:>8} {:>12}",
+        "config", "naive µs", "batch µs", "speedup", "max |Δpred|"
+    );
+
+    for (rank, lambda, tol, max_iters) in [
+        (4usize, 1e-2f64, 1e-6f64, 12usize),
+        (4, 1e-1, 1e-4, 60),
+        (4, 1e-1, 3e-5, 60),
+        (4, 1e-1, 1e-5, 60),
+        (4, 1e-1, 3e-6, 80),
+        (4, 2e-1, 1e-4, 60),
+        (4, 2e-1, 1e-5, 60),
+        (4, 2e-1, 3e-6, 80),
+        (3, 1e-1, 1e-5, 60),
+        (3, 2e-1, 1e-5, 60),
+        (4, 5e-1, 1e-5, 60),
+        (4, 5e-1, 1e-6, 80),
+    ] {
+        let cfg = CompressiveSensingConfig {
+            rank,
+            lambda,
+            tol,
+            max_iters,
+            ..Default::default()
+        };
+        let cs = CompressiveSensing::new(cfg.clone()).unwrap();
+        let naive_pred = NaiveLooSolver::new(&cs)
+            .loo_predict(&obs, cycle, &sensed)
+            .unwrap();
+        let mut engine = BatchedLooEngine::new(cfg.clone()).unwrap();
+        // Warm the engine once (steady state of the selection loop).
+        let _ = engine.loo_predictions(&obs, cycle, &sensed).unwrap();
+        let batched_pred = engine.loo_predictions(&obs, cycle, &sensed).unwrap();
+        let gap = naive_pred
+            .iter()
+            .zip(&batched_pred)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+
+        let naive_us = median_us(9, || {
+            let mut solver = NaiveLooSolver::new(&cs);
+            let _ = solver.loo_predict(&obs, cycle, &sensed).unwrap();
+        });
+        let before = engine.stats();
+        let batched_us = median_us(9, || {
+            let _ = engine.loo_predictions(&obs, cycle, &sensed).unwrap();
+        });
+        let after = engine.stats();
+        let calls = 10.0; // 1 warm-up + 9 samples
+        println!(
+            "r{rank} λ{lambda:<5} tol{tol:<6e} it{max_iters:<4}{:>24.0} {:>10.0} {:>7.1}x {:>12.2e}  base {:.1} loo {:.2} sw/solve",
+            naive_us,
+            batched_us,
+            naive_us / batched_us,
+            gap,
+            (after.base_sweeps - before.base_sweeps) as f64 / calls,
+            (after.loo_sweeps - before.loo_sweeps) as f64
+                / (after.loo_solves - before.loo_solves) as f64,
+        );
+    }
+}

@@ -122,6 +122,43 @@ pub fn pm25_task(scale: Scale) -> Result<SensingTask, CoreError> {
     )
 }
 
+/// The leave-one-out assessment working set shared by the `loo` regression
+/// bench and the `tune_loo` exploration binary (one definition so the gated
+/// benchmark and the tuning data can never drift apart): the paper's
+/// Figure-6 geometry — 57 cells, a 24-cycle window fully observed except
+/// the current (last) cycle, where exactly `sensed` evenly spread cells are
+/// observed.
+pub fn loo_working_set(sensed: usize) -> drcell_inference::ObservedMatrix {
+    let cells = 57;
+    let cycles = 24;
+    let truth = drcell_datasets::DataMatrix::from_fn(cells, cycles, |i, t| {
+        5.0 + (i as f64 * 0.4).sin() * (t as f64 * 0.3).cos() + 0.3 * (i as f64 * 0.9).cos()
+    });
+    let obs = drcell_inference::ObservedMatrix::from_selection(&truth, |i, t| {
+        // `i` is selected iff the [i·s/n, (i+1)·s/n) bucket boundary moves:
+        // exactly `sensed` cells, evenly spread over the row range.
+        t + 1 < cycles || i * sensed / cells != (i + 1) * sensed / cells
+    });
+    debug_assert_eq!(obs.observed_cells_at(cycles - 1).len(), sensed);
+    obs
+}
+
+/// Median wall-clock microseconds of `samples` runs of `f` (one untimed
+/// warm-up call first). Shared by the gated `loo` bench and `tune_loo` so
+/// their medians stay directly comparable.
+pub fn median_us<F: FnMut()>(samples: usize, mut f: F) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +173,18 @@ mod tests {
         let p = pm25_task(Scale::Quick).unwrap();
         assert_eq!(p.cells(), 16);
         assert_eq!(p.train_cycles(), 48);
+    }
+
+    #[test]
+    fn loo_working_set_senses_exactly_the_requested_cells() {
+        for sensed in [4usize, 8, 16, 19] {
+            let obs = loo_working_set(sensed);
+            assert_eq!(obs.observed_cells_at(obs.cycles() - 1).len(), sensed);
+            // Every earlier cycle is fully observed.
+            for t in 0..obs.cycles() - 1 {
+                assert_eq!(obs.observed_cells_at(t).len(), obs.cells());
+            }
+        }
     }
 
     #[test]

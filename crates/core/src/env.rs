@@ -1,6 +1,7 @@
 use drcell_datasets::DataMatrix;
 use drcell_inference::{
-    CompressiveSensing, CompressiveSensingConfig, InferenceAlgorithm, ObservedMatrix,
+    AssessmentBackend, BatchedLooEngine, CompressiveSensing, CompressiveSensingConfig,
+    InferenceAlgorithm, ObservedMatrix,
 };
 use drcell_linalg::Matrix;
 use drcell_quality::ErrorMetric;
@@ -26,6 +27,11 @@ pub struct McsEnvConfig {
     pub window: usize,
     /// Compressive-sensing parameters for the in-loop error evaluation.
     pub inference: CompressiveSensingConfig,
+    /// Completion backend for the in-loop quality signal: the batched
+    /// warm-start engine (default; consecutive steps differ by a single
+    /// observation, so warm factors re-converge in a sweep or two) or the
+    /// naive cold-start completion.
+    pub backend: AssessmentBackend,
     /// Hard cap on selections per cycle (`None` = all cells).
     pub max_selections_per_cycle: Option<usize>,
 }
@@ -42,6 +48,7 @@ impl Default for McsEnvConfig {
                 max_iters: 15,
                 ..CompressiveSensingConfig::default()
             },
+            backend: AssessmentBackend::default(),
             max_selections_per_cycle: None,
         }
     }
@@ -63,6 +70,9 @@ pub struct McsEnvironment {
     epsilon: f64,
     config: McsEnvConfig,
     cs: CompressiveSensing,
+    /// Warm-start completion engine (the rollout fast path); `None` under
+    /// the naive backend.
+    completer: Option<BatchedLooEngine>,
     obs: ObservedMatrix,
     cycle: usize,
     selections_this_cycle: usize,
@@ -106,6 +116,10 @@ impl McsEnvironment {
         }
         let truth = task.training_data();
         let cs = CompressiveSensing::new(config.inference.clone())?;
+        let completer = match config.backend {
+            AssessmentBackend::Batched => Some(BatchedLooEngine::new(config.inference.clone())?),
+            AssessmentBackend::Naive => None,
+        };
         let obs = ObservedMatrix::new(truth.cells(), truth.cycles());
         Ok(McsEnvironment {
             truth,
@@ -113,6 +127,7 @@ impl McsEnvironment {
             epsilon: task.requirement().epsilon,
             config,
             cs,
+            completer,
             obs,
             cycle: 0,
             selections_this_cycle: 0,
@@ -140,7 +155,7 @@ impl McsEnvironment {
     /// Checks whether the current cycle's *true* inference error is within
     /// ε, completing the trailing observation window with compressive
     /// sensing (training-stage quality signal, paper footnote 2).
-    fn quality_met(&self) -> bool {
+    fn quality_met(&mut self) -> bool {
         let sensed = self.obs.observed_cells_at(self.cycle);
         if sensed.len() == self.truth.cells() {
             return true;
@@ -162,7 +177,11 @@ impl McsEnvironment {
             }
             win
         };
-        let completed = match self.cs.complete(&window) {
+        let completed = match self.completer.as_mut() {
+            Some(engine) => engine.complete(&window),
+            None => self.cs.complete(&window),
+        };
+        let completed = match completed {
             Ok(c) => c,
             Err(_) => return false,
         };
@@ -245,6 +264,9 @@ impl Environment for McsEnvironment {
 
     fn reset(&mut self) {
         self.obs = ObservedMatrix::new(self.truth.cells(), self.truth.cycles());
+        if let Some(engine) = self.completer.as_mut() {
+            engine.reset();
+        }
         self.cycle = 0;
         self.selections_this_cycle = 0;
         self.finished = false;
@@ -451,6 +473,47 @@ mod tests {
             ..Default::default()
         };
         assert!(McsEnvironment::new(&task, cfg).is_err());
+    }
+
+    #[test]
+    fn backends_produce_identical_reward_streams() {
+        // The rollout fast path must not change training: drive both
+        // backends through the same episode at converged completion
+        // tolerances and require identical rewards and cycle boundaries.
+        // (At under-converged tolerances warm and cold completions may
+        // legitimately differ; the default scenarios' training behaviour
+        // is pinned end-to-end by the sweep determinism tests.)
+        let task = smooth_task();
+        let run = |backend: AssessmentBackend| {
+            let mut e = McsEnvironment::new(
+                &task,
+                McsEnvConfig {
+                    history_k: 2,
+                    window: 4,
+                    backend,
+                    inference: drcell_inference::CompressiveSensingConfig {
+                        lambda: 0.1,
+                        tol: 1e-8,
+                        max_iters: 300,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            e.reset();
+            let mut outcomes = Vec::new();
+            while !e.finished() {
+                let action = e.action_mask().iter().position(|&b| b).unwrap();
+                let out = e.step(action);
+                outcomes.push((action, out.reward, out.cycle_done));
+            }
+            outcomes
+        };
+        assert_eq!(
+            run(AssessmentBackend::Naive),
+            run(AssessmentBackend::Batched)
+        );
     }
 
     #[test]

@@ -1,7 +1,8 @@
 use drcell_inference::{
-    CompressiveSensing, CompressiveSensingConfig, InferenceAlgorithm, ObservedMatrix,
+    AssessmentBackend, BatchedLooEngine, CompressiveSensing, CompressiveSensingConfig,
+    InferenceAlgorithm, NaiveLooSolver, ObservedMatrix,
 };
-use drcell_quality::{QualityAssessor, QualityRequirement};
+use drcell_quality::{QualityAssessment, QualityAssessor, QualityRequirement};
 use rand::RngCore;
 
 use crate::{CellSelectionPolicy, CoreError, SensingTask};
@@ -13,9 +14,19 @@ pub struct RunnerConfig {
     pub window: usize,
     /// Compressive-sensing parameters for the *final* per-cycle inference.
     pub inference: CompressiveSensingConfig,
-    /// Compressive-sensing parameters for the leave-one-out assessment
-    /// (cheaper settings keep the O(sensed²) LOO loop fast).
+    /// Compressive-sensing parameters for the leave-one-out assessment.
+    ///
+    /// The default differs from the final-inference default: a stronger
+    /// ridge (λ = 0.1) makes the ALS contraction fast enough that the
+    /// relative-objective stop rule actually fires, which is what lets the
+    /// batched backend finish each leave-one-out solve in a sweep or two
+    /// (and keeps the naive reference on the same fixed point instead of
+    /// stopping wherever its iteration cap lands).
     pub assessment_inference: CompressiveSensingConfig,
+    /// Leave-one-out backend for the per-selection quality assessment:
+    /// the batched warm-start engine (default) or the naive from-scratch
+    /// re-solve.
+    pub assessment_backend: AssessmentBackend,
     /// Minimum selections per cycle before assessing (LOO needs ≥ 2).
     pub min_selections_per_cycle: usize,
     /// Hard cap on selections per cycle (`None` = up to all cells).
@@ -31,9 +42,12 @@ impl Default for RunnerConfig {
             window: 24,
             inference: CompressiveSensingConfig::default(),
             assessment_inference: CompressiveSensingConfig {
-                max_iters: 12,
+                lambda: 0.1,
+                tol: 1e-4,
+                max_iters: 60,
                 ..CompressiveSensingConfig::default()
             },
+            assessment_backend: AssessmentBackend::default(),
             min_selections_per_cycle: 2,
             max_selections_per_cycle: None,
             assess_every: 1,
@@ -214,6 +228,28 @@ impl<'a> SparseMcsRunner<'a> {
             .min(m)
             .max(self.config.min_selections_per_cycle);
 
+        // The batched engine carries warm factors across the run (validated
+        // in `new`, so construction cannot fail here); the naive path goes
+        // through the stateless algorithm.
+        let mut batched = match self.config.assessment_backend {
+            AssessmentBackend::Batched => Some(
+                BatchedLooEngine::new(self.config.assessment_inference.clone())
+                    .expect("assessment config validated in SparseMcsRunner::new"),
+            ),
+            AssessmentBackend::Naive => None,
+        };
+        let mut assess = |win: &ObservedMatrix,
+                          wc: usize|
+         -> Result<QualityAssessment, CoreError> {
+            Ok(match batched.as_mut() {
+                Some(engine) => self.assessor.assess_with(win, wc, engine)?,
+                None => {
+                    self.assessor
+                        .assess_with(win, wc, &mut NaiveLooSolver::new(&self.assess_cs))?
+                }
+            })
+        };
+
         // Preliminary-study data is fully known.
         let mut obs = ObservedMatrix::new(m, truth.cycles());
         for i in 0..m {
@@ -235,14 +271,14 @@ impl<'a> SparseMcsRunner<'a> {
                 if selected.len() >= m || selected.len() >= cap {
                     // Everything (or the cap) sensed; stop regardless.
                     let (win, wc) = self.trailing_window(&obs, cycle);
-                    break self.assessor.assess(&win, wc, &self.assess_cs)?.probability;
+                    break assess(&win, wc)?.probability;
                 }
                 if selected.len() >= self.config.min_selections_per_cycle
                     && (selected.len() - self.config.min_selections_per_cycle)
                         .is_multiple_of(self.config.assess_every)
                 {
                     let (win, wc) = self.trailing_window(&obs, cycle);
-                    let a = self.assessor.assess(&win, wc, &self.assess_cs)?;
+                    let a = assess(&win, wc)?;
                     if a.satisfied {
                         break a.probability;
                     }
@@ -429,6 +465,37 @@ mod tests {
             .unwrap();
         let expected: Vec<usize> = report.cycles.iter().map(|c| c.cycle).collect();
         assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn backends_produce_identical_selection_traces() {
+        // The tentpole equivalence claim: at the runner's default
+        // tolerances the batched backend must select exactly the cells the
+        // naive backend selects, cycle for cycle.
+        for seed in [0u64, 7, 21] {
+            let task = smooth_task(0.4);
+            let run = |backend: AssessmentBackend| {
+                let cfg = RunnerConfig {
+                    window: 8,
+                    assessment_backend: backend,
+                    ..Default::default()
+                };
+                let mut rng = StdRng::seed_from_u64(seed);
+                SparseMcsRunner::new(&task, cfg)
+                    .unwrap()
+                    .run(&mut RandomPolicy::new(), &mut rng)
+                    .unwrap()
+            };
+            let naive = run(AssessmentBackend::Naive);
+            let batched = run(AssessmentBackend::Batched);
+            for (a, b) in naive.cycles.iter().zip(&batched.cycles) {
+                assert_eq!(
+                    a.selected, b.selected,
+                    "seed {seed} cycle {}: traces diverged",
+                    a.cycle
+                );
+            }
+        }
     }
 
     #[test]

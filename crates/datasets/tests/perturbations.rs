@@ -1,0 +1,185 @@
+//! Seeded-expectation tests of the perturbation adapters.
+//!
+//! Sensor dropout and missing-cycle bursts draw their targets from the
+//! scenario RNG. These tests replay the documented draw order with the
+//! same seed to learn exactly which cells / cycles a given seed hits, then
+//! assert the adapter's output entry by entry against those expectations —
+//! pinning both the RNG contract (draw order, ranges) and the semantics
+//! (freeze from onset, hold through bursts, touch nothing else).
+
+use drcell_datasets::{CellGrid, DataMatrix, Perturbation, PerturbationStack};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn toy() -> (DataMatrix, CellGrid) {
+    // Strictly varying field: no two adjacent cycles are equal anywhere, so
+    // every hold/freeze is detectable.
+    let truth = DataMatrix::from_fn(6, 24, |i, t| (i * 100 + t) as f64 + 0.5 * (t as f64).sin());
+    (truth, CellGrid::full_grid(2, 3, 10.0, 10.0))
+}
+
+/// Replays `SensorDropout`'s documented draws: per cell, one uniform for
+/// the drop decision, then (only if dropped) one onset draw.
+fn expected_dropouts(seed: u64, cells: usize, cycles: usize, rate: f64) -> Vec<Option<usize>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..cells)
+        .map(|_| {
+            if rng.gen::<f64>() < rate {
+                Some(rng.gen_range(0..cycles.max(1)))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn sensor_dropout_freezes_exactly_the_seeded_cells_from_their_onsets() {
+    let (truth, grid) = toy();
+    let rate = 0.5;
+    for seed in [1u64, 9, 42] {
+        let onsets = expected_dropouts(seed, truth.cells(), truth.cycles(), rate);
+        assert!(
+            onsets.iter().any(Option::is_some) && onsets.iter().any(Option::is_none),
+            "seed {seed} should mix dropped and surviving cells"
+        );
+        let out = Perturbation::SensorDropout { rate }.apply(
+            &truth,
+            &grid,
+            &mut StdRng::seed_from_u64(seed),
+        );
+        for (i, onset) in onsets.iter().enumerate() {
+            match onset {
+                Some(onset) => {
+                    let frozen = truth.value(i, *onset);
+                    for t in 0..truth.cycles() {
+                        if t < *onset {
+                            assert_eq!(out.value(i, t), truth.value(i, t), "cell {i} pre-onset");
+                        } else {
+                            assert_eq!(out.value(i, t), frozen, "cell {i} cycle {t} not frozen");
+                        }
+                    }
+                }
+                None => {
+                    for t in 0..truth.cycles() {
+                        assert_eq!(out.value(i, t), truth.value(i, t), "surviving cell {i}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Replays `MissingCycleBursts`' draws (one start per burst) and the
+/// sequential hold semantics: bursts apply **in draw order**, each copying
+/// the then-current previous cycle forward, so a later-drawn burst may
+/// rewrite the predecessor of an earlier-drawn one.
+fn expected_bursts(
+    seed: u64,
+    truth: &DataMatrix,
+    bursts: usize,
+    burst_len: usize,
+) -> (DataMatrix, Vec<bool>) {
+    let cycles = truth.cycles();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut expected = truth.clone();
+    let mut held = vec![false; cycles];
+    for _ in 0..bursts {
+        if cycles < 2 {
+            break;
+        }
+        let start = rng.gen_range(1..cycles);
+        for (t, hold) in held
+            .iter_mut()
+            .enumerate()
+            .take((start + burst_len).min(cycles))
+            .skip(start)
+        {
+            *hold = true;
+            for i in 0..truth.cells() {
+                let prev = expected.value(i, t - 1);
+                expected.set(i, t, prev);
+            }
+        }
+    }
+    (expected, held)
+}
+
+#[test]
+fn missing_cycle_bursts_hold_exactly_the_seeded_cycles() {
+    let (truth, grid) = toy();
+    let (bursts, burst_len) = (3, 4);
+    for seed in [2u64, 7, 31] {
+        let (expected, held) = expected_bursts(seed, &truth, bursts, burst_len);
+        assert!(
+            held.iter().any(|&h| h),
+            "seed {seed} should hold some cycle"
+        );
+        assert!(
+            !held.iter().all(|&h| h),
+            "seed {seed} should spare some cycle"
+        );
+        let out = Perturbation::MissingCycleBursts { bursts, burst_len }.apply(
+            &truth,
+            &grid,
+            &mut StdRng::seed_from_u64(seed),
+        );
+        assert_eq!(out, expected, "seed {seed}");
+        for (t, &is_held) in held.iter().enumerate() {
+            if !is_held {
+                for i in 0..truth.cells() {
+                    assert_eq!(out.value(i, t), truth.value(i, t), "cycle {t} mutated");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dropout_then_bursts_stack_replays_both_draw_streams_in_order() {
+    // The stack feeds one RNG through its layers in order, so the second
+    // layer's expectations replay from the RNG state the first layer left
+    // behind.
+    let (truth, grid) = toy();
+    let rate = 0.4;
+    let (bursts, burst_len) = (2, 3);
+    let seed = 11u64;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Layer 1 replay: advance the RNG exactly as SensorDropout does.
+    let mut onsets = Vec::new();
+    for _ in 0..truth.cells() {
+        if rng.gen::<f64>() < rate {
+            onsets.push(Some(rng.gen_range(0..truth.cycles())));
+        } else {
+            onsets.push(None);
+        }
+    }
+    // Expected output: apply the replayed dropout, then — continuing on
+    // the same RNG — the replayed bursts, sequentially in draw order.
+    let mut expected = truth.clone();
+    for (i, onset) in onsets.iter().enumerate() {
+        if let Some(onset) = onset {
+            let frozen = truth.value(i, *onset);
+            for t in *onset..truth.cycles() {
+                expected.set(i, t, frozen);
+            }
+        }
+    }
+    for _ in 0..bursts {
+        let start = rng.gen_range(1..truth.cycles());
+        for t in start..(start + burst_len).min(truth.cycles()) {
+            for i in 0..truth.cells() {
+                let prev = expected.value(i, t - 1);
+                expected.set(i, t, prev);
+            }
+        }
+    }
+
+    let stack = PerturbationStack::new(vec![
+        Perturbation::SensorDropout { rate },
+        Perturbation::MissingCycleBursts { bursts, burst_len },
+    ]);
+    let out = stack.apply(&truth, &grid, &mut StdRng::seed_from_u64(seed));
+    assert_eq!(out, expected);
+}

@@ -1,8 +1,9 @@
 use serde::{Deserialize, Serialize};
 
 use drcell_datasets::DataMatrix;
-use drcell_linalg::{solve, Matrix};
+use drcell_linalg::Matrix;
 
+use crate::als::{self, AlsData};
 use crate::{InferenceAlgorithm, InferenceError, ObservedMatrix};
 
 /// Configuration of the compressive-sensing matrix completion.
@@ -101,123 +102,36 @@ impl CompressiveSensing {
         &self.config
     }
 
-    /// Deterministic pseudo-random factor initialisation (splitmix64 over
-    /// the configured seed) in `[-0.5, 0.5]`, scaled by `scale`.
-    fn init_factor(&self, rows: usize, cols: usize, scale: f64, salt: u64) -> Matrix {
-        let mut state = self.config.seed ^ salt;
-        Matrix::from_fn(rows, cols, |_, _| {
-            // splitmix64 step
-            state = state.wrapping_add(0x9E3779B97F4A7C15);
-            let mut z = state;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-            z ^= z >> 31;
-            ((z as f64 / u64::MAX as f64) - 0.5) * scale
-        })
+    /// The effective per-observation ridge for a given signal variance
+    /// (scale-invariant: λ is a fraction of signal variance, see
+    /// `CompressiveSensingConfig`).
+    pub(crate) fn effective_lambda(&self, variance: f64) -> f64 {
+        self.config.lambda.max(1e-9) * variance
+    }
+
+    /// Deterministic cold-start factors for an `m × n` problem of rank `r`.
+    pub(crate) fn cold_factors(&self, m: usize, n: usize, r: usize) -> (Matrix, Matrix) {
+        let scale = 1.0 / (r as f64).sqrt();
+        let u = als::init_factor(self.config.seed, m, r, scale, 0xA5A5);
+        let v = als::init_factor(self.config.seed, n, r, scale, 0x5A5A);
+        (u, v)
     }
 }
 
 impl InferenceAlgorithm for CompressiveSensing {
     fn complete(&self, obs: &ObservedMatrix) -> Result<DataMatrix, InferenceError> {
-        let mean = obs.observed_mean()?;
-        let m = obs.cells();
-        let n = obs.cycles();
-        let r = self.config.rank.min(m).min(n).max(1);
-
-        // Per-row / per-column observation index lists.
-        let mut row_obs: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
-        let mut col_obs: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
-        let mut sum_sq = 0.0;
-        let mut count = 0usize;
-        for (i, t, v) in obs.observations() {
-            let centred = v - mean;
-            sum_sq += centred * centred;
-            count += 1;
-            row_obs[i].push((t, centred));
-            col_obs[t].push((i, centred));
-        }
-        // Scale-invariant ridge: λ is a fraction of the observed signal
-        // variance, applied per observation (see `CompressiveSensingConfig`).
-        let var = (sum_sq / count as f64).max(1e-12);
-        let lambda = self.config.lambda.max(1e-9) * var;
-
-        let scale = 1.0 / (r as f64).sqrt();
-        let mut u = self.init_factor(m, r, scale, 0xA5A5);
-        let mut v = self.init_factor(n, r, scale, 0x5A5A);
-
-        let mut prev_obj = f64::INFINITY;
-        for _ in 0..self.config.max_iters {
-            // Solve for each row of U given V.
-            for i in 0..m {
-                if row_obs[i].is_empty() {
-                    // No data for this cell: shrink towards zero (global mean).
-                    for k in 0..r {
-                        u[(i, k)] = 0.0;
-                    }
-                    continue;
-                }
-                let mut gram = Matrix::zeros(r, r);
-                let mut rhs = vec![0.0; r];
-                for &(t, d) in &row_obs[i] {
-                    let vt = v.row(t);
-                    for a in 0..r {
-                        rhs[a] += d * vt[a];
-                        for b in 0..r {
-                            gram[(a, b)] += vt[a] * vt[b];
-                        }
-                    }
-                }
-                let ridge = lambda * row_obs[i].len() as f64;
-                for a in 0..r {
-                    gram[(a, a)] += ridge;
-                }
-                let sol = solve::solve_spd(&gram, &rhs)?;
-                u.set_row(i, &sol);
-            }
-            // Solve for each row of V given U.
-            for t in 0..n {
-                if col_obs[t].is_empty() {
-                    for k in 0..r {
-                        v[(t, k)] = 0.0;
-                    }
-                    continue;
-                }
-                let mut gram = Matrix::zeros(r, r);
-                let mut rhs = vec![0.0; r];
-                for &(i, d) in &col_obs[t] {
-                    let ui = u.row(i);
-                    for a in 0..r {
-                        rhs[a] += d * ui[a];
-                        for b in 0..r {
-                            gram[(a, b)] += ui[a] * ui[b];
-                        }
-                    }
-                }
-                let ridge = lambda * col_obs[t].len() as f64;
-                for a in 0..r {
-                    gram[(a, a)] += ridge;
-                }
-                let sol = solve::solve_spd(&gram, &rhs)?;
-                v.set_row(t, &sol);
-            }
-
-            // Objective for early stopping.
-            let mut obj = 0.0;
-            for (i, obs_row) in row_obs.iter().enumerate() {
-                for &(t, d) in obs_row {
-                    let pred: f64 = u.row(i).iter().zip(v.row(t)).map(|(a, b)| a * b).sum();
-                    obj += (d - pred) * (d - pred);
-                }
-            }
-            obj += lambda * (u.fro_norm().powi(2) + v.fro_norm().powi(2));
-            if prev_obj.is_finite()
-                && (prev_obj - obj).abs() <= self.config.tol * prev_obj.max(1e-12)
-            {
-                break;
-            }
-            prev_obj = obj;
-        }
-
+        let data = AlsData::build(obs, self.config.rank)?;
+        let problem = data.problem(self.effective_lambda(data.variance()));
+        let (mut u, mut v) = self.cold_factors(data.m, data.n, data.r);
+        als::run_sweeps(
+            &problem,
+            &mut u,
+            &mut v,
+            self.config.max_iters,
+            self.config.tol,
+            f64::INFINITY,
+        )?;
+        let mean = data.mean;
         Ok(obs.fill_with(|i, t| {
             let pred: f64 = u.row(i).iter().zip(v.row(t)).map(|(a, b)| a * b).sum();
             mean + pred

@@ -14,6 +14,13 @@
 //! * [`Committee`] — a query-by-committee ensemble that measures per-cell
 //!   disagreement, the selection criterion of the QBC baseline (paper §5.2).
 //!
+//! The leave-one-out hot path of the (ε, p)-quality assessment has two
+//! interchangeable backends behind the [`LooSolver`] trait (selected by
+//! [`AssessmentBackend`]): the reference [`NaiveLooSolver`] (one
+//! from-scratch completion per hidden entry) and the [`BatchedLooEngine`]
+//! (shared base factorisation, cached Grams with rank-1 downdates, warm
+//! starts across selections — same sweep arithmetic, ~10× faster).
+//!
 //! All algorithms consume an [`ObservedMatrix`] (values + observation mask)
 //! and produce a completed [`drcell_datasets::DataMatrix`].
 //!
@@ -46,10 +53,12 @@
 
 #![deny(missing_docs)]
 
+mod als;
 mod committee;
 mod compressive;
 mod error;
 mod knn;
+mod loo;
 mod observed;
 mod svt;
 mod temporal;
@@ -58,6 +67,7 @@ pub use committee::Committee;
 pub use compressive::{CompressiveSensing, CompressiveSensingConfig};
 pub use error::InferenceError;
 pub use knn::KnnInference;
+pub use loo::{AssessmentBackend, BatchedLooEngine, EngineStats, LooSolver, NaiveLooSolver};
 pub use observed::ObservedMatrix;
 pub use svt::{SvtConfig, SvtInference};
 pub use temporal::{GlobalMeanInference, TemporalInference};

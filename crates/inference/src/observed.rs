@@ -80,19 +80,23 @@ impl ObservedMatrix {
         self.mask[idx] = true;
     }
 
-    /// Removes an observation (used by leave-one-out quality assessment).
+    /// Removes an observation, returning the removed value (`None` when the
+    /// entry was not observed). Leave-one-out callers use the returned value
+    /// to restore the entry afterwards without re-scanning the matrix.
     ///
     /// # Panics
     ///
     /// Panics when out of bounds.
-    pub fn unobserve(&mut self, cell: usize, cycle: usize) {
+    pub fn unobserve(&mut self, cell: usize, cycle: usize) -> Option<f64> {
         assert!(
             cell < self.cells && cycle < self.cycles,
             "index ({cell},{cycle}) out of bounds"
         );
         let idx = cell * self.cycles + cycle;
+        let removed = self.mask[idx].then_some(self.values[idx]);
         self.mask[idx] = false;
         self.values[idx] = 0.0;
+        removed
     }
 
     /// `true` if the entry is observed.
@@ -203,9 +207,26 @@ mod tests {
         let mut o = ObservedMatrix::new(2, 2);
         o.observe(0, 1, 3.0);
         assert_eq!(o.get(0, 1), Some(3.0));
-        o.unobserve(0, 1);
+        assert_eq!(o.unobserve(0, 1), Some(3.0));
         assert_eq!(o.get(0, 1), None);
         assert_eq!(o.observed_count(), 0);
+    }
+
+    #[test]
+    fn unobserve_returns_removed_value_once() {
+        let mut o = ObservedMatrix::new(3, 2);
+        o.observe(2, 0, -7.5);
+        // First removal hands back the stored value; repeating it (or
+        // removing a never-observed entry) yields `None`.
+        assert_eq!(o.unobserve(2, 0), Some(-7.5));
+        assert_eq!(o.unobserve(2, 0), None);
+        assert_eq!(o.unobserve(1, 1), None);
+        // Round-trip: restoring from the returned value reproduces the entry.
+        let mut p = ObservedMatrix::new(3, 2);
+        p.observe(0, 1, 4.25);
+        let removed = p.unobserve(0, 1).unwrap();
+        p.observe(0, 1, removed);
+        assert_eq!(p.get(0, 1), Some(4.25));
     }
 
     #[test]

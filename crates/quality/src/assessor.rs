@@ -1,4 +1,4 @@
-use drcell_inference::{InferenceAlgorithm, ObservedMatrix};
+use drcell_inference::{InferenceAlgorithm, LooSolver, NaiveLooSolver, ObservedMatrix};
 use drcell_stats::bayes::{BetaBernoulli, NormalInverseGamma};
 
 use crate::{ErrorMetric, QualityError, QualityRequirement};
@@ -85,6 +85,30 @@ impl QualityAssessor {
         cycle: usize,
         algo: &dyn InferenceAlgorithm,
     ) -> Result<QualityAssessment, QualityError> {
+        self.assess_with(obs, cycle, &mut NaiveLooSolver::new(algo))
+    }
+
+    /// Assesses the quality of `cycle` using an explicit leave-one-out
+    /// solver — the entry point backends plug into: pass a
+    /// [`NaiveLooSolver`] for the reference from-scratch semantics or a
+    /// [`drcell_inference::BatchedLooEngine`] for the batched fast path
+    /// (same edge cases and Bayesian model as [`QualityAssessor::assess`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`QualityError::IndexOutOfRange`] for a bad cycle index.
+    /// * Propagates inference and statistics failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solver violates its contract by returning a different
+    /// number of predictions than cells it was asked about.
+    pub fn assess_with(
+        &self,
+        obs: &ObservedMatrix,
+        cycle: usize,
+        solver: &mut dyn LooSolver,
+    ) -> Result<QualityAssessment, QualityError> {
         if cycle >= obs.cycles() {
             return Err(QualityError::IndexOutOfRange {
                 index: cycle,
@@ -112,16 +136,23 @@ impl QualityAssessor {
         }
 
         // Leave-one-out reconstruction errors.
-        let mut loo_errors = Vec::with_capacity(sensed.len());
-        let mut work = obs.clone();
-        for &cell in &sensed {
-            let truth = obs.get(cell, cycle).expect("sensed cell has a value");
-            work.unobserve(cell, cycle);
-            let completed = algo.complete(&work)?;
-            work.observe(cell, cycle, truth);
-            let predicted = completed.value(cell, cycle);
-            loo_errors.push(self.metric.cell_error(truth, predicted));
-        }
+        let predictions = solver.loo_predict(obs, cycle, &sensed)?;
+        assert_eq!(
+            predictions.len(),
+            sensed.len(),
+            "LooSolver `{}` returned {} predictions for {} sensed cells",
+            solver.name(),
+            predictions.len(),
+            sensed.len()
+        );
+        let loo_errors: Vec<f64> = sensed
+            .iter()
+            .zip(&predictions)
+            .map(|(&cell, &predicted)| {
+                let truth = obs.get(cell, cycle).expect("sensed cell has a value");
+                self.metric.cell_error(truth, predicted)
+            })
+            .collect();
 
         let probability = if self.metric.is_classification() {
             let mut model = BetaBernoulli::uniform_prior();
@@ -273,5 +304,47 @@ mod tests {
     fn prior_scale_validated() {
         let _ =
             QualityAssessor::new(requirement(0.3), ErrorMetric::MeanAbsolute).with_prior_scale(0.0);
+    }
+
+    #[test]
+    fn assess_with_matches_assess_for_naive_solver() {
+        use drcell_inference::NaiveLooSolver;
+        let (grid, truth) = smooth_world(10, 3);
+        let obs = ObservedMatrix::from_selection(&truth, |i, t| t < 2 || i % 2 == 0);
+        let knn = KnnInference::new(grid, 2).unwrap();
+        let assessor = QualityAssessor::new(requirement(0.5), ErrorMetric::MeanAbsolute);
+        let a = assessor.assess(&obs, 2, &knn).unwrap();
+        let b = assessor
+            .assess_with(&obs, 2, &mut NaiveLooSolver::new(&knn))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batched_engine_plugs_into_assessment() {
+        use drcell_inference::{BatchedLooEngine, CompressiveSensing, CompressiveSensingConfig};
+        let truth = DataMatrix::from_fn(9, 8, |i, t| {
+            4.0 + (i as f64 * 0.5).sin() * (t as f64 * 0.4).cos()
+        });
+        let obs = ObservedMatrix::from_selection(&truth, |i, t| t < 7 || i % 2 == 0);
+        // Converged tolerances: both backends sit on the same fixed point,
+        // so the Bayesian probabilities agree to high precision.
+        let cfg = CompressiveSensingConfig {
+            rank: 3,
+            max_iters: 1500,
+            tol: 0.0,
+            ..Default::default()
+        };
+        let assessor = QualityAssessor::new(requirement(0.4), ErrorMetric::MeanAbsolute);
+        let cs = CompressiveSensing::new(cfg.clone()).unwrap();
+        let naive = assessor.assess(&obs, 7, &cs).unwrap();
+        let mut engine = BatchedLooEngine::new(cfg).unwrap();
+        let batched = assessor.assess_with(&obs, 7, &mut engine).unwrap();
+        assert_eq!(naive.unsensed, batched.unsensed);
+        assert_eq!(naive.satisfied, batched.satisfied);
+        assert!((naive.probability - batched.probability).abs() < 1e-9);
+        for (a, b) in naive.loo_errors.iter().zip(&batched.loo_errors) {
+            assert!((a - b).abs() < 1e-9, "naive {a} vs batched {b}");
+        }
     }
 }

@@ -15,6 +15,12 @@
 //! 3. query the posterior predictive for the probability that the error of
 //!    the *unsensed* cells is within ε.
 //!
+//! Step 1 is the hot path; [`QualityAssessor::assess_with`] accepts any
+//! [`drcell_inference::LooSolver`], so callers choose between the naive
+//! from-scratch re-solve and the batched warm-start engine
+//! ([`drcell_inference::BatchedLooEngine`]) per
+//! [`drcell_inference::AssessmentBackend`].
+//!
 //! ```
 //! use drcell_quality::{ErrorMetric, QualityRequirement};
 //!

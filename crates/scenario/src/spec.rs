@@ -15,6 +15,7 @@ use drcell_datasets::{
     CellGrid, DataMatrix, FieldConfig, FieldGenerator, PerturbationStack, SensorScopeConfig,
     SensorScopeDataset, UAirConfig, UAirDataset,
 };
+use drcell_inference::AssessmentBackend;
 use drcell_neural::Adam;
 use drcell_quality::{ErrorMetric, QualityRequirement};
 use drcell_rl::{DqnAgent, DqnConfig, DrqnQNetwork};
@@ -364,6 +365,10 @@ pub struct RunnerSpec {
     pub max_selections: Option<usize>,
     /// Assess every n-th selection after the minimum.
     pub assess_every: usize,
+    /// Leave-one-out backend for quality assessment (`Batched` by default;
+    /// absent in a spec file means the default, so pre-existing specs keep
+    /// parsing).
+    pub backend: AssessmentBackend,
 }
 
 impl Default for RunnerSpec {
@@ -373,6 +378,7 @@ impl Default for RunnerSpec {
             min_selections: 2,
             max_selections: None,
             assess_every: 1,
+            backend: AssessmentBackend::default(),
         }
     }
 }
@@ -385,6 +391,7 @@ impl RunnerSpec {
             min_selections_per_cycle: self.min_selections,
             max_selections_per_cycle: self.max_selections,
             assess_every: self.assess_every,
+            assessment_backend: self.backend,
             ..RunnerConfig::default()
         }
     }
@@ -699,6 +706,45 @@ mod tests {
             cost: 1.0,
         };
         assert_eq!(dense.label(), "DR-Cell-DQN");
+    }
+
+    #[test]
+    fn runner_spec_without_backend_field_parses_to_default() {
+        use serde::{Serialize, Value};
+        // A spec value written before the backend existed: serialise the
+        // current spec, then strip the `backend` entry.
+        let spec = RunnerSpec::default();
+        let v = spec.to_value();
+        let Value::Map(entries) = v else {
+            panic!("RunnerSpec must serialise to a map")
+        };
+        let stripped = Value::Map(
+            entries
+                .into_iter()
+                .filter(|(k, _)| k != "backend")
+                .collect(),
+        );
+        let parsed = <RunnerSpec as serde::Deserialize>::from_value(&stripped).unwrap();
+        assert_eq!(parsed.backend, AssessmentBackend::Batched);
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn backend_axis_selectable_per_scenario() {
+        let mut naive = tiny_base();
+        naive.runner.backend = AssessmentBackend::Naive;
+        assert_eq!(
+            naive.runner.config().assessment_backend,
+            AssessmentBackend::Naive
+        );
+        assert_eq!(
+            tiny_base().runner.config().assessment_backend,
+            AssessmentBackend::Batched
+        );
+        // The backend survives a serde round trip.
+        let v = serde::Serialize::to_value(&naive);
+        let back = ScenarioSpec::from_value(&v).unwrap();
+        assert_eq!(back.runner.backend, AssessmentBackend::Naive);
     }
 
     #[test]

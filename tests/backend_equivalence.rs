@@ -1,0 +1,91 @@
+//! Cross-backend equivalence of the testing stage: the batched
+//! leave-one-out engine must never change the cells a policy selects.
+//!
+//! Random tasks, random seeds, two policies with very different selection
+//! behaviour (uniform random and query-by-committee), both assessment
+//! backends run at converged tolerances — the selection traces must be
+//! identical cell for cell. A default-tolerance variant of the same claim
+//! is pinned in `drcell-core`'s runner tests.
+
+use drcell::core::{
+    CellSelectionPolicy, QbcPolicy, RandomPolicy, RunnerConfig, SensingTask, SparseMcsRunner,
+};
+use drcell::datasets::{CellGrid, DataMatrix};
+use drcell::inference::{AssessmentBackend, CompressiveSensingConfig};
+use drcell::quality::{ErrorMetric, QualityRequirement};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small random sensing task: smooth low-rank field, short testing stage.
+fn task_case() -> impl Strategy<Value = (SensingTask, u64)> {
+    (2usize..4, 3usize..5, any::<u64>(), 0.2f64..0.8).prop_map(|(rows, cols, seed, eps)| {
+        let cells = rows * cols;
+        let s = seed as f64 / u64::MAX as f64;
+        let truth = DataMatrix::from_fn(cells, 18, |i, t| {
+            5.0 + s + (i as f64 * (0.4 + 0.3 * s)).sin() * (t as f64 * 0.35).cos()
+        });
+        let task = SensingTask::new(
+            "equivalence",
+            truth,
+            CellGrid::full_grid(rows, cols, 25.0, 25.0),
+            ErrorMetric::MeanAbsolute,
+            QualityRequirement::new(eps, 0.9).unwrap(),
+            10,
+        )
+        .unwrap();
+        (task, seed)
+    })
+}
+
+/// Converged assessment tolerances: both backends sit on the same ALS
+/// fixed point, so their stop decisions cannot disagree.
+fn converged_runner(backend: AssessmentBackend) -> RunnerConfig {
+    RunnerConfig {
+        window: 8,
+        assessment_inference: CompressiveSensingConfig {
+            lambda: 0.1,
+            tol: 1e-8,
+            max_iters: 300,
+            ..Default::default()
+        },
+        assessment_backend: backend,
+        ..Default::default()
+    }
+}
+
+fn trace(
+    task: &SensingTask,
+    backend: AssessmentBackend,
+    mut policy: Box<dyn CellSelectionPolicy>,
+    seed: u64,
+) -> Vec<Vec<usize>> {
+    let runner = SparseMcsRunner::new(task, converged_runner(backend)).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    runner
+        .run(policy.as_mut(), &mut rng)
+        .unwrap()
+        .cycles
+        .into_iter()
+        .map(|c| c.selected)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn batched_backend_never_changes_random_policy_selections((task, seed) in task_case()) {
+        let naive = trace(&task, AssessmentBackend::Naive, Box::new(RandomPolicy::new()), seed);
+        let batched = trace(&task, AssessmentBackend::Batched, Box::new(RandomPolicy::new()), seed);
+        prop_assert_eq!(naive, batched);
+    }
+
+    #[test]
+    fn batched_backend_never_changes_qbc_policy_selections((task, seed) in task_case()) {
+        let qbc = || Box::new(QbcPolicy::new(task.grid(), 8).unwrap());
+        let naive = trace(&task, AssessmentBackend::Naive, qbc(), seed);
+        let batched = trace(&task, AssessmentBackend::Batched, qbc(), seed);
+        prop_assert_eq!(naive, batched);
+    }
+}
