@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use drcell_linalg::decomp::{Cholesky, Lu, Qr, Svd};
+use drcell_linalg::gemm::{gemm_reference, Trans};
 use drcell_linalg::Matrix;
 
 fn spd(n: usize) -> Matrix {
@@ -47,9 +48,26 @@ fn bench_matmul(c: &mut Criterion) {
     for &n in &[16usize, 57, 128] {
         let a = rect(n, n);
         let b = rect(n, n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+        group.bench_with_input(BenchmarkId::new("gemm", n), &n, |bch, _| {
             bch.iter(|| a.matmul(&b).unwrap())
         });
+        // The naive triple loop the blocked kernel replaced, kept for
+        // side-by-side medians (the gated comparison lives in the
+        // `train_step` bench via BENCH_train.json).
+        group.bench_with_input(BenchmarkId::new("reference", n), &n, |bch, _| {
+            let mut out = Matrix::zeros(n, n);
+            bch.iter(|| {
+                gemm_reference(1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut out).unwrap();
+            })
+        });
+    }
+    for &(m, k) in &[(57usize, 24usize), (128, 64)] {
+        let a = rect(m, k);
+        group.bench_with_input(
+            BenchmarkId::new("gram", format!("{m}x{k}")),
+            &m,
+            |bch, _| bch.iter(|| a.gram()),
+        );
     }
     group.finish();
 }

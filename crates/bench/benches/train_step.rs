@@ -1,78 +1,319 @@
-//! Benchmarks of Q-function training (§5.4 reports 2–4 h wall-clock on the
-//! authors' CPU testbed for full training; this measures the per-step cost
-//! of both network variants so totals can be extrapolated).
+//! Q-function training micro-benchmark and CI regression gate.
+//!
+//! Times one DQN training step (sample minibatch → TD targets → gradient
+//! update) through the vectorised GEMM path (`DqnAgent::train_step`) and
+//! the pinned pre-vectorisation scalar path
+//! (`DqnAgent::train_step_reference`) on the paper-scale dense Q-network
+//! (57 cells × 3-cycle history, 64×64 hidden layers) at batch sizes 32 and
+//! 128, plus the 128×128 `matmul` kernel against the historical zero-skip
+//! `i-k-j` loop. The DRQN step is timed as well (informational).
+//!
+//! Modes (same harness pattern as the gated `loo` bench):
+//!
+//! * `cargo bench -p drcell-bench --bench train_step` — print medians.
+//! * `... --bench train_step -- --write BENCH_train.json` — record medians
+//!   to a baseline file.
+//! * `... --bench train_step -- --check BENCH_train.json` — fail (exit 1)
+//!   when the batched-vs-scalar `train_step` speedup at batch 32 drops
+//!   below 4× (the vectorisation contract), the GEMM `matmul` stops
+//!   beating the naive loop, or the batched/scalar ratio regresses more
+//!   than 15% against the committed baseline (override:
+//!   `--max-regression 0.30`).
+//!
+//! Machine portability: the speedup gates and the scalar-normalised ratio
+//! regression compare measurements from the *same* run, so they hold on
+//! any hardware. Absolute-median comparisons apply only when the
+//! baseline's scalar median shows a comparable runner class (0.7–1.4× of
+//! this run's); otherwise they are skipped with a note.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::black_box;
+use drcell_bench::median_us;
 use drcell_linalg::Matrix;
 use drcell_neural::Adam;
 use drcell_rl::{DqnAgent, DqnConfig, DrqnQNetwork, MlpQNetwork, QNetwork, Transition};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn filled_agent<N: QNetwork>(net: N, cells: usize, k: usize) -> DqnAgent<N> {
+const CELLS: usize = 57;
+const HISTORY: usize = 3;
+
+fn filled_agent<N: QNetwork>(net: N, batch_size: usize) -> DqnAgent<N> {
     let mut agent = DqnAgent::new(
         net,
         Box::new(Adam::new(1e-3)),
         DqnConfig {
-            batch_size: 32,
-            learning_starts: 32,
+            batch_size,
+            learning_starts: batch_size,
             ..Default::default()
         },
     )
     .unwrap();
     // Pre-fill replay with plausible transitions.
-    for i in 0..256 {
-        let mut s = Matrix::zeros(k, cells);
-        s[(k - 1, i % cells)] = 1.0;
+    for i in 0..512 {
+        let mut s = Matrix::zeros(HISTORY, CELLS);
+        s[(HISTORY - 1, i % CELLS)] = 1.0;
         let mut s2 = s.clone();
-        s2[(k - 1, (i + 1) % cells)] = 1.0;
+        s2[(HISTORY - 1, (i + 1) % CELLS)] = 1.0;
         agent.observe(Transition::new(
             s,
-            (i + 1) % cells,
+            (i + 1) % CELLS,
             if i % 7 == 0 { 56.0 } else { -1.0 },
             s2,
-            vec![true; cells],
+            vec![true; CELLS],
             false,
         ));
     }
     agent
 }
 
-fn bench_train_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("train_step");
-    group.sample_size(20);
-    for &(cells, k) in &[(16usize, 3usize), (57, 3)] {
-        let mut rng = StdRng::seed_from_u64(0);
-        let drqn = DrqnQNetwork::new(cells, 48, &mut rng).unwrap();
-        let mut agent = filled_agent(drqn, cells, k);
-        group.bench_with_input(BenchmarkId::new("drqn", cells), &cells, |b, _| {
-            let mut rng = StdRng::seed_from_u64(1);
-            b.iter(|| agent.train_step(&mut rng).unwrap())
-        });
-
-        let mut rng = StdRng::seed_from_u64(0);
-        let mlp = MlpQNetwork::new(k, cells, &[64], &mut rng).unwrap();
-        let mut agent = filled_agent(mlp, cells, k);
-        group.bench_with_input(BenchmarkId::new("dqn_dense", cells), &cells, |b, _| {
-            let mut rng = StdRng::seed_from_u64(1);
-            b.iter(|| agent.train_step(&mut rng).unwrap())
-        });
+/// The pre-PR `Matrix::matmul` inner loop (`i-k-j`, zero-skip), pinned
+/// here as the baseline the blocked GEMM kernel is gated against.
+fn matmul_ikj_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[(i, p)];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b.as_slice()[p * n..(p + 1) * n];
+            let orow = &mut out.as_mut_slice()[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
     }
-    group.finish();
+    out
 }
 
-fn bench_forward(c: &mut Criterion) {
-    let mut group = c.benchmark_group("q_forward");
-    for &cells in &[16usize, 57] {
-        let mut rng = StdRng::seed_from_u64(0);
-        let drqn = DrqnQNetwork::new(cells, 48, &mut rng).unwrap();
-        let state = Matrix::zeros(3, cells);
-        group.bench_with_input(BenchmarkId::new("drqn", cells), &cells, |b, _| {
-            b.iter(|| drqn.q_values(&state))
-        });
-    }
-    group.finish();
+#[derive(Debug, Clone, Copy)]
+struct Medians {
+    scalar_us_b32: f64,
+    batched_us_b32: f64,
+    scalar_us_b128: f64,
+    batched_us_b128: f64,
+    matmul128_naive_us: f64,
+    matmul128_gemm_us: f64,
 }
 
-criterion_group!(benches, bench_train_step, bench_forward);
-criterion_main!(benches);
+impl Medians {
+    fn speedup_b32(&self) -> f64 {
+        self.scalar_us_b32 / self.batched_us_b32
+    }
+    fn speedup_b128(&self) -> f64 {
+        self.scalar_us_b128 / self.batched_us_b128
+    }
+    fn matmul_speedup(&self) -> f64 {
+        self.matmul128_naive_us / self.matmul128_gemm_us
+    }
+}
+
+fn measure_train(batch: usize, samples: usize) -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let net = MlpQNetwork::new(HISTORY, CELLS, &[64, 64], &mut rng).unwrap();
+
+    let mut scalar_agent = filled_agent(net.clone(), batch);
+    let mut rng_s = StdRng::seed_from_u64(1);
+    let scalar_us = median_us(samples, || {
+        black_box(scalar_agent.train_step_reference(&mut rng_s).unwrap());
+    });
+
+    let mut batched_agent = filled_agent(net, batch);
+    let mut rng_b = StdRng::seed_from_u64(1);
+    let batched_us = median_us(samples, || {
+        black_box(batched_agent.train_step(&mut rng_b).unwrap());
+    });
+    (scalar_us, batched_us)
+}
+
+fn measure() -> Medians {
+    let (scalar_us_b32, batched_us_b32) = measure_train(32, 30);
+    let (scalar_us_b128, batched_us_b128) = measure_train(128, 15);
+
+    let a = Matrix::from_fn(128, 128, |r, c| ((r * 7 + c * 3) % 11) as f64 / 11.0 - 0.5);
+    let b = Matrix::from_fn(128, 128, |r, c| ((r * 5 + c * 13) % 17) as f64 / 17.0 - 0.5);
+    let matmul128_naive_us = median_us(30, || {
+        black_box(matmul_ikj_naive(&a, &b));
+    });
+    let matmul128_gemm_us = median_us(30, || {
+        black_box(a.matmul(&b).unwrap());
+    });
+
+    Medians {
+        scalar_us_b32,
+        batched_us_b32,
+        scalar_us_b128,
+        batched_us_b128,
+        matmul128_naive_us,
+        matmul128_gemm_us,
+    }
+}
+
+/// Resolves a path against the workspace root (cargo runs benches from the
+/// package directory), so `--check BENCH_train.json` targets the committed
+/// top-level baseline regardless of invocation directory.
+fn resolve(path: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(path);
+    if p.is_absolute() {
+        p.to_path_buf()
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(p)
+    }
+}
+
+fn write_json(path: &str, m: &Medians) {
+    let json = format!(
+        "{{\n  \"bench\": \"train_step_mlp64x64_57cells_k3\",\n  \"scalar_us_b32\": {:.1},\n  \"batched_us_b32\": {:.1},\n  \"speedup_b32\": {:.2},\n  \"scalar_us_b128\": {:.1},\n  \"batched_us_b128\": {:.1},\n  \"speedup_b128\": {:.2},\n  \"matmul128_naive_us\": {:.1},\n  \"matmul128_gemm_us\": {:.1},\n  \"matmul128_speedup\": {:.2}\n}}\n",
+        m.scalar_us_b32,
+        m.batched_us_b32,
+        m.speedup_b32(),
+        m.scalar_us_b128,
+        m.batched_us_b128,
+        m.speedup_b128(),
+        m.matmul128_naive_us,
+        m.matmul128_gemm_us,
+        m.matmul_speedup(),
+    );
+    let target = resolve(path);
+    std::fs::write(&target, json)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", target.display()));
+    println!("wrote {}", target.display());
+}
+
+/// Pulls a numeric field out of the baseline JSON (flat, known schema).
+fn json_field(body: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let rest = &body[body.find(&tag)? + tag.len()..];
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn print_drqn_info() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let net = DrqnQNetwork::new(CELLS, 48, &mut rng).unwrap();
+    let mut agent = filled_agent(net.clone(), 32);
+    let mut rng_b = StdRng::seed_from_u64(1);
+    let batched = median_us(10, || {
+        black_box(agent.train_step(&mut rng_b).unwrap());
+    });
+    let mut agent = filled_agent(net, 32);
+    let mut rng_s = StdRng::seed_from_u64(1);
+    let scalar = median_us(10, || {
+        black_box(agent.train_step_reference(&mut rng_s).unwrap());
+    });
+    println!(
+        "  drqn/scalar       median {scalar:>10.1} µs   (informational)\n  drqn/batched      median {batched:>10.1} µs   ({:.2}x)",
+        scalar / batched
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    // Ignore harness flags cargo bench passes through (e.g. --bench).
+
+    let m = measure();
+    println!("group: train_step (MLP 64x64, 57 cells, k = 3)");
+    println!("  b32/scalar        median {:>10.1} µs", m.scalar_us_b32);
+    println!("  b32/batched       median {:>10.1} µs", m.batched_us_b32);
+    println!("  b32 speedup       {:>17.2}x", m.speedup_b32());
+    println!("  b128/scalar       median {:>10.1} µs", m.scalar_us_b128);
+    println!("  b128/batched      median {:>10.1} µs", m.batched_us_b128);
+    println!("  b128 speedup      {:>17.2}x", m.speedup_b128());
+    println!(
+        "  matmul128 naive   median {:>10.1} µs",
+        m.matmul128_naive_us
+    );
+    println!(
+        "  matmul128 gemm    median {:>10.1} µs",
+        m.matmul128_gemm_us
+    );
+    println!("  matmul128 speedup {:>17.2}x", m.matmul_speedup());
+    print_drqn_info();
+
+    if let Some(path) = flag("--write") {
+        write_json(&path, &m);
+    }
+    if let Some(path) = flag("--check") {
+        let max_regression: f64 = flag("--max-regression")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.15);
+        let target = resolve(&path);
+        let body = std::fs::read_to_string(&target)
+            .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", target.display()));
+        let baseline_batched =
+            json_field(&body, "batched_us_b32").expect("baseline is missing batched_us_b32");
+        let baseline_scalar =
+            json_field(&body, "scalar_us_b32").expect("baseline is missing scalar_us_b32");
+        let mut failed = false;
+
+        // Same-run speedup contracts (machine independent).
+        if m.speedup_b32() < 4.0 {
+            eprintln!(
+                "REGRESSION: batched train_step speedup {:.2}x at batch 32 fell below the 4x contract",
+                m.speedup_b32()
+            );
+            failed = true;
+        }
+        if m.matmul_speedup() < 1.0 {
+            eprintln!(
+                "REGRESSION: blocked GEMM ({:.1} µs) slower than the naive 128x128 matmul ({:.1} µs)",
+                m.matmul128_gemm_us, m.matmul128_naive_us
+            );
+            failed = true;
+        }
+
+        // Machine-portable regression check: the batched median normalised
+        // by the same-run scalar median must not regress more than the
+        // allowed fraction against the baseline's normalised value.
+        let ratio = m.batched_us_b32 / m.scalar_us_b32;
+        let baseline_ratio = baseline_batched / baseline_scalar;
+        if ratio > baseline_ratio * (1.0 + max_regression) {
+            eprintln!(
+                "REGRESSION: batched/scalar ratio {ratio:.4} exceeds baseline {baseline_ratio:.4} by more than {:.0}%",
+                max_regression * 100.0
+            );
+            failed = true;
+        }
+        // Absolute-median comparison only on a comparable machine class,
+        // judged by the scalar median (untouched by vectorisation work).
+        let machine_factor = m.scalar_us_b32 / baseline_scalar;
+        if (0.7..=1.4).contains(&machine_factor) {
+            if m.batched_us_b32 > baseline_batched * (1.0 + max_regression) {
+                eprintln!(
+                    "REGRESSION: batched median {:.1} µs exceeds baseline {:.1} µs by more than {:.0}%",
+                    m.batched_us_b32,
+                    baseline_batched,
+                    max_regression * 100.0
+                );
+                failed = true;
+            }
+        } else {
+            println!(
+                "note: baseline scalar median differs {machine_factor:.2}x from this machine — \
+                 skipping the absolute-median comparison (re-record with --write on this runner class)"
+            );
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "gate ok: batched {:.1} µs (baseline {:.1} µs), ratio {:.4} (baseline {:.4}, +{:.0}% allowed), speedup {:.2}x (>= 4x), matmul {:.2}x (>= 1x)",
+            m.batched_us_b32,
+            baseline_batched,
+            ratio,
+            baseline_ratio,
+            max_regression * 100.0,
+            m.speedup_b32(),
+            m.matmul_speedup()
+        );
+    }
+}

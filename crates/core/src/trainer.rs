@@ -131,20 +131,24 @@ impl DrCellTrainer {
         let mut global_step = 0usize;
         for _ in 0..self.config.episodes {
             env.reset();
+            // Carry the state across iterations: the environment builds its
+            // k × m history matrix once per step instead of twice.
+            let mut state = env.state();
             loop {
-                let state = env.state();
                 let mask = env.action_mask();
                 let eps = self.config.epsilon.value(global_step);
                 let action = agent.select_action(&state, &mask, eps, rng)?;
                 let outcome = env.step(action);
+                let next_state = env.state();
                 let transition = Transition::new(
                     state,
                     action,
                     outcome.reward,
-                    env.state(),
+                    next_state.clone(),
                     env.action_mask(),
                     outcome.episode_done,
                 );
+                state = next_state;
                 agent.observe(transition);
                 for _ in 0..self.config.train_steps_per_env_step {
                     let _ = agent.train_step(rng);

@@ -44,7 +44,7 @@ impl Svd {
         // Eigendecompose the smaller Gram matrix.
         if n <= m {
             // AᵀA = V Σ² Vᵀ, then U = A V Σ⁻¹.
-            let gram = a.transpose().matmul(a)?;
+            let gram = a.gram();
             let eig = SymmetricEigen::new(&gram)?;
             let sigma: Vec<f64> = eig
                 .eigenvalues()
@@ -69,7 +69,7 @@ impl Svd {
             })
         } else {
             // AAᵀ = U Σ² Uᵀ, then Vᵀ = Σ⁻¹ Uᵀ A.
-            let gram = a.matmul(&a.transpose())?;
+            let gram = a.outer_gram();
             let eig = SymmetricEigen::new(&gram)?;
             let sigma: Vec<f64> = eig
                 .eigenvalues()

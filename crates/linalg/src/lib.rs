@@ -29,6 +29,7 @@ mod error;
 mod matrix;
 
 pub mod decomp;
+pub mod gemm;
 pub mod solve;
 pub mod vector;
 

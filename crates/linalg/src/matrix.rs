@@ -296,7 +296,12 @@ impl Matrix {
         t
     }
 
-    /// Matrix product `self · rhs`.
+    /// Matrix product `self · rhs`, via the blocked GEMM kernel in
+    /// [`crate::gemm`].
+    ///
+    /// Unlike the historical zero-skip implementation, every product term
+    /// participates, so non-finite operands propagate per IEEE-754
+    /// (`0.0 × NaN = NaN`).
     ///
     /// # Errors
     ///
@@ -309,22 +314,50 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // i-k-j loop order keeps the inner loop contiguous for both operands.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        Ok(out)
+        crate::gemm::gemm(
+            1.0,
+            self,
+            crate::gemm::Trans::No,
+            rhs,
+            crate::gemm::Trans::No,
+        )
+    }
+
+    /// Fused Gram product `selfᵀ · self` — the normal-equations kernel the
+    /// ridge/ALS solvers and the SVD use, computed by the blocked GEMM
+    /// without materialising the transpose.
+    pub fn gram(&self) -> Matrix {
+        crate::gemm::gemm(
+            1.0,
+            self,
+            crate::gemm::Trans::Yes,
+            self,
+            crate::gemm::Trans::No,
+        )
+        .expect("gram shapes always agree")
+    }
+
+    /// Fused outer Gram product `self · selfᵀ`, the wide-matrix dual of
+    /// [`Matrix::gram`].
+    pub fn outer_gram(&self) -> Matrix {
+        crate::gemm::gemm(
+            1.0,
+            self,
+            crate::gemm::Trans::No,
+            self,
+            crate::gemm::Trans::Yes,
+        )
+        .expect("outer gram shapes always agree")
+    }
+
+    /// Reshapes in place to `rows × cols`, reusing the allocation. Entry
+    /// values afterwards are **unspecified** — this is a scratch-buffer
+    /// helper for callers that overwrite the whole matrix next (e.g. as a
+    /// GEMM output with `β = 0`).
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
     }
 
     /// Matrix-vector product `self · v`.
@@ -347,10 +380,8 @@ impl Matrix {
     pub fn vecmat(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.rows, "vecmat length mismatch");
         let mut out = vec![0.0; self.cols];
+        // No zero-skip: 0.0 · NaN must stay NaN (IEEE semantics).
         for (r, &x) in v.iter().enumerate() {
-            if x == 0.0 {
-                continue;
-            }
             for (o, &a) in out.iter_mut().zip(self.row(r)) {
                 *o += x * a;
             }
@@ -739,6 +770,36 @@ mod tests {
             a.matmul(&b),
             Err(LinalgError::ShapeMismatch { op: "matmul", .. })
         ));
+    }
+
+    #[test]
+    fn matmul_propagates_nan_and_inf() {
+        // Regression: the old kernel skipped a == 0.0 terms and silently
+        // swallowed 0·NaN / 0·∞ contributions.
+        let a = Matrix::zeros(1, 2);
+        let mut b = Matrix::zeros(2, 1);
+        b[(0, 0)] = f64::NAN;
+        assert!(a.matmul(&b).unwrap()[(0, 0)].is_nan());
+        b[(0, 0)] = f64::INFINITY;
+        assert!(a.matmul(&b).unwrap()[(0, 0)].is_nan(), "0·∞ is NaN");
+        let v = Matrix::zeros(2, 2).vecmat(&[0.0, f64::NAN]);
+        assert!(v[0].is_nan(), "vecmat must propagate NaN too");
+    }
+
+    #[test]
+    fn gram_matches_explicit_transpose_products() {
+        let a = Matrix::from_fn(5, 3, |r, c| (r * 3 + c) as f64 * 0.25 - 1.0);
+        assert_eq!(a.gram(), a.transpose().matmul(&a).unwrap());
+        assert_eq!(a.outer_gram(), a.matmul(&a.transpose()).unwrap());
+    }
+
+    #[test]
+    fn resize_reuses_storage() {
+        let mut m = m22();
+        m.resize(3, 5);
+        assert_eq!(m.shape(), (3, 5));
+        m.resize(1, 2);
+        assert_eq!(m.shape(), (1, 2));
     }
 
     #[test]

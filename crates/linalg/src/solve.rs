@@ -65,7 +65,7 @@ pub fn ridge(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>, LinalgError
             rhs: (b.len(), 1),
         });
     }
-    let mut gram = a.transpose().matmul(a)?;
+    let mut gram = a.gram();
     for i in 0..gram.rows() {
         gram[(i, i)] += lambda;
     }

@@ -1,6 +1,7 @@
 //! Property-based tests for the linear-algebra substrate.
 
 use drcell_linalg::decomp::{Cholesky, Lu, Qr, Svd, SymmetricEigen};
+use drcell_linalg::gemm::{gemm_into, gemm_reference, Trans};
 use drcell_linalg::{solve, vector, Matrix};
 use proptest::prelude::*;
 
@@ -149,5 +150,49 @@ proptest! {
         let h = a.hstack(&b).unwrap();
         prop_assert!(h.submatrix(0, 2, 0, 3).approx_eq(&a, 0.0));
         prop_assert!(h.submatrix(0, 2, 3, 6).approx_eq(&b, 0.0));
+    }
+
+    /// The blocked GEMM kernel pins the naive reference elementwise over
+    /// random shapes, transpose flags and α/β. The kernel keeps the
+    /// reference's per-element accumulation order, so 1e-12 is generous —
+    /// results are typically bit-identical.
+    #[test]
+    fn gemm_matches_reference(
+        m in 1usize..20, n in 1usize..20, k in 1usize..40,
+        ta in 0u8..2, tb in 0u8..2,
+        alpha in -2.0f64..2.0, beta in -2.0f64..2.0,
+        seed in 0u64..1000,
+    ) {
+        let (ta, tb) = (
+            if ta == 1 { Trans::Yes } else { Trans::No },
+            if tb == 1 { Trans::Yes } else { Trans::No },
+        );
+        let fill = |rows: usize, cols: usize, s: u64| {
+            Matrix::from_fn(rows, cols, |r, c| {
+                let x = (s * 31 + r as u64 * 7 + c as u64 * 13) % 97;
+                x as f64 / 9.7 - 5.0
+            })
+        };
+        let a = match ta { Trans::No => fill(m, k, seed), Trans::Yes => fill(k, m, seed) };
+        let b = match tb { Trans::No => fill(k, n, seed + 1), Trans::Yes => fill(n, k, seed + 1) };
+        let c0 = fill(m, n, seed + 2);
+        let mut want = c0.clone();
+        gemm_reference(alpha, &a, ta, &b, tb, beta, &mut want).unwrap();
+        let mut got = c0;
+        gemm_into(alpha, &a, ta, &b, tb, beta, &mut got).unwrap();
+        prop_assert!(got.approx_eq(&want, 1e-12), "blocked vs reference drifted");
+    }
+
+    /// `matmul` (now GEMM-backed) must propagate NaN through zero rows —
+    /// the regression the zero-skip branch used to hide.
+    #[test]
+    fn gemm_nan_propagates_anywhere(r in 0usize..4, c in 0usize..4) {
+        let a = Matrix::zeros(4, 4);
+        let mut b = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64 * 0.5 - 3.0);
+        b[(r, c)] = f64::NAN;
+        let prod = a.matmul(&b).unwrap();
+        for i in 0..4 {
+            prop_assert!(prod[(i, c)].is_nan(), "column {c} lost its NaN at row {i}");
+        }
     }
 }

@@ -1,5 +1,6 @@
 use rand::Rng;
 
+use drcell_linalg::gemm::{gemm_slice, Trans};
 use drcell_linalg::Matrix;
 
 use crate::{Activation, NeuralError, Parameterized};
@@ -79,16 +80,25 @@ impl DenseLayer {
     }
 
     #[inline]
-    fn weight(&self, o: usize, i: usize) -> f64 {
-        self.params[o * self.in_dim + i]
-    }
-
-    #[inline]
     fn bias(&self, o: usize) -> f64 {
         self.params[self.in_dim * self.out_dim + o]
     }
 
+    /// Borrows the flat parameter storage (`W` row-major then `b`).
+    pub fn params_raw(&self) -> &[f64] {
+        &self.params
+    }
+
+    /// Borrows the flat gradient accumulators (same layout as the params).
+    pub fn grads_raw(&self) -> &[f64] {
+        &self.grads
+    }
+
     /// Single-sample forward pass.
+    ///
+    /// Accumulates `bias + Σᵢ wᵢ·xᵢ` in ascending `i` order — the same
+    /// per-element order as the GEMM-backed batch path, so single-sample
+    /// and batched Q-value queries are bit-identical.
     ///
     /// # Panics
     ///
@@ -97,10 +107,11 @@ impl DenseLayer {
         assert_eq!(x.len(), self.in_dim, "dense forward input length");
         (0..self.out_dim)
             .map(|o| {
-                let z: f64 = (0..self.in_dim)
-                    .map(|i| self.weight(o, i) * x[i])
-                    .sum::<f64>()
-                    + self.bias(o);
+                let mut z = self.bias(o);
+                let wrow = &self.params[o * self.in_dim..(o + 1) * self.in_dim];
+                for (wi, xi) in wrow.iter().zip(x) {
+                    z += wi * xi;
+                }
                 self.activation.apply(z)
             })
             .collect()
@@ -114,6 +125,145 @@ impl DenseLayer {
     ///
     /// Panics if `x.cols() != self.in_dim()`.
     pub fn forward_batch(&self, x: &Matrix) -> (Matrix, Matrix) {
+        let mut pre = Matrix::default();
+        let mut post = Matrix::default();
+        self.forward_batch_into(x, &mut pre, &mut post);
+        (pre, post)
+    }
+
+    /// Batch forward pass into caller-owned scratch buffers (resized as
+    /// needed, so steady-state training reuses their allocations): one GEMM
+    /// `pre = b ⊕ x·Wᵀ` against the persistent per-thread packing
+    /// workspace, then the activation applied elementwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.in_dim()`.
+    pub fn forward_batch_into(&self, x: &Matrix, pre: &mut Matrix, post: &mut Matrix) {
+        assert_eq!(x.cols(), self.in_dim, "dense forward_batch input width");
+        let n = x.rows();
+        let w_len = self.in_dim * self.out_dim;
+        pre.resize(n, self.out_dim);
+        let bias = &self.params[w_len..];
+        for s in 0..n {
+            pre.row_mut(s).copy_from_slice(bias);
+        }
+        gemm_slice(
+            1.0,
+            x.as_slice(),
+            n,
+            self.in_dim,
+            Trans::No,
+            &self.params[..w_len],
+            self.out_dim,
+            self.in_dim,
+            Trans::Yes,
+            1.0,
+            pre.as_mut_slice(),
+        )
+        .expect("dense forward shapes agree");
+        post.resize(n, self.out_dim);
+        post.as_mut_slice().copy_from_slice(pre.as_slice());
+        post.map_inplace(|z| self.activation.apply(z));
+    }
+
+    /// Batch backward pass. `x` and `pre` must come from the matching
+    /// [`DenseLayer::forward_batch`]; `d_post` is ∂L/∂post. Accumulates
+    /// parameter gradients and returns ∂L/∂x.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches between `x`, `pre` and `d_post`.
+    pub fn backward_batch(&mut self, x: &Matrix, pre: &Matrix, d_post: &Matrix) -> Matrix {
+        let mut dz = Matrix::default();
+        let mut dx = Matrix::default();
+        self.backward_batch_into(x, pre, d_post, &mut dz, Some(&mut dx));
+        dx
+    }
+
+    /// Batch backward pass into caller-owned scratch: `dz` receives the
+    /// pre-activation gradient, `dx` (when requested — the first layer of a
+    /// network has no consumer for it) receives ∂L/∂x, and the parameter
+    /// gradients accumulate via two GEMMs (`dW += dzᵀ·x`, `dx = dz·W`) plus
+    /// a column reduction for the biases.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches between `x`, `pre` and `d_post`.
+    pub fn backward_batch_into(
+        &mut self,
+        x: &Matrix,
+        pre: &Matrix,
+        d_post: &Matrix,
+        dz: &mut Matrix,
+        dx: Option<&mut Matrix>,
+    ) {
+        let n = x.rows();
+        assert_eq!(pre.shape(), (n, self.out_dim), "pre shape");
+        assert_eq!(d_post.shape(), (n, self.out_dim), "d_post shape");
+        assert_eq!(x.cols(), self.in_dim, "x width");
+        let w_len = self.in_dim * self.out_dim;
+
+        dz.resize(n, self.out_dim);
+        for ((d, &dp), &p) in dz
+            .as_mut_slice()
+            .iter_mut()
+            .zip(d_post.as_slice())
+            .zip(pre.as_slice())
+        {
+            *d = dp * self.activation.derivative(p);
+        }
+
+        // dW[o][i] += Σₛ dz[s][o]·x[s][i], accumulated onto the existing
+        // gradients (β = 1) in ascending sample order — the same order the
+        // scalar reference uses.
+        gemm_slice(
+            1.0,
+            dz.as_slice(),
+            n,
+            self.out_dim,
+            Trans::Yes,
+            x.as_slice(),
+            n,
+            self.in_dim,
+            Trans::No,
+            1.0,
+            &mut self.grads[..w_len],
+        )
+        .expect("dense weight-gradient shapes agree");
+        for s in 0..n {
+            for (g, &d) in self.grads[w_len..].iter_mut().zip(dz.row(s)) {
+                *g += d;
+            }
+        }
+        if let Some(dx) = dx {
+            dx.resize(n, self.in_dim);
+            gemm_slice(
+                1.0,
+                dz.as_slice(),
+                n,
+                self.out_dim,
+                Trans::No,
+                &self.params[..w_len],
+                self.out_dim,
+                self.in_dim,
+                Trans::No,
+                0.0,
+                dx.as_mut_slice(),
+            )
+            .expect("dense input-gradient shapes agree");
+        }
+    }
+
+    /// Scalar-loop batch forward — the pinned pre-vectorisation reference,
+    /// kept as the oracle for equivalence tests and the baseline for the
+    /// training regression benchmarks. Numerically it matches
+    /// [`DenseLayer::forward_batch`] bit-for-bit on finite inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.in_dim()`.
+    pub fn forward_batch_reference(&self, x: &Matrix) -> (Matrix, Matrix) {
         assert_eq!(x.cols(), self.in_dim, "dense forward_batch input width");
         let n = x.rows();
         let mut pre = Matrix::zeros(n, self.out_dim);
@@ -132,14 +282,19 @@ impl DenseLayer {
         (pre, post)
     }
 
-    /// Batch backward pass. `x` and `pre` must come from the matching
-    /// [`DenseLayer::forward_batch`]; `d_post` is ∂L/∂post. Accumulates
-    /// parameter gradients and returns ∂L/∂x.
+    /// Scalar-loop batch backward — the pinned pre-vectorisation reference
+    /// matching [`DenseLayer::backward_batch`] (see
+    /// [`DenseLayer::forward_batch_reference`]).
     ///
     /// # Panics
     ///
     /// Panics on shape mismatches between `x`, `pre` and `d_post`.
-    pub fn backward_batch(&mut self, x: &Matrix, pre: &Matrix, d_post: &Matrix) -> Matrix {
+    pub fn backward_batch_reference(
+        &mut self,
+        x: &Matrix,
+        pre: &Matrix,
+        d_post: &Matrix,
+    ) -> Matrix {
         let n = x.rows();
         assert_eq!(pre.shape(), (n, self.out_dim), "pre shape");
         assert_eq!(d_post.shape(), (n, self.out_dim), "d_post shape");
@@ -275,6 +430,38 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn gemm_path_bit_identical_to_reference() {
+        for act in [Activation::Identity, Activation::Tanh, Activation::Relu] {
+            let mut l = layer(act);
+            let x = Matrix::from_fn(5, 3, |r, c| (r as f64 - 2.0) * 0.3 + c as f64 * 0.17);
+            let (pre, post) = l.forward_batch(&x);
+            let (pre_ref, post_ref) = l.forward_batch_reference(&x);
+            assert_eq!(pre, pre_ref, "{act:?} pre-activations drifted");
+            assert_eq!(post, post_ref, "{act:?} activations drifted");
+
+            let d_post = Matrix::from_fn(5, 2, |r, c| (r + c) as f64 * 0.5 - 1.0);
+            l.zero_grads();
+            let dx = l.backward_batch(&x, &pre, &d_post);
+            let g = l.grads();
+            l.zero_grads();
+            let dx_ref = l.backward_batch_reference(&x, &pre, &d_post);
+            let g_ref = l.grads();
+            assert_eq!(dx, dx_ref, "{act:?} input gradients drifted");
+            assert_eq!(g, g_ref, "{act:?} parameter gradients drifted");
+        }
+    }
+
+    #[test]
+    fn forward_single_matches_batch_row_exactly() {
+        let l = layer(Activation::Sigmoid);
+        let x = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f64 * 0.21 - 0.9);
+        let (_, post) = l.forward_batch(&x);
+        for s in 0..3 {
+            assert_eq!(l.forward(x.row(s)), post.row(s).to_vec());
         }
     }
 

@@ -45,7 +45,7 @@ pub use activation::Activation;
 pub use dense::DenseLayer;
 pub use error::NeuralError;
 pub use loss::Loss;
-pub use lstm::LstmLayer;
+pub use lstm::{LstmBatchCache, LstmCache, LstmLayer};
 pub use mlp::{Mlp, MlpConfig};
 pub use optimizer::{Adam, Optimizer, RmsProp, Sgd};
 pub use recurrent::{RecurrentNetwork, RecurrentNetworkConfig};

@@ -1,5 +1,6 @@
 use rand::Rng;
 
+use drcell_linalg::gemm::{gemm_slice, Trans};
 use drcell_linalg::Matrix;
 
 use crate::activation::sigmoid;
@@ -267,6 +268,229 @@ impl LstmLayer {
     }
 }
 
+/// Forward caches of a *batched* LSTM run over equal-length sequences —
+/// the GEMM-backed analogue of [`LstmCache`]. Produced by
+/// [`LstmLayer::forward_batch_cached`]; opaque to callers.
+#[derive(Debug, Clone)]
+pub struct LstmBatchCache {
+    /// Per step: the stacked inputs, batch × in.
+    xs: Vec<Matrix>,
+    /// `h[t]` for `t = 0..=T`, each batch × H (`h[0]` is all zeros).
+    h: Vec<Matrix>,
+    /// `c[t]` for `t = 0..=T`.
+    c: Vec<Matrix>,
+    /// Activated gates per step, batch × 4H in `i, f, g, o` block order.
+    gates: Vec<Matrix>,
+}
+
+impl LstmBatchCache {
+    /// The final hidden states, batch × H.
+    pub fn final_hidden(&self) -> &Matrix {
+        self.h.last().expect("cache has at least the initial state")
+    }
+
+    /// Sequence length.
+    pub fn steps(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Batch size.
+    pub fn batch(&self) -> usize {
+        self.final_hidden().rows()
+    }
+}
+
+impl LstmLayer {
+    /// Runs a batch of equal-length sequences in lock-step: each time step
+    /// is two GEMMs (`Z = b ⊕ Xₜ·Wxᵀ + Hₜ₋₁·Whᵀ`) plus the elementwise
+    /// gate math, so the whole recurrent forward is GEMM-bound. Per sample
+    /// the result is bit-identical to [`LstmLayer::forward_cached`] (the
+    /// per-element accumulation order is the same).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seqs` is empty, the sequences differ in shape, or their
+    /// width is not `self.in_dim()`.
+    pub fn forward_batch_cached(&self, seqs: &[&Matrix]) -> LstmBatchCache {
+        assert!(!seqs.is_empty(), "lstm batch must be non-empty");
+        let steps = seqs[0].rows();
+        assert!(steps > 0, "lstm needs a non-empty sequence");
+        for s in seqs {
+            assert_eq!(
+                s.shape(),
+                (steps, self.in_dim),
+                "lstm batch sequences must share one shape"
+            );
+        }
+        let bsz = seqs.len();
+        let hd = self.hidden;
+
+        let mut h = vec![Matrix::zeros(bsz, hd)];
+        let mut c = vec![Matrix::zeros(bsz, hd)];
+        let mut gates = Vec::with_capacity(steps);
+        let mut xs = Vec::with_capacity(steps);
+        for t in 0..steps {
+            xs.push(Matrix::from_fn(bsz, self.in_dim, |s, i| seqs[s][(t, i)]));
+        }
+
+        for t in 0..steps {
+            // z = b ⊕ Xₜ·Wxᵀ + Hₜ₋₁·Whᵀ, accumulated bias-first exactly
+            // like the scalar step.
+            let mut z = Matrix::zeros(bsz, 4 * hd);
+            for s in 0..bsz {
+                z.row_mut(s).copy_from_slice(self.b());
+            }
+            gemm_slice(
+                1.0,
+                xs[t].as_slice(),
+                bsz,
+                self.in_dim,
+                Trans::No,
+                self.wx(),
+                4 * hd,
+                self.in_dim,
+                Trans::Yes,
+                1.0,
+                z.as_mut_slice(),
+            )
+            .expect("lstm input-gate shapes agree");
+            gemm_slice(
+                1.0,
+                h[t].as_slice(),
+                bsz,
+                hd,
+                Trans::No,
+                self.wh(),
+                4 * hd,
+                hd,
+                Trans::Yes,
+                1.0,
+                z.as_mut_slice(),
+            )
+            .expect("lstm hidden-gate shapes agree");
+
+            let mut c_new = Matrix::zeros(bsz, hd);
+            let mut h_new = Matrix::zeros(bsz, hd);
+            for s in 0..bsz {
+                let zr = z.row_mut(s);
+                for j in 0..hd {
+                    zr[j] = sigmoid(zr[j]);
+                    zr[hd + j] = sigmoid(zr[hd + j]);
+                    zr[2 * hd + j] = zr[2 * hd + j].tanh();
+                    zr[3 * hd + j] = sigmoid(zr[3 * hd + j]);
+                }
+                for j in 0..hd {
+                    let cv = zr[hd + j] * c[t][(s, j)] + zr[j] * zr[2 * hd + j];
+                    c_new[(s, j)] = cv;
+                    h_new[(s, j)] = zr[3 * hd + j] * cv.tanh();
+                }
+            }
+            gates.push(z);
+            h.push(h_new);
+            c.push(c_new);
+        }
+        LstmBatchCache { xs, h, c, gates }
+    }
+
+    /// Batched backpropagation through time from per-sample gradients on
+    /// the final hidden states (`d_h_last`: batch × H). Accumulates
+    /// parameter gradients; per time step the weight updates are two
+    /// accumulating GEMMs (`dWx += dZᵀ·Xₜ`, `dWh += dZᵀ·Hₜ₋₁`) and the
+    /// hidden-state gradient one more (`dHₜ₋₁ = dZ·Wh`).
+    ///
+    /// The input gradients are not materialised (the DRQN topology has no
+    /// layers below the LSTM); use [`LstmLayer::backward`] when ∂L/∂x is
+    /// needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_h_last` does not match the cache's batch × hidden
+    /// shape.
+    pub fn backward_batch(&mut self, cache: &LstmBatchCache, d_h_last: &Matrix) {
+        let hd = self.hidden;
+        let bsz = cache.batch();
+        assert_eq!(d_h_last.shape(), (bsz, hd), "d_h_last shape");
+        let wx_len = 4 * hd * self.in_dim;
+        let wh_len = 4 * hd * hd;
+
+        let mut dh = d_h_last.clone();
+        let mut dc = Matrix::zeros(bsz, hd);
+        let mut dz = Matrix::zeros(bsz, 4 * hd);
+
+        for t in (0..cache.steps()).rev() {
+            let gates = &cache.gates[t];
+            for s in 0..bsz {
+                let g = gates.row(s);
+                let dzr = dz.row_mut(s);
+                for j in 0..hd {
+                    let (gi, gf, gg, go) = (g[j], g[hd + j], g[2 * hd + j], g[3 * hd + j]);
+                    let tc = cache.c[t + 1][(s, j)].tanh();
+                    let do_ = dh[(s, j)] * tc;
+                    let dc_j = dc[(s, j)] + dh[(s, j)] * go * (1.0 - tc * tc);
+                    let di = dc_j * gg;
+                    let dg = dc_j * gi;
+                    let df = dc_j * cache.c[t][(s, j)];
+                    dzr[j] = di * gi * (1.0 - gi);
+                    dzr[hd + j] = df * gf * (1.0 - gf);
+                    dzr[2 * hd + j] = dg * (1.0 - gg * gg);
+                    dzr[3 * hd + j] = do_ * go * (1.0 - go);
+                    dc[(s, j)] = dc_j * gf;
+                }
+            }
+
+            let grads = &mut self.grads;
+            let params = &self.params;
+            gemm_slice(
+                1.0,
+                dz.as_slice(),
+                bsz,
+                4 * hd,
+                Trans::Yes,
+                cache.xs[t].as_slice(),
+                bsz,
+                self.in_dim,
+                Trans::No,
+                1.0,
+                &mut grads[..wx_len],
+            )
+            .expect("lstm dWx shapes agree");
+            gemm_slice(
+                1.0,
+                dz.as_slice(),
+                bsz,
+                4 * hd,
+                Trans::Yes,
+                cache.h[t].as_slice(),
+                bsz,
+                hd,
+                Trans::No,
+                1.0,
+                &mut grads[wx_len..wx_len + wh_len],
+            )
+            .expect("lstm dWh shapes agree");
+            for s in 0..bsz {
+                for (g, &d) in grads[wx_len + wh_len..].iter_mut().zip(dz.row(s)) {
+                    *g += d;
+                }
+            }
+            gemm_slice(
+                1.0,
+                dz.as_slice(),
+                bsz,
+                4 * hd,
+                Trans::No,
+                &params[wx_len..wx_len + wh_len],
+                4 * hd,
+                hd,
+                Trans::No,
+                0.0,
+                dh.as_mut_slice(),
+            )
+            .expect("lstm dh shapes agree");
+        }
+    }
+}
+
 impl Parameterized for LstmLayer {
     fn param_len(&self) -> usize {
         self.params.len()
@@ -391,6 +615,53 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn forward_batch_matches_scalar_bitwise() {
+        let l = lstm();
+        let s1 = seq();
+        let s2 = Matrix::from_fn(3, 3, |r, c| (r as f64 * 0.4 - c as f64 * 0.2).sin());
+        let cache = l.forward_batch_cached(&[&s1, &s2]);
+        assert_eq!(cache.steps(), 3);
+        assert_eq!(cache.batch(), 2);
+        assert_eq!(cache.final_hidden().row(0), l.forward(&s1).as_slice());
+        assert_eq!(cache.final_hidden().row(1), l.forward(&s2).as_slice());
+    }
+
+    #[test]
+    fn backward_batch_matches_sum_of_scalar_backwards() {
+        let mut l = lstm();
+        let s1 = seq();
+        let s2 = Matrix::from_fn(3, 3, |r, c| ((r + 2 * c) as f64 * 0.3).cos() * 0.5);
+        let d1 = [0.3, -0.7, 0.2, 1.1];
+        let d2 = [-0.4, 0.6, 0.9, -0.1];
+
+        l.zero_grads();
+        let cache = l.forward_batch_cached(&[&s1, &s2]);
+        let d = Matrix::from_rows(&[d1.to_vec(), d2.to_vec()]).unwrap();
+        l.backward_batch(&cache, &d);
+        let batched = l.grads();
+
+        l.zero_grads();
+        let c1 = l.forward_cached(&s1);
+        let _ = l.backward(&c1, &d1);
+        let c2 = l.forward_cached(&s2);
+        let _ = l.backward(&c2, &d2);
+        let scalar = l.grads();
+
+        for (i, (b, s)) in batched.iter().zip(&scalar).enumerate() {
+            assert!((b - s).abs() < 1e-12, "grad {i}: batched {b} vs scalar {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share one shape")]
+    fn batch_rejects_mixed_lengths() {
+        let l = lstm();
+        let s1 = seq();
+        let s2 = Matrix::zeros(2, 3);
+        let _ = l.forward_batch_cached(&[&s1, &s2]);
     }
 
     #[test]

@@ -15,6 +15,27 @@ pub struct MlpConfig {
     pub output_activation: Activation,
 }
 
+/// Persistent training scratch: per-layer activation/pre-activation caches
+/// plus flat parameter/gradient buffers, reused across
+/// [`Mlp::train_on_batch`] calls so steady-state training does not
+/// allocate.
+#[derive(Debug, Clone, Default)]
+struct MlpScratch {
+    /// `acts[0]` is a copy of the batch input; `acts[l + 1]` the activated
+    /// output of layer `l`.
+    acts: Vec<Matrix>,
+    /// Pre-activations per layer.
+    pres: Vec<Matrix>,
+    /// Pre-activation gradient buffer shared by the backward sweeps.
+    dz: Matrix,
+    /// Input-gradient buffer swapped with the running delta each layer.
+    dx: Matrix,
+    /// Flat parameter image for the optimizer step.
+    params: Vec<f64>,
+    /// Flat gradient image for the optimizer step.
+    grads: Vec<f64>,
+}
+
 /// A plain feed-forward network — the dense-layer Q-network the paper's
 /// DQN variant uses (§4.3, "one common way is using dense layers"), and the
 /// ablation baseline against the recurrent DRQN.
@@ -46,6 +67,10 @@ pub struct MlpConfig {
 #[derive(Debug, Clone)]
 pub struct Mlp {
     layers: Vec<DenseLayer>,
+    /// Interior mutability so the borrowing `forward_batch(&self)` path can
+    /// reuse the caches too; `Mlp` stays `Send` (the only bound the
+    /// Q-network plumbing needs).
+    scratch: std::cell::RefCell<MlpScratch>,
 }
 
 impl Mlp {
@@ -71,7 +96,10 @@ impl Mlp {
             };
             layers.push(DenseLayer::new(pair[0], pair[1], act, rng)?);
         }
-        Ok(Mlp { layers })
+        Ok(Mlp {
+            layers,
+            scratch: std::cell::RefCell::new(MlpScratch::default()),
+        })
     }
 
     /// Input dimension.
@@ -108,21 +136,113 @@ impl Mlp {
     ///
     /// Panics if `x.cols() != self.in_dim()`.
     pub fn forward_batch(&self, x: &Matrix) -> Matrix {
-        let mut cur = x.clone();
-        for layer in &self.layers {
-            let (_, post) = layer.forward_batch(&cur);
-            cur = post;
-        }
-        cur
+        let scratch = &mut *self.scratch.borrow_mut();
+        Self::forward_into_scratch(&self.layers, x, scratch);
+        scratch.acts.last().expect("at least one layer").clone()
     }
 
-    /// One optimisation step on a batch: forward, loss, backward, update.
-    /// Returns the batch loss.
+    /// Runs the batched forward pass, leaving per-layer inputs and
+    /// pre-activations in the reusable scratch caches.
+    fn forward_into_scratch(layers: &[DenseLayer], x: &Matrix, s: &mut MlpScratch) {
+        s.acts.resize(layers.len() + 1, Matrix::default());
+        s.pres.resize(layers.len(), Matrix::default());
+        s.acts[0].resize(x.rows(), x.cols());
+        s.acts[0].as_mut_slice().copy_from_slice(x.as_slice());
+        for (i, layer) in layers.iter().enumerate() {
+            let (head, tail) = s.acts.split_at_mut(i + 1);
+            layer.forward_batch_into(&head[i], &mut s.pres[i], &mut tail[0]);
+        }
+    }
+
+    /// One optimisation step on a batch: forward, loss, backward, update —
+    /// every matrix product a GEMM against persistent per-layer scratch
+    /// buffers. Returns the batch loss.
     ///
     /// # Panics
     ///
     /// Panics on shape mismatches between `x`, `targets` and the network.
     pub fn train_on_batch(
+        &mut self,
+        x: &Matrix,
+        targets: &Matrix,
+        loss: Loss,
+        optimizer: &mut dyn Optimizer,
+    ) -> f64 {
+        assert_eq!(x.rows(), targets.rows(), "batch size mismatch");
+        assert_eq!(targets.cols(), self.out_dim(), "target width mismatch");
+        self.train_on_batch_td(x, &mut |_| targets.clone(), loss, optimizer)
+    }
+
+    /// One optimisation step where the targets are derived *from the batch
+    /// predictions*: `make_targets` receives the forward pass's output and
+    /// returns the regression targets. This is the TD-learning fast path —
+    /// the DQN target vector is the prediction with only the taken actions
+    /// replaced, so building it here reuses the training forward pass
+    /// instead of paying a second one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches between `x`, the produced targets and the
+    /// network.
+    pub fn train_on_batch_td(
+        &mut self,
+        x: &Matrix,
+        make_targets: &mut dyn FnMut(&Matrix) -> Matrix,
+        loss: Loss,
+        optimizer: &mut dyn Optimizer,
+    ) -> f64 {
+        let scratch = self.scratch.get_mut();
+        Self::forward_into_scratch(&self.layers, x, scratch);
+        let pred = scratch.acts.last().expect("at least one layer");
+        let targets = make_targets(pred);
+        assert_eq!(targets.shape(), pred.shape(), "target shape mismatch");
+        let (loss_value, grad_flat) = loss.evaluate(pred.as_slice(), targets.as_slice());
+        let mut d = Matrix::from_vec(pred.rows(), pred.cols(), grad_flat)
+            .expect("gradient has prediction shape");
+
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            // The first layer has no consumer for ∂L/∂x — skip that GEMM.
+            let dx = (i > 0).then_some(&mut scratch.dx);
+            layer.backward_batch_into(&scratch.acts[i], &scratch.pres[i], &d, &mut scratch.dz, dx);
+            if i > 0 {
+                std::mem::swap(&mut d, &mut scratch.dx);
+            }
+        }
+
+        // Optimizer step through the persistent flat buffers.
+        let n_params: usize = self.layers.iter().map(|l| l.param_len()).sum();
+        scratch.params.resize(n_params, 0.0);
+        scratch.grads.resize(n_params, 0.0);
+        let mut offset = 0;
+        for l in &self.layers {
+            let n = l.param_len();
+            scratch.params[offset..offset + n].copy_from_slice(l.params_raw());
+            scratch.grads[offset..offset + n].copy_from_slice(l.grads_raw());
+            offset += n;
+        }
+        optimizer.step(&mut scratch.params, &scratch.grads);
+        let mut offset = 0;
+        for l in &mut self.layers {
+            let n = l.param_len();
+            l.set_params(&scratch.params[offset..offset + n]);
+            offset += n;
+        }
+        loss_value
+    }
+
+    /// The pinned pre-vectorisation training step (scalar per-element
+    /// loops throughout) — the oracle for trace-equivalence tests and the
+    /// baseline the `train_step` regression bench measures speedups
+    /// against. Numerically matches [`Mlp::train_on_batch`] bit-for-bit on
+    /// finite inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches between `x`, `targets` and the network.
+    pub fn train_on_batch_reference(
         &mut self,
         x: &Matrix,
         targets: &Matrix,
@@ -137,7 +257,7 @@ impl Mlp {
         let mut pres: Vec<Matrix> = Vec::with_capacity(self.layers.len());
         let mut cur = x.clone();
         for layer in &self.layers {
-            let (pre, post) = layer.forward_batch(&cur);
+            let (pre, post) = layer.forward_batch_reference(&cur);
             inputs.push(cur);
             pres.push(pre);
             cur = post;
@@ -154,7 +274,7 @@ impl Mlp {
             .zip(inputs.iter().zip(pres.iter()))
             .rev()
         {
-            d = layer.backward_batch(input, pre, &d);
+            d = layer.backward_batch_reference(input, pre, &d);
         }
 
         let mut params = self.params();

@@ -3,7 +3,9 @@ use rand::Rng;
 use drcell_linalg::Matrix;
 use drcell_neural::{Loss, Optimizer};
 
-use crate::{epsilon_greedy, masked_max, QNetwork, ReplayBuffer, RlError, Transition};
+use crate::{
+    epsilon_greedy, masked_argmax, masked_max, QNetwork, ReplayBuffer, RlError, Transition,
+};
 
 /// Hyper-parameters of the DQN/DRQN agent (paper Algorithm 2).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -166,11 +168,100 @@ impl<N: QNetwork> DqnAgent<N> {
         self.replay.push(transition);
     }
 
-    /// One training step: sample a minibatch, regress the online network
-    /// towards the fixed-target TD values (paper eq. 7), and periodically
-    /// sync the target network. Returns the batch loss, or `None` while the
-    /// replay buffer is still warming up.
+    /// One training step: sample a minibatch *by index* (no `Transition`
+    /// clones), build the fixed-target TD values (paper eq. 7) from **one
+    /// batched forward per network** — current states through the online
+    /// net, next states through the target net (plus one online pass for
+    /// Double DQN) — then regress with the GEMM-backed batched update and
+    /// periodically sync the target network. Returns the batch loss, or
+    /// `None` while the replay buffer is still warming up.
+    ///
+    /// Numerically this reproduces the per-sample scalar reference path
+    /// ([`DqnAgent::train_step_reference`]) bit-for-bit for dense networks
+    /// and to ≤1e-9 for the DRQN.
     pub fn train_step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<f64> {
+        if self.replay.len() < self.config.learning_starts.max(self.config.batch_size) {
+            return None;
+        }
+        let idxs = self.replay.sample_indices(self.config.batch_size, rng);
+        let states: Vec<&Matrix> = idxs.iter().map(|&i| &self.replay.get(i).state).collect();
+        let next_states: Vec<&Matrix> = idxs
+            .iter()
+            .map(|&i| &self.replay.get(i).next_state)
+            .collect();
+
+        // TD targets per transition: `r + γ·bootstrap`, needing only the
+        // next-state sweeps.
+        let q_next_target = self.target.q_values_batch(&next_states);
+        let q_next_online = if self.config.double_dqn {
+            Some(self.online.q_values_batch(&next_states))
+        } else {
+            None
+        };
+        let td: Vec<(usize, f64)> = idxs
+            .iter()
+            .enumerate()
+            .map(|(b, &i)| {
+                let t = self.replay.get(i);
+                let bootstrap = if t.terminal {
+                    0.0
+                } else if let Some(q_online) = &q_next_online {
+                    // Double DQN: select with the online net, evaluate with
+                    // the target net.
+                    match masked_argmax(q_online.row(b), &t.next_mask) {
+                        Some(a_star) => q_next_target[(b, a_star)],
+                        None => 0.0,
+                    }
+                } else {
+                    masked_max(q_next_target.row(b), &t.next_mask).unwrap_or(0.0)
+                };
+                (t.action, t.reward + self.config.gamma * bootstrap)
+            })
+            .collect();
+
+        // Target matrix = online predictions with only the taken actions
+        // replaced by the TD targets, so the loss gradient touches only
+        // those actions' outputs; `train_td` reuses the training forward
+        // pass as the prediction base (one online sweep instead of two).
+        let loss = self.online.train_td(
+            &states,
+            &mut |pred| {
+                let mut targets = pred.clone();
+                for (b, &(action, value)) in td.iter().enumerate() {
+                    targets[(b, action)] = value;
+                }
+                targets
+            },
+            self.config.loss,
+            &mut *self.optimizer,
+        );
+
+        self.train_steps += 1;
+        if self
+            .train_steps
+            .is_multiple_of(self.config.target_update_interval as u64)
+        {
+            self.sync_target();
+        }
+        Some(loss)
+    }
+
+    /// The scalar reference training step: clones the sampled transitions
+    /// and runs one scalar Q-network forward per transition to build the
+    /// targets, with the per-sample loop structure and per-element kernels
+    /// of the pre-vectorisation implementation — kept as the oracle for
+    /// trace-equivalence tests and the baseline the `train_step`
+    /// regression bench measures speedups against.
+    ///
+    /// Draws the same RNG sequence as [`DqnAgent::train_step`], so two
+    /// identically seeded agents stepped through the two paths see the
+    /// same minibatches. Two deliberate departures from the pre-PR code
+    /// (shared with the batched path, so seeded traces recorded *before*
+    /// this engine are not replayed exactly): Double-DQN action selection
+    /// uses the value-identical, draw-free [`masked_argmax`] instead of
+    /// `epsilon_greedy(…, 0.0, rng)`, and single-sample forwards
+    /// accumulate bias-first to match the batched GEMM ordering.
+    pub fn train_step_reference<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<f64> {
         if self.replay.len() < self.config.learning_starts.max(self.config.batch_size) {
             return None;
         }
@@ -181,20 +272,14 @@ impl<N: QNetwork> DqnAgent<N> {
             .cloned()
             .collect();
 
-        let mut states = Vec::with_capacity(batch.len());
-        let mut targets = Vec::with_capacity(batch.len());
+        let mut target_rows = Vec::with_capacity(batch.len());
         for t in &batch {
-            // Target vector = online prediction with only the taken action
-            // replaced by the TD target, so the loss gradient touches only
-            // that action's output.
             let mut target_vec = self.online.q_values(&t.state);
             let bootstrap = if t.terminal {
                 0.0
             } else if self.config.double_dqn {
-                // Double DQN: select with the online net, evaluate with the
-                // target net.
                 let q_online_next = self.online.q_values(&t.next_state);
-                match epsilon_greedy(&q_online_next, &t.next_mask, 0.0, rng) {
+                match masked_argmax(&q_online_next, &t.next_mask) {
                     Some(a_star) => self.target.q_values(&t.next_state)[a_star],
                     None => 0.0,
                 }
@@ -203,13 +288,17 @@ impl<N: QNetwork> DqnAgent<N> {
                 masked_max(&q_next, &t.next_mask).unwrap_or(0.0)
             };
             target_vec[t.action] = t.reward + self.config.gamma * bootstrap;
-            states.push(t.state.clone());
-            targets.push(target_vec);
+            target_rows.push(target_vec);
         }
 
-        let loss =
-            self.online
-                .train_batch(&states, &targets, self.config.loss, &mut *self.optimizer);
+        let states: Vec<&Matrix> = batch.iter().map(|t| &t.state).collect();
+        let targets = Matrix::from_rows(&target_rows).expect("uniform target widths");
+        let loss = self.online.train_batch_reference(
+            &states,
+            &targets,
+            self.config.loss,
+            &mut *self.optimizer,
+        );
 
         self.train_steps += 1;
         if self
@@ -524,6 +613,102 @@ mod tests {
             ));
         }
         assert!(agent.train_step(&mut rng).is_some());
+    }
+
+    fn prefilled_agent<N: QNetwork>(net: N, cells: usize, k: usize, double: bool) -> DqnAgent<N> {
+        let mut agent = DqnAgent::new(
+            net,
+            Box::new(Adam::new(1e-3)),
+            DqnConfig {
+                batch_size: 16,
+                learning_starts: 16,
+                target_update_interval: 25,
+                double_dqn: double,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for i in 0..96 {
+            let mut s = Matrix::zeros(k, cells);
+            s[(k - 1, i % cells)] = 1.0;
+            let mut s2 = s.clone();
+            s2[(k - 1, (i + 1) % cells)] = 1.0;
+            let mut mask = vec![true; cells];
+            mask[i % cells] = false;
+            agent.observe(Transition::new(
+                s,
+                (i + 1) % cells,
+                if i % 5 == 0 { 7.0 } else { -1.0 },
+                s2,
+                mask,
+                i % 11 == 10,
+            ));
+        }
+        agent
+    }
+
+    /// The batched `train_step` must reproduce the historical per-sample
+    /// path's loss trace and final parameters. For the dense network the
+    /// two are bit-identical; ≤1e-9 is asserted.
+    #[test]
+    fn batched_train_step_reproduces_reference_trace_mlp() {
+        for double in [false, true] {
+            let mut rng = StdRng::seed_from_u64(77);
+            let net = MlpQNetwork::new(3, 6, &[64, 64], &mut rng).unwrap();
+            let mut batched = prefilled_agent(net.clone(), 6, 3, double);
+            let mut reference = prefilled_agent(net, 6, 3, double);
+
+            let mut rng_b = StdRng::seed_from_u64(123);
+            let mut rng_r = StdRng::seed_from_u64(123);
+            for step in 0..200 {
+                let lb = batched.train_step(&mut rng_b).unwrap();
+                let lr = reference.train_step_reference(&mut rng_r).unwrap();
+                assert!(
+                    (lb - lr).abs() <= 1e-9,
+                    "double={double} step {step}: batched {lb} vs reference {lr}"
+                );
+            }
+            for (pb, pr) in batched
+                .export_params()
+                .iter()
+                .zip(reference.export_params())
+            {
+                assert!(
+                    (pb - pr).abs() <= 1e-9,
+                    "double={double}: params drifted ({pb} vs {pr})"
+                );
+            }
+        }
+    }
+
+    /// Same contract for the recurrent network. The batched LSTM sums
+    /// gradients time-major instead of sample-major, so agreement is to
+    /// rounding noise rather than bitwise; a short trace stays well inside
+    /// 1e-9.
+    #[test]
+    fn batched_train_step_reproduces_reference_trace_drqn() {
+        let mut rng = StdRng::seed_from_u64(78);
+        let net = DrqnQNetwork::new(5, 24, &mut rng).unwrap();
+        let mut batched = prefilled_agent(net.clone(), 5, 3, false);
+        let mut reference = prefilled_agent(net, 5, 3, false);
+
+        let mut rng_b = StdRng::seed_from_u64(321);
+        let mut rng_r = StdRng::seed_from_u64(321);
+        for step in 0..40 {
+            let lb = batched.train_step(&mut rng_b).unwrap();
+            let lr = reference.train_step_reference(&mut rng_r).unwrap();
+            assert!(
+                (lb - lr).abs() <= 1e-9,
+                "step {step}: batched {lb} vs reference {lr}"
+            );
+        }
+        for (pb, pr) in batched
+            .export_params()
+            .iter()
+            .zip(reference.export_params())
+        {
+            assert!((pb - pr).abs() <= 1e-9, "params drifted ({pb} vs {pr})");
+        }
     }
 
     #[test]

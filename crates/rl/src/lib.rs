@@ -75,6 +75,21 @@ pub fn epsilon_greedy<R: Rng + ?Sized>(
         .reduce(|best, i| if q[i] > q[best] { i } else { best })
 }
 
+/// Index of the largest Q-value among valid actions (ties toward lower
+/// indices, matching the greedy arm of [`epsilon_greedy`]); `None` if no
+/// action is valid.
+///
+/// # Panics
+///
+/// Panics if `q.len() != mask.len()`.
+pub fn masked_argmax(q: &[f64], mask: &[bool]) -> Option<usize> {
+    assert_eq!(q.len(), mask.len(), "q/mask length mismatch");
+    mask.iter()
+        .enumerate()
+        .filter_map(|(i, &ok)| if ok { Some(i) } else { None })
+        .reduce(|best, i| if q[i] > q[best] { i } else { best })
+}
+
 /// Largest Q-value among valid actions; `None` if no action is valid.
 ///
 /// # Panics
@@ -146,6 +161,24 @@ mod tests {
         assert_eq!(masked_max(&[1.0, 5.0], &[true, false]), Some(1.0));
         assert_eq!(masked_max(&[1.0, 5.0], &[false, false]), None);
         assert_eq!(masked_max(&[-1.0, -5.0], &[true, true]), Some(-1.0));
+    }
+
+    #[test]
+    fn masked_argmax_matches_greedy_epsilon_greedy() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let q = [0.3, 0.9, 0.9, -2.0];
+        for mask in [
+            [true, true, true, true],
+            [true, false, true, true],
+            [true, false, false, true],
+            [false, false, false, false],
+        ] {
+            assert_eq!(
+                masked_argmax(&q, &mask),
+                epsilon_greedy(&q, &mask, 0.0, &mut rng),
+                "mask {mask:?}"
+            );
+        }
     }
 
     #[test]

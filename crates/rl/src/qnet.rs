@@ -16,12 +16,39 @@ pub trait QNetwork: Parameterized + Clone + Send {
     /// Q-values, one per action, for a state.
     fn q_values(&self, state: &Matrix) -> Vec<f64>;
 
-    /// One optimisation step on `(state, target-Q-vector)` pairs; returns
-    /// the batch loss.
+    /// Q-values for a batch of states in one vectorised sweep
+    /// (`batch × num_actions`). Row `i` equals `q_values(states[i])`
+    /// bit-for-bit — the replay-minibatch fast path of the training loop.
+    fn q_values_batch(&self, states: &[&Matrix]) -> Matrix;
+
+    /// One optimisation step towards a `batch × num_actions` target-Q
+    /// matrix; returns the batch loss.
     fn train_batch(
         &mut self,
-        states: &[Matrix],
-        targets: &[Vec<f64>],
+        states: &[&Matrix],
+        targets: &Matrix,
+        loss: Loss,
+        optimizer: &mut dyn Optimizer,
+    ) -> f64;
+
+    /// One optimisation step where `make_targets` builds the target-Q
+    /// matrix from the batch predictions — the TD fast path: the training
+    /// forward pass doubles as the target-vector base, so `train_step`
+    /// needs one forward through the online network instead of two.
+    fn train_td(
+        &mut self,
+        states: &[&Matrix],
+        make_targets: &mut dyn FnMut(&Matrix) -> Matrix,
+        loss: Loss,
+        optimizer: &mut dyn Optimizer,
+    ) -> f64;
+
+    /// The pinned scalar (pre-vectorisation) training step — the oracle
+    /// for trace-equivalence tests and the regression-bench baseline.
+    fn train_batch_reference(
+        &mut self,
+        states: &[&Matrix],
+        targets: &Matrix,
         loss: Loss,
         optimizer: &mut dyn Optimizer,
     ) -> f64;
@@ -76,34 +103,70 @@ impl MlpQNetwork {
         self.history
     }
 
-    fn flatten(&self, state: &Matrix) -> Vec<f64> {
+    fn check_shape(&self, state: &Matrix) {
         assert_eq!(
             state.shape(),
             (self.history, self.cells),
             "state must be history × cells"
         );
-        state.as_slice().to_vec()
+    }
+
+    /// Stacks `k × m` histories into one `batch × (k·m)` design matrix.
+    fn stack(&self, states: &[&Matrix]) -> Matrix {
+        assert!(!states.is_empty(), "empty batch");
+        let width = self.history * self.cells;
+        let mut data = Vec::with_capacity(states.len() * width);
+        for s in states {
+            self.check_shape(s);
+            data.extend_from_slice(s.as_slice());
+        }
+        Matrix::from_vec(states.len(), width, data).expect("uniform state shapes")
     }
 }
 
 impl QNetwork for MlpQNetwork {
     fn q_values(&self, state: &Matrix) -> Vec<f64> {
-        self.mlp.forward(&self.flatten(state))
+        self.check_shape(state);
+        self.mlp.forward(state.as_slice())
+    }
+
+    fn q_values_batch(&self, states: &[&Matrix]) -> Matrix {
+        self.mlp.forward_batch(&self.stack(states))
     }
 
     fn train_batch(
         &mut self,
-        states: &[Matrix],
-        targets: &[Vec<f64>],
+        states: &[&Matrix],
+        targets: &Matrix,
         loss: Loss,
         optimizer: &mut dyn Optimizer,
     ) -> f64 {
-        assert_eq!(states.len(), targets.len(), "batch size mismatch");
-        assert!(!states.is_empty(), "empty batch");
-        let x_rows: Vec<Vec<f64>> = states.iter().map(|s| self.flatten(s)).collect();
-        let x = Matrix::from_rows(&x_rows).expect("uniform state shapes");
-        let t = Matrix::from_rows(targets).expect("uniform target shapes");
-        self.mlp.train_on_batch(&x, &t, loss, optimizer)
+        let x = self.stack(states);
+        self.mlp.train_on_batch(&x, targets, loss, optimizer)
+    }
+
+    fn train_td(
+        &mut self,
+        states: &[&Matrix],
+        make_targets: &mut dyn FnMut(&Matrix) -> Matrix,
+        loss: Loss,
+        optimizer: &mut dyn Optimizer,
+    ) -> f64 {
+        let x = self.stack(states);
+        self.mlp
+            .train_on_batch_td(&x, make_targets, loss, optimizer)
+    }
+
+    fn train_batch_reference(
+        &mut self,
+        states: &[&Matrix],
+        targets: &Matrix,
+        loss: Loss,
+        optimizer: &mut dyn Optimizer,
+    ) -> f64 {
+        let x = self.stack(states);
+        self.mlp
+            .train_on_batch_reference(&x, targets, loss, optimizer)
     }
 
     fn num_actions(&self) -> usize {
@@ -170,14 +233,40 @@ impl QNetwork for DrqnQNetwork {
         self.net.forward(state)
     }
 
+    fn q_values_batch(&self, states: &[&Matrix]) -> Matrix {
+        self.net.forward_batch(states)
+    }
+
     fn train_batch(
         &mut self,
-        states: &[Matrix],
-        targets: &[Vec<f64>],
+        states: &[&Matrix],
+        targets: &Matrix,
         loss: Loss,
         optimizer: &mut dyn Optimizer,
     ) -> f64 {
         self.net.train_on_batch(states, targets, loss, optimizer)
+    }
+
+    fn train_td(
+        &mut self,
+        states: &[&Matrix],
+        make_targets: &mut dyn FnMut(&Matrix) -> Matrix,
+        loss: Loss,
+        optimizer: &mut dyn Optimizer,
+    ) -> f64 {
+        self.net
+            .train_on_batch_td(states, make_targets, loss, optimizer)
+    }
+
+    fn train_batch_reference(
+        &mut self,
+        states: &[&Matrix],
+        targets: &Matrix,
+        loss: Loss,
+        optimizer: &mut dyn Optimizer,
+    ) -> f64 {
+        self.net
+            .train_on_batch_reference(states, targets, loss, optimizer)
     }
 
     fn num_actions(&self) -> usize {
@@ -239,11 +328,10 @@ mod tests {
     #[test]
     fn both_networks_fit_simple_targets() {
         let mut rng = StdRng::seed_from_u64(3);
-        let states = vec![
-            Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 0.0]]).unwrap(),
-            Matrix::from_rows(&[vec![0.0, 1.0], vec![0.0, 0.0]]).unwrap(),
-        ];
-        let targets = vec![vec![1.0, -1.0], vec![-1.0, 1.0]];
+        let s0 = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 0.0]]).unwrap();
+        let s1 = Matrix::from_rows(&[vec![0.0, 1.0], vec![0.0, 0.0]]).unwrap();
+        let states = vec![&s0, &s1];
+        let targets = Matrix::from_rows(&[vec![1.0, -1.0], vec![-1.0, 1.0]]).unwrap();
 
         let mut mlp_q = MlpQNetwork::new(2, 2, &[16], &mut rng).unwrap();
         let mut opt = Adam::new(0.02);
@@ -259,6 +347,26 @@ mod tests {
             last = drqn_q.train_batch(&states, &targets, Loss::Mse, &mut opt);
         }
         assert!(last < 0.05, "drqn loss {last}");
+    }
+
+    #[test]
+    fn q_values_batch_matches_single_bitwise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let s0 = Matrix::from_fn(3, 4, |r, c| (r as f64 - c as f64) * 0.25);
+        let s1 = Matrix::from_fn(3, 4, |r, c| ((r * 4 + c) as f64 * 0.31).sin());
+        let states = vec![&s0, &s1];
+
+        let mlp_q = MlpQNetwork::new(3, 4, &[16], &mut rng).unwrap();
+        let batch = mlp_q.q_values_batch(&states);
+        for (i, s) in states.iter().enumerate() {
+            assert_eq!(batch.row(i), mlp_q.q_values(s).as_slice(), "mlp row {i}");
+        }
+
+        let drqn_q = DrqnQNetwork::new(4, 8, &mut rng).unwrap();
+        let batch = drqn_q.q_values_batch(&states);
+        for (i, s) in states.iter().enumerate() {
+            assert_eq!(batch.row(i), drqn_q.q_values(s).as_slice(), "drqn row {i}");
+        }
     }
 
     #[test]

@@ -77,12 +77,32 @@ impl<T> ReplayBuffer<T> {
     /// Draws `n` experiences uniformly *with replacement*. Returns fewer
     /// than `n` only when the buffer is empty (then an empty vec).
     pub fn sample<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<&T> {
+        self.sample_indices(n, rng)
+            .into_iter()
+            .map(|i| &self.items[i])
+            .collect()
+    }
+
+    /// Draws `n` storage indices uniformly *with replacement* — the
+    /// allocation-light sampling path: callers borrow the experiences via
+    /// [`ReplayBuffer::get`] instead of cloning them. Draws the same index
+    /// sequence as [`ReplayBuffer::sample`] for a given RNG state. Returns
+    /// an empty vec when the buffer is empty.
+    pub fn sample_indices<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<usize> {
         if self.items.is_empty() {
             return Vec::new();
         }
-        (0..n)
-            .map(|_| &self.items[rng.gen_range(0..self.items.len())])
-            .collect()
+        (0..n).map(|_| rng.gen_range(0..self.items.len())).collect()
+    }
+
+    /// Borrows the experience at storage index `i` (as returned by
+    /// [`ReplayBuffer::sample_indices`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn get(&self, i: usize) -> &T {
+        &self.items[i]
     }
 
     /// Removes all stored experiences.
@@ -143,6 +163,57 @@ mod tests {
                 "uniform sampling badly skewed: {counts:?}"
             );
         }
+    }
+
+    /// A payload that counts how often it is cloned, to pin the
+    /// no-copy contract of the index-based sampling path.
+    #[derive(Debug)]
+    struct CloneCounter(std::rc::Rc<std::cell::Cell<usize>>);
+
+    impl Clone for CloneCounter {
+        fn clone(&self) -> Self {
+            self.0.set(self.0.get() + 1);
+            CloneCounter(self.0.clone())
+        }
+    }
+
+    #[test]
+    fn index_sampling_never_clones_experiences() {
+        let clones = std::rc::Rc::new(std::cell::Cell::new(0usize));
+        let mut buf = ReplayBuffer::new(100_000).unwrap();
+        for _ in 0..100_000 {
+            buf.push(CloneCounter(clones.clone()));
+        }
+        assert_eq!(buf.len(), 100_000);
+        assert_eq!(clones.get(), 0, "pushing must move, not clone");
+        let mut rng = StdRng::seed_from_u64(3);
+        let idxs = buf.sample_indices(1024, &mut rng);
+        assert_eq!(idxs.len(), 1024);
+        for &i in &idxs {
+            let _borrowed: &CloneCounter = buf.get(i);
+        }
+        assert_eq!(
+            clones.get(),
+            0,
+            "index-based sampling must not copy any experience"
+        );
+    }
+
+    #[test]
+    fn sample_and_sample_indices_draw_identically() {
+        let mut buf = ReplayBuffer::new(8).unwrap();
+        for i in 0..8 {
+            buf.push(i);
+        }
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let mut rng_b = StdRng::seed_from_u64(11);
+        let by_ref: Vec<i32> = buf.sample(16, &mut rng_a).into_iter().copied().collect();
+        let by_idx: Vec<i32> = buf
+            .sample_indices(16, &mut rng_b)
+            .into_iter()
+            .map(|i| *buf.get(i))
+            .collect();
+        assert_eq!(by_ref, by_idx);
     }
 
     #[test]
