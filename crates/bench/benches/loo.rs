@@ -22,7 +22,7 @@
 //! it is skipped with a note asking for a re-recorded baseline.
 
 use criterion::black_box;
-use drcell_bench::{loo_working_set, median_us};
+use drcell_bench::{gate, loo_working_set, median_us};
 use drcell_core::RunnerConfig;
 use drcell_inference::{BatchedLooEngine, CompressiveSensing, NaiveLooSolver};
 use drcell_quality::{ErrorMetric, QualityAssessor, QualityRequirement};
@@ -73,20 +73,6 @@ fn measure() -> Medians {
     }
 }
 
-/// Resolves a path against the workspace root (cargo runs benches from the
-/// package directory), so `--check BENCH_loo.json` targets the committed
-/// top-level baseline regardless of invocation directory.
-fn resolve(path: &str) -> std::path::PathBuf {
-    let p = std::path::Path::new(path);
-    if p.is_absolute() {
-        p.to_path_buf()
-    } else {
-        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../..")
-            .join(p)
-    }
-}
-
 fn write_json(path: &str, m: &Medians) {
     let json = format!(
         "{{\n  \"bench\": \"loo_assess_57x24_sensed16\",\n  \"naive_us\": {:.1},\n  \"batched_us\": {:.1},\n  \"speedup\": {:.2}\n}}\n",
@@ -94,28 +80,11 @@ fn write_json(path: &str, m: &Medians) {
         m.batched_us,
         m.speedup()
     );
-    let target = resolve(path);
-    std::fs::write(&target, json)
-        .unwrap_or_else(|e| panic!("cannot write {}: {e}", target.display()));
-    println!("wrote {}", target.display());
-}
-
-/// Pulls a numeric field out of the baseline JSON (flat, known schema).
-fn json_field(body: &str, key: &str) -> Option<f64> {
-    let tag = format!("\"{key}\":");
-    let rest = &body[body.find(&tag)? + tag.len()..];
-    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
-    rest[..end].trim().parse().ok()
+    gate::write_baseline(path, &json);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let flag = |name: &str| -> Option<String> {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1).cloned())
-    };
-    // Ignore harness flags cargo bench passes through (e.g. --bench).
 
     let m = measure();
     println!("group: loo (57 cells x 24 cycles, 16 sensed, default tolerances)");
@@ -123,19 +92,18 @@ fn main() {
     println!("  assess/batched    median {:>10.1} µs", m.batched_us);
     println!("  speedup           {:>17.2}x", m.speedup());
 
-    if let Some(path) = flag("--write") {
+    if let Some(path) = gate::flag(&args, "--write") {
         write_json(&path, &m);
     }
-    if let Some(path) = flag("--check") {
-        let max_regression: f64 = flag("--max-regression")
+    if let Some(path) = gate::flag(&args, "--check") {
+        let max_regression: f64 = gate::flag(&args, "--max-regression")
             .and_then(|s| s.parse().ok())
             .unwrap_or(0.15);
-        let target = resolve(&path);
-        let body = std::fs::read_to_string(&target)
-            .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", target.display()));
+        let body = gate::read_baseline(&path);
         let baseline_batched =
-            json_field(&body, "batched_us").expect("baseline is missing batched_us");
-        let baseline_naive = json_field(&body, "naive_us").expect("baseline is missing naive_us");
+            gate::json_field(&body, "batched_us").expect("baseline is missing batched_us");
+        let baseline_naive =
+            gate::json_field(&body, "naive_us").expect("baseline is missing naive_us");
         let mut failed = false;
 
         // Machine-portable regression check: the batched median normalised

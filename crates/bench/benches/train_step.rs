@@ -27,7 +27,7 @@
 //! this run's); otherwise they are skipped with a note.
 
 use criterion::black_box;
-use drcell_bench::median_us;
+use drcell_bench::{gate, median_us};
 use drcell_linalg::Matrix;
 use drcell_neural::Adam;
 use drcell_rl::{DqnAgent, DqnConfig, DrqnQNetwork, MlpQNetwork, QNetwork, Transition};
@@ -151,20 +151,6 @@ fn measure() -> Medians {
     }
 }
 
-/// Resolves a path against the workspace root (cargo runs benches from the
-/// package directory), so `--check BENCH_train.json` targets the committed
-/// top-level baseline regardless of invocation directory.
-fn resolve(path: &str) -> std::path::PathBuf {
-    let p = std::path::Path::new(path);
-    if p.is_absolute() {
-        p.to_path_buf()
-    } else {
-        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../..")
-            .join(p)
-    }
-}
-
 fn write_json(path: &str, m: &Medians) {
     let json = format!(
         "{{\n  \"bench\": \"train_step_mlp64x64_57cells_k3\",\n  \"scalar_us_b32\": {:.1},\n  \"batched_us_b32\": {:.1},\n  \"speedup_b32\": {:.2},\n  \"scalar_us_b128\": {:.1},\n  \"batched_us_b128\": {:.1},\n  \"speedup_b128\": {:.2},\n  \"matmul128_naive_us\": {:.1},\n  \"matmul128_gemm_us\": {:.1},\n  \"matmul128_speedup\": {:.2}\n}}\n",
@@ -178,18 +164,7 @@ fn write_json(path: &str, m: &Medians) {
         m.matmul128_gemm_us,
         m.matmul_speedup(),
     );
-    let target = resolve(path);
-    std::fs::write(&target, json)
-        .unwrap_or_else(|e| panic!("cannot write {}: {e}", target.display()));
-    println!("wrote {}", target.display());
-}
-
-/// Pulls a numeric field out of the baseline JSON (flat, known schema).
-fn json_field(body: &str, key: &str) -> Option<f64> {
-    let tag = format!("\"{key}\":");
-    let rest = &body[body.find(&tag)? + tag.len()..];
-    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
-    rest[..end].trim().parse().ok()
+    gate::write_baseline(path, &json);
 }
 
 fn print_drqn_info() {
@@ -213,11 +188,6 @@ fn print_drqn_info() {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let flag = |name: &str| -> Option<String> {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1).cloned())
-    };
     // Ignore harness flags cargo bench passes through (e.g. --bench).
 
     let m = measure();
@@ -239,20 +209,18 @@ fn main() {
     println!("  matmul128 speedup {:>17.2}x", m.matmul_speedup());
     print_drqn_info();
 
-    if let Some(path) = flag("--write") {
+    if let Some(path) = gate::flag(&args, "--write") {
         write_json(&path, &m);
     }
-    if let Some(path) = flag("--check") {
-        let max_regression: f64 = flag("--max-regression")
+    if let Some(path) = gate::flag(&args, "--check") {
+        let max_regression: f64 = gate::flag(&args, "--max-regression")
             .and_then(|s| s.parse().ok())
             .unwrap_or(0.15);
-        let target = resolve(&path);
-        let body = std::fs::read_to_string(&target)
-            .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", target.display()));
+        let body = gate::read_baseline(&path);
         let baseline_batched =
-            json_field(&body, "batched_us_b32").expect("baseline is missing batched_us_b32");
+            gate::json_field(&body, "batched_us_b32").expect("baseline is missing batched_us_b32");
         let baseline_scalar =
-            json_field(&body, "scalar_us_b32").expect("baseline is missing scalar_us_b32");
+            gate::json_field(&body, "scalar_us_b32").expect("baseline is missing scalar_us_b32");
         let mut failed = false;
 
         // Same-run speedup contracts (machine independent).

@@ -159,9 +159,68 @@ pub fn median_us<F: FnMut()>(samples: usize, mut f: F) -> f64 {
     times[times.len() / 2]
 }
 
+/// Shared plumbing of the gated regression benches (`loo`, `train_step`,
+/// `par`, `decomp`): workspace-root path resolution, the flat-JSON baseline
+/// format, and `--flag value` argument parsing. One definition so every
+/// gate reads and writes baselines the same way.
+pub mod gate {
+    use std::path::{Path, PathBuf};
+
+    /// Resolves a path against the workspace root (cargo runs benches from
+    /// the package directory), so `--check BENCH_x.json` targets the
+    /// committed top-level baseline regardless of invocation directory.
+    pub fn resolve(path: &str) -> PathBuf {
+        let p = Path::new(path);
+        if p.is_absolute() {
+            p.to_path_buf()
+        } else {
+            Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(p)
+        }
+    }
+
+    /// Pulls a numeric field out of a flat, known-schema baseline JSON.
+    pub fn json_field(body: &str, key: &str) -> Option<f64> {
+        let tag = format!("\"{key}\":");
+        let rest = &body[body.find(&tag)? + tag.len()..];
+        let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+        rest[..end].trim().parse().ok()
+    }
+
+    /// The value following `--name` in `args`, if present.
+    pub fn flag(args: &[String], name: &str) -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    }
+
+    /// Reads a baseline file resolved via [`resolve`], panicking with a
+    /// helpful message when missing.
+    pub fn read_baseline(path: &str) -> String {
+        let target = resolve(path);
+        std::fs::read_to_string(&target)
+            .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", target.display()))
+    }
+
+    /// Writes `json` to the baseline file resolved via [`resolve`].
+    pub fn write_baseline(path: &str, json: &str) {
+        let target = resolve(path);
+        std::fs::write(&target, json)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", target.display()));
+        println!("wrote {}", target.display());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gate_json_field_parses_flat_schemas() {
+        let body = "{\n  \"a_us\": 12.5,\n  \"speedup\": 3.10\n}\n";
+        assert_eq!(gate::json_field(body, "a_us"), Some(12.5));
+        assert_eq!(gate::json_field(body, "speedup"), Some(3.10));
+        assert_eq!(gate::json_field(body, "missing"), None);
+    }
 
     #[test]
     fn quick_tasks_build() {

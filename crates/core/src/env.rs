@@ -34,6 +34,10 @@ pub struct McsEnvConfig {
     pub backend: AssessmentBackend,
     /// Hard cap on selections per cycle (`None` = all cells).
     pub max_selections_per_cycle: Option<usize>,
+    /// Worker-pool size for the in-loop completion's inner parallelism
+    /// (ALS sweeps): `0` = the process budget share, `1` = strictly
+    /// serial. Rollout rewards are bit-identical at any setting.
+    pub inner_threads: usize,
 }
 
 impl Default for McsEnvConfig {
@@ -50,6 +54,7 @@ impl Default for McsEnvConfig {
             },
             backend: AssessmentBackend::default(),
             max_selections_per_cycle: None,
+            inner_threads: 0,
         }
     }
 }
@@ -115,9 +120,12 @@ impl McsEnvironment {
             }
         }
         let truth = task.training_data();
-        let cs = CompressiveSensing::new(config.inference.clone())?;
+        let cs =
+            CompressiveSensing::new(config.inference.clone())?.with_threads(config.inner_threads);
         let completer = match config.backend {
-            AssessmentBackend::Batched => Some(BatchedLooEngine::new(config.inference.clone())?),
+            AssessmentBackend::Batched => Some(
+                BatchedLooEngine::new(config.inference.clone())?.with_threads(config.inner_threads),
+            ),
             AssessmentBackend::Naive => None,
         };
         let obs = ObservedMatrix::new(truth.cells(), truth.cycles());

@@ -16,6 +16,7 @@
 //! build serve every leave-one-out sub-problem, whose means all differ.
 
 use drcell_linalg::{solve, Matrix};
+use drcell_pool::Pool;
 
 use crate::{InferenceError, ObservedMatrix};
 
@@ -156,48 +157,147 @@ impl AlsProblem<'_> {
     }
 }
 
-/// Solves every row of `U` given the current `V` (one U-half-sweep).
+/// Minimum row solves per worker before a half-sweep fans out on the pool.
+///
+/// A single row solve is small (O(r²·obs) accumulation plus an r×r
+/// Cholesky, ~1 µs at the paper's ranks and windows), so parallelism only
+/// pays once a half-sweep carries hundreds of rows per worker; below the
+/// threshold the sweep runs the serial path unchanged.
+const PAR_ROWS_PER_WORKER: usize = 256;
+
+/// Reusable per-row normal-equation buffers for the ALS sweeps: one Gram
+/// matrix and one right-hand side, zeroed per row instead of reallocated.
+///
+/// The serial path carries one scratch across every row of every sweep;
+/// the pooled path gives each worker its own. Either way the row
+/// arithmetic (zero, accumulate, ridge, in-place Cholesky) is bit-identical
+/// to the historical allocate-per-row code.
+#[derive(Debug, Clone)]
+pub(crate) struct AlsScratch {
+    /// `r × r` normal-equation Gram buffer.
+    pub gram: Matrix,
+    /// Length-`r` right-hand side; holds the row solution after a solve.
+    pub rhs: Vec<f64>,
+}
+
+impl AlsScratch {
+    /// Scratch for rank-`r` solves.
+    pub fn new(r: usize) -> AlsScratch {
+        AlsScratch {
+            gram: Matrix::zeros(r, r),
+            rhs: vec![0.0; r],
+        }
+    }
+}
+
+/// Solves row `i` of `U` into `row` (a borrowed view of `U`'s storage).
+fn solve_u_row(
+    p: &AlsProblem<'_>,
+    i: usize,
+    v: &Matrix,
+    row: &mut [f64],
+    s: &mut AlsScratch,
+) -> Result<(), InferenceError> {
+    let r = p.data.r;
+    let n_eff = p.row_len(i);
+    if n_eff == 0 {
+        // No data for this cell: shrink towards zero (global mean).
+        row.fill(0.0);
+        return Ok(());
+    }
+    s.gram.as_mut_slice().fill(0.0);
+    s.rhs.fill(0.0);
+    for &(t, raw) in &p.data.row_obs[i] {
+        if p.skips(i, t) {
+            continue;
+        }
+        let d = raw - p.mean;
+        let vt = v.row(t);
+        for a in 0..r {
+            s.rhs[a] += d * vt[a];
+            for b in 0..r {
+                s.gram[(a, b)] += vt[a] * vt[b];
+            }
+        }
+    }
+    let ridge = p.lambda * n_eff as f64;
+    for a in 0..r {
+        s.gram[(a, a)] += ridge;
+    }
+    solve::solve_spd_in_place(&mut s.gram, &mut s.rhs)?;
+    row.copy_from_slice(&s.rhs);
+    Ok(())
+}
+
+/// Solves every row of `U` given the current `V` (one U-half-sweep),
+/// fanning rows across `pool` when the sweep is large enough to pay for it.
+///
+/// Row solves are independent and each writes only its own row, so the
+/// result is bit-identical at any worker count.
 ///
 /// # Errors
 ///
-/// Propagates SPD solver failures.
+/// Propagates SPD solver failures (lowest failing row under the pool).
 pub(crate) fn sweep_u(
     p: &AlsProblem<'_>,
     u: &mut Matrix,
     v: &Matrix,
+    pool: &Pool,
+    scratch: &mut AlsScratch,
 ) -> Result<(), InferenceError> {
     let r = p.data.r;
-    for i in 0..p.data.m {
-        let n_eff = p.row_len(i);
-        if n_eff == 0 {
-            // No data for this cell: shrink towards zero (global mean).
-            for k in 0..r {
-                u[(i, k)] = 0.0;
-            }
+    let m = p.data.m;
+    let workers = pool.workers_for(m / PAR_ROWS_PER_WORKER);
+    if workers > 1 {
+        Pool::new(workers).try_run_slots(
+            u.as_mut_slice(),
+            r,
+            || AlsScratch::new(r),
+            |i, row, s| solve_u_row(p, i, v, row, s),
+        )?;
+    } else {
+        for i in 0..m {
+            solve_u_row(p, i, v, u.row_mut(i), scratch)?;
+        }
+    }
+    Ok(())
+}
+
+/// Solves row `t` of `V` into `row` (a borrowed view of `V`'s storage).
+fn solve_v_row_into(
+    p: &AlsProblem<'_>,
+    t: usize,
+    u: &Matrix,
+    row: &mut [f64],
+    s: &mut AlsScratch,
+) -> Result<(), InferenceError> {
+    let r = p.data.r;
+    let n_eff = p.col_len(t);
+    if n_eff == 0 {
+        row.fill(0.0);
+        return Ok(());
+    }
+    s.gram.as_mut_slice().fill(0.0);
+    s.rhs.fill(0.0);
+    for &(i, raw) in &p.data.col_obs[t] {
+        if p.skips(i, t) {
             continue;
         }
-        let mut gram = Matrix::zeros(r, r);
-        let mut rhs = vec![0.0; r];
-        for &(t, raw) in &p.data.row_obs[i] {
-            if p.skips(i, t) {
-                continue;
-            }
-            let d = raw - p.mean;
-            let vt = v.row(t);
-            for a in 0..r {
-                rhs[a] += d * vt[a];
-                for b in 0..r {
-                    gram[(a, b)] += vt[a] * vt[b];
-                }
-            }
-        }
-        let ridge = p.lambda * n_eff as f64;
+        let d = raw - p.mean;
+        let ui = u.row(i);
         for a in 0..r {
-            gram[(a, a)] += ridge;
+            s.rhs[a] += d * ui[a];
+            for b in 0..r {
+                s.gram[(a, b)] += ui[a] * ui[b];
+            }
         }
-        let sol = solve::solve_spd(&gram, &rhs)?;
-        u.set_row(i, &sol);
     }
+    let ridge = p.lambda * n_eff as f64;
+    for a in 0..r {
+        s.gram[(a, a)] += ridge;
+    }
+    solve::solve_spd_in_place(&mut s.gram, &mut s.rhs)?;
+    row.copy_from_slice(&s.rhs);
     Ok(())
 }
 
@@ -211,51 +311,38 @@ pub(crate) fn solve_v_row(
     u: &Matrix,
     v: &mut Matrix,
     t: usize,
+    s: &mut AlsScratch,
 ) -> Result<(), InferenceError> {
-    let r = p.data.r;
-    let n_eff = p.col_len(t);
-    if n_eff == 0 {
-        for k in 0..r {
-            v[(t, k)] = 0.0;
-        }
-        return Ok(());
-    }
-    let mut gram = Matrix::zeros(r, r);
-    let mut rhs = vec![0.0; r];
-    for &(i, raw) in &p.data.col_obs[t] {
-        if p.skips(i, t) {
-            continue;
-        }
-        let d = raw - p.mean;
-        let ui = u.row(i);
-        for a in 0..r {
-            rhs[a] += d * ui[a];
-            for b in 0..r {
-                gram[(a, b)] += ui[a] * ui[b];
-            }
-        }
-    }
-    let ridge = p.lambda * n_eff as f64;
-    for a in 0..r {
-        gram[(a, a)] += ridge;
-    }
-    let sol = solve::solve_spd(&gram, &rhs)?;
-    v.set_row(t, &sol);
-    Ok(())
+    solve_v_row_into(p, t, u, v.row_mut(t), s)
 }
 
-/// Solves every row of `V` given the current `U` (one V-half-sweep).
+/// Solves every row of `V` given the current `U` (one V-half-sweep),
+/// pooled like [`sweep_u`].
 ///
 /// # Errors
 ///
-/// Propagates SPD solver failures.
+/// Propagates SPD solver failures (lowest failing row under the pool).
 pub(crate) fn sweep_v(
     p: &AlsProblem<'_>,
     u: &Matrix,
     v: &mut Matrix,
+    pool: &Pool,
+    scratch: &mut AlsScratch,
 ) -> Result<(), InferenceError> {
-    for t in 0..p.data.n {
-        solve_v_row(p, u, v, t)?;
+    let r = p.data.r;
+    let n = p.data.n;
+    let workers = pool.workers_for(n / PAR_ROWS_PER_WORKER);
+    if workers > 1 {
+        Pool::new(workers).try_run_slots(
+            v.as_mut_slice(),
+            r,
+            || AlsScratch::new(r),
+            |t, row, s| solve_v_row_into(p, t, u, row, s),
+        )?;
+    } else {
+        for t in 0..n {
+            solve_v_row_into(p, t, u, v.row_mut(t), scratch)?;
+        }
     }
     Ok(())
 }
@@ -289,6 +376,7 @@ pub(crate) fn objective(p: &AlsProblem<'_>, u: &Matrix, v: &Matrix) -> f64 {
 /// # Errors
 ///
 /// Propagates SPD solver failures.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_sweeps(
     p: &AlsProblem<'_>,
     u: &mut Matrix,
@@ -296,10 +384,12 @@ pub(crate) fn run_sweeps(
     max_iters: usize,
     tol: f64,
     mut prev_obj: f64,
+    pool: &Pool,
+    scratch: &mut AlsScratch,
 ) -> Result<usize, InferenceError> {
     for sweep in 0..max_iters {
-        sweep_u(p, u, v)?;
-        sweep_v(p, u, v)?;
+        sweep_u(p, u, v, pool, scratch)?;
+        sweep_v(p, u, v, pool, scratch)?;
         let obj = objective(p, u, v);
         if prev_obj.is_finite() && (prev_obj - obj).abs() <= tol * prev_obj.max(1e-12) {
             return Ok(sweep + 1);
@@ -322,4 +412,109 @@ pub(crate) fn init_factor(seed: u64, rows: usize, cols: usize, scale: f64, salt:
         z ^= z >> 31;
         ((z as f64 / u64::MAX as f64) - 0.5) * scale
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drcell_datasets::DataMatrix;
+    use proptest::prelude::*;
+
+    /// A problem tall enough (`m ≥ 2·PAR_ROWS_PER_WORKER`) that the pooled
+    /// half-sweeps actually fan out instead of taking the serial threshold
+    /// branch.
+    fn tall_problem(m: usize, n: usize, rank: usize, seed: u64) -> (AlsData, f64) {
+        let truth = DataMatrix::from_fn(m, n, |i, t| {
+            let s = (seed % 97) as f64 * 0.01;
+            2.0 + s
+                + (i as f64 * 0.013 + s).sin() * (t as f64 * 0.4).cos()
+                + 0.3 * (i as f64 * 0.029).cos()
+        });
+        let obs = ObservedMatrix::from_selection(&truth, |i, t| {
+            (i.wrapping_mul(31)
+                .wrapping_add(t.wrapping_mul(17))
+                .wrapping_add(seed as usize))
+                % 4
+                != 0
+        });
+        let data = AlsData::build(&obs, rank).expect("mask keeps observations");
+        let lambda = 0.05 * data.variance();
+        (data, lambda)
+    }
+
+    fn cold(data: &AlsData, seed: u64) -> (Matrix, Matrix) {
+        let scale = 1.0 / (data.r as f64).sqrt();
+        (
+            init_factor(seed, data.m, data.r, scale, 0xA5A5),
+            init_factor(seed, data.n, data.r, scale, 0x5A5A),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        #[test]
+        fn pooled_sweep_u_is_bitwise_equal_to_serial(
+            m in 512usize..1100,
+            n in 6usize..14,
+            rank in 1usize..5,
+            seed in any::<u64>(),
+        ) {
+            let (data, lambda) = tall_problem(m, n, rank, seed);
+            let p = data.problem(lambda);
+            let (u0, v) = cold(&data, seed);
+
+            let mut u_serial = u0.clone();
+            let mut scratch = AlsScratch::new(data.r);
+            sweep_u(&p, &mut u_serial, &v, &Pool::serial(), &mut scratch).unwrap();
+
+            for threads in [2usize, 4] {
+                let mut u_pooled = u0.clone();
+                sweep_u(&p, &mut u_pooled, &v, &Pool::new(threads), &mut scratch).unwrap();
+                prop_assert_eq!(&u_pooled, &u_serial, "{} workers diverged", threads);
+            }
+        }
+
+        #[test]
+        fn pooled_full_sweeps_are_bitwise_equal_to_serial(
+            n in 512usize..900,
+            m in 6usize..14,
+            rank in 1usize..4,
+            seed in any::<u64>(),
+        ) {
+            // Wide problem: the V-half-sweep is the pooled one here.
+            let (data, lambda) = tall_problem(m, n, rank, seed);
+            let p = data.problem(lambda);
+            let run = |pool: Pool| {
+                let (mut u, mut v) = cold(&data, seed);
+                let mut scratch = AlsScratch::new(data.r);
+                run_sweeps(&p, &mut u, &mut v, 3, 0.0, f64::INFINITY, &pool, &mut scratch)
+                    .unwrap();
+                (u, v)
+            };
+            let serial = run(Pool::serial());
+            let pooled = run(Pool::new(4));
+            prop_assert_eq!(pooled, serial);
+        }
+    }
+
+    #[test]
+    fn empty_rows_zeroed_identically_under_the_pool() {
+        // Rows with no observations must be zeroed by whichever worker owns
+        // them.
+        let truth = DataMatrix::from_fn(600, 8, |i, t| (i + t) as f64 * 0.01 + 1.0);
+        let obs = ObservedMatrix::from_selection(&truth, |i, t| i % 3 != 1 && (i + t) % 2 == 0);
+        let data = AlsData::build(&obs, 3).unwrap();
+        let p = data.problem(0.1);
+        let (u0, v) = cold(&data, 9);
+        let mut u_serial = u0.clone();
+        let mut scratch = AlsScratch::new(data.r);
+        sweep_u(&p, &mut u_serial, &v, &Pool::serial(), &mut scratch).unwrap();
+        let mut u_pooled = u0.clone();
+        sweep_u(&p, &mut u_pooled, &v, &Pool::new(4), &mut scratch).unwrap();
+        assert_eq!(u_pooled, u_serial);
+        for i in (1..600).step_by(3) {
+            assert!(u_serial.row(i).iter().all(|&x| x == 0.0));
+        }
+    }
 }

@@ -49,6 +49,10 @@
 
 use std::cell::RefCell;
 
+/// Re-exported so `gemm_slice_pool`/`gemm_into_pool` callers need no direct
+/// `drcell-pool` dependency.
+pub use drcell_pool::Pool;
+
 use crate::{LinalgError, Matrix};
 
 /// Whether an operand enters the product as itself or transposed.
@@ -351,6 +355,151 @@ fn micro_kernel(
     }
 }
 
+/// Minimum product size (`m·n·k` multiply-adds) before the pooled entry
+/// points fan row blocks out; smaller multiplies run the serial kernel
+/// unchanged (the per-call spawn cost would dominate).
+const PAR_MIN_FLOPS: usize = 1 << 20;
+
+/// [`gemm_slice_ws`] with the `ic` row blocks fanned across `pool`.
+///
+/// Workers are spawned **once per call**: each claims `MC`-row blocks of
+/// `C` and runs the full serial `(jc, pc)` panel loop over its block with
+/// a per-worker [`GemmWorkspace`] reused across every panel. Per `C`
+/// element the accumulation order (`jc` → ascending `pc` → ascending `k`
+/// in the micro-kernel, `β` applied on the first `k` block) is exactly the
+/// serial kernel's, and blocks write disjoint row ranges, so the output is
+/// **bit-identical** to [`gemm_slice_ws`] at any worker count. The only
+/// duplicated work is the `B` panel packing (once per row block instead of
+/// once), an `O(blocks/m)` ≈ 1% overhead at `MC = 128`. Small problems
+/// (under [`PAR_MIN_FLOPS`] multiply-adds, or a single row block) take the
+/// serial path outright.
+///
+/// # Errors
+///
+/// See [`gemm_slice_ws`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_slice_pool(
+    alpha: f64,
+    a: &[f64],
+    a_rows: usize,
+    a_cols: usize,
+    ta: Trans,
+    b: &[f64],
+    b_rows: usize,
+    b_cols: usize,
+    tb: Trans,
+    beta: f64,
+    c: &mut [f64],
+    ws: &mut GemmWorkspace,
+    pool: &Pool,
+) -> Result<(), LinalgError> {
+    let (m, ka) = op_shape(a_rows, a_cols, ta);
+    let (kb, n) = op_shape(b_rows, b_cols, tb);
+    if ka != kb || a.len() != a_rows * a_cols || b.len() != b_rows * b_cols || c.len() != m * n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "gemm",
+            lhs: (m, ka),
+            rhs: (kb, n),
+        });
+    }
+    let k = ka;
+    let blocks = m.div_ceil(MC);
+    let workers = if m.saturating_mul(n).saturating_mul(k) < PAR_MIN_FLOPS {
+        1
+    } else {
+        pool.workers_for(blocks)
+    };
+    if workers <= 1 || k == 0 {
+        return gemm_slice_ws(
+            alpha, a, a_rows, a_cols, ta, b, b_rows, b_cols, tb, beta, c, ws,
+        );
+    }
+
+    let kc_max = k.min(KC);
+    Pool::new(workers).run_slots(
+        c,
+        MC * n,
+        GemmWorkspace::new,
+        |blk, c_rows, ws: &mut GemmWorkspace| {
+            let ic = blk * MC;
+            let mc = MC.min(m - ic);
+            // Sized for the largest block; no-ops on every later block
+            // this worker claims (a partial final block must not shrink
+            // the buffer it would only have to regrow).
+            ws.pack_a.resize(MC.min(m).div_ceil(MR) * MR * kc_max, 0.0);
+            ws.pack_b.resize(NC.min(n).div_ceil(NR) * NR * kc_max, 0.0);
+            for jc in (0..n).step_by(NC) {
+                let nc = NC.min(n - jc);
+                for pc in (0..k).step_by(KC) {
+                    let kc = KC.min(k - pc);
+                    // β applies once, on the first k block; later blocks
+                    // continue accumulating onto the partial sums already
+                    // in C — same rule as the serial kernel, preserved per
+                    // row block.
+                    let beta_eff = if pc == 0 { beta } else { 1.0 };
+                    pack_b_panel(&mut ws.pack_b, b, b_cols, tb, pc, kc, jc, nc);
+                    pack_a_panel(&mut ws.pack_a, a, a_cols, ta, alpha, ic, mc, pc, kc);
+                    // `c_rows` starts at row `ic`, so the kernel runs with
+                    // a zero row base over the block's own slice.
+                    macro_kernel(
+                        &ws.pack_a, &ws.pack_b, c_rows, n, 0, mc, jc, nc, kc, beta_eff,
+                    );
+                }
+            }
+        },
+    );
+    Ok(())
+}
+
+/// [`gemm_into_ws`] with the row blocks fanned across `pool` (bit-identical
+/// to the serial kernel; see [`gemm_slice_pool`]). The shared per-thread
+/// workspace serves the serial fallback; the pooled path uses per-worker
+/// workspaces.
+///
+/// # Errors
+///
+/// See [`gemm_into_ws`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_into_pool(
+    alpha: f64,
+    a: &Matrix,
+    ta: Trans,
+    b: &Matrix,
+    tb: Trans,
+    beta: f64,
+    c: &mut Matrix,
+    pool: &Pool,
+) -> Result<(), LinalgError> {
+    let (m, _) = op_shape(a.rows(), a.cols(), ta);
+    let (_, n) = op_shape(b.rows(), b.cols(), tb);
+    if c.shape() != (m, n) {
+        return Err(LinalgError::ShapeMismatch {
+            op: "gemm",
+            lhs: (m, n),
+            rhs: c.shape(),
+        });
+    }
+    let (ar, ac) = a.shape();
+    let (br, bc) = b.shape();
+    THREAD_WS.with(|ws| {
+        gemm_slice_pool(
+            alpha,
+            a.as_slice(),
+            ar,
+            ac,
+            ta,
+            b.as_slice(),
+            br,
+            bc,
+            tb,
+            beta,
+            c.as_mut_slice(),
+            &mut ws.borrow_mut(),
+            pool,
+        )
+    })
+}
+
 /// [`gemm_slice_ws`] with the shared per-thread workspace.
 ///
 /// # Errors
@@ -569,6 +718,73 @@ mod tests {
             gemm_into(1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut got).unwrap();
             assert_eq!(got, want, "blocked kernel must keep k-order sums");
         }
+    }
+
+    #[test]
+    fn pooled_gemm_is_bit_identical_to_serial() {
+        // Above the flop threshold with several row blocks; every transpose
+        // combination and a non-trivial α/β.
+        let (m, n, k) = (300, 70, 60);
+        for ta in [Trans::No, Trans::Yes] {
+            for tb in [Trans::No, Trans::Yes] {
+                let a = match ta {
+                    Trans::No => dense(m, k, 21),
+                    Trans::Yes => dense(k, m, 21),
+                };
+                let b = match tb {
+                    Trans::No => dense(k, n, 22),
+                    Trans::Yes => dense(n, k, 22),
+                };
+                let c0 = dense(m, n, 23);
+                let mut serial = c0.clone();
+                gemm_into(0.9, &a, ta, &b, tb, -0.4, &mut serial).unwrap();
+                for threads in [2usize, 4] {
+                    let mut pooled = c0.clone();
+                    gemm_into_pool(0.9, &a, ta, &b, tb, -0.4, &mut pooled, &Pool::new(threads))
+                        .unwrap();
+                    assert_eq!(pooled, serial, "{ta:?}/{tb:?} with {threads} workers");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_gemm_small_problem_takes_the_serial_path() {
+        let a = dense(8, 8, 31);
+        let b = dense(8, 8, 32);
+        let mut serial = Matrix::zeros(8, 8);
+        gemm_into(1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut serial).unwrap();
+        let mut pooled = Matrix::zeros(8, 8);
+        gemm_into_pool(
+            1.0,
+            &a,
+            Trans::No,
+            &b,
+            Trans::No,
+            0.0,
+            &mut pooled,
+            &Pool::new(4),
+        )
+        .unwrap();
+        assert_eq!(pooled, serial);
+    }
+
+    #[test]
+    fn pooled_gemm_rejects_shape_mismatches() {
+        let a = Matrix::zeros(300, 3);
+        let b = Matrix::zeros(4, 300);
+        let mut c = Matrix::zeros(300, 300);
+        assert!(gemm_into_pool(
+            1.0,
+            &a,
+            Trans::No,
+            &b,
+            Trans::No,
+            0.0,
+            &mut c,
+            &Pool::new(4)
+        )
+        .is_err());
     }
 
     #[test]

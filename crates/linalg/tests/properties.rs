@@ -1,7 +1,7 @@
 //! Property-based tests for the linear-algebra substrate.
 
 use drcell_linalg::decomp::{Cholesky, Lu, Qr, Svd, SymmetricEigen};
-use drcell_linalg::gemm::{gemm_into, gemm_reference, Trans};
+use drcell_linalg::gemm::{gemm_into, gemm_into_pool, gemm_reference, Pool, Trans};
 use drcell_linalg::{solve, vector, Matrix};
 use proptest::prelude::*;
 
@@ -181,6 +181,38 @@ proptest! {
         let mut got = c0;
         gemm_into(alpha, &a, ta, &b, tb, beta, &mut got).unwrap();
         prop_assert!(got.approx_eq(&want, 1e-12), "blocked vs reference drifted");
+    }
+
+    /// The pooled row-block kernel must be **bitwise** equal to the serial
+    /// kernel at any worker count — random shapes tall enough (and with
+    /// enough total flops) that the fan-out path actually engages, random
+    /// transposes and α/β.
+    #[test]
+    fn pooled_gemm_bitwise_equals_serial(
+        m in 260usize..600, n in 40usize..90, k in 32usize..80,
+        ta in 0u8..2, tb in 0u8..2,
+        alpha in -2.0f64..2.0, beta in -2.0f64..2.0,
+        threads in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        let (ta, tb) = (
+            if ta == 1 { Trans::Yes } else { Trans::No },
+            if tb == 1 { Trans::Yes } else { Trans::No },
+        );
+        let fill = |rows: usize, cols: usize, s: u64| {
+            Matrix::from_fn(rows, cols, |r, c| {
+                let x = (s * 31 + r as u64 * 7 + c as u64 * 13) % 97;
+                x as f64 / 9.7 - 5.0
+            })
+        };
+        let a = match ta { Trans::No => fill(m, k, seed), Trans::Yes => fill(k, m, seed) };
+        let b = match tb { Trans::No => fill(k, n, seed + 1), Trans::Yes => fill(n, k, seed + 1) };
+        let c0 = fill(m, n, seed + 2);
+        let mut serial = c0.clone();
+        gemm_into(alpha, &a, ta, &b, tb, beta, &mut serial).unwrap();
+        let mut pooled = c0;
+        gemm_into_pool(alpha, &a, ta, &b, tb, beta, &mut pooled, &Pool::new(threads)).unwrap();
+        prop_assert_eq!(pooled, serial, "pooled row-block kernel diverged");
     }
 
     /// `matmul` (now GEMM-backed) must propagate NaN through zero rows —

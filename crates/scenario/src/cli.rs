@@ -35,6 +35,9 @@ pub struct Options {
     pub seed: Option<u64>,
     /// Worker threads (0 = all cores).
     pub threads: usize,
+    /// Per-scenario inner worker-pool size override (`None` = keep the
+    /// spec's setting; scenarios then default to their budget share).
+    pub inner_threads: Option<usize>,
     /// JSONL output path.
     pub jsonl: Option<String>,
     /// CSV output path.
@@ -73,6 +76,12 @@ impl Options {
                     opts.threads = v.parse().map_err(|_| {
                         ScenarioError::Invalid(format!("bad --threads value `{v}`"))
                     })?;
+                }
+                "--inner-threads" => {
+                    let v = take("an integer")?;
+                    opts.inner_threads = Some(v.parse().map_err(|_| {
+                        ScenarioError::Invalid(format!("bad --inner-threads value `{v}`"))
+                    })?);
                 }
                 "--jsonl" => opts.jsonl = Some(take("a file path")?),
                 "--csv" => opts.csv = Some(take("a file path")?),
@@ -209,6 +218,9 @@ pub fn cmd_run(opts: &Options) -> Result<(), ScenarioError> {
     if let Some(seed) = opts.seed {
         spec.seed = seed;
     }
+    if opts.inner_threads.is_some() {
+        spec.runner.inner_threads = opts.inner_threads;
+    }
     execute_and_write(vec![spec], opts)
 }
 
@@ -224,6 +236,9 @@ pub fn cmd_sweep(opts: &Options) -> Result<(), ScenarioError> {
     };
     if let Some(seed) = opts.seed {
         sweep.base.seed = seed;
+    }
+    if opts.inner_threads.is_some() {
+        sweep.inner_threads = opts.inner_threads;
     }
     execute_and_write(sweep.expand(), opts)
 }
@@ -259,9 +274,17 @@ pub fn usage() -> String {
      USAGE:\n\
        drcell-scenario list\n\
        drcell-scenario run   --name <scenario> | --spec file.{toml,json}\n\
-                             [--seed N] [--threads N] [--jsonl out] [--csv out]\n\
+                             [--seed N] [--threads N] [--inner-threads N]\n\
+                             [--jsonl out] [--csv out]\n\
        drcell-scenario sweep [--spec file.{toml,json}] [--seed N] [--threads N]\n\
-                             [--jsonl out] [--csv out] [--summary out]\n\
+                             [--inner-threads N] [--jsonl out] [--csv out]\n\
+                             [--summary out]\n\
+     \n\
+     --threads N parallelises across scenarios; --inner-threads N sizes the\n\
+     worker pool inside each scenario (assessment fan-out, ALS sweeps).\n\
+     Unset, the inner pools take the remaining thread-budget share, so\n\
+     outer x inner never oversubscribes. Results are byte-identical at any\n\
+     combination.\n\
      \n\
      Without --spec, `sweep` runs the built-in 8-scenario default grid."
         .to_owned()

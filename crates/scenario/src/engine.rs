@@ -34,11 +34,19 @@ impl SweepEngine {
     }
 
     /// The worker count the engine will actually use for `jobs` scenarios.
+    ///
+    /// `0` auto-sizes from [`drcell_pool::budget::total_budget`] — by
+    /// default one worker per hardware thread (the budget coordinator and
+    /// this engine share `drcell_pool::hardware_threads` as the single
+    /// source of truth), but a process confined with
+    /// [`drcell_pool::budget::set_total_budget`] keeps its outer sweeps
+    /// inside the budget too, preserving `outer × inner ≤ budget`.
     pub fn effective_threads(&self, jobs: usize) -> usize {
-        let hw = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
-        let requested = if self.threads == 0 { hw } else { self.threads };
+        let requested = if self.threads == 0 {
+            drcell_pool::budget::total_budget()
+        } else {
+            self.threads
+        };
         requested.max(1).min(jobs.max(1))
     }
 
@@ -63,6 +71,11 @@ impl SweepEngine {
             return Vec::new();
         }
         let workers = self.effective_threads(specs.len());
+        // Reserve the outer parallelism for the duration of the sweep so
+        // auto-sized inner pools (assessment fan-out, ALS sweeps) resolve
+        // to the remaining budget share and `outer × inner` never
+        // oversubscribes the machine.
+        let _budget = drcell_pool::budget::reserve_outer(workers);
         let next = AtomicUsize::new(0);
         let results: Mutex<Vec<Option<Result<ScenarioResult, ScenarioError>>>> =
             Mutex::new((0..specs.len()).map(|_| None).collect());
@@ -142,6 +155,7 @@ mod tests {
             ps: Vec::new(),
             seeds: vec![1, 2],
             perturbations: Vec::new(),
+            inner_threads: None,
         }
         .expand()
     }
@@ -205,5 +219,17 @@ mod tests {
         let engine = SweepEngine::new(64);
         assert_eq!(engine.effective_threads(3), 3);
         assert!(SweepEngine::new(0).effective_threads(100) >= 1);
+    }
+
+    #[test]
+    fn auto_worker_count_respects_a_lowered_process_budget() {
+        // `outer × inner ≤ budget` must hold for the outer engine too: a
+        // confined process may not auto-size past its budget. (Test-local
+        // budget mutation; the explicit-threads path above is unaffected.)
+        drcell_pool::budget::set_total_budget(2);
+        let auto = SweepEngine::new(0).effective_threads(100);
+        drcell_pool::budget::set_total_budget(0);
+        assert_eq!(auto, 2);
+        assert_eq!(SweepEngine::new(5).effective_threads(100), 5);
     }
 }

@@ -296,6 +296,7 @@ impl PolicySpec {
                         reward_bonus,
                         cost,
                         window: runner.window,
+                        inner_threads: runner.inner_threads.unwrap_or(0),
                         ..McsEnvConfig::default()
                     },
                     ..TrainerConfig::default()
@@ -369,6 +370,12 @@ pub struct RunnerSpec {
     /// absent in a spec file means the default, so pre-existing specs keep
     /// parsing).
     pub backend: AssessmentBackend,
+    /// Worker-pool size for the intra-scenario parallelism (assessment
+    /// fan-out, ALS sweeps): `None`/absent = the scenario's share of the
+    /// process thread budget, `Some(1)` = strictly serial. Results are
+    /// bit-identical at any setting, so pre-existing specs keep both
+    /// parsing and reproducing.
+    pub inner_threads: Option<usize>,
 }
 
 impl Default for RunnerSpec {
@@ -379,6 +386,7 @@ impl Default for RunnerSpec {
             max_selections: None,
             assess_every: 1,
             backend: AssessmentBackend::default(),
+            inner_threads: None,
         }
     }
 }
@@ -392,6 +400,7 @@ impl RunnerSpec {
             max_selections_per_cycle: self.max_selections,
             assess_every: self.assess_every,
             assessment_backend: self.backend,
+            inner_threads: self.inner_threads.unwrap_or(0),
             ..RunnerConfig::default()
         }
     }
@@ -476,6 +485,11 @@ pub struct SweepSpec {
     pub seeds: Vec<u64>,
     /// Perturbation-stack axis.
     pub perturbations: Vec<PerturbationStack>,
+    /// Sweep-wide override of every scenario's inner worker-pool size
+    /// (`None`/absent = keep each scenario's own setting). Lets sharded
+    /// runs partition the thread budget explicitly — e.g. two processes on
+    /// one 8-core host each running `--threads 2 --inner-threads 2`.
+    pub inner_threads: Option<usize>,
 }
 
 impl SweepSpec {
@@ -488,6 +502,7 @@ impl SweepSpec {
             ps: Vec::new(),
             seeds: Vec::new(),
             perturbations: Vec::new(),
+            inner_threads: None,
         }
     }
 
@@ -559,6 +574,9 @@ impl SweepSpec {
                             if let Some(seed) = seed {
                                 spec.seed = *seed;
                                 name.push_str(&format!("/s{seed}"));
+                            }
+                            if self.inner_threads.is_some() {
+                                spec.runner.inner_threads = self.inner_threads;
                             }
                             spec.name = name;
                             out.push(spec);
@@ -643,6 +661,7 @@ mod tests {
             ps: Vec::new(),
             seeds: vec![1, 2],
             perturbations: Vec::new(),
+            inner_threads: None,
         };
         let specs = sweep.expand();
         assert_eq!(specs.len(), 8);
@@ -669,6 +688,7 @@ mod tests {
             ps: Vec::new(),
             seeds: Vec::new(),
             perturbations: Vec::new(),
+            inner_threads: None,
         };
         let names: Vec<String> = sweep.expand().into_iter().map(|s| s.name).collect();
         assert_eq!(names.len(), 3);
@@ -759,6 +779,7 @@ mod tests {
                 PerturbationStack::none(),
                 PerturbationStack::new(vec![Perturbation::SensorDropout { rate: 0.2 }]),
             ],
+            inner_threads: Some(2),
         };
         let v = sweep.to_value();
         assert_eq!(SweepSpec::from_value(&v).unwrap(), sweep);

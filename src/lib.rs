@@ -17,6 +17,7 @@ pub use drcell_datasets as datasets;
 pub use drcell_inference as inference;
 pub use drcell_linalg as linalg;
 pub use drcell_neural as neural;
+pub use drcell_pool as pool;
 pub use drcell_quality as quality;
 pub use drcell_rl as rl;
 pub use drcell_scenario as scenario;

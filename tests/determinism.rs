@@ -1,6 +1,7 @@
 //! Determinism regression: a sweep's JSONL rows must be byte-identical at
-//! any thread count, for each assessment backend — the in-tree version of
-//! the CI smoke check (which shells out to the `drcell-scenario` binary).
+//! any thread count — outer scenario workers × inner per-scenario pool —
+//! for each assessment backend. This is the in-tree version of the CI
+//! smoke check (which shells out to the `drcell-scenario` binary).
 
 use drcell::datasets::{FieldConfig, PerturbationStack};
 use drcell::inference::AssessmentBackend;
@@ -8,7 +9,10 @@ use drcell::scenario::{
     sink, DatasetSpec, PolicySpec, QualitySpec, RunnerSpec, ScenarioSpec, SweepEngine, SweepSpec,
 };
 
-fn two_scenario_sweep(backend: AssessmentBackend) -> Vec<ScenarioSpec> {
+fn two_scenario_sweep(
+    backend: AssessmentBackend,
+    inner_threads: Option<usize>,
+) -> Vec<ScenarioSpec> {
     let base = ScenarioSpec {
         name: format!("determinism-{backend:?}"),
         seed: 17,
@@ -45,6 +49,7 @@ fn two_scenario_sweep(backend: AssessmentBackend) -> Vec<ScenarioSpec> {
         ps: Vec::new(),
         seeds: Vec::new(),
         perturbations: Vec::new(),
+        inner_threads,
     }
     .expand();
     assert_eq!(specs.len(), 2, "the regression covers a 2-scenario sweep");
@@ -64,20 +69,42 @@ fn jsonl_at(threads: usize, specs: &[ScenarioSpec]) -> Vec<u8> {
 
 #[test]
 fn sweep_jsonl_byte_identical_across_thread_counts_batched() {
-    let specs = two_scenario_sweep(AssessmentBackend::Batched);
-    let serial = jsonl_at(1, &specs);
-    let parallel = jsonl_at(4, &specs);
-    assert!(!serial.is_empty());
-    assert_eq!(serial, parallel, "batched backend rows diverged");
+    // The full grid the pool must hold: inner per-scenario pool sizes
+    // {1, 2, 4} × outer scenario workers {1, 4}, all byte-identical to the
+    // fully serial run.
+    let reference = jsonl_at(1, &two_scenario_sweep(AssessmentBackend::Batched, Some(1)));
+    assert!(!reference.is_empty());
+    for inner in [1usize, 2, 4] {
+        let specs = two_scenario_sweep(AssessmentBackend::Batched, Some(inner));
+        for outer in [1usize, 4] {
+            assert_eq!(
+                jsonl_at(outer, &specs),
+                reference,
+                "batched rows diverged at outer {outer} x inner {inner}"
+            );
+        }
+    }
+    // The budget-sized default (absent inner_threads) must reproduce too.
+    let auto = two_scenario_sweep(AssessmentBackend::Batched, None);
+    assert_eq!(
+        jsonl_at(4, &auto),
+        reference,
+        "auto-sized inner pool diverged"
+    );
 }
 
 #[test]
 fn sweep_jsonl_byte_identical_across_thread_counts_naive() {
-    let specs = two_scenario_sweep(AssessmentBackend::Naive);
-    let serial = jsonl_at(1, &specs);
-    let parallel = jsonl_at(4, &specs);
+    let serial = jsonl_at(1, &two_scenario_sweep(AssessmentBackend::Naive, Some(1)));
     assert!(!serial.is_empty());
-    assert_eq!(serial, parallel, "naive backend rows diverged");
+    for (outer, inner) in [(4usize, Some(1)), (1, Some(4)), (4, Some(4))] {
+        let specs = two_scenario_sweep(AssessmentBackend::Naive, inner);
+        assert_eq!(
+            jsonl_at(outer, &specs),
+            serial,
+            "naive rows diverged at outer {outer} x inner {inner:?}"
+        );
+    }
 }
 
 #[test]
@@ -85,8 +112,8 @@ fn backends_write_rows_for_identical_selections() {
     // The two backends' rows may differ in estimated probability, but the
     // cells they record as selected must match (the cross-backend trace
     // guarantee, here exercised end-to-end through the sweep engine).
-    let batched = jsonl_at(2, &two_scenario_sweep(AssessmentBackend::Batched));
-    let naive = jsonl_at(2, &two_scenario_sweep(AssessmentBackend::Naive));
+    let batched = jsonl_at(2, &two_scenario_sweep(AssessmentBackend::Batched, Some(2)));
+    let naive = jsonl_at(2, &two_scenario_sweep(AssessmentBackend::Naive, Some(2)));
     let selected = |rows: &[u8]| -> Vec<String> {
         String::from_utf8(rows.to_vec())
             .unwrap()
