@@ -27,6 +27,11 @@ pub enum CoreError {
     Rl(RlError),
     /// A network error bubbled up.
     Neural(NeuralError),
+    /// A streaming run was cancelled by its control hook (see
+    /// [`crate::SparseMcsRunner::run_with_control`]) before every testing
+    /// cycle finished. Not a failure of the pipeline itself: serving
+    /// layers map this to a "cancelled" job state.
+    Cancelled,
 }
 
 impl fmt::Display for CoreError {
@@ -38,6 +43,7 @@ impl fmt::Display for CoreError {
             CoreError::Quality(e) => write!(f, "quality-assessment failure: {e}"),
             CoreError::Rl(e) => write!(f, "reinforcement-learning failure: {e}"),
             CoreError::Neural(e) => write!(f, "network failure: {e}"),
+            CoreError::Cancelled => write!(f, "run cancelled by its control hook"),
         }
     }
 }

@@ -4,6 +4,7 @@ use drcell_inference::{
 };
 use drcell_quality::{QualityAssessment, QualityAssessor, QualityRequirement};
 use rand::RngCore;
+use std::ops::ControlFlow;
 
 use crate::{CellSelectionPolicy, CoreError, SensingTask};
 
@@ -229,6 +230,29 @@ impl<'a> SparseMcsRunner<'a> {
         rng: &mut dyn RngCore,
         hook: &mut dyn FnMut(&CycleRecord),
     ) -> Result<RunReport, CoreError> {
+        self.run_with_control(policy, rng, &mut |record| {
+            hook(record);
+            ControlFlow::Continue(())
+        })
+    }
+
+    /// Like [`SparseMcsRunner::run_with_hook`], but the hook decides after
+    /// every finished cycle whether the run continues — the cancellation
+    /// surface long-running services sit on. Returning
+    /// [`ControlFlow::Break`] stops the run at the next cycle boundary
+    /// (cycles are never truncated mid-selection, so every record the hook
+    /// has seen is a complete, final row).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Cancelled`] when the hook breaks; otherwise
+    /// propagates policy, inference and assessment failures.
+    pub fn run_with_control(
+        &self,
+        policy: &mut dyn CellSelectionPolicy,
+        rng: &mut dyn RngCore,
+        hook: &mut dyn FnMut(&CycleRecord) -> ControlFlow<()>,
+    ) -> Result<RunReport, CoreError> {
         let truth = self.task.truth();
         let m = truth.cells();
         let cap = self
@@ -314,8 +338,11 @@ impl<'a> SparseMcsRunner<'a> {
                 within_epsilon: true_error <= self.task.requirement().epsilon,
             };
             policy.on_cycle_end(&record, rng);
-            hook(&record);
+            let flow = hook(&record);
             records.push(record);
+            if flow.is_break() {
+                return Err(CoreError::Cancelled);
+            }
         }
 
         Ok(RunReport {
@@ -532,6 +559,31 @@ mod tests {
             let pooled = run(inner);
             assert_eq!(serial.cycles, pooled.cycles, "inner_threads {inner}");
         }
+    }
+
+    #[test]
+    fn control_hook_cancels_at_cycle_boundary() {
+        let task = smooth_task(0.5);
+        let runner = SparseMcsRunner::new(&task, config()).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut seen = Vec::new();
+        let err = runner
+            .run_with_control(&mut RandomPolicy::new(), &mut rng, &mut |r| {
+                seen.push(r.clone());
+                if seen.len() == 3 {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Cancelled), "{err}");
+        assert_eq!(seen.len(), 3, "run must stop right after the break");
+        // The records the hook saw are the same complete rows an
+        // uncancelled run produces.
+        let mut rng = StdRng::seed_from_u64(6);
+        let full = runner.run(&mut RandomPolicy::new(), &mut rng).unwrap();
+        assert_eq!(seen.as_slice(), &full.cycles[..3]);
     }
 
     #[test]

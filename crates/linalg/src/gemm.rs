@@ -371,7 +371,7 @@ const PAR_MIN_FLOPS: usize = 1 << 20;
 /// **bit-identical** to [`gemm_slice_ws`] at any worker count. The only
 /// duplicated work is the `B` panel packing (once per row block instead of
 /// once), an `O(blocks/m)` ≈ 1% overhead at `MC = 128`. Small problems
-/// (under [`PAR_MIN_FLOPS`] multiply-adds, or a single row block) take the
+/// (under `PAR_MIN_FLOPS` = 2²⁰ multiply-adds, or a single row block) take the
 /// serial path outright.
 ///
 /// # Errors

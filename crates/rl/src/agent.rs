@@ -179,6 +179,33 @@ impl<N: QNetwork> DqnAgent<N> {
     /// Numerically this reproduces the per-sample scalar reference path
     /// ([`DqnAgent::train_step_reference`]) bit-for-bit for dense networks
     /// and to ≤1e-9 for the DRQN.
+    ///
+    /// ```
+    /// use drcell_linalg::Matrix;
+    /// use drcell_neural::Adam;
+    /// use drcell_rl::{DqnAgent, DqnConfig, MlpQNetwork, Transition};
+    /// use rand::{Rng, SeedableRng};
+    ///
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    /// let net = MlpQNetwork::new(2, 4, &[8], &mut rng).unwrap();
+    /// let config = DqnConfig {
+    ///     batch_size: 8,
+    ///     learning_starts: 16,
+    ///     ..DqnConfig::default()
+    /// };
+    /// let mut agent = DqnAgent::new(net, Box::new(Adam::new(1e-3)), config).unwrap();
+    ///
+    /// // Warm the replay memory, then train: one batched GEMM-backed
+    /// // step per call once `learning_starts` experiences are stored.
+    /// for _ in 0..16 {
+    ///     let state = Matrix::from_fn(2, 4, |_, _| rng.gen::<f64>());
+    ///     let next = Matrix::from_fn(2, 4, |_, _| rng.gen::<f64>());
+    ///     let action = rng.gen_range(0..4);
+    ///     agent.observe(Transition::new(state, action, 1.0, next, vec![true; 4], false));
+    /// }
+    /// assert!(agent.train_step(&mut rng).is_some(), "replay is warm");
+    /// assert_eq!(agent.train_steps(), 1);
+    /// ```
     pub fn train_step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<f64> {
         if self.replay.len() < self.config.learning_starts.max(self.config.batch_size) {
             return None;

@@ -256,6 +256,14 @@ pub fn main_with_args(args: &[String]) -> Result<(), ScenarioError> {
         }
         Some("run") => cmd_run(&Options::parse(&args[1..])?),
         Some("sweep") => cmd_sweep(&Options::parse(&args[1..])?),
+        // The daemon lives in `drcell-serve` (it depends on this crate);
+        // redirect rather than report an unknown command.
+        Some("serve") => Err(ScenarioError::Invalid(
+            "serving is the `drcell-serve` binary:\n  \
+             cargo run --release -p drcell-serve -- serve --addr 127.0.0.1:7878\n\
+             (see the README's \"Serving\" section for the protocol)"
+                .to_owned(),
+        )),
         Some("--help") | Some("-h") | None => {
             println!("{}", usage());
             Ok(())
@@ -286,7 +294,9 @@ pub fn usage() -> String {
      outer x inner never oversubscribes. Results are byte-identical at any\n\
      combination.\n\
      \n\
-     Without --spec, `sweep` runs the built-in 8-scenario default grid."
+     Without --spec, `sweep` runs the built-in 8-scenario default grid.\n\
+     For long-running serving (stream rows over a socket), see the\n\
+     `drcell-serve` binary and the README's \"Serving\" section."
         .to_owned()
 }
 

@@ -15,6 +15,24 @@ use crate::spec::ScenarioSpec;
 use crate::ScenarioError;
 
 /// Executes scenario matrices in parallel.
+///
+/// ```
+/// use drcell_scenario::{registry, PolicySpec, SweepEngine, SweepSpec};
+///
+/// // Two quality bounds over a registry scenario (training-free policy
+/// // to keep the example fast), on an explicit 2-worker pool. Results
+/// // come back in matrix order and are byte-identical at any
+/// // worker count.
+/// let mut base = registry::find("synthetic-smooth").expect("built-in");
+/// base.policy = PolicySpec::Random;
+/// let sweep = SweepSpec {
+///     epsilons: vec![0.4, 0.8],
+///     ..SweepSpec::single(base)
+/// };
+/// let results = SweepEngine::new(2).run(&sweep.expand());
+/// assert_eq!(results.len(), 2);
+/// assert!(results.iter().all(Result::is_ok));
+/// ```
 #[derive(Debug, Clone)]
 pub struct SweepEngine {
     threads: usize,

@@ -17,6 +17,16 @@ pub enum ScenarioError {
     Io(std::io::Error),
 }
 
+impl ScenarioError {
+    /// `true` when the scenario stopped because its streaming control hook
+    /// broke out of the run (see
+    /// [`crate::exec::run_scenario_streaming`]) rather than failing — the
+    /// case serving layers report as a cancelled job, not an error.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, ScenarioError::Core(CoreError::Cancelled))
+    }
+}
+
 impl fmt::Display for ScenarioError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -1,8 +1,9 @@
 //! Single-scenario execution: spec → task → policy → testing-stage run.
 
+use std::ops::ControlFlow;
 use std::time::{Duration, Instant};
 
-use drcell_core::{RunReport, SparseMcsRunner};
+use drcell_core::{CycleRecord, RunReport, SparseMcsRunner};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -54,12 +55,35 @@ impl ScenarioResult {
 ///
 /// Propagates task construction, training and evaluation failures.
 pub fn run_scenario(spec: &ScenarioSpec, index: usize) -> Result<ScenarioResult, ScenarioError> {
+    run_scenario_streaming(spec, index, &mut |_| ControlFlow::Continue(()))
+}
+
+/// Like [`run_scenario`], but invokes `hook` with every finished
+/// [`CycleRecord`] as the testing stage produces it — the surface the
+/// `drcell-serve` daemon streams result rows from. The hook controls the
+/// run: returning [`ControlFlow::Break`] cancels at the next cycle
+/// boundary, surfacing as a [cancelled](ScenarioError::is_cancelled)
+/// error.
+///
+/// Streaming changes nothing about determinism: the records the hook sees
+/// are exactly, byte for byte, the rows `run_scenario` returns in its
+/// report (the hook fires after each record is final).
+///
+/// # Errors
+///
+/// Propagates task construction, training and evaluation failures; maps a
+/// hook break to `CoreError::Cancelled`.
+pub fn run_scenario_streaming(
+    spec: &ScenarioSpec,
+    index: usize,
+    hook: &mut dyn FnMut(&CycleRecord) -> ControlFlow<()>,
+) -> Result<ScenarioResult, ScenarioError> {
     let start = Instant::now();
     let task = spec.build_task()?;
     let mut policy = spec.build_policy(&task)?;
     let runner = SparseMcsRunner::new(&task, spec.runner.config())?;
     let mut rng = StdRng::seed_from_u64(stream_seed(spec.seed, streams::EVAL));
-    let report = runner.run(policy.as_mut(), &mut rng)?;
+    let report = runner.run_with_control(policy.as_mut(), &mut rng, hook)?;
     Ok(ScenarioResult {
         index,
         name: spec.name.clone(),

@@ -18,6 +18,10 @@
 //!   per-scenario wall-clock;
 //! * [`registry`] — built-in named scenarios covering the paper's tasks and
 //!   a perturbation stress suite;
+//! * [`run_scenario_streaming`] — single-scenario execution with a
+//!   per-cycle row hook and cancellation control, the surface the
+//!   `drcell-serve` daemon serves jobs through (the streamed rows are
+//!   byte-identical to the batch [`sink`] output);
 //! * a `drcell-scenario` CLI binary (`run`, `sweep`, `list`).
 //!
 //! ```
@@ -36,7 +40,7 @@
 
 mod engine;
 mod error;
-mod exec;
+pub mod exec;
 pub mod json;
 pub mod registry;
 pub mod sink;
@@ -47,7 +51,7 @@ pub mod cli;
 
 pub use engine::SweepEngine;
 pub use error::ScenarioError;
-pub use exec::{run_scenario, ScenarioResult};
+pub use exec::{run_scenario, run_scenario_streaming, ScenarioResult};
 pub use spec::{
     stream_seed, streams, DatasetSpec, NetworkKind, PolicySpec, QualitySpec, RunnerSpec,
     ScenarioSpec, SweepSpec,

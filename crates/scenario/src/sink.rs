@@ -7,10 +7,66 @@
 
 use std::io::{self, Write};
 
+use drcell_core::CycleRecord;
 use serde::Value;
 
 use crate::exec::ScenarioResult;
 use crate::json::to_json;
+
+/// The scenario-level labels of a result row — everything a JSONL row
+/// carries besides the [`CycleRecord`] itself. Split out so streaming
+/// producers (the `drcell-serve` daemon) can frame rows one at a time,
+/// **byte-identically** to the batch writer [`write_jsonl`]: both go
+/// through [`row_json`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowContext<'a> {
+    /// Scenario name (unique within a sweep).
+    pub scenario: &'a str,
+    /// Position of the scenario in its sweep matrix.
+    pub index: usize,
+    /// Policy label.
+    pub policy: &'a str,
+    /// Task/signal label ([`crate::DatasetSpec::signal`]).
+    pub task: &'a str,
+}
+
+impl<'a> RowContext<'a> {
+    /// The row context of an executed scenario's rows.
+    pub fn of(result: &'a ScenarioResult) -> Self {
+        RowContext {
+            scenario: &result.name,
+            index: result.index,
+            policy: &result.policy,
+            task: &result.report.task,
+        }
+    }
+}
+
+/// Serialises one cycle record as its compact JSONL row (no trailing
+/// newline). This is **the** row format: the batch writer, the CSV
+/// converter's JSON sibling and the serving daemon all emit exactly this
+/// string, which is what makes streamed and file-written results
+/// byte-comparable.
+pub fn row_json(ctx: RowContext<'_>, c: &CycleRecord) -> String {
+    let row = Value::Map(vec![
+        ("scenario".into(), Value::Str(ctx.scenario.to_owned())),
+        ("scenario_index".into(), Value::Int(ctx.index as i64)),
+        ("policy".into(), Value::Str(ctx.policy.to_owned())),
+        ("task".into(), Value::Str(ctx.task.to_owned())),
+        ("cycle".into(), Value::Int(c.cycle as i64)),
+        (
+            "selected".into(),
+            Value::Seq(c.selected.iter().map(|&i| Value::Int(i as i64)).collect()),
+        ),
+        ("true_error".into(), Value::Float(c.true_error)),
+        (
+            "estimated_probability".into(),
+            Value::Float(c.estimated_probability),
+        ),
+        ("within_epsilon".into(), Value::Bool(c.within_epsilon)),
+    ]);
+    to_json(&row)
+}
 
 /// Writes one JSON object per cycle record of every result, in matrix
 /// order.
@@ -21,24 +77,7 @@ use crate::json::to_json;
 pub fn write_jsonl(out: &mut dyn Write, results: &[&ScenarioResult]) -> io::Result<()> {
     for r in results {
         for c in &r.report.cycles {
-            let row = Value::Map(vec![
-                ("scenario".into(), Value::Str(r.name.clone())),
-                ("scenario_index".into(), Value::Int(r.index as i64)),
-                ("policy".into(), Value::Str(r.policy.clone())),
-                ("task".into(), Value::Str(r.report.task.clone())),
-                ("cycle".into(), Value::Int(c.cycle as i64)),
-                (
-                    "selected".into(),
-                    Value::Seq(c.selected.iter().map(|&i| Value::Int(i as i64)).collect()),
-                ),
-                ("true_error".into(), Value::Float(c.true_error)),
-                (
-                    "estimated_probability".into(),
-                    Value::Float(c.estimated_probability),
-                ),
-                ("within_epsilon".into(), Value::Bool(c.within_epsilon)),
-            ]);
-            writeln!(out, "{}", to_json(&row))?;
+            writeln!(out, "{}", row_json(RowContext::of(r), c))?;
         }
     }
     Ok(())
@@ -174,6 +213,23 @@ mod tests {
         write_jsonl(&mut x, &[&a]).unwrap();
         write_jsonl(&mut y, &[&a]).unwrap();
         assert_eq!(x, y);
+    }
+
+    #[test]
+    fn streamed_rows_match_batch_writer_byte_for_byte() {
+        // The serving determinism guarantee bottoms out here: framing rows
+        // one at a time must reproduce the batch file exactly.
+        let a = result("s/a", 0);
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &[&a]).unwrap();
+        let batch = String::from_utf8(buf).unwrap();
+        let streamed: String = a
+            .report
+            .cycles
+            .iter()
+            .map(|c| row_json(RowContext::of(&a), c) + "\n")
+            .collect();
+        assert_eq!(batch, streamed);
     }
 
     #[test]

@@ -106,6 +106,19 @@ pub enum DatasetSpec {
 }
 
 impl DatasetSpec {
+    /// The task/signal label this source materialises into
+    /// ([`drcell_core::SensingTask::name`], the `task` column of result
+    /// rows) — available without generating the dataset, so streaming
+    /// layers can label rows before a run starts.
+    pub fn signal(&self) -> &'static str {
+        match self {
+            DatasetSpec::SensorScopeTemperature { .. } => "temperature",
+            DatasetSpec::SensorScopeHumidity { .. } => "humidity",
+            DatasetSpec::UAirPm25 { .. } => "PM2.5",
+            DatasetSpec::Synthetic { .. } => "synthetic",
+        }
+    }
+
     /// Generates the ground truth and grid for this source.
     pub fn materialise(&self, seed: u64) -> (DataMatrix, CellGrid, ErrorMetric, &'static str) {
         match *self {
@@ -129,7 +142,7 @@ impl DatasetSpec {
                     ds.temperature,
                     ds.grid,
                     ErrorMetric::MeanAbsolute,
-                    "temperature",
+                    self.signal(),
                 )
             }
             DatasetSpec::SensorScopeHumidity {
@@ -148,7 +161,12 @@ impl DatasetSpec {
                     },
                     seed,
                 );
-                (ds.humidity, ds.grid, ErrorMetric::MeanAbsolute, "humidity")
+                (
+                    ds.humidity,
+                    ds.grid,
+                    ErrorMetric::MeanAbsolute,
+                    self.signal(),
+                )
             }
             DatasetSpec::UAirPm25 {
                 grid_rows,
@@ -164,7 +182,12 @@ impl DatasetSpec {
                     },
                     seed,
                 );
-                (ds.pm25, ds.grid, ErrorMetric::AqiClassification, "PM2.5")
+                (
+                    ds.pm25,
+                    ds.grid,
+                    ErrorMetric::AqiClassification,
+                    self.signal(),
+                )
             }
             DatasetSpec::Synthetic {
                 grid_rows,
@@ -181,7 +204,7 @@ impl DatasetSpec {
                 let mut rng = StdRng::seed_from_u64(seed);
                 let mut truth = gen.generate(cycles, &mut rng);
                 truth.calibrate(mean, std);
-                (truth, grid, ErrorMetric::MeanAbsolute, "synthetic")
+                (truth, grid, ErrorMetric::MeanAbsolute, self.signal())
             }
         }
     }

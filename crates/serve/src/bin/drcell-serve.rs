@@ -1,0 +1,233 @@
+//! `drcell-serve` — the scenario-serving daemon and its client commands.
+//! See `drcell-serve --help`.
+
+use std::fs;
+use std::io::Write;
+use std::process::ExitCode;
+
+use drcell_scenario::cli::load_spec_value;
+use drcell_scenario::{ScenarioSpec, SweepSpec};
+use drcell_serve::{Client, Server};
+use serde::Deserialize;
+
+const USAGE: &str = "drcell-serve — scenario-serving daemon for DR-Cell
+
+USAGE:
+  drcell-serve serve    --addr HOST:PORT [--workers N]
+  drcell-serve submit   --addr HOST:PORT (--name SCENARIO | --spec FILE |
+                        --sweep FILE) [--rows OUT.jsonl]
+  drcell-serve list     --addr HOST:PORT
+  drcell-serve jobs     --addr HOST:PORT
+  drcell-serve cancel   --addr HOST:PORT --job N
+  drcell-serve shutdown --addr HOST:PORT
+
+`serve` runs the daemon until a client sends shutdown. `--workers N` sets
+the number of concurrent jobs (0 = the process thread budget); each job's
+inner pools auto-size to budget/N, so jobs never oversubscribe the host.
+
+`submit` streams a job and writes its result rows (JSONL, byte-identical
+to `drcell-scenario run/sweep --jsonl` for the same spec) to --rows or
+stdout; control frames go to stderr. Exits nonzero if any scenario fails
+or the job is cancelled.";
+
+#[derive(Debug, Default)]
+struct Options {
+    addr: Option<String>,
+    workers: usize,
+    name: Option<String>,
+    spec: Option<String>,
+    sweep: Option<String>,
+    rows: Option<String>,
+    job: Option<u64>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut take = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => opts.addr = Some(take()?),
+            "--workers" => {
+                let v = take()?;
+                opts.workers = v.parse().map_err(|_| format!("bad --workers `{v}`"))?;
+            }
+            "--name" => opts.name = Some(take()?),
+            "--spec" => opts.spec = Some(take()?),
+            "--sweep" => opts.sweep = Some(take()?),
+            "--rows" => opts.rows = Some(take()?),
+            "--job" => {
+                let v = take()?;
+                opts.job = Some(v.parse().map_err(|_| format!("bad --job `{v}`"))?);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn addr(opts: &Options) -> Result<&str, String> {
+    opts.addr
+        .as_deref()
+        .ok_or_else(|| "--addr is required".to_owned())
+}
+
+fn connect(opts: &Options) -> Result<Client, String> {
+    let addr = addr(opts)?;
+    Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))
+}
+
+fn cmd_serve(opts: &Options) -> Result<(), String> {
+    let addr = addr(opts)?;
+    let server = Server::bind(addr, opts.workers).map_err(|e| format!("bind {addr}: {e}"))?;
+    eprintln!(
+        "drcell-serve listening on {} with {} worker(s)",
+        server.local_addr().map_err(|e| e.to_string())?,
+        server.workers()
+    );
+    server.run().map_err(|e| e.to_string())
+}
+
+fn cmd_submit(opts: &Options) -> Result<(), String> {
+    let mut client = connect(opts)?;
+    let stream = match (&opts.name, &opts.spec, &opts.sweep) {
+        (Some(name), None, None) => client.run_name(name),
+        (None, Some(path), None) => {
+            let value = load_spec_value(path).map_err(|e| e.to_string())?;
+            let spec = ScenarioSpec::from_value(&value).map_err(|e| e.to_string())?;
+            client.run_spec(&spec)
+        }
+        (None, None, Some(path)) => {
+            let value = load_spec_value(path).map_err(|e| e.to_string())?;
+            let spec = SweepSpec::from_value(&value).map_err(|e| e.to_string())?;
+            client.sweep(&spec)
+        }
+        _ => {
+            return Err("submit needs exactly one of --name, --spec or --sweep".to_owned());
+        }
+    }
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "job {} accepted ({} scenario(s))",
+        stream.job, stream.scenarios
+    );
+    // Rows go to the sink as they arrive — the stream stays live (tail
+    // the file, pipe stdout) and rows already received survive a client
+    // crash mid-job.
+    let mut sink: Box<dyn Write> = match &opts.rows {
+        Some(path) => Box::new(fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?),
+        None => Box::new(std::io::stdout()),
+    };
+    let mut stream = stream;
+    let mut rows = 0usize;
+    let (mut ok, mut failed, mut cancelled) = (0usize, 0usize, false);
+    while let Some(frame) = stream.next_frame().map_err(|e| e.to_string())? {
+        match frame {
+            drcell_serve::Frame::Row(row) => {
+                writeln!(sink, "{row}").map_err(|e| e.to_string())?;
+                sink.flush().map_err(|e| e.to_string())?;
+                rows += 1;
+            }
+            drcell_serve::Frame::Scenario {
+                index,
+                error: Some(error),
+                ..
+            } => eprintln!("scenario {index} FAILED: {error}"),
+            drcell_serve::Frame::Scenario { .. } => {}
+            drcell_serve::Frame::Done {
+                ok: o, failed: f, ..
+            } => {
+                ok = o;
+                failed = f;
+            }
+            drcell_serve::Frame::Cancelled { .. } => cancelled = true,
+            other => return Err(format!("unexpected frame in job stream: {other:?}")),
+        }
+    }
+    if let Some(path) = &opts.rows {
+        eprintln!("wrote {path} ({rows} rows)");
+    }
+    if cancelled {
+        return Err("job was cancelled".to_owned());
+    }
+    if failed > 0 {
+        return Err(format!("{failed} scenario(s) failed"));
+    }
+    eprintln!("job done: {ok} scenario(s) ok");
+    Ok(())
+}
+
+fn cmd_list(opts: &Options) -> Result<(), String> {
+    let mut client = connect(opts)?;
+    for name in client.list().map_err(|e| e.to_string())? {
+        println!("{name}");
+    }
+    Ok(())
+}
+
+fn cmd_jobs(opts: &Options) -> Result<(), String> {
+    let mut client = connect(opts)?;
+    for info in client.jobs().map_err(|e| e.to_string())? {
+        println!(
+            "job {:>4}  {:<10} {}/{} scenario(s)",
+            info.job,
+            info.state.as_str(),
+            info.completed,
+            info.scenarios
+        );
+    }
+    Ok(())
+}
+
+fn cmd_cancel(opts: &Options) -> Result<(), String> {
+    let job = opts.job.ok_or_else(|| "--job is required".to_owned())?;
+    let mut client = connect(opts)?;
+    let state = client.cancel(job).map_err(|e| e.to_string())?;
+    eprintln!(
+        "job {job}: cancellation requested (state {})",
+        state.as_str()
+    );
+    Ok(())
+}
+
+fn cmd_shutdown(opts: &Options) -> Result<(), String> {
+    let client = connect(opts)?;
+    client.shutdown().map_err(|e| e.to_string())?;
+    eprintln!("server acknowledged shutdown");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+    };
+    if matches!(command, "--help" | "-h" | "help") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let result = parse_options(rest).and_then(|opts| match command {
+        "serve" => cmd_serve(&opts),
+        "submit" => cmd_submit(&opts),
+        "list" => cmd_list(&opts),
+        "jobs" => cmd_jobs(&opts),
+        "cancel" => cmd_cancel(&opts),
+        "shutdown" => cmd_shutdown(&opts),
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! A blocking, dependency-free client for the daemon — the library the
+//! CLI client commands, the examples and the test suites are built on.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use drcell_scenario::{ScenarioSpec, SweepSpec};
+
+use crate::protocol::{Frame, JobInfo, JobState, Request, RunTarget};
+use crate::ServeError;
+
+/// A blocking client over one daemon connection. Requests are sequential:
+/// a submitted job streams to completion (or cancellation) before the
+/// connection can issue the next request — run concurrent jobs over
+/// separate clients.
+///
+/// ```
+/// use drcell_serve::{Client, Server};
+///
+/// // An in-process daemon on an ephemeral port, 2 job workers.
+/// let server = Server::bind("127.0.0.1:0", 2).unwrap();
+/// let addr = server.local_addr().unwrap();
+/// let daemon = std::thread::spawn(move || server.run());
+///
+/// let mut client = Client::connect(addr).unwrap();
+/// let names = client.list().unwrap();
+/// assert!(names.contains(&"synthetic-smooth".to_owned()));
+///
+/// // Stream a (cheap) scenario: registry spec, policy swapped for the
+/// // training-free baseline.
+/// let mut spec = drcell_scenario::registry::find("synthetic-smooth").unwrap();
+/// spec.policy = drcell_scenario::PolicySpec::Random;
+/// let output = client.run_spec(&spec).unwrap().collect().unwrap();
+/// assert!(!output.rows.is_empty());
+/// assert_eq!(output.ok, 1);
+///
+/// client.shutdown().unwrap();
+/// daemon.join().unwrap().unwrap();
+/// ```
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ServeError> {
+        self.writer.write_all(request.to_line().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        Ok(())
+    }
+
+    fn read_frame(&mut self) -> Result<Frame, ServeError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ServeError::Protocol(
+                "server closed the connection".to_owned(),
+            ));
+        }
+        Frame::parse(line.trim_end_matches('\n'))
+    }
+
+    /// Reads the single reply frame of a non-streaming request.
+    fn read_reply(&mut self) -> Result<Frame, ServeError> {
+        match self.read_frame()? {
+            Frame::Error { message } => Err(ServeError::Server(message)),
+            frame => Ok(frame),
+        }
+    }
+
+    /// Names of the daemon's built-in scenario registry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport, protocol and server errors.
+    pub fn list(&mut self) -> Result<Vec<String>, ServeError> {
+        self.send(&Request::List)?;
+        match self.read_reply()? {
+            Frame::ScenarioNames { names } => Ok(names),
+            other => Err(ServeError::unexpected("scenarios", &other)),
+        }
+    }
+
+    /// Snapshot of the daemon's job table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport, protocol and server errors.
+    pub fn jobs(&mut self) -> Result<Vec<JobInfo>, ServeError> {
+        self.send(&Request::Jobs)?;
+        match self.read_reply()? {
+            Frame::JobTable { jobs } => Ok(jobs),
+            other => Err(ServeError::unexpected("jobs", &other)),
+        }
+    }
+
+    /// Requests cancellation of a job (submitted on *any* connection);
+    /// returns the job's state at acknowledgement time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol errors; [`ServeError::Server`]
+    /// for an unknown job id.
+    pub fn cancel(&mut self, job: u64) -> Result<JobState, ServeError> {
+        self.send(&Request::Cancel { job })?;
+        match self.read_reply()? {
+            Frame::CancelAck { state, .. } => Ok(state),
+            other => Err(ServeError::unexpected("cancel", &other)),
+        }
+    }
+
+    /// Asks the daemon to shut down (queued jobs cancelled, running jobs
+    /// finish) and consumes the client.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport, protocol and server errors.
+    pub fn shutdown(mut self) -> Result<(), ServeError> {
+        self.send(&Request::Shutdown)?;
+        match self.read_reply()? {
+            Frame::ShutdownAck => Ok(()),
+            other => Err(ServeError::unexpected("shutdown", &other)),
+        }
+    }
+
+    /// Submits a registry scenario by name as a streaming job.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol errors; [`ServeError::Server`]
+    /// for an unknown name.
+    pub fn run_name(&mut self, name: &str) -> Result<JobStream<'_>, ServeError> {
+        self.submit(Request::Run(RunTarget::Name(name.to_owned())))
+    }
+
+    /// Submits one inline scenario as a streaming job.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport, protocol and server errors.
+    pub fn run_spec(&mut self, spec: &ScenarioSpec) -> Result<JobStream<'_>, ServeError> {
+        self.submit(Request::Run(RunTarget::Spec(Box::new(spec.clone()))))
+    }
+
+    /// Submits a sweep as one streaming job (scenarios stream in matrix
+    /// order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport, protocol and server errors.
+    pub fn sweep(&mut self, spec: &SweepSpec) -> Result<JobStream<'_>, ServeError> {
+        self.submit(Request::Sweep {
+            spec: Box::new(spec.clone()),
+        })
+    }
+
+    fn submit(&mut self, request: Request) -> Result<JobStream<'_>, ServeError> {
+        self.send(&request)?;
+        match self.read_reply()? {
+            Frame::Accepted { job, scenarios } => Ok(JobStream {
+                client: self,
+                job,
+                scenarios,
+                finished: false,
+            }),
+            other => Err(ServeError::unexpected("accepted", &other)),
+        }
+    }
+}
+
+/// The frame stream of one submitted job. Drop-safe only after the final
+/// frame; use [`JobStream::collect`] unless you need frame-by-frame
+/// control.
+#[derive(Debug)]
+pub struct JobStream<'a> {
+    client: &'a mut Client,
+    /// Server-assigned job id (use it to `cancel` from another client).
+    pub job: u64,
+    /// Scenario count the job expanded to.
+    pub scenarios: usize,
+    finished: bool,
+}
+
+/// Everything a fully drained job stream produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutput {
+    /// Raw result rows, in matrix order — byte-identical to the CLI's
+    /// `--jsonl` file for the same spec.
+    pub rows: Vec<String>,
+    /// `(matrix index, error)` of every failed scenario.
+    pub scenario_errors: Vec<(usize, String)>,
+    /// Scenarios that succeeded.
+    pub ok: usize,
+    /// Scenarios that failed.
+    pub failed: usize,
+    /// `true` when the job ended by cancellation instead of completion.
+    pub cancelled: bool,
+}
+
+impl JobStream<'_> {
+    /// The next frame, or `None` once the stream has ended (`done` or
+    /// `cancelled`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol errors; [`ServeError::Server`]
+    /// if the server reports a request-level error mid-stream.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, ServeError> {
+        if self.finished {
+            return Ok(None);
+        }
+        let frame = self.client.read_frame()?;
+        if frame.ends_stream() {
+            self.finished = true;
+        }
+        match frame {
+            Frame::Error { message } => {
+                self.finished = true;
+                Err(ServeError::Server(message))
+            }
+            frame => Ok(Some(frame)),
+        }
+    }
+
+    /// Drains the stream to its end and aggregates it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport, protocol and server errors.
+    pub fn collect(mut self) -> Result<JobOutput, ServeError> {
+        let mut output = JobOutput {
+            rows: Vec::new(),
+            scenario_errors: Vec::new(),
+            ok: 0,
+            failed: 0,
+            cancelled: false,
+        };
+        while let Some(frame) = self.next_frame()? {
+            match frame {
+                Frame::Row(row) => output.rows.push(row),
+                Frame::Scenario {
+                    index,
+                    error: Some(error),
+                    ..
+                } => output.scenario_errors.push((index, error)),
+                Frame::Scenario { .. } => {}
+                Frame::Done { ok, failed, .. } => {
+                    output.ok = ok;
+                    output.failed = failed;
+                }
+                Frame::Cancelled { .. } => output.cancelled = true,
+                unexpected => return Err(ServeError::unexpected("stream frame", &unexpected)),
+            }
+        }
+        Ok(output)
+    }
+}

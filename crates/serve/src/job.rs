@@ -1,0 +1,187 @@
+//! The server's job table: ids, lifecycle states, cancellation flags.
+//!
+//! Jobs are shared between three parties — the connection thread that
+//! submitted them, the worker thread executing them, and any other
+//! connection cancelling or listing them — so every field is either
+//! immutable or an atomic. A [`Job`]'s state only ever moves forward
+//! (`Queued → Running → {Done, Cancelled, Failed}`), and the cancel flag
+//! is sticky: once set it stays set, and the executing worker observes it
+//! at the next cycle boundary.
+
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::protocol::{JobInfo, JobState};
+
+/// One submitted job, shared via [`Arc`] between connection, worker and
+/// table.
+#[derive(Debug)]
+pub struct Job {
+    /// Server-unique job id (dense, starting at 1).
+    pub id: u64,
+    /// Number of scenarios the job expands to.
+    pub scenarios: usize,
+    /// Scenarios finished so far (successes and failures).
+    completed: AtomicUsize,
+    state: AtomicU8,
+    cancel: AtomicBool,
+}
+
+fn state_to_u8(s: JobState) -> u8 {
+    match s {
+        JobState::Queued => 0,
+        JobState::Running => 1,
+        JobState::Done => 2,
+        JobState::Cancelled => 3,
+        JobState::Failed => 4,
+    }
+}
+
+fn state_from_u8(v: u8) -> JobState {
+    match v {
+        0 => JobState::Queued,
+        1 => JobState::Running,
+        2 => JobState::Done,
+        3 => JobState::Cancelled,
+        _ => JobState::Failed,
+    }
+}
+
+impl Job {
+    fn new(id: u64, scenarios: usize) -> Self {
+        Job {
+            id,
+            scenarios,
+            completed: AtomicUsize::new(0),
+            state: AtomicU8::new(state_to_u8(JobState::Queued)),
+            cancel: AtomicBool::new(false),
+        }
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> JobState {
+        state_from_u8(self.state.load(Ordering::Acquire))
+    }
+
+    /// Moves the job to `state`. Terminal states are final: a job that is
+    /// already `Done`/`Cancelled`/`Failed` keeps its state (last writer
+    /// between a cancelling connection and a finishing worker does not
+    /// flip the outcome back).
+    pub fn set_state(&self, state: JobState) {
+        let _ = self
+            .state
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                if state_from_u8(cur).is_terminal() {
+                    None
+                } else {
+                    Some(state_to_u8(state))
+                }
+            });
+    }
+
+    /// Requests cancellation; the worker honours it at the next cycle
+    /// boundary (or before starting, if still queued).
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Release);
+    }
+
+    /// `true` once cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Acquire)
+    }
+
+    /// Records one more finished scenario.
+    pub fn mark_scenario_finished(&self) {
+        self.completed.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Snapshot row for the `jobs` listing.
+    pub fn info(&self) -> JobInfo {
+        JobInfo {
+            job: self.id,
+            state: self.state(),
+            scenarios: self.scenarios,
+            completed: self.completed.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// The server's job registry: assigns ids, keeps every job for the
+/// lifetime of the process (the table is the audit trail `jobs` reports).
+#[derive(Debug, Default)]
+pub struct JobTable {
+    jobs: Mutex<Vec<Arc<Job>>>,
+}
+
+impl JobTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        JobTable::default()
+    }
+
+    /// Creates a queued job over `scenarios` scenarios.
+    pub fn create(&self, scenarios: usize) -> Arc<Job> {
+        let mut jobs = self.jobs.lock().expect("job table lock");
+        let job = Arc::new(Job::new(jobs.len() as u64 + 1, scenarios));
+        jobs.push(Arc::clone(&job));
+        job
+    }
+
+    /// Looks a job up by id.
+    pub fn get(&self, id: u64) -> Option<Arc<Job>> {
+        let jobs = self.jobs.lock().expect("job table lock");
+        // Ids are dense and 1-based: direct index.
+        jobs.get((id as usize).checked_sub(1)?).cloned()
+    }
+
+    /// Snapshot of every job, in id order.
+    pub fn snapshot(&self) -> Vec<JobInfo> {
+        let jobs = self.jobs.lock().expect("job table lock");
+        jobs.iter().map(|j| j.info()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_lookup_works() {
+        let table = JobTable::new();
+        let a = table.create(3);
+        let b = table.create(1);
+        assert_eq!(a.id, 1);
+        assert_eq!(b.id, 2);
+        assert_eq!(table.get(1).unwrap().id, 1);
+        assert!(table.get(0).is_none());
+        assert!(table.get(3).is_none());
+        assert_eq!(table.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn state_machine_moves_forward_only() {
+        let table = JobTable::new();
+        let j = table.create(2);
+        assert_eq!(j.state(), JobState::Queued);
+        j.set_state(JobState::Running);
+        assert_eq!(j.state(), JobState::Running);
+        j.set_state(JobState::Cancelled);
+        assert_eq!(j.state(), JobState::Cancelled);
+        // Terminal states win against late writers.
+        j.set_state(JobState::Done);
+        assert_eq!(j.state(), JobState::Cancelled);
+    }
+
+    #[test]
+    fn cancel_flag_is_sticky_and_progress_counts() {
+        let table = JobTable::new();
+        let j = table.create(2);
+        assert!(!j.is_cancelled());
+        j.cancel();
+        j.cancel();
+        assert!(j.is_cancelled());
+        j.mark_scenario_finished();
+        assert_eq!(j.info().completed, 1);
+        assert_eq!(j.info().scenarios, 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! # drcell-serve — the scenario-serving daemon
+//!
+//! The ROADMAP's async-serving layer: a long-running, dependency-free
+//! (std-only) TCP daemon that turns the batch scenario engine into a
+//! service. Clients submit [`ScenarioSpec`]/[`SweepSpec`] jobs as
+//! newline-delimited JSON and receive the result rows **streamed back as
+//! they are produced**, cycle by cycle, through
+//! [`SparseMcsRunner::run_with_control`] — the deployment shape the
+//! DR-Cell paper assumes (cell selection running online, cycle after
+//! cycle), without giving up one bit of the engine's reproducibility.
+//!
+//! ## The contract
+//!
+//! * **Determinism.** The row frames of a job are produced and serialised
+//!   by exactly the code behind `drcell-scenario run/sweep --jsonl`
+//!   ([`run_scenario_streaming`] + [`sink::row_json`]): stripping the
+//!   `{"event":…` control frames from a job stream yields a file
+//!   byte-identical to the CLI's, for any worker count and any number of
+//!   concurrent jobs. CI enforces this with a live smoke test, and
+//!   `tests/serve_determinism.rs` pins it in-tree.
+//! * **Budget sharing.** The daemon holds a
+//!   [`drcell_pool::budget::reserve_outer`] reservation sized to its
+//!   worker count for its whole lifetime, so `N` concurrent jobs each run
+//!   their inner pools (assessment fan-out, ALS sweeps, GEMM blocks) on
+//!   `budget / N` threads — never oversubscribing, exactly like a sweep.
+//! * **Isolation.** A failing scenario fails only itself; a cancelled or
+//!   disconnected client kills only its own job (at the next cycle
+//!   boundary, via the sticky cancel flag in the [`job`] table); malformed
+//!   frames cost an `error` response, not the connection.
+//!
+//! What it deliberately defers: multi-host sharding (a separate ROADMAP
+//! item — the deterministic per-scenario seeding already makes cross-host
+//! result merging safe by construction) and any form of persistence (the
+//! job table is in-memory, scoped to the daemon's lifetime).
+//!
+//! ## Protocol in one screen
+//!
+//! ```text
+//! → {"cmd":"list"}
+//! ← {"event":"scenarios","names":["temperature-baseline",…]}
+//! → {"cmd":"run","name":"synthetic-smooth"}
+//! ← {"event":"accepted","job":1,"scenarios":1}
+//! ← {"scenario":"synthetic-smooth","scenario_index":0,…}   (one per cycle)
+//! ← {"event":"scenario","job":1,"index":0,"name":"synthetic-smooth"}
+//! ← {"event":"done","job":1,"ok":1,"failed":0}
+//! → {"cmd":"shutdown"}
+//! ← {"event":"shutdown"}
+//! ```
+//!
+//! See [`protocol`] for the full grammar, [`Server`] for the daemon,
+//! [`Client`] for the blocking client the examples and tests use, and the
+//! repository's `ARCHITECTURE.md` for where this sits in the crate graph.
+//!
+//! [`ScenarioSpec`]: drcell_scenario::ScenarioSpec
+//! [`SweepSpec`]: drcell_scenario::SweepSpec
+//! [`SparseMcsRunner::run_with_control`]: drcell_core::SparseMcsRunner::run_with_control
+//! [`run_scenario_streaming`]: drcell_scenario::run_scenario_streaming
+//! [`sink::row_json`]: drcell_scenario::sink::row_json
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod job;
+pub mod protocol;
+mod server;
+
+use std::fmt;
+
+pub use client::{Client, JobOutput, JobStream};
+pub use protocol::{Frame, JobInfo, JobState, Request, RunTarget};
+pub use server::Server;
+
+/// Anything that can go wrong on the serving path.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Transport failure (socket read/write).
+    Io(std::io::Error),
+    /// A malformed or out-of-order frame on either side.
+    Protocol(String),
+    /// The server reported a request-level error.
+    Server(String),
+}
+
+impl ServeError {
+    fn unexpected(wanted: &str, got: &Frame) -> ServeError {
+        ServeError::Protocol(format!("expected a {wanted} frame, got {got:?}"))
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve i/o error: {e}"),
+            ServeError::Protocol(msg) => write!(f, "serve protocol error: {msg}"),
+            ServeError::Server(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}

@@ -1,0 +1,663 @@
+//! The wire protocol of the daemon: newline-delimited JSON in both
+//! directions.
+//!
+//! **Requests** (client → server) are single-line JSON objects dispatched
+//! on their `cmd` key — see [`Request`].
+//!
+//! **Responses** (server → client) come in two kinds, distinguishable by
+//! their first key:
+//!
+//! * **control frames** are objects whose first key is `"event"`
+//!   (`accepted`, `scenario`, `done`, `cancelled`, `error`, …);
+//! * **row frames** are raw result rows — exactly the JSONL lines
+//!   [`drcell_scenario::sink::write_jsonl`] writes, whose first key is
+//!   `"scenario"`. The daemon passes them through **byte-identically**, so
+//!   filtering out the `{"event":…` lines of a job stream reproduces the
+//!   CLI's `--jsonl` file for the same spec, byte for byte.
+//!
+//! Frames never contain raw newlines, so `lines()` framing is exact.
+
+use serde::{Deserialize, Serialize, Value};
+
+use drcell_scenario::json::{parse_json, to_json};
+use drcell_scenario::{ScenarioSpec, SweepSpec};
+
+use crate::ServeError;
+
+/// What a `run` request targets — exactly one source, by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunTarget {
+    /// A built-in registry scenario, by name.
+    Name(String),
+    /// An inline scenario spec.
+    Spec(Box<ScenarioSpec>),
+}
+
+/// One client request, dispatched on the `cmd` key of its JSON line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `{"cmd":"run","name":"…"}` or `{"cmd":"run","spec":{…}}` — submit
+    /// one scenario (a registry name or an inline [`ScenarioSpec`]) as a
+    /// streaming job.
+    Run(RunTarget),
+    /// `{"cmd":"sweep","spec":{…}}` — submit a [`SweepSpec`]; the server
+    /// expands it and streams every scenario's rows in matrix order.
+    Sweep {
+        /// The sweep to expand and run.
+        spec: Box<SweepSpec>,
+    },
+    /// `{"cmd":"list"}` — names of the built-in scenario registry.
+    List,
+    /// `{"cmd":"jobs"}` — snapshot of the server's job table.
+    Jobs,
+    /// `{"cmd":"cancel","job":N}` — request cancellation of a job. Takes
+    /// effect before the next scenario starts or at the next testing-cycle
+    /// boundary; a policy-training phase already in progress (DR-Cell
+    /// specs train a DQN before their first cycle) runs to completion
+    /// first, since training emits no cycle records to check at.
+    Cancel {
+        /// Job id to cancel.
+        job: u64,
+    },
+    /// `{"cmd":"shutdown"}` — stop accepting connections, cancel queued
+    /// jobs, let running jobs finish, then exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Protocol`] on malformed JSON, an unknown
+    /// `cmd`, or missing/contradictory fields.
+    pub fn parse(line: &str) -> Result<Request, ServeError> {
+        let v = parse_json(line).map_err(|e| ServeError::Protocol(format!("bad request: {e}")))?;
+        let cmd = v
+            .get("cmd")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ServeError::Protocol("request has no `cmd` string".to_owned()))?;
+        match cmd {
+            "run" => {
+                let name = v.get("name").and_then(Value::as_str).map(str::to_owned);
+                let spec =
+                    match v.get("spec") {
+                        Some(sv) => Some(Box::new(ScenarioSpec::from_value(sv).map_err(|e| {
+                            ServeError::Protocol(format!("bad scenario spec: {e}"))
+                        })?)),
+                        None => None,
+                    };
+                match (name, spec) {
+                    (Some(name), None) => Ok(Request::Run(RunTarget::Name(name))),
+                    (None, Some(spec)) => Ok(Request::Run(RunTarget::Spec(spec))),
+                    _ => Err(ServeError::Protocol(
+                        "run needs exactly one of `name` or `spec`".to_owned(),
+                    )),
+                }
+            }
+            "sweep" => match v.get("spec") {
+                Some(sv) => Ok(Request::Sweep {
+                    spec: Box::new(
+                        SweepSpec::from_value(sv)
+                            .map_err(|e| ServeError::Protocol(format!("bad sweep spec: {e}")))?,
+                    ),
+                }),
+                None => Err(ServeError::Protocol("sweep needs a `spec`".to_owned())),
+            },
+            "list" => Ok(Request::List),
+            "jobs" => Ok(Request::Jobs),
+            "cancel" => {
+                let job = v.get("job").and_then(Value::as_u64).ok_or_else(|| {
+                    ServeError::Protocol("cancel needs a numeric `job`".to_owned())
+                })?;
+                Ok(Request::Cancel { job })
+            }
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ServeError::Protocol(format!("unknown cmd `{other}`"))),
+        }
+    }
+
+    /// Serialises the request as its wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let entries = match self {
+            Request::Run(RunTarget::Name(name)) => vec![
+                ("cmd".to_owned(), Value::Str("run".to_owned())),
+                ("name".to_owned(), Value::Str(name.clone())),
+            ],
+            Request::Run(RunTarget::Spec(spec)) => vec![
+                ("cmd".to_owned(), Value::Str("run".to_owned())),
+                ("spec".to_owned(), spec.to_value()),
+            ],
+            Request::Sweep { spec } => vec![
+                ("cmd".to_owned(), Value::Str("sweep".to_owned())),
+                ("spec".to_owned(), spec.to_value()),
+            ],
+            Request::List => vec![("cmd".to_owned(), Value::Str("list".to_owned()))],
+            Request::Jobs => vec![("cmd".to_owned(), Value::Str("jobs".to_owned()))],
+            Request::Cancel { job } => vec![
+                ("cmd".to_owned(), Value::Str("cancel".to_owned())),
+                ("job".to_owned(), Value::UInt(*job)),
+            ],
+            Request::Shutdown => vec![("cmd".to_owned(), Value::Str("shutdown".to_owned()))],
+        };
+        to_json(&Value::Map(entries))
+    }
+}
+
+/// Lifecycle states of a job in the server's table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing its scenarios.
+    Running,
+    /// Every scenario finished successfully.
+    Done,
+    /// Cancelled (explicit `cancel`, client disconnect, or shutdown).
+    Cancelled,
+    /// Finished, but at least one scenario failed.
+    Failed,
+}
+
+impl JobState {
+    /// Wire name of the state.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_str_wire(s: &str) -> Option<JobState> {
+        Some(match s {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "done" => JobState::Done,
+            "cancelled" => JobState::Cancelled,
+            "failed" => JobState::Failed,
+            _ => return None,
+        })
+    }
+
+    /// `true` once the job can no longer make progress.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Cancelled | JobState::Failed
+        )
+    }
+}
+
+/// One row of a `jobs` snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobInfo {
+    /// Job id.
+    pub job: u64,
+    /// Current state.
+    pub state: JobState,
+    /// Total scenarios in the job.
+    pub scenarios: usize,
+    /// Scenarios finished so far (including failed ones).
+    pub completed: usize,
+}
+
+/// One server response frame, as parsed by the client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A raw result row — exactly one line of the CLI's `--jsonl` output.
+    Row(String),
+    /// A job was accepted and queued.
+    Accepted {
+        /// Assigned job id.
+        job: u64,
+        /// Scenarios the job expands to.
+        scenarios: usize,
+    },
+    /// One scenario of a job finished (rows for it precede this frame).
+    Scenario {
+        /// Owning job id.
+        job: u64,
+        /// Matrix index of the scenario.
+        index: usize,
+        /// Scenario name.
+        name: String,
+        /// `Some` iff the scenario failed (its rows were partial/absent).
+        error: Option<String>,
+    },
+    /// The job finished; the stream for it ends here.
+    Done {
+        /// Owning job id.
+        job: u64,
+        /// Scenarios that succeeded.
+        ok: usize,
+        /// Scenarios that failed.
+        failed: usize,
+    },
+    /// The job was cancelled; the stream for it ends here.
+    Cancelled {
+        /// Owning job id.
+        job: u64,
+    },
+    /// A request-level error (malformed frame, unknown name/job, …).
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+    /// Reply to `list`.
+    ScenarioNames {
+        /// Registry scenario names, in presentation order.
+        names: Vec<String>,
+    },
+    /// Reply to `jobs`.
+    JobTable {
+        /// Snapshot rows, in job-id order.
+        jobs: Vec<JobInfo>,
+    },
+    /// Reply to `cancel`: the flag was set (or the job was already
+    /// terminal).
+    CancelAck {
+        /// The cancelled job id.
+        job: u64,
+        /// Job state at acknowledgement time.
+        state: JobState,
+    },
+    /// Reply to `shutdown`.
+    ShutdownAck,
+}
+
+impl Frame {
+    /// Parses one response line: control frames by their `event` key,
+    /// anything else as a pass-through [`Frame::Row`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Protocol`] on malformed JSON or an unknown
+    /// event.
+    pub fn parse(line: &str) -> Result<Frame, ServeError> {
+        let v = parse_json(line).map_err(|e| ServeError::Protocol(format!("bad frame: {e}")))?;
+        let Some(event) = v.get("event").and_then(Value::as_str) else {
+            return Ok(Frame::Row(line.to_owned()));
+        };
+        // Every structural field is strictly required: a missing or
+        // mistyped count from a version-skewed server must surface as a
+        // protocol error, not silently parse as 0 (which would let a
+        // `done` frame without `failed` masquerade as a clean success).
+        let job = || {
+            v.get("job")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| ServeError::Protocol(format!("{event} frame has no job id")))
+        };
+        let count = |field: &str| {
+            v.get(field).and_then(Value::as_u64).ok_or_else(|| {
+                ServeError::Protocol(format!("{event} frame has no numeric `{field}`"))
+            })
+        };
+        match event {
+            "accepted" => Ok(Frame::Accepted {
+                job: job()?,
+                scenarios: count("scenarios")? as usize,
+            }),
+            "scenario" => Ok(Frame::Scenario {
+                job: job()?,
+                index: count("index")? as usize,
+                name: v
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| ServeError::Protocol("scenario frame has no `name`".to_owned()))?
+                    .to_owned(),
+                error: v.get("error").and_then(Value::as_str).map(str::to_owned),
+            }),
+            "done" => Ok(Frame::Done {
+                job: job()?,
+                ok: count("ok")? as usize,
+                failed: count("failed")? as usize,
+            }),
+            "cancelled" => Ok(Frame::Cancelled { job: job()? }),
+            "error" => Ok(Frame::Error {
+                message: v
+                    .get("message")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_owned(),
+            }),
+            "scenarios" => Ok(Frame::ScenarioNames {
+                names: v
+                    .get("names")
+                    .and_then(Value::as_seq)
+                    .map(|seq| {
+                        seq.iter()
+                            .filter_map(Value::as_str)
+                            .map(str::to_owned)
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+            }),
+            "jobs" => {
+                let mut jobs = Vec::new();
+                for jv in v.get("jobs").and_then(Value::as_seq).unwrap_or_default() {
+                    let entry = |field: &str| {
+                        jv.get(field).and_then(Value::as_u64).ok_or_else(|| {
+                            ServeError::Protocol(format!(
+                                "jobs frame entry has no numeric `{field}`"
+                            ))
+                        })
+                    };
+                    jobs.push(JobInfo {
+                        job: entry("job")?,
+                        state: jv
+                            .get("state")
+                            .and_then(Value::as_str)
+                            .and_then(JobState::from_str_wire)
+                            .ok_or_else(|| {
+                                ServeError::Protocol("jobs frame with bad state".to_owned())
+                            })?,
+                        scenarios: entry("scenarios")? as usize,
+                        completed: entry("completed")? as usize,
+                    });
+                }
+                Ok(Frame::JobTable { jobs })
+            }
+            "cancel" => Ok(Frame::CancelAck {
+                job: job()?,
+                state: v
+                    .get("state")
+                    .and_then(Value::as_str)
+                    .and_then(JobState::from_str_wire)
+                    .ok_or_else(|| {
+                        ServeError::Protocol("cancel frame with bad state".to_owned())
+                    })?,
+            }),
+            "shutdown" => Ok(Frame::ShutdownAck),
+            other => Err(ServeError::Protocol(format!("unknown event `{other}`"))),
+        }
+    }
+
+    /// `true` for the frames that terminate a job stream.
+    pub fn ends_stream(&self) -> bool {
+        matches!(self, Frame::Done { .. } | Frame::Cancelled { .. })
+    }
+}
+
+/// Server-side encoders of the control frames (the row frame needs none —
+/// it is [`drcell_scenario::sink::row_json`] verbatim).
+pub mod frames {
+    use super::*;
+
+    fn event(name: &str, mut rest: Vec<(String, Value)>) -> String {
+        let mut entries = vec![("event".to_owned(), Value::Str(name.to_owned()))];
+        entries.append(&mut rest);
+        to_json(&Value::Map(entries))
+    }
+
+    /// `accepted` frame.
+    pub fn accepted(job: u64, scenarios: usize) -> String {
+        event(
+            "accepted",
+            vec![
+                ("job".to_owned(), Value::UInt(job)),
+                ("scenarios".to_owned(), Value::UInt(scenarios as u64)),
+            ],
+        )
+    }
+
+    /// `scenario` (per-scenario completion) frame.
+    pub fn scenario(job: u64, index: usize, name: &str, error: Option<&str>) -> String {
+        let mut rest = vec![
+            ("job".to_owned(), Value::UInt(job)),
+            ("index".to_owned(), Value::UInt(index as u64)),
+            ("name".to_owned(), Value::Str(name.to_owned())),
+        ];
+        if let Some(e) = error {
+            rest.push(("error".to_owned(), Value::Str(e.to_owned())));
+        }
+        event("scenario", rest)
+    }
+
+    /// `done` frame.
+    pub fn done(job: u64, ok: usize, failed: usize) -> String {
+        event(
+            "done",
+            vec![
+                ("job".to_owned(), Value::UInt(job)),
+                ("ok".to_owned(), Value::UInt(ok as u64)),
+                ("failed".to_owned(), Value::UInt(failed as u64)),
+            ],
+        )
+    }
+
+    /// `cancelled` frame.
+    pub fn cancelled(job: u64) -> String {
+        event("cancelled", vec![("job".to_owned(), Value::UInt(job))])
+    }
+
+    /// `error` frame.
+    pub fn error(message: &str) -> String {
+        event(
+            "error",
+            vec![("message".to_owned(), Value::Str(message.to_owned()))],
+        )
+    }
+
+    /// `scenarios` (registry listing) frame.
+    pub fn scenario_names(names: &[String]) -> String {
+        event(
+            "scenarios",
+            vec![(
+                "names".to_owned(),
+                Value::Seq(names.iter().map(|n| Value::Str(n.clone())).collect()),
+            )],
+        )
+    }
+
+    /// `jobs` (table snapshot) frame.
+    pub fn job_table(jobs: &[JobInfo]) -> String {
+        event(
+            "jobs",
+            vec![(
+                "jobs".to_owned(),
+                Value::Seq(
+                    jobs.iter()
+                        .map(|j| {
+                            Value::Map(vec![
+                                ("job".to_owned(), Value::UInt(j.job)),
+                                ("state".to_owned(), Value::Str(j.state.as_str().to_owned())),
+                                ("scenarios".to_owned(), Value::UInt(j.scenarios as u64)),
+                                ("completed".to_owned(), Value::UInt(j.completed as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )],
+        )
+    }
+
+    /// `cancel` acknowledgement frame.
+    pub fn cancel_ack(job: u64, state: JobState) -> String {
+        event(
+            "cancel",
+            vec![
+                ("job".to_owned(), Value::UInt(job)),
+                ("state".to_owned(), Value::Str(state.as_str().to_owned())),
+            ],
+        )
+    }
+
+    /// `shutdown` acknowledgement frame.
+    pub fn shutdown_ack() -> String {
+        event("shutdown", Vec::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drcell_scenario::registry;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Run(RunTarget::Name("synthetic-smooth".to_owned())),
+            Request::Run(RunTarget::Spec(Box::new(
+                registry::find("synthetic-smooth").unwrap(),
+            ))),
+            Request::Sweep {
+                spec: Box::new(registry::default_sweep()),
+            },
+            Request::List,
+            Request::Jobs,
+            Request::Cancel { job: 42 },
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = req.to_line();
+            assert!(!line.contains('\n'), "frames must be single lines");
+            assert_eq!(Request::parse(&line).unwrap(), req, "line {line}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            "{\"cmd\":\"warp\"}",
+            "{\"cmd\":\"run\"}",
+            "{\"cmd\":\"run\",\"name\":\"x\",\"spec\":{}}",
+            "{\"cmd\":\"sweep\"}",
+            "{\"cmd\":\"cancel\"}",
+            "{\"cmd\":\"cancel\",\"job\":\"three\"}",
+            "{\"cmd\":\"run\",\"spec\":{\"name\":\"broken\"}}",
+        ] {
+            assert!(Request::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn control_frames_round_trip() {
+        let cases = [
+            (
+                frames::accepted(3, 8),
+                Frame::Accepted {
+                    job: 3,
+                    scenarios: 8,
+                },
+            ),
+            (
+                frames::scenario(3, 1, "a/b", None),
+                Frame::Scenario {
+                    job: 3,
+                    index: 1,
+                    name: "a/b".to_owned(),
+                    error: None,
+                },
+            ),
+            (
+                frames::scenario(3, 2, "c", Some("boom")),
+                Frame::Scenario {
+                    job: 3,
+                    index: 2,
+                    name: "c".to_owned(),
+                    error: Some("boom".to_owned()),
+                },
+            ),
+            (
+                frames::done(3, 7, 1),
+                Frame::Done {
+                    job: 3,
+                    ok: 7,
+                    failed: 1,
+                },
+            ),
+            (frames::cancelled(9), Frame::Cancelled { job: 9 }),
+            (
+                frames::error("nope"),
+                Frame::Error {
+                    message: "nope".to_owned(),
+                },
+            ),
+            (
+                frames::scenario_names(&["a".to_owned(), "b".to_owned()]),
+                Frame::ScenarioNames {
+                    names: vec!["a".to_owned(), "b".to_owned()],
+                },
+            ),
+            (
+                frames::job_table(&[JobInfo {
+                    job: 1,
+                    state: JobState::Running,
+                    scenarios: 4,
+                    completed: 2,
+                }]),
+                Frame::JobTable {
+                    jobs: vec![JobInfo {
+                        job: 1,
+                        state: JobState::Running,
+                        scenarios: 4,
+                        completed: 2,
+                    }],
+                },
+            ),
+            (
+                frames::cancel_ack(5, JobState::Cancelled),
+                Frame::CancelAck {
+                    job: 5,
+                    state: JobState::Cancelled,
+                },
+            ),
+            (frames::shutdown_ack(), Frame::ShutdownAck),
+        ];
+        for (line, expected) in cases {
+            assert!(line.starts_with("{\"event\":"), "control frame: {line}");
+            assert_eq!(Frame::parse(&line).unwrap(), expected, "line {line}");
+        }
+    }
+
+    #[test]
+    fn missing_structural_fields_are_protocol_errors() {
+        // A version-skewed server must produce a loud protocol error, not
+        // a frame with counts silently defaulted to 0.
+        for bad in [
+            r#"{"event":"done","job":1,"ok":2}"#,
+            r#"{"event":"done","job":1,"ok":2,"failed":"none"}"#,
+            r#"{"event":"accepted","job":1}"#,
+            r#"{"event":"scenario","job":1,"index":0}"#,
+            r#"{"event":"scenario","job":1,"name":"x"}"#,
+            r#"{"event":"jobs","jobs":[{"job":1,"state":"done","scenarios":1}]}"#,
+            r#"{"event":"cancel","job":1}"#,
+            r#"{"event":"cancelled"}"#,
+        ] {
+            assert!(Frame::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn row_frames_pass_through_untouched() {
+        let row = r#"{"scenario":"s","scenario_index":0,"policy":"RANDOM","task":"t","cycle":3,"selected":[1,2],"true_error":0.5,"estimated_probability":0.9,"within_epsilon":true}"#;
+        assert_eq!(Frame::parse(row).unwrap(), Frame::Row(row.to_owned()));
+        assert!(Frame::parse("garbage").is_err());
+    }
+
+    #[test]
+    fn job_states_round_trip_and_terminality() {
+        for s in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Done,
+            JobState::Cancelled,
+            JobState::Failed,
+        ] {
+            assert_eq!(JobState::from_str_wire(s.as_str()), Some(s));
+        }
+        assert!(JobState::Done.is_terminal());
+        assert!(JobState::Cancelled.is_terminal());
+        assert!(JobState::Failed.is_terminal());
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        assert_eq!(JobState::from_str_wire("zombie"), None);
+    }
+}

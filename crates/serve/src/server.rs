@@ -1,0 +1,528 @@
+//! The daemon: TCP accept loop, per-connection protocol handling, and the
+//! worker pool that executes jobs against the scenario engine.
+//!
+//! # Scheduling and the thread budget
+//!
+//! The server owns `workers` job-runner threads; each runs one job at a
+//! time, and a job's scenarios execute **sequentially in matrix order** on
+//! its worker (concurrency comes from running multiple jobs side by side,
+//! which is what keeps every job's row stream in deterministic order).
+//! For its whole lifetime the server holds a
+//! [`drcell_pool::budget::reserve_outer`] reservation of `workers`, so
+//! every auto-sized inner pool (assessment fan-out, ALS sweeps, GEMM
+//! blocks) resolves to `budget / workers` and
+//! `workers × inner ≤ budget` — concurrent jobs never oversubscribe the
+//! machine, exactly like a `SweepEngine` sweep.
+//!
+//! # Determinism
+//!
+//! Row frames are produced by [`drcell_scenario::run_scenario_streaming`]
+//! and serialised by [`drcell_scenario::sink::row_json`] — the same
+//! functions behind the CLI's `--jsonl` writer — so the row lines of a
+//! job's stream are **byte-identical** to the file the CLI writes for the
+//! same spec, regardless of worker count or how many jobs run
+//! concurrently.
+//!
+//! # Cancellation and failure isolation
+//!
+//! `cancel` (from any connection) sets a sticky flag the executing worker
+//! observes between scenarios and at every testing-cycle boundary. A
+//! client that disconnects mid-stream cancels its own job the same way —
+//! the job ends `Cancelled`, the worker moves on, and the table stays
+//! consistent for everyone else. A failing scenario fails only itself:
+//! its `scenario` frame carries the error and the job continues with the
+//! next matrix entry.
+//!
+//! One known bound: a scenario's *policy-training* phase (DR-Cell specs
+//! train a DQN before their first testing cycle) emits no cycle records,
+//! so a cancel landing mid-training takes effect only once training
+//! finishes and the first cycle boundary is reached — and a graceful
+//! shutdown waits for it. Threading the cancel flag into the trainer's
+//! episode loop is the known fix if serving ever fronts long training
+//! runs; today's registry scenarios train in ~seconds.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use drcell_scenario::sink::{row_json, RowContext};
+use drcell_scenario::{registry, run_scenario_streaming, ScenarioSpec};
+
+use crate::job::{Job, JobTable};
+use crate::protocol::{frames, JobState, Request, RunTarget};
+
+/// How often blocked connection reads wake up to poll the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+/// How long a frame write to a stalled client may block before the server
+/// gives up on the connection (and cancels its job).
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+/// Capacity of the per-job frame channel between worker and connection.
+const FRAME_BUFFER: usize = 256;
+/// Hard cap on one request line. Requests are at most one inline
+/// `SweepSpec` (kilobytes); the cap only exists so a client streaming
+/// newline-free garbage cannot grow the per-connection buffer without
+/// bound and take the whole daemon down with it.
+const MAX_REQUEST_BYTES: usize = 4 << 20;
+
+/// One queued unit of work: a job, its expanded scenarios, and the channel
+/// its frames stream through.
+struct QueuedJob {
+    job: Arc<Job>,
+    specs: Vec<ScenarioSpec>,
+    tx: SyncSender<String>,
+}
+
+/// State shared between the accept loop, connection threads and workers.
+struct Shared {
+    table: JobTable,
+    queue: Mutex<VecDeque<QueuedJob>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+/// The scenario-serving daemon. Bind, then [`Server::run`]; the call
+/// returns after a client issues `shutdown`.
+///
+/// ```no_run
+/// use drcell_serve::Server;
+///
+/// let server = Server::bind("127.0.0.1:7878", 2).unwrap();
+/// server.run().unwrap(); // blocks until a client sends {"cmd":"shutdown"}
+/// ```
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    workers: usize,
+}
+
+impl Server {
+    /// Binds the daemon to `addr` with `workers` job-runner threads
+    /// (`0` = the process thread budget,
+    /// [`drcell_pool::budget::total_budget`]). Port `0` picks an ephemeral
+    /// port — read it back with [`Server::local_addr`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket binding failures.
+    pub fn bind<A: ToSocketAddrs>(addr: A, workers: usize) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let workers = if workers == 0 {
+            drcell_pool::budget::total_budget()
+        } else {
+            workers
+        }
+        .max(1);
+        Ok(Server { listener, workers })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket introspection failures.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The effective job-runner thread count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Serves until a client issues `shutdown`: accepts connections, each
+    /// handled on its own thread; jobs queue onto the worker pool. Running
+    /// jobs finish during shutdown, queued ones are cancelled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop socket failures.
+    pub fn run(self) -> std::io::Result<()> {
+        let shared = Shared {
+            table: JobTable::new(),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        };
+        let addr = self.listener.local_addr()?;
+        // Outer reservation for the server's lifetime: auto-sized inner
+        // pools under every job resolve to budget / workers, so concurrent
+        // jobs share the machine instead of multiplying on it.
+        let _budget = drcell_pool::budget::reserve_outer(self.workers);
+        let mut accept_error = None;
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                scope.spawn(|| worker_loop(&shared));
+            }
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        if shared.shutting_down() {
+                            break;
+                        }
+                        let shared = &shared;
+                        scope.spawn(move || handle_connection(stream, shared, addr));
+                    }
+                    Err(e) => {
+                        if shared.shutting_down() {
+                            break;
+                        }
+                        // Transient accept failures (a client resetting
+                        // mid-handshake, a stray signal) must not kill a
+                        // long-running daemon; only persistent socket
+                        // errors shut it down.
+                        if matches!(
+                            e.kind(),
+                            ErrorKind::ConnectionAborted
+                                | ErrorKind::ConnectionReset
+                                | ErrorKind::Interrupted
+                                | ErrorKind::TimedOut
+                                | ErrorKind::WouldBlock
+                        ) {
+                            continue;
+                        }
+                        accept_error = Some(e);
+                        shared.shutdown.store(true, Ordering::Release);
+                        break;
+                    }
+                }
+            }
+            // Wake every idle worker so it can drain + exit.
+            shared.available.notify_all();
+        });
+        match accept_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Worker: pop jobs until shutdown, then drain the queue as cancelled.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let next = {
+            let mut queue = shared.queue.lock().expect("job queue lock");
+            loop {
+                // Shutdown first: anything still queued at that point is
+                // cancelled below, never started.
+                if shared.shutting_down() {
+                    break None;
+                }
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                queue = shared
+                    .available
+                    .wait_timeout(queue, READ_POLL)
+                    .expect("job queue lock")
+                    .0;
+            }
+        };
+        match next {
+            Some(queued) => execute_job(queued),
+            None => {
+                // Shutdown: everything still queued is cancelled, not run.
+                loop {
+                    let queued = shared.queue.lock().expect("job queue lock").pop_front();
+                    let Some(QueuedJob { job, tx, .. }) = queued else {
+                        return;
+                    };
+                    job.set_state(JobState::Cancelled);
+                    let _ = tx.send(frames::cancelled(job.id));
+                }
+            }
+        }
+    }
+}
+
+/// Runs one job's scenarios sequentially in matrix order, streaming row
+/// and control frames into its channel. Dropping `tx` at the end closes
+/// the stream.
+fn execute_job(queued: QueuedJob) {
+    let QueuedJob { job, specs, tx } = queued;
+    if job.is_cancelled() {
+        job.set_state(JobState::Cancelled);
+        let _ = tx.send(frames::cancelled(job.id));
+        return;
+    }
+    job.set_state(JobState::Running);
+    let (mut ok, mut failed) = (0usize, 0usize);
+    for (index, spec) in specs.iter().enumerate() {
+        if job.is_cancelled() {
+            job.set_state(JobState::Cancelled);
+            let _ = tx.send(frames::cancelled(job.id));
+            return;
+        }
+        let policy = spec.policy.label();
+        let ctx = RowContext {
+            scenario: &spec.name,
+            index,
+            policy: &policy,
+            task: spec.dataset.signal(),
+        };
+        let outcome = run_scenario_streaming(spec, index, &mut |record| {
+            if job.is_cancelled() {
+                return ControlFlow::Break(());
+            }
+            if tx.send(row_json(ctx, record)).is_err() {
+                // The connection side is gone; treat it as a cancel so the
+                // run stops at the next cycle boundary.
+                job.cancel();
+                return ControlFlow::Break(());
+            }
+            ControlFlow::Continue(())
+        });
+        match outcome {
+            Ok(_) => {
+                ok += 1;
+                job.mark_scenario_finished();
+                let _ = tx.send(frames::scenario(job.id, index, &spec.name, None));
+            }
+            Err(e) if e.is_cancelled() => {
+                job.set_state(JobState::Cancelled);
+                let _ = tx.send(frames::cancelled(job.id));
+                return;
+            }
+            Err(e) => {
+                failed += 1;
+                job.mark_scenario_finished();
+                let _ = tx.send(frames::scenario(
+                    job.id,
+                    index,
+                    &spec.name,
+                    Some(&e.to_string()),
+                ));
+            }
+        }
+    }
+    job.set_state(if failed > 0 {
+        JobState::Failed
+    } else {
+        JobState::Done
+    });
+    let _ = tx.send(frames::done(job.id, ok, failed));
+}
+
+enum LineRead {
+    Line,
+    Closed,
+    /// The line outgrew [`MAX_REQUEST_BYTES`] — the framing is beyond
+    /// recovery, so the connection gets one error frame and is dropped.
+    Overflow,
+}
+
+/// Reads one request line as raw bytes, polling the shutdown flag while
+/// blocked. Bytes (not `read_line`/`String`) so that a poll timeout
+/// landing mid-way through a multi-byte UTF-8 character cannot surface as
+/// `InvalidData` and drop the connection — validation happens once, on
+/// the complete line, where a bad sequence is a malformed *frame* (one
+/// error response), not a dead connection.
+fn read_line(reader: &mut BufReader<TcpStream>, line: &mut Vec<u8>, shared: &Shared) -> LineRead {
+    loop {
+        if line.len() > MAX_REQUEST_BYTES {
+            return LineRead::Overflow;
+        }
+        // `take` bounds even a single call: a firehose of newline-free
+        // bytes can otherwise grow `line` without limit inside one
+        // read_until. Limit = cap + 1 so hitting it is distinguishable
+        // from an exact-size line.
+        let limit = (MAX_REQUEST_BYTES + 1 - line.len()) as u64;
+        match (&mut *reader).take(limit).read_until(b'\n', line) {
+            Ok(0) => return LineRead::Closed,
+            Ok(_) => {
+                if line.last() == Some(&b'\n') {
+                    return LineRead::Line;
+                }
+                if line.len() > MAX_REQUEST_BYTES {
+                    return LineRead::Overflow;
+                }
+                // No newline and under the cap: genuine EOF mid-line —
+                // process what arrived; the next read reports Closed.
+                return LineRead::Line;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) =>
+            {
+                // Read timeout: partial input stays accumulated in `line`;
+                // keep waiting unless the server is going down.
+                if shared.shutting_down() {
+                    return LineRead::Closed;
+                }
+            }
+            Err(_) => return LineRead::Closed,
+        }
+    }
+}
+
+fn write_line(writer: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")
+}
+
+/// One client connection: a sequential request/response loop. Job streams
+/// are exclusive — while a job streams, the connection serves that job
+/// only (submit concurrent jobs over separate connections).
+fn handle_connection(stream: TcpStream, shared: &Shared, server_addr: SocketAddr) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = Vec::new();
+    loop {
+        line.clear();
+        match read_line(&mut reader, &mut line, shared) {
+            LineRead::Closed => return,
+            LineRead::Overflow => {
+                // Framing is unrecoverable past the cap: one error frame,
+                // then drop the connection.
+                let _ = write_line(
+                    &mut writer,
+                    &frames::error(&format!("request line exceeds {MAX_REQUEST_BYTES} bytes")),
+                );
+                return;
+            }
+            LineRead::Line => {}
+        }
+        // Invalid UTF-8 becomes replacement characters, which fail JSON
+        // parsing below and earn an error frame like any malformed input.
+        let text = String::from_utf8_lossy(&line);
+        let trimmed = text.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let keep_going = match Request::parse(trimmed) {
+            // A malformed frame costs one error response, not the
+            // connection (and certainly not the server).
+            Err(e) => write_line(&mut writer, &frames::error(&e.to_string())).is_ok(),
+            Ok(request) => dispatch(request, &mut writer, shared, server_addr),
+        };
+        if !keep_going {
+            return;
+        }
+    }
+}
+
+/// Handles one parsed request; returns `false` when the connection should
+/// close (write failure or shutdown).
+fn dispatch(
+    request: Request,
+    writer: &mut TcpStream,
+    shared: &Shared,
+    server_addr: SocketAddr,
+) -> bool {
+    match request {
+        Request::List => {
+            let names: Vec<String> = registry::registry().into_iter().map(|s| s.name).collect();
+            write_line(writer, &frames::scenario_names(&names)).is_ok()
+        }
+        Request::Jobs => write_line(writer, &frames::job_table(&shared.table.snapshot())).is_ok(),
+        Request::Cancel { job } => match shared.table.get(job) {
+            Some(entry) => {
+                entry.cancel();
+                // A queued job may never reach a worker before shutdown;
+                // flag it here so `jobs` reflects the request immediately
+                // once the worker pops it. Running jobs transition at
+                // their next cycle boundary.
+                write_line(writer, &frames::cancel_ack(job, entry.state())).is_ok()
+            }
+            None => write_line(writer, &frames::error(&format!("no job {job}"))).is_ok(),
+        },
+        Request::Shutdown => {
+            let _ = write_line(writer, &frames::shutdown_ack());
+            shared.shutdown.store(true, Ordering::Release);
+            shared.available.notify_all();
+            // Unblock the accept loop so it can observe the flag. A
+            // wildcard bind (0.0.0.0 / [::]) is not connectable on every
+            // platform — wake through loopback instead.
+            let mut wake = server_addr;
+            if wake.ip().is_unspecified() {
+                wake.set_ip(match wake.ip() {
+                    IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                    IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+                });
+            }
+            let _ = TcpStream::connect(wake);
+            false
+        }
+        Request::Run(target) => {
+            let spec = match target {
+                RunTarget::Name(name) => match registry::find(&name) {
+                    Some(spec) => spec,
+                    None => {
+                        return write_line(
+                            writer,
+                            &frames::error(&format!("no built-in scenario `{name}`")),
+                        )
+                        .is_ok();
+                    }
+                },
+                RunTarget::Spec(spec) => *spec,
+            };
+            submit(vec![spec], writer, shared)
+        }
+        Request::Sweep { spec } => {
+            let specs = spec.expand();
+            if specs.is_empty() {
+                return write_line(writer, &frames::error("sweep expands to no scenarios")).is_ok();
+            }
+            submit(specs, writer, shared)
+        }
+    }
+}
+
+/// Queues a job and streams its frames back until it finishes.
+fn submit(specs: Vec<ScenarioSpec>, writer: &mut TcpStream, shared: &Shared) -> bool {
+    let job = shared.table.create(specs.len());
+    let (tx, rx) = mpsc::sync_channel::<String>(FRAME_BUFFER);
+    let accepted = frames::accepted(job.id, specs.len());
+    {
+        // The shutdown check must share the queue lock with the push and
+        // with the workers' own flag check: workers only exit after
+        // observing the flag under this lock, so a job pushed while the
+        // flag is still false (under the lock) is guaranteed to be either
+        // executed or drain-cancelled — never orphaned with every worker
+        // already gone (which would wedge the recv() loop below forever).
+        let mut queue = shared.queue.lock().expect("job queue lock");
+        if shared.shutting_down() {
+            job.set_state(JobState::Cancelled);
+            drop(queue);
+            return write_line(writer, &frames::error("server is shutting down")).is_ok();
+        }
+        queue.push_back(QueuedJob {
+            job: Arc::clone(&job),
+            specs,
+            tx,
+        });
+    }
+    shared.available.notify_one();
+    let mut client_alive = write_line(writer, &accepted).is_ok();
+    if !client_alive {
+        job.cancel();
+    }
+    // Forward frames until the worker drops the sender. If the client
+    // stops accepting them, cancel the job but keep draining so the
+    // worker never blocks on a dead connection.
+    while let Ok(frame) = rx.recv() {
+        if client_alive && write_line(writer, &frame).is_err() {
+            client_alive = false;
+            job.cancel();
+        }
+    }
+    client_alive
+}

@@ -1,0 +1,287 @@
+//! Live-daemon protocol tests: malformed frames, job lifecycle,
+//! mid-stream cancellation, and client disconnects — all against a real
+//! server on an ephemeral port.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use drcell_scenario::{DatasetSpec, PolicySpec, QualitySpec, RunnerSpec, ScenarioSpec};
+use drcell_serve::{Client, Frame, JobState, Server};
+
+/// A cheap, fully deterministic scenario; `cycles` scales its runtime.
+fn tiny_spec(name: &str, cycles: usize) -> ScenarioSpec {
+    ScenarioSpec {
+        name: name.to_owned(),
+        seed: 11,
+        dataset: DatasetSpec::Synthetic {
+            grid_rows: 3,
+            grid_cols: 3,
+            cell_w: 40.0,
+            cell_h: 40.0,
+            cycles,
+            mean: 10.0,
+            std: 2.0,
+            field: drcell_datasets_field(),
+        },
+        perturbations: drcell_datasets::PerturbationStack::none(),
+        policy: PolicySpec::Random,
+        quality: QualitySpec {
+            epsilon: 0.5,
+            p: 0.9,
+        },
+        runner: RunnerSpec {
+            window: 8,
+            ..RunnerSpec::default()
+        },
+        train_cycles: 16,
+    }
+}
+
+fn drcell_datasets_field() -> drcell_datasets::FieldConfig {
+    drcell_datasets::FieldConfig {
+        cycles_per_day: 16,
+        ..drcell_datasets::FieldConfig::default()
+    }
+}
+
+/// Binds a daemon with `workers` job threads, returning its address and
+/// the thread handle running it.
+fn start_server(workers: usize) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", workers).expect("bind ephemeral");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+fn shut_down(addr: std::net::SocketAddr, handle: std::thread::JoinHandle<()>) {
+    Client::connect(addr)
+        .expect("connect for shutdown")
+        .shutdown()
+        .expect("shutdown ack");
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn malformed_frames_get_error_responses_and_keep_the_connection() {
+    let (addr, handle) = start_server(1);
+    let mut raw = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(raw.try_clone().unwrap());
+    for bad in [
+        "this is not json",
+        "{\"cmd\":\"warp\"}",
+        "{\"cmd\":\"run\"}",
+        "{\"no_cmd\":1}",
+        "{\"cmd\":\"cancel\",\"job\":\"x\"}",
+    ] {
+        writeln!(raw, "{bad}").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        match Frame::parse(line.trim()).unwrap() {
+            Frame::Error { message } => assert!(!message.is_empty(), "for {bad}"),
+            other => panic!("expected error frame for {bad}, got {other:?}"),
+        }
+    }
+    // Invalid UTF-8 is a malformed frame too, not a dropped connection.
+    raw.write_all(b"{\"cmd\":\xff\xfe}\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        matches!(Frame::parse(line.trim()).unwrap(), Frame::Error { .. }),
+        "expected error frame for invalid UTF-8, got {line}"
+    );
+    // The same connection still serves valid requests afterwards.
+    writeln!(raw, "{{\"cmd\":\"list\"}}").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    match Frame::parse(line.trim()).unwrap() {
+        Frame::ScenarioNames { names } => assert!(!names.is_empty()),
+        other => panic!("expected scenarios frame, got {other:?}"),
+    }
+    drop(raw);
+    shut_down(addr, handle);
+}
+
+#[test]
+fn unknown_registry_name_and_unknown_job_are_request_errors() {
+    let (addr, handle) = start_server(1);
+    let mut client = Client::connect(addr).unwrap();
+    let err = client.run_name("no-such-scenario").unwrap_err();
+    assert!(err.to_string().contains("no-such-scenario"), "{err}");
+    let err = client.cancel(999).unwrap_err();
+    assert!(err.to_string().contains("999"), "{err}");
+    // The connection survives both errors.
+    assert!(!client.list().unwrap().is_empty());
+    drop(client);
+    shut_down(addr, handle);
+}
+
+#[test]
+fn job_streams_to_done_and_table_records_it() {
+    let (addr, handle) = start_server(1);
+    let mut client = Client::connect(addr).unwrap();
+    let stream = client.run_spec(&tiny_spec("protocol-done", 28)).unwrap();
+    let job_id = stream.job;
+    assert_eq!(stream.scenarios, 1);
+    let output = stream.collect().unwrap();
+    assert_eq!(output.ok, 1);
+    assert_eq!(output.failed, 0);
+    assert!(!output.cancelled);
+    assert_eq!(output.rows.len(), 12, "28 cycles - 16 train = 12 rows");
+    assert!(output.rows[0].starts_with("{\"scenario\":\"protocol-done\""));
+    let jobs = client.jobs().unwrap();
+    let info = jobs.iter().find(|j| j.job == job_id).unwrap();
+    assert_eq!(info.state, JobState::Done);
+    assert_eq!(info.completed, 1);
+    drop(client);
+    shut_down(addr, handle);
+}
+
+#[test]
+fn failing_scenario_is_isolated_and_job_ends_failed() {
+    let (addr, handle) = start_server(1);
+    let mut client = Client::connect(addr).unwrap();
+    let mut bad = tiny_spec("protocol-invalid", 24);
+    bad.quality.p = 2.0; // invalid requirement -> scenario fails
+    let output = client.run_spec(&bad).unwrap().collect().unwrap();
+    assert_eq!(output.failed, 1);
+    assert_eq!(output.scenario_errors.len(), 1);
+    assert!(output.rows.is_empty());
+    // The daemon is fine: the next job on the same connection completes.
+    let output = client
+        .run_spec(&tiny_spec("protocol-after-failure", 24))
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(output.ok, 1);
+    let jobs = client.jobs().unwrap();
+    assert_eq!(jobs[0].state, JobState::Failed);
+    assert_eq!(jobs[1].state, JobState::Done);
+    drop(client);
+    shut_down(addr, handle);
+}
+
+#[test]
+fn mid_stream_cancel_stops_the_job_at_a_cycle_boundary() {
+    let (addr, handle) = start_server(1);
+    let mut submitter = Client::connect(addr).unwrap();
+    // Long enough that cancellation always lands mid-run.
+    let mut stream = submitter
+        .run_spec(&tiny_spec("protocol-cancel", 2000))
+        .unwrap();
+    let job_id = stream.job;
+    let mut rows_before_cancel = 0usize;
+    // Read a couple of rows to prove the stream is live, then cancel from
+    // a second connection.
+    while rows_before_cancel < 3 {
+        match stream.next_frame().unwrap().expect("stream is live") {
+            Frame::Row(_) => rows_before_cancel += 1,
+            other => panic!("unexpected frame before cancel: {other:?}"),
+        }
+    }
+    let mut canceller = Client::connect(addr).unwrap();
+    canceller.cancel(job_id).unwrap();
+    // Drain the remainder: rows may still flow (frames in flight plus the
+    // boundary cycle), but the stream must end with `cancelled`.
+    let mut saw_cancelled = false;
+    while let Some(frame) = stream.next_frame().unwrap() {
+        match frame {
+            Frame::Row(_) => {}
+            Frame::Cancelled { job } => {
+                assert_eq!(job, job_id);
+                saw_cancelled = true;
+            }
+            other => panic!("unexpected frame after cancel: {other:?}"),
+        }
+    }
+    assert!(saw_cancelled);
+    let jobs = canceller.jobs().unwrap();
+    assert_eq!(jobs[0].state, JobState::Cancelled);
+    // The worker is free again: a fresh job completes normally.
+    let output = submitter
+        .run_spec(&tiny_spec("protocol-after-cancel", 24))
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(output.ok, 1);
+    drop(submitter);
+    drop(canceller);
+    shut_down(addr, handle);
+}
+
+#[test]
+fn client_disconnect_cancels_its_job_without_poisoning_the_table() {
+    let (addr, handle) = start_server(1);
+    {
+        let mut doomed = Client::connect(addr).unwrap();
+        let mut stream = doomed
+            .run_spec(&tiny_spec("protocol-disconnect", 2000))
+            .unwrap();
+        // Prove the job is streaming, then vanish without saying goodbye.
+        assert!(matches!(stream.next_frame().unwrap(), Some(Frame::Row(_))));
+    }
+    // The worker notices the dead connection at the next row write and
+    // cancels the job; poll the table until it settles.
+    let mut observer = Client::connect(addr).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let jobs = observer.jobs().unwrap();
+        if jobs.first().map(|j| j.state) == Some(JobState::Cancelled) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job never cancelled after disconnect: {jobs:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // Table and workers are healthy: a new job on a new connection runs.
+    let output = observer
+        .run_spec(&tiny_spec("protocol-after-disconnect", 24))
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(output.ok, 1);
+    drop(observer);
+    shut_down(addr, handle);
+}
+
+#[test]
+fn shutdown_cancels_queued_jobs_but_finishes_running_ones() {
+    // One worker, two jobs: the second queues behind the first. Shutdown
+    // while the first streams; the first must finish, the second must come
+    // back cancelled.
+    let (addr, handle) = start_server(1);
+    let mut first = Client::connect(addr).unwrap();
+    let mut stream = first.run_spec(&tiny_spec("protocol-running", 400)).unwrap();
+    assert!(matches!(stream.next_frame().unwrap(), Some(Frame::Row(_))));
+
+    let second = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        let output = client
+            .run_spec(&tiny_spec("protocol-queued", 60))
+            .unwrap()
+            .collect()
+            .unwrap();
+        output.cancelled
+    });
+    // Give the second job time to be queued, then shut down.
+    std::thread::sleep(Duration::from_millis(200));
+    Client::connect(addr).unwrap().shutdown().unwrap();
+
+    // The running job still streams to completion.
+    let mut finished = false;
+    while let Some(frame) = stream.next_frame().unwrap() {
+        if let Frame::Done { ok, .. } = frame {
+            assert_eq!(ok, 1);
+            finished = true;
+        }
+    }
+    assert!(finished, "running job must finish during graceful shutdown");
+    assert!(
+        second.join().unwrap(),
+        "queued job must come back cancelled"
+    );
+    drop(first);
+    handle.join().expect("server thread");
+}

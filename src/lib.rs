@@ -21,4 +21,5 @@ pub use drcell_pool as pool;
 pub use drcell_quality as quality;
 pub use drcell_rl as rl;
 pub use drcell_scenario as scenario;
+pub use drcell_serve as serve;
 pub use drcell_stats as stats;
