@@ -1,0 +1,220 @@
+//! Result-cache micro-benchmark and CI regression gate for the serving
+//! daemon.
+//!
+//! Times one scenario job end-to-end through a live in-process daemon —
+//! submit, stream, drain — cold (computed by the engine, inserted into
+//! the cache) and warm (replayed from the `drcell-store` result cache),
+//! and reports medians. The byte-identity contract (a warm hit replays
+//! exactly the cold run's rows) is asserted on every run, in every mode.
+//!
+//! Modes (criterion-style harness with a gate bolted on):
+//!
+//! * `cargo bench -p drcell-bench --bench serve` — print medians.
+//! * `... --bench serve -- --write BENCH_serve.json` — record medians to
+//!   a baseline file.
+//! * `... --bench serve -- --check BENCH_serve.json` — fail (exit 1) when
+//!   the warm-hit speedup drops below 50× (the store's performance
+//!   contract) or the warm/cold ratio regresses more than 15% against the
+//!   committed baseline (override: `--max-regression 0.30`).
+//!
+//! Machine portability: the 50× speedup gate and the warm/cold-ratio
+//! regression compare measurements from the *same* run, so they hold on
+//! any hardware. The absolute warm-median comparison is applied only when
+//! the baseline's cold median shows a comparable machine class (within
+//! 0.7–1.4×); otherwise it is skipped with a note.
+
+use drcell_bench::{gate, median_us};
+use drcell_scenario::{DatasetSpec, PolicySpec, QualitySpec, RunnerSpec, ScenarioSpec};
+use drcell_serve::{Client, ServeConfig, Server};
+
+/// The benched workload: a mid-size deterministic scenario — enough
+/// engine work per cycle (25-cell LOO assessments) that a cold run costs
+/// real compute, while a warm replay only streams ~100 rows back.
+fn bench_spec(seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "serve-bench".to_owned(),
+        seed,
+        dataset: DatasetSpec::Synthetic {
+            grid_rows: 5,
+            grid_cols: 5,
+            cell_w: 40.0,
+            cell_h: 40.0,
+            cycles: 120,
+            mean: 10.0,
+            std: 2.0,
+            field: drcell_datasets::FieldConfig {
+                cycles_per_day: 24,
+                ..drcell_datasets::FieldConfig::default()
+            },
+        },
+        perturbations: drcell_datasets::PerturbationStack::none(),
+        policy: PolicySpec::Random,
+        quality: QualitySpec {
+            epsilon: 0.5,
+            p: 0.9,
+        },
+        runner: RunnerSpec {
+            window: 12,
+            ..RunnerSpec::default()
+        },
+        train_cycles: 16,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Medians {
+    cold_us: f64,
+    warm_us: f64,
+}
+
+impl Medians {
+    fn speedup(&self) -> f64 {
+        self.cold_us / self.warm_us
+    }
+}
+
+fn run_once(client: &mut Client, spec: &ScenarioSpec) -> Vec<String> {
+    let output = client
+        .run_spec(spec)
+        .expect("submit")
+        .collect()
+        .expect("drain");
+    assert_eq!(output.ok, 1, "bench scenario must succeed");
+    output.rows
+}
+
+/// Cold medians use a fresh seed per sample (a repeated seed would hit
+/// the cache and measure a warm run); warm medians repeat one primed
+/// spec. Both paths go through the same daemon, socket and client code —
+/// the only difference is the cache.
+fn measure() -> Medians {
+    let server = Server::bind_with("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let daemon = std::thread::spawn(move || server.run().expect("server run"));
+    let mut client = Client::connect(addr).expect("connect");
+
+    let mut next_seed = 1000u64;
+    let cold_us = median_us(7, || {
+        next_seed += 1;
+        run_once(&mut client, &bench_spec(next_seed));
+    });
+
+    // Prime the warm path, then verify the contract the whole store is
+    // built on: the replay is byte-identical to the recompute.
+    let warm_spec = bench_spec(1);
+    let cold_rows = run_once(&mut client, &warm_spec);
+    let warm_rows = run_once(&mut client, &warm_spec);
+    assert_eq!(
+        warm_rows, cold_rows,
+        "warm cache hit must replay the cold run byte-identically"
+    );
+
+    let warm_us = median_us(15, || {
+        run_once(&mut client, &warm_spec);
+    });
+
+    // Every repeat of `warm_spec` after the priming run was a cache hit.
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.mem_hits >= 16,
+        "expected >= 16 memory hits, saw {}",
+        stats.mem_hits
+    );
+
+    drop(client);
+    Client::connect(addr)
+        .expect("connect for shutdown")
+        .shutdown()
+        .expect("shutdown");
+    daemon.join().expect("daemon thread");
+
+    Medians { cold_us, warm_us }
+}
+
+fn write_json(path: &str, m: &Medians) {
+    let json = format!(
+        "{{\n  \"bench\": \"serve_job_25cells_120cycles\",\n  \"cold_us\": {:.1},\n  \"warm_us\": {:.1},\n  \"speedup\": {:.2}\n}}\n",
+        m.cold_us,
+        m.warm_us,
+        m.speedup()
+    );
+    gate::write_baseline(path, &json);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+
+    let m = measure();
+    println!("group: serve (25 cells x 120 cycles, random policy, 1 job worker)");
+    println!("  job/cold          median {:>10.1} µs", m.cold_us);
+    println!("  job/warm          median {:>10.1} µs", m.warm_us);
+    println!("  speedup           {:>17.2}x", m.speedup());
+
+    if let Some(path) = gate::flag(&args, "--write") {
+        write_json(&path, &m);
+    }
+    if let Some(path) = gate::flag(&args, "--check") {
+        let max_regression: f64 = gate::flag(&args, "--max-regression")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.15);
+        let body = gate::read_baseline(&path);
+        let baseline_cold =
+            gate::json_field(&body, "cold_us").expect("baseline is missing cold_us");
+        let baseline_warm =
+            gate::json_field(&body, "warm_us").expect("baseline is missing warm_us");
+        let mut failed = false;
+
+        // Same-run contract: a warm hit skips the whole engine, so it must
+        // beat the recompute by a wide margin on any machine.
+        if m.speedup() < 50.0 {
+            eprintln!(
+                "REGRESSION: warm-hit speedup {:.2}x fell below the 50x contract",
+                m.speedup()
+            );
+            failed = true;
+        }
+        // Machine-portable regression check: the warm median normalised by
+        // the same-run cold median.
+        let ratio = m.warm_us / m.cold_us;
+        let baseline_ratio = baseline_warm / baseline_cold;
+        if ratio > baseline_ratio * (1.0 + max_regression) {
+            eprintln!(
+                "REGRESSION: warm/cold ratio {ratio:.5} exceeds baseline {baseline_ratio:.5} by more than {:.0}%",
+                max_regression * 100.0
+            );
+            failed = true;
+        }
+        // Absolute warm-median comparison only on a comparable machine
+        // class, judged by the cold median (pure engine work the cache
+        // never touches).
+        let machine_factor = m.cold_us / baseline_cold;
+        if (0.7..=1.4).contains(&machine_factor) {
+            if m.warm_us > baseline_warm * (1.0 + max_regression) {
+                eprintln!(
+                    "REGRESSION: warm median {:.1} µs exceeds baseline {:.1} µs by more than {:.0}%",
+                    m.warm_us,
+                    baseline_warm,
+                    max_regression * 100.0
+                );
+                failed = true;
+            }
+        } else {
+            println!(
+                "note: baseline cold median differs {machine_factor:.2}x from this machine — \
+                 skipping the absolute-median comparison (re-record with --write on this runner class)"
+            );
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "gate ok: warm {:.1} µs (baseline {:.1} µs), ratio {:.5} (baseline {:.5}, +{:.0}% allowed), speedup {:.2}x (>= 50x)",
+            m.warm_us,
+            baseline_warm,
+            ratio,
+            baseline_ratio,
+            max_regression * 100.0,
+            m.speedup()
+        );
+    }
+}

@@ -22,6 +22,9 @@
 //!   per-cycle row hook and cancellation control, the surface the
 //!   `drcell-serve` daemon serves jobs through (the streamed rows are
 //!   byte-identical to the batch [`sink`] output);
+//! * [`canon`] — canonical spec bytes ([`ScenarioSpec::canonical_json`]):
+//!   TOML/JSON inputs, field order and defaulted-vs-explicit fields all
+//!   converge, which is what the `drcell-store` result cache keys on;
 //! * a `drcell-scenario` CLI binary (`run`, `sweep`, `list`).
 //!
 //! ```
@@ -38,6 +41,7 @@
 
 #![deny(missing_docs)]
 
+pub mod canon;
 mod engine;
 mod error;
 pub mod exec;

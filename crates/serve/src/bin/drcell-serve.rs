@@ -7,23 +7,37 @@ use std::process::ExitCode;
 
 use drcell_scenario::cli::load_spec_value;
 use drcell_scenario::{ScenarioSpec, SweepSpec};
-use drcell_serve::{Client, Server};
+use drcell_serve::{Client, ServeConfig, Server};
 use serde::Deserialize;
 
 const USAGE: &str = "drcell-serve — scenario-serving daemon for DR-Cell
 
 USAGE:
   drcell-serve serve    --addr HOST:PORT [--workers N]
+                        [--cache-mem MIB] [--cache-dir DIR] [--journal FILE]
+                        [--max-queue N] [--max-client-jobs N]
   drcell-serve submit   --addr HOST:PORT (--name SCENARIO | --spec FILE |
                         --sweep FILE) [--rows OUT.jsonl]
   drcell-serve list     --addr HOST:PORT
   drcell-serve jobs     --addr HOST:PORT
+  drcell-serve stats    --addr HOST:PORT
   drcell-serve cancel   --addr HOST:PORT --job N
   drcell-serve shutdown --addr HOST:PORT
 
 `serve` runs the daemon until a client sends shutdown. `--workers N` sets
 the number of concurrent jobs (0 = the process thread budget); each job's
 inner pools auto-size to budget/N, so jobs never oversubscribe the host.
+
+Results are cached by content hash of the canonical spec: a repeated
+submit replays the finished stream byte-identically instead of
+recomputing. `--cache-mem` sets the in-memory budget in MiB (default 64,
+0 disables); `--cache-dir` spills finished results to disk so they
+survive restarts; `--journal` makes the job table durable — after a
+restart `jobs` still lists every prior job, with work that died
+queued/running reported as cancelled. `--max-queue` and
+`--max-client-jobs` bound the queue depth and each client's in-flight
+jobs; over-limit submits get a structured busy frame instead of queueing
+(0 = unbounded).
 
 `submit` streams a job and writes its result rows (JSONL, byte-identical
 to `drcell-scenario run/sweep --jsonl` for the same spec) to --rows or
@@ -39,6 +53,11 @@ struct Options {
     sweep: Option<String>,
     rows: Option<String>,
     job: Option<u64>,
+    cache_mem: Option<usize>,
+    cache_dir: Option<String>,
+    journal: Option<String>,
+    max_queue: usize,
+    max_client_jobs: usize,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -64,6 +83,22 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let v = take()?;
                 opts.job = Some(v.parse().map_err(|_| format!("bad --job `{v}`"))?);
             }
+            "--cache-mem" => {
+                let v = take()?;
+                opts.cache_mem = Some(v.parse().map_err(|_| format!("bad --cache-mem `{v}`"))?);
+            }
+            "--cache-dir" => opts.cache_dir = Some(take()?),
+            "--journal" => opts.journal = Some(take()?),
+            "--max-queue" => {
+                let v = take()?;
+                opts.max_queue = v.parse().map_err(|_| format!("bad --max-queue `{v}`"))?;
+            }
+            "--max-client-jobs" => {
+                let v = take()?;
+                opts.max_client_jobs = v
+                    .parse()
+                    .map_err(|_| format!("bad --max-client-jobs `{v}`"))?;
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -83,7 +118,19 @@ fn connect(opts: &Options) -> Result<Client, String> {
 
 fn cmd_serve(opts: &Options) -> Result<(), String> {
     let addr = addr(opts)?;
-    let server = Server::bind(addr, opts.workers).map_err(|e| format!("bind {addr}: {e}"))?;
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        workers: opts.workers,
+        cache_mem: opts
+            .cache_mem
+            .map(|mib| mib << 20)
+            .unwrap_or(defaults.cache_mem),
+        cache_dir: opts.cache_dir.as_ref().map(Into::into),
+        journal: opts.journal.as_ref().map(Into::into),
+        max_queue: opts.max_queue,
+        max_client_jobs: opts.max_client_jobs,
+    };
+    let server = Server::bind_with(addr, config).map_err(|e| format!("bind {addr}: {e}"))?;
     eprintln!(
         "drcell-serve listening on {} with {} worker(s)",
         server.local_addr().map_err(|e| e.to_string())?,
@@ -172,14 +219,48 @@ fn cmd_list(opts: &Options) -> Result<(), String> {
 fn cmd_jobs(opts: &Options) -> Result<(), String> {
     let mut client = connect(opts)?;
     for info in client.jobs().map_err(|e| e.to_string())? {
+        // Durations from the lifecycle stamps: waited = queued→started,
+        // ran = started→finished (or →now while still running).
+        let secs = |from: u64, to: u64| (to.saturating_sub(from)) as f64 / 1000.0;
+        let now = drcell_store::now_ms();
+        let timing = match (info.started_ms, info.finished_ms) {
+            (None, _) => format!("waiting {:.1}s", secs(info.queued_ms, now)),
+            (Some(s), None) => {
+                format!(
+                    "waited {:.1}s, running {:.1}s",
+                    secs(info.queued_ms, s),
+                    secs(s, now)
+                )
+            }
+            (Some(s), Some(f)) => {
+                format!(
+                    "waited {:.1}s, ran {:.1}s",
+                    secs(info.queued_ms, s),
+                    secs(s, f)
+                )
+            }
+        };
         println!(
-            "job {:>4}  {:<10} {}/{} scenario(s)",
+            "job {:>4}  {:<10} {}/{} scenario(s)  queued@{}  {}",
             info.job,
             info.state.as_str(),
             info.completed,
-            info.scenarios
+            info.scenarios,
+            info.queued_ms,
+            timing
         );
     }
+    Ok(())
+}
+
+fn cmd_stats(opts: &Options) -> Result<(), String> {
+    let mut client = connect(opts)?;
+    let s = client.stats().map_err(|e| e.to_string())?;
+    println!(
+        "cache: {} mem hit(s), {} disk hit(s), {} miss(es); {} entry(ies), {} byte(s) resident",
+        s.mem_hits, s.disk_hits, s.misses, s.entries, s.bytes
+    );
+    println!("queue: {} job(s) waiting", s.queue_depth);
     Ok(())
 }
 
@@ -219,6 +300,7 @@ fn main() -> ExitCode {
         "submit" => cmd_submit(&opts),
         "list" => cmd_list(&opts),
         "jobs" => cmd_jobs(&opts),
+        "stats" => cmd_stats(&opts),
         "cancel" => cmd_cancel(&opts),
         "shutdown" => cmd_shutdown(&opts),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),

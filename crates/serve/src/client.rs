@@ -6,7 +6,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 
 use drcell_scenario::{ScenarioSpec, SweepSpec};
 
-use crate::protocol::{Frame, JobInfo, JobState, Request, RunTarget};
+use crate::protocol::{Frame, JobInfo, JobState, Request, RunTarget, ServerStats};
 use crate::ServeError;
 
 /// A blocking client over one daemon connection. Requests are sequential:
@@ -79,6 +79,15 @@ impl Client {
     fn read_reply(&mut self) -> Result<Frame, ServeError> {
         match self.read_frame()? {
             Frame::Error { message } => Err(ServeError::Server(message)),
+            Frame::Busy {
+                reason,
+                depth,
+                limit,
+            } => Err(ServeError::Busy {
+                reason,
+                depth,
+                limit,
+            }),
             frame => Ok(frame),
         }
     }
@@ -106,6 +115,19 @@ impl Client {
         match self.read_reply()? {
             Frame::JobTable { jobs } => Ok(jobs),
             other => Err(ServeError::unexpected("jobs", &other)),
+        }
+    }
+
+    /// The daemon's result-cache and queue counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport, protocol and server errors.
+    pub fn stats(&mut self) -> Result<ServerStats, ServeError> {
+        self.send(&Request::Stats)?;
+        match self.read_reply()? {
+            Frame::Stats(stats) => Ok(stats),
+            other => Err(ServeError::unexpected("stats", &other)),
         }
     }
 
@@ -143,7 +165,8 @@ impl Client {
     /// # Errors
     ///
     /// Propagates transport and protocol errors; [`ServeError::Server`]
-    /// for an unknown name.
+    /// for an unknown name; [`ServeError::Busy`] when admission refuses
+    /// the submit.
     pub fn run_name(&mut self, name: &str) -> Result<JobStream<'_>, ServeError> {
         self.submit(Request::Run(RunTarget::Name(name.to_owned())))
     }

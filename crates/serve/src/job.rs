@@ -1,4 +1,6 @@
-//! The server's job table: ids, lifecycle states, cancellation flags.
+//! The server's job table: ids, lifecycle states, timestamps,
+//! cancellation flags — and, when configured, the durable journal that
+//! lets all of it survive a daemon restart.
 //!
 //! Jobs are shared between three parties — the connection thread that
 //! submitted them, the worker thread executing them, and any other
@@ -7,9 +9,18 @@
 //! (`Queued → Running → {Done, Cancelled, Failed}`), and the cancel flag
 //! is sticky: once set it stays set, and the executing worker observes it
 //! at the next cycle boundary.
+//!
+//! With a journal attached, every accepted job and every state transition
+//! is appended (and flushed) as a fact; [`JobTable::with_journal`] replays
+//! those facts at startup. A job that was still `queued`/`running` when
+//! the process died cannot be resumed — its stream had no receiver — so
+//! recovery marks it `cancelled` and journals *that* too: after a restart
+//! the table reports what actually happened instead of forgetting the job.
 
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+
+use drcell_store::{now_ms, Journal, Record};
 
 use crate::protocol::{JobInfo, JobState};
 
@@ -21,10 +32,17 @@ pub struct Job {
     pub id: u64,
     /// Number of scenarios the job expands to.
     pub scenarios: usize,
+    /// Epoch milliseconds when the job was accepted.
+    pub queued_ms: u64,
     /// Scenarios finished so far (successes and failures).
     completed: AtomicUsize,
     state: AtomicU8,
     cancel: AtomicBool,
+    /// Epoch ms when a worker started it; 0 = not yet.
+    started_ms: AtomicU64,
+    /// Epoch ms when it reached a terminal state; 0 = not yet.
+    finished_ms: AtomicU64,
+    journal: Option<Arc<Journal>>,
 }
 
 fn state_to_u8(s: JobState) -> u8 {
@@ -48,13 +66,17 @@ fn state_from_u8(v: u8) -> JobState {
 }
 
 impl Job {
-    fn new(id: u64, scenarios: usize) -> Self {
+    fn new(id: u64, scenarios: usize, queued_ms: u64, journal: Option<Arc<Journal>>) -> Self {
         Job {
             id,
             scenarios,
+            queued_ms,
             completed: AtomicUsize::new(0),
             state: AtomicU8::new(state_to_u8(JobState::Queued)),
             cancel: AtomicBool::new(false),
+            started_ms: AtomicU64::new(0),
+            finished_ms: AtomicU64::new(0),
+            journal,
         }
     }
 
@@ -66,9 +88,10 @@ impl Job {
     /// Moves the job to `state`. Terminal states are final: a job that is
     /// already `Done`/`Cancelled`/`Failed` keeps its state (last writer
     /// between a cancelling connection and a finishing worker does not
-    /// flip the outcome back).
+    /// flip the outcome back). Effective transitions are timestamped and
+    /// journalled.
     pub fn set_state(&self, state: JobState) {
-        let _ = self
+        let moved = self
             .state
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
                 if state_from_u8(cur).is_terminal() {
@@ -76,7 +99,32 @@ impl Job {
                 } else {
                     Some(state_to_u8(state))
                 }
+            })
+            .is_ok();
+        if !moved {
+            return;
+        }
+        let at_ms = now_ms();
+        // First writer wins on each timestamp: a state can only be entered
+        // once (forward-only machine), so the CAS is belt and braces.
+        if state == JobState::Running {
+            let _ = self
+                .started_ms
+                .compare_exchange(0, at_ms, Ordering::AcqRel, Ordering::Acquire);
+        }
+        if state.is_terminal() {
+            let _ =
+                self.finished_ms
+                    .compare_exchange(0, at_ms, Ordering::AcqRel, Ordering::Acquire);
+        }
+        if let Some(journal) = &self.journal {
+            let _ = journal.append(&Record::State {
+                job: self.id,
+                state: state.as_str().to_owned(),
+                completed: self.completed.load(Ordering::Acquire),
+                at_ms,
             });
+        }
     }
 
     /// Requests cancellation; the worker honours it at the next cycle
@@ -90,39 +138,168 @@ impl Job {
         self.cancel.load(Ordering::Acquire)
     }
 
-    /// Records one more finished scenario.
+    /// Records one more finished scenario. Durable tables journal the
+    /// progress too (as a same-state record), so a crash mid-job replays
+    /// with the completed count it actually reached, not the count at its
+    /// last state transition.
     pub fn mark_scenario_finished(&self) {
-        self.completed.fetch_add(1, Ordering::AcqRel);
+        let completed = self.completed.fetch_add(1, Ordering::AcqRel) + 1;
+        if let Some(journal) = &self.journal {
+            let _ = journal.append(&Record::State {
+                job: self.id,
+                state: self.state().as_str().to_owned(),
+                completed,
+                at_ms: now_ms(),
+            });
+        }
     }
 
     /// Snapshot row for the `jobs` listing.
     pub fn info(&self) -> JobInfo {
+        let opt = |v: u64| if v == 0 { None } else { Some(v) };
         JobInfo {
             job: self.id,
             state: self.state(),
             scenarios: self.scenarios,
             completed: self.completed.load(Ordering::Acquire),
+            queued_ms: self.queued_ms,
+            started_ms: opt(self.started_ms.load(Ordering::Acquire)),
+            finished_ms: opt(self.finished_ms.load(Ordering::Acquire)),
+        }
+    }
+
+    /// Applies a replayed historical transition — same forward-only rules
+    /// as [`Job::set_state`], but without journalling (the record already
+    /// *is* the journal) and with the recorded timestamp.
+    fn apply_recovered(&self, state: JobState, completed: usize, at_ms: u64) {
+        let moved = self
+            .state
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                if state_from_u8(cur).is_terminal() {
+                    None
+                } else {
+                    Some(state_to_u8(state))
+                }
+            })
+            .is_ok();
+        if !moved {
+            return;
+        }
+        self.completed.store(completed, Ordering::Release);
+        if state == JobState::Running {
+            let _ = self
+                .started_ms
+                .compare_exchange(0, at_ms, Ordering::AcqRel, Ordering::Acquire);
+        }
+        if state.is_terminal() {
+            let _ =
+                self.finished_ms
+                    .compare_exchange(0, at_ms, Ordering::AcqRel, Ordering::Acquire);
         }
     }
 }
 
 /// The server's job registry: assigns ids, keeps every job for the
-/// lifetime of the process (the table is the audit trail `jobs` reports).
+/// lifetime of the process (the table is the audit trail `jobs` reports),
+/// and — when built with [`JobTable::with_journal`] — across restarts.
 #[derive(Debug, Default)]
 pub struct JobTable {
     jobs: Mutex<Vec<Arc<Job>>>,
+    journal: Option<Arc<Journal>>,
 }
 
 impl JobTable {
-    /// An empty table.
+    /// An empty, in-memory-only table.
     pub fn new() -> Self {
         JobTable::default()
     }
 
-    /// Creates a queued job over `scenarios` scenarios.
+    /// A durable table over `journal`: replays every record already in the
+    /// file to reconstruct the previous process's jobs, then keeps
+    /// appending. Jobs that were not terminal at the crash/shutdown are
+    /// marked `cancelled` — and that recovery decision is journalled, so
+    /// the next restart replays it as a plain fact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal I/O failures and replay corruption (including
+    /// non-dense job ids, which this table never writes).
+    pub fn with_journal(journal: Arc<Journal>) -> std::io::Result<JobTable> {
+        let records = Journal::replay(journal.path())?;
+        let mut jobs: Vec<Arc<Job>> = Vec::new();
+        for record in records {
+            match record {
+                Record::Create {
+                    job,
+                    scenarios,
+                    at_ms,
+                } => {
+                    if job != jobs.len() as u64 + 1 {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!(
+                                "journal replays job id {job} where {} was expected",
+                                jobs.len() + 1
+                            ),
+                        ));
+                    }
+                    jobs.push(Arc::new(Job::new(
+                        job,
+                        scenarios,
+                        at_ms,
+                        Some(Arc::clone(&journal)),
+                    )));
+                }
+                Record::State {
+                    job,
+                    state,
+                    completed,
+                    at_ms,
+                } => {
+                    // Unknown ids or states in an otherwise well-formed
+                    // record are skipped, not fatal: a future daemon may
+                    // journal vocabulary this one does not know.
+                    let (Some(entry), Some(state)) = (
+                        (job as usize).checked_sub(1).and_then(|i| jobs.get(i)),
+                        JobState::from_str_wire(&state),
+                    ) else {
+                        continue;
+                    };
+                    entry.apply_recovered(state, completed, at_ms);
+                }
+            }
+        }
+        // Anything non-terminal died with the old process: its stream has
+        // no receiver, so the honest state is cancelled. set_state
+        // journals the decision.
+        for job in &jobs {
+            if !job.state().is_terminal() {
+                job.cancel();
+                job.set_state(JobState::Cancelled);
+            }
+        }
+        Ok(JobTable {
+            jobs: Mutex::new(jobs),
+            journal: Some(journal),
+        })
+    }
+
+    /// Creates a queued job over `scenarios` scenarios (journalled when
+    /// the table is durable).
     pub fn create(&self, scenarios: usize) -> Arc<Job> {
         let mut jobs = self.jobs.lock().expect("job table lock");
-        let job = Arc::new(Job::new(jobs.len() as u64 + 1, scenarios));
+        let id = jobs.len() as u64 + 1;
+        let queued_ms = now_ms();
+        let job = Arc::new(Job::new(id, scenarios, queued_ms, self.journal.clone()));
+        // Journalled under the table lock so create records hit the file
+        // in id order — the density invariant `with_journal` replays by.
+        if let Some(journal) = &self.journal {
+            let _ = journal.append(&Record::Create {
+                job: id,
+                scenarios,
+                at_ms: queued_ms,
+            });
+        }
         jobs.push(Arc::clone(&job));
         job
     }
@@ -144,6 +321,7 @@ impl JobTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::PathBuf;
 
     #[test]
     fn ids_are_dense_and_lookup_works() {
@@ -183,5 +361,71 @@ mod tests {
         j.mark_scenario_finished();
         assert_eq!(j.info().completed, 1);
         assert_eq!(j.info().scenarios, 2);
+    }
+
+    #[test]
+    fn timestamps_track_the_lifecycle() {
+        let table = JobTable::new();
+        let j = table.create(1);
+        let info = j.info();
+        assert!(info.queued_ms > 0);
+        assert_eq!(info.started_ms, None);
+        assert_eq!(info.finished_ms, None);
+        j.set_state(JobState::Running);
+        let started = j.info().started_ms.expect("started stamp");
+        assert!(started >= info.queued_ms);
+        assert_eq!(j.info().finished_ms, None);
+        j.set_state(JobState::Done);
+        let done = j.info();
+        assert_eq!(done.started_ms, Some(started), "start stamp is sticky");
+        assert!(done.finished_ms.expect("finish stamp") >= started);
+    }
+
+    fn temp_journal(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "drcell-jobtable-{tag}-{}.journal",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn durable_table_replays_jobs_and_cancels_the_unfinished() {
+        let path = temp_journal("replay");
+        let _ = std::fs::remove_file(&path);
+        {
+            let table = JobTable::with_journal(Arc::new(Journal::open(&path).unwrap())).unwrap();
+            let done = table.create(2);
+            done.set_state(JobState::Running);
+            done.mark_scenario_finished();
+            done.mark_scenario_finished();
+            done.set_state(JobState::Done);
+            let stuck = table.create(3);
+            stuck.set_state(JobState::Running);
+            stuck.mark_scenario_finished();
+            table.create(1); // still queued at "crash"
+        }
+        let table = JobTable::with_journal(Arc::new(Journal::open(&path).unwrap())).unwrap();
+        let snap = table.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].state, JobState::Done);
+        assert_eq!(snap[0].completed, 2);
+        assert!(snap[0].finished_ms.is_some());
+        // The running and queued jobs were recovery-cancelled, honestly.
+        assert_eq!(snap[1].state, JobState::Cancelled);
+        assert_eq!(snap[1].completed, 1);
+        assert!(snap[1].started_ms.is_some());
+        assert_eq!(snap[2].state, JobState::Cancelled);
+        assert_eq!(snap[2].started_ms, None);
+        // New ids continue densely after the replayed ones.
+        assert_eq!(table.create(1).id, 4);
+        // A third incarnation replays the recovery cancellations as plain
+        // facts — states are unchanged.
+        drop(table);
+        let table = JobTable::with_journal(Arc::new(Journal::open(&path).unwrap())).unwrap();
+        let snap = table.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert_eq!(snap[1].state, JobState::Cancelled);
+        assert_eq!(snap[3].state, JobState::Cancelled);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -28,10 +28,20 @@
 //!   boundary, via the sticky cancel flag in the [`job`] table); malformed
 //!   frames cost an `error` response, not the connection.
 //!
+//! * **Caching and durability.** The daemon fronts a
+//!   [`drcell_store::ResultCache`]: scenario results are keyed by content
+//!   hash of the canonical spec (plus matrix index), and a warm hit
+//!   replays the finished stream **byte-identical to a recompute** — the
+//!   determinism contract is what makes the cache sound. With
+//!   [`ServeConfig::journal`] the job table survives restarts (jobs that
+//!   died queued/running are reported `cancelled`, not forgotten); with
+//!   [`ServeConfig::cache_dir`] finished results do too. Overload is a
+//!   structured `busy` frame ([`ServeError::Busy`]), bounded by
+//!   [`ServeConfig::max_queue`] and [`ServeConfig::max_client_jobs`].
+//!
 //! What it deliberately defers: multi-host sharding (a separate ROADMAP
 //! item — the deterministic per-scenario seeding already makes cross-host
-//! result merging safe by construction) and any form of persistence (the
-//! job table is in-memory, scoped to the daemon's lifetime).
+//! result merging safe by construction).
 //!
 //! ## Protocol in one screen
 //!
@@ -67,8 +77,8 @@ mod server;
 use std::fmt;
 
 pub use client::{Client, JobOutput, JobStream};
-pub use protocol::{Frame, JobInfo, JobState, Request, RunTarget};
-pub use server::Server;
+pub use protocol::{Frame, JobInfo, JobState, Request, RunTarget, ServerStats};
+pub use server::{ServeConfig, Server};
 
 /// Anything that can go wrong on the serving path.
 #[derive(Debug)]
@@ -79,6 +89,15 @@ pub enum ServeError {
     Protocol(String),
     /// The server reported a request-level error.
     Server(String),
+    /// The server refused the submit at admission (back off and retry).
+    Busy {
+        /// Machine-readable reason (`queue_full` / `client_limit`).
+        reason: String,
+        /// Observed depth/count at refusal time.
+        depth: usize,
+        /// The configured bound it exceeded.
+        limit: usize,
+    },
 }
 
 impl ServeError {
@@ -93,6 +112,11 @@ impl fmt::Display for ServeError {
             ServeError::Io(e) => write!(f, "serve i/o error: {e}"),
             ServeError::Protocol(msg) => write!(f, "serve protocol error: {msg}"),
             ServeError::Server(msg) => write!(f, "server error: {msg}"),
+            ServeError::Busy {
+                reason,
+                depth,
+                limit,
+            } => write!(f, "server busy: {reason} ({depth}/{limit})"),
         }
     }
 }

@@ -50,6 +50,8 @@ pub enum Request {
     List,
     /// `{"cmd":"jobs"}` — snapshot of the server's job table.
     Jobs,
+    /// `{"cmd":"stats"}` — result-cache and queue counters.
+    Stats,
     /// `{"cmd":"cancel","job":N}` — request cancellation of a job. Takes
     /// effect before the next scenario starts or at the next testing-cycle
     /// boundary; a policy-training phase already in progress (DR-Cell
@@ -106,6 +108,7 @@ impl Request {
             },
             "list" => Ok(Request::List),
             "jobs" => Ok(Request::Jobs),
+            "stats" => Ok(Request::Stats),
             "cancel" => {
                 let job = v.get("job").and_then(Value::as_u64).ok_or_else(|| {
                     ServeError::Protocol("cancel needs a numeric `job`".to_owned())
@@ -134,6 +137,7 @@ impl Request {
             ],
             Request::List => vec![("cmd".to_owned(), Value::Str("list".to_owned()))],
             Request::Jobs => vec![("cmd".to_owned(), Value::Str("jobs".to_owned()))],
+            Request::Stats => vec![("cmd".to_owned(), Value::Str("stats".to_owned()))],
             Request::Cancel { job } => vec![
                 ("cmd".to_owned(), Value::Str("cancel".to_owned())),
                 ("job".to_owned(), Value::UInt(*job)),
@@ -203,6 +207,30 @@ pub struct JobInfo {
     pub scenarios: usize,
     /// Scenarios finished so far (including failed ones).
     pub completed: usize,
+    /// Wall-clock epoch milliseconds when the job was accepted.
+    pub queued_ms: u64,
+    /// Epoch milliseconds when a worker started it (`None` = not yet).
+    pub started_ms: Option<u64>,
+    /// Epoch milliseconds when it reached a terminal state (`None` = not
+    /// yet).
+    pub finished_ms: Option<u64>,
+}
+
+/// Result-cache and queue counters, the reply to `stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Cache lookups answered from memory.
+    pub mem_hits: u64,
+    /// Cache lookups answered from the spill directory.
+    pub disk_hits: u64,
+    /// Cache lookups that recomputed.
+    pub misses: u64,
+    /// Row streams currently resident in cache memory.
+    pub entries: usize,
+    /// Row bytes currently resident in cache memory.
+    pub bytes: usize,
+    /// Jobs currently waiting for a worker.
+    pub queue_depth: usize,
 }
 
 /// One server response frame, as parsed by the client.
@@ -247,6 +275,18 @@ pub enum Frame {
         /// Human-readable description.
         message: String,
     },
+    /// A submit was refused by admission control. Structured so clients
+    /// can back off on actionable numbers instead of parsing prose.
+    Busy {
+        /// Machine-readable reason (`queue_full` / `client_limit`).
+        reason: String,
+        /// Observed depth/count at refusal time.
+        depth: usize,
+        /// The configured bound it exceeded.
+        limit: usize,
+    },
+    /// Reply to `stats`.
+    Stats(ServerStats),
     /// Reply to `list`.
     ScenarioNames {
         /// Registry scenario names, in presentation order.
@@ -324,6 +364,23 @@ impl Frame {
                     .unwrap_or_default()
                     .to_owned(),
             }),
+            "busy" => Ok(Frame::Busy {
+                reason: v
+                    .get("reason")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| ServeError::Protocol("busy frame has no `reason`".to_owned()))?
+                    .to_owned(),
+                depth: count("depth")? as usize,
+                limit: count("limit")? as usize,
+            }),
+            "stats" => Ok(Frame::Stats(ServerStats {
+                mem_hits: count("mem_hits")?,
+                disk_hits: count("disk_hits")?,
+                misses: count("misses")?,
+                entries: count("entries")? as usize,
+                bytes: count("bytes")? as usize,
+                queue_depth: count("queue_depth")? as usize,
+            })),
             "scenarios" => Ok(Frame::ScenarioNames {
                 names: v
                     .get("names")
@@ -357,6 +414,12 @@ impl Frame {
                             })?,
                         scenarios: entry("scenarios")? as usize,
                         completed: entry("completed")? as usize,
+                        queued_ms: entry("queued_ms")?,
+                        // `started`/`finished` are legitimately absent on a
+                        // job that has not reached them — optional, unlike
+                        // the structural counts above.
+                        started_ms: jv.get("started_ms").and_then(Value::as_u64),
+                        finished_ms: jv.get("finished_ms").and_then(Value::as_u64),
                     });
                 }
                 Ok(Frame::JobTable { jobs })
@@ -442,6 +505,33 @@ pub mod frames {
         )
     }
 
+    /// `busy` (admission refusal) frame.
+    pub fn busy(reason: &str, depth: usize, limit: usize) -> String {
+        event(
+            "busy",
+            vec![
+                ("reason".to_owned(), Value::Str(reason.to_owned())),
+                ("depth".to_owned(), Value::UInt(depth as u64)),
+                ("limit".to_owned(), Value::UInt(limit as u64)),
+            ],
+        )
+    }
+
+    /// `stats` (cache and queue counters) frame.
+    pub fn stats(s: &ServerStats) -> String {
+        event(
+            "stats",
+            vec![
+                ("mem_hits".to_owned(), Value::UInt(s.mem_hits)),
+                ("disk_hits".to_owned(), Value::UInt(s.disk_hits)),
+                ("misses".to_owned(), Value::UInt(s.misses)),
+                ("entries".to_owned(), Value::UInt(s.entries as u64)),
+                ("bytes".to_owned(), Value::UInt(s.bytes as u64)),
+                ("queue_depth".to_owned(), Value::UInt(s.queue_depth as u64)),
+            ],
+        )
+    }
+
     /// `scenarios` (registry listing) frame.
     pub fn scenario_names(names: &[String]) -> String {
         event(
@@ -462,12 +552,20 @@ pub mod frames {
                 Value::Seq(
                     jobs.iter()
                         .map(|j| {
-                            Value::Map(vec![
+                            let mut entries = vec![
                                 ("job".to_owned(), Value::UInt(j.job)),
                                 ("state".to_owned(), Value::Str(j.state.as_str().to_owned())),
                                 ("scenarios".to_owned(), Value::UInt(j.scenarios as u64)),
                                 ("completed".to_owned(), Value::UInt(j.completed as u64)),
-                            ])
+                                ("queued_ms".to_owned(), Value::UInt(j.queued_ms)),
+                            ];
+                            if let Some(ms) = j.started_ms {
+                                entries.push(("started_ms".to_owned(), Value::UInt(ms)));
+                            }
+                            if let Some(ms) = j.finished_ms {
+                                entries.push(("finished_ms".to_owned(), Value::UInt(ms)));
+                            }
+                            Value::Map(entries)
                         })
                         .collect(),
                 ),
@@ -509,6 +607,7 @@ mod tests {
             },
             Request::List,
             Request::Jobs,
+            Request::Stats,
             Request::Cancel { job: 42 },
             Request::Shutdown,
         ];
@@ -587,20 +686,74 @@ mod tests {
                 },
             ),
             (
-                frames::job_table(&[JobInfo {
-                    job: 1,
-                    state: JobState::Running,
-                    scenarios: 4,
-                    completed: 2,
-                }]),
-                Frame::JobTable {
-                    jobs: vec![JobInfo {
+                frames::job_table(&[
+                    JobInfo {
                         job: 1,
                         state: JobState::Running,
                         scenarios: 4,
                         completed: 2,
-                    }],
+                        queued_ms: 1_700_000_000_000,
+                        started_ms: Some(1_700_000_000_500),
+                        finished_ms: None,
+                    },
+                    JobInfo {
+                        job: 2,
+                        state: JobState::Queued,
+                        scenarios: 1,
+                        completed: 0,
+                        queued_ms: 1_700_000_001_000,
+                        started_ms: None,
+                        finished_ms: None,
+                    },
+                ]),
+                Frame::JobTable {
+                    jobs: vec![
+                        JobInfo {
+                            job: 1,
+                            state: JobState::Running,
+                            scenarios: 4,
+                            completed: 2,
+                            queued_ms: 1_700_000_000_000,
+                            started_ms: Some(1_700_000_000_500),
+                            finished_ms: None,
+                        },
+                        JobInfo {
+                            job: 2,
+                            state: JobState::Queued,
+                            scenarios: 1,
+                            completed: 0,
+                            queued_ms: 1_700_000_001_000,
+                            started_ms: None,
+                            finished_ms: None,
+                        },
+                    ],
                 },
+            ),
+            (
+                frames::busy("queue_full", 32, 32),
+                Frame::Busy {
+                    reason: "queue_full".to_owned(),
+                    depth: 32,
+                    limit: 32,
+                },
+            ),
+            (
+                frames::stats(&ServerStats {
+                    mem_hits: 5,
+                    disk_hits: 2,
+                    misses: 7,
+                    entries: 3,
+                    bytes: 4096,
+                    queue_depth: 1,
+                }),
+                Frame::Stats(ServerStats {
+                    mem_hits: 5,
+                    disk_hits: 2,
+                    misses: 7,
+                    entries: 3,
+                    bytes: 4096,
+                    queue_depth: 1,
+                }),
             ),
             (
                 frames::cancel_ack(5, JobState::Cancelled),
@@ -628,8 +781,12 @@ mod tests {
             r#"{"event":"scenario","job":1,"index":0}"#,
             r#"{"event":"scenario","job":1,"name":"x"}"#,
             r#"{"event":"jobs","jobs":[{"job":1,"state":"done","scenarios":1}]}"#,
+            r#"{"event":"jobs","jobs":[{"job":1,"state":"done","scenarios":1,"completed":1}]}"#,
             r#"{"event":"cancel","job":1}"#,
             r#"{"event":"cancelled"}"#,
+            r#"{"event":"busy","reason":"queue_full","depth":4}"#,
+            r#"{"event":"busy","depth":4,"limit":4}"#,
+            r#"{"event":"stats","mem_hits":1,"disk_hits":0,"misses":2,"entries":1,"bytes":10}"#,
         ] {
             assert!(Frame::parse(bad).is_err(), "accepted: {bad}");
         }

@@ -23,6 +23,22 @@
 //! same spec, regardless of worker count or how many jobs run
 //! concurrently.
 //!
+//! # Caching and durability
+//!
+//! Before running a scenario, a worker consults the
+//! [`drcell_store::ResultCache`] under the scenario's content key
+//! (canonical spec + matrix index). Because the engine is
+//! bit-deterministic, a warm hit replays the stored rows **byte-identical
+//! to a recompute** — same frames, same order — so clients cannot tell a
+//! hit from a cold run except by latency. Only cleanly finished scenarios
+//! are inserted. With a journal configured ([`ServeConfig::journal`]),
+//! every job acceptance and state transition is appended durably and the
+//! table is reconstructed on restart; with a spill directory
+//! ([`ServeConfig::cache_dir`]), finished results survive restarts too.
+//! Admission control ([`ServeConfig::max_queue`],
+//! [`ServeConfig::max_client_jobs`]) turns overload into structured
+//! `busy` refusals instead of unbounded queue growth.
+//!
 //! # Cancellation and failure isolation
 //!
 //! `cancel` (from any connection) sets a sticky flag the executing worker
@@ -45,6 +61,7 @@ use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::ops::ControlFlow;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::SyncSender;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -52,9 +69,10 @@ use std::time::Duration;
 
 use drcell_scenario::sink::{row_json, RowContext};
 use drcell_scenario::{registry, run_scenario_streaming, ScenarioSpec};
+use drcell_store::{scenario_key, Admission, Journal, ResultCache};
 
 use crate::job::{Job, JobTable};
-use crate::protocol::{frames, JobState, Request, RunTarget};
+use crate::protocol::{frames, JobState, Request, RunTarget, ServerStats};
 
 /// How often blocked connection reads wake up to poll the shutdown flag.
 const READ_POLL: Duration = Duration::from_millis(100);
@@ -83,11 +101,53 @@ struct Shared {
     queue: Mutex<VecDeque<QueuedJob>>,
     available: Condvar,
     shutdown: AtomicBool,
+    cache: ResultCache,
+    /// `false` when the cache is configured inert (no memory, no spill):
+    /// workers then skip row capture entirely.
+    cache_active: bool,
+    admission: Admission,
 }
 
 impl Shared {
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+/// Everything [`Server::bind_with`] can configure beyond the address.
+///
+/// The default is a good daemon for one machine: result caching in memory
+/// (64 MiB), no disk spill, no journal, no admission bounds.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Job-runner threads (`0` = the process thread budget).
+    pub workers: usize,
+    /// Result-cache memory budget in bytes (`0` = nothing kept in
+    /// memory).
+    pub cache_mem: usize,
+    /// Spill directory for the result cache (`None` = memory only). Warm
+    /// results in this directory survive restarts.
+    pub cache_dir: Option<PathBuf>,
+    /// Job-journal path (`None` = in-memory job table). With a journal
+    /// the `jobs` table is reconstructed on restart.
+    pub journal: Option<PathBuf>,
+    /// Maximum queued jobs before submits get a `busy` frame (`0` =
+    /// unbounded).
+    pub max_queue: usize,
+    /// Maximum in-flight jobs per client address (`0` = unbounded).
+    pub max_client_jobs: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            cache_mem: 64 << 20,
+            cache_dir: None,
+            journal: None,
+            max_queue: 0,
+            max_client_jobs: 0,
+        }
     }
 }
 
@@ -103,27 +163,49 @@ impl Shared {
 #[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
+    config: ServeConfig,
     workers: usize,
 }
 
 impl Server {
     /// Binds the daemon to `addr` with `workers` job-runner threads
     /// (`0` = the process thread budget,
-    /// [`drcell_pool::budget::total_budget`]). Port `0` picks an ephemeral
-    /// port — read it back with [`Server::local_addr`].
+    /// [`drcell_pool::budget::total_budget`]) and the default
+    /// [`ServeConfig`] otherwise. Port `0` picks an ephemeral port — read
+    /// it back with [`Server::local_addr`].
     ///
     /// # Errors
     ///
     /// Propagates socket binding failures.
     pub fn bind<A: ToSocketAddrs>(addr: A, workers: usize) -> std::io::Result<Server> {
+        Server::bind_with(
+            addr,
+            ServeConfig {
+                workers,
+                ..ServeConfig::default()
+            },
+        )
+    }
+
+    /// Binds the daemon with full control over caching, durability and
+    /// admission — see [`ServeConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket binding failures.
+    pub fn bind_with<A: ToSocketAddrs>(addr: A, config: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        let workers = if workers == 0 {
+        let workers = if config.workers == 0 {
             drcell_pool::budget::total_budget()
         } else {
-            workers
+            config.workers
         }
         .max(1);
-        Ok(Server { listener, workers })
+        Ok(Server {
+            listener,
+            config,
+            workers,
+        })
     }
 
     /// The bound address (useful with an ephemeral port).
@@ -142,17 +224,28 @@ impl Server {
 
     /// Serves until a client issues `shutdown`: accepts connections, each
     /// handled on its own thread; jobs queue onto the worker pool. Running
-    /// jobs finish during shutdown, queued ones are cancelled.
+    /// jobs finish during shutdown, queued ones are cancelled (a
+    /// journalled table records those cancellations durably).
     ///
     /// # Errors
     ///
-    /// Propagates accept-loop socket failures.
+    /// Propagates accept-loop socket failures, journal open/replay
+    /// failures and cache spill-directory creation failures.
     pub fn run(self) -> std::io::Result<()> {
+        let table = match &self.config.journal {
+            Some(path) => JobTable::with_journal(Arc::new(Journal::open(path)?))?,
+            None => JobTable::new(),
+        };
+        let cache = ResultCache::new(self.config.cache_mem, self.config.cache_dir.clone())?;
+        let cache_active = self.config.cache_mem > 0 || self.config.cache_dir.is_some();
         let shared = Shared {
-            table: JobTable::new(),
+            table,
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            cache,
+            cache_active,
+            admission: Admission::new(self.config.max_queue, self.config.max_client_jobs),
         };
         let addr = self.listener.local_addr()?;
         // Outer reservation for the server's lifetime: auto-sized inner
@@ -229,7 +322,7 @@ fn worker_loop(shared: &Shared) {
             }
         };
         match next {
-            Some(queued) => execute_job(queued),
+            Some(queued) => execute_job(queued, shared),
             None => {
                 // Shutdown: everything still queued is cancelled, not run.
                 loop {
@@ -248,7 +341,14 @@ fn worker_loop(shared: &Shared) {
 /// Runs one job's scenarios sequentially in matrix order, streaming row
 /// and control frames into its channel. Dropping `tx` at the end closes
 /// the stream.
-fn execute_job(queued: QueuedJob) {
+///
+/// Each scenario consults the result cache first: the engine is
+/// bit-deterministic, so a finished stream under the same content key
+/// (canonical spec + matrix index) *is* the result — a warm hit replays
+/// the stored rows byte for byte instead of recomputing. Only cleanly
+/// finished scenarios are inserted; failures and cancellations never
+/// poison the cache.
+fn execute_job(queued: QueuedJob, shared: &Shared) {
     let QueuedJob { job, specs, tx } = queued;
     if job.is_cancelled() {
         job.set_state(JobState::Cancelled);
@@ -263,6 +363,29 @@ fn execute_job(queued: QueuedJob) {
             let _ = tx.send(frames::cancelled(job.id));
             return;
         }
+        let key = shared.cache_active.then(|| scenario_key(spec, index));
+        if let Some(rows) = key.as_deref().and_then(|k| shared.cache.lookup(k)) {
+            // Warm hit: replay the stored stream, honouring cancellation
+            // and client-death exactly like a live run would.
+            for row in rows.iter() {
+                if job.is_cancelled() {
+                    break;
+                }
+                if tx.send(row.clone()).is_err() {
+                    job.cancel();
+                    break;
+                }
+            }
+            if job.is_cancelled() {
+                job.set_state(JobState::Cancelled);
+                let _ = tx.send(frames::cancelled(job.id));
+                return;
+            }
+            ok += 1;
+            job.mark_scenario_finished();
+            let _ = tx.send(frames::scenario(job.id, index, &spec.name, None));
+            continue;
+        }
         let policy = spec.policy.label();
         let ctx = RowContext {
             scenario: &spec.name,
@@ -270,11 +393,16 @@ fn execute_job(queued: QueuedJob) {
             policy: &policy,
             task: spec.dataset.signal(),
         };
+        let mut captured: Vec<String> = Vec::new();
         let outcome = run_scenario_streaming(spec, index, &mut |record| {
             if job.is_cancelled() {
                 return ControlFlow::Break(());
             }
-            if tx.send(row_json(ctx, record)).is_err() {
+            let row = row_json(ctx, record);
+            if key.is_some() {
+                captured.push(row.clone());
+            }
+            if tx.send(row).is_err() {
                 // The connection side is gone; treat it as a cancel so the
                 // run stops at the next cycle boundary.
                 job.cancel();
@@ -284,6 +412,9 @@ fn execute_job(queued: QueuedJob) {
         });
         match outcome {
             Ok(_) => {
+                if let Some(k) = &key {
+                    shared.cache.insert(k, captured);
+                }
                 ok += 1;
                 job.mark_scenario_finished();
                 let _ = tx.send(frames::scenario(job.id, index, &spec.name, None));
@@ -379,6 +510,12 @@ fn handle_connection(stream: TcpStream, shared: &Shared, server_addr: SocketAddr
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_POLL));
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    // Admission identity: the peer address (per-client caps bound what one
+    // machine can hold in flight, not what one connection can).
+    let client = stream
+        .peer_addr()
+        .map(|a| a.ip().to_string())
+        .unwrap_or_else(|_| "unknown".to_owned());
     let Ok(mut writer) = stream.try_clone() else {
         return;
     };
@@ -410,7 +547,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared, server_addr: SocketAddr
             // A malformed frame costs one error response, not the
             // connection (and certainly not the server).
             Err(e) => write_line(&mut writer, &frames::error(&e.to_string())).is_ok(),
-            Ok(request) => dispatch(request, &mut writer, shared, server_addr),
+            Ok(request) => dispatch(request, &mut writer, shared, server_addr, &client),
         };
         if !keep_going {
             return;
@@ -425,6 +562,7 @@ fn dispatch(
     writer: &mut TcpStream,
     shared: &Shared,
     server_addr: SocketAddr,
+    client: &str,
 ) -> bool {
     match request {
         Request::List => {
@@ -432,6 +570,22 @@ fn dispatch(
             write_line(writer, &frames::scenario_names(&names)).is_ok()
         }
         Request::Jobs => write_line(writer, &frames::job_table(&shared.table.snapshot())).is_ok(),
+        Request::Stats => {
+            let cache = shared.cache.stats();
+            let queue_depth = shared.queue.lock().expect("job queue lock").len();
+            write_line(
+                writer,
+                &frames::stats(&ServerStats {
+                    mem_hits: cache.mem_hits,
+                    disk_hits: cache.disk_hits,
+                    misses: cache.misses,
+                    entries: cache.entries,
+                    bytes: cache.bytes,
+                    queue_depth,
+                }),
+            )
+            .is_ok()
+        }
         Request::Cancel { job } => match shared.table.get(job) {
             Some(entry) => {
                 entry.cancel();
@@ -474,43 +628,59 @@ fn dispatch(
                 },
                 RunTarget::Spec(spec) => *spec,
             };
-            submit(vec![spec], writer, shared)
+            submit(vec![spec], writer, shared, client)
         }
         Request::Sweep { spec } => {
             let specs = spec.expand();
             if specs.is_empty() {
                 return write_line(writer, &frames::error("sweep expands to no scenarios")).is_ok();
             }
-            submit(specs, writer, shared)
+            submit(specs, writer, shared, client)
         }
     }
 }
 
-/// Queues a job and streams its frames back until it finishes.
-fn submit(specs: Vec<ScenarioSpec>, writer: &mut TcpStream, shared: &Shared) -> bool {
-    let job = shared.table.create(specs.len());
+/// Queues a job and streams its frames back until it finishes. Admission
+/// happens first — a refused submit costs one `busy` frame and creates no
+/// job at all.
+fn submit(specs: Vec<ScenarioSpec>, writer: &mut TcpStream, shared: &Shared, client: &str) -> bool {
+    let scenarios = specs.len();
     let (tx, rx) = mpsc::sync_channel::<String>(FRAME_BUFFER);
-    let accepted = frames::accepted(job.id, specs.len());
-    {
+    let (job, _slot) = {
         // The shutdown check must share the queue lock with the push and
         // with the workers' own flag check: workers only exit after
         // observing the flag under this lock, so a job pushed while the
         // flag is still false (under the lock) is guaranteed to be either
         // executed or drain-cancelled — never orphaned with every worker
         // already gone (which would wedge the recv() loop below forever).
+        // Admission shares the same lock so the depth it checks cannot
+        // race with concurrent submits.
         let mut queue = shared.queue.lock().expect("job queue lock");
         if shared.shutting_down() {
-            job.set_state(JobState::Cancelled);
             drop(queue);
             return write_line(writer, &frames::error("server is shutting down")).is_ok();
         }
+        let slot = match shared.admission.try_admit(client, queue.len()) {
+            Ok(slot) => slot,
+            Err(busy) => {
+                drop(queue);
+                return write_line(
+                    writer,
+                    &frames::busy(busy.reason.as_str(), busy.depth, busy.limit),
+                )
+                .is_ok();
+            }
+        };
+        let job = shared.table.create(scenarios);
         queue.push_back(QueuedJob {
             job: Arc::clone(&job),
             specs,
             tx,
         });
-    }
+        (job, slot)
+    };
     shared.available.notify_one();
+    let accepted = frames::accepted(job.id, scenarios);
     let mut client_alive = write_line(writer, &accepted).is_ok();
     if !client_alive {
         job.cancel();

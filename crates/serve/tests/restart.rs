@@ -1,0 +1,272 @@
+//! Durability and admission tests against live daemons: the job table
+//! survives a restart through the journal, finished results replay
+//! byte-identically from the disk cache, and over-limit submits get
+//! structured `busy` refusals instead of queueing.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use drcell_scenario::{DatasetSpec, PolicySpec, QualitySpec, RunnerSpec, ScenarioSpec};
+use drcell_serve::{Client, Frame, JobState, ServeConfig, ServeError, Server};
+
+/// A cheap, fully deterministic scenario; `cycles` scales its runtime.
+fn tiny_spec(name: &str, cycles: usize) -> ScenarioSpec {
+    ScenarioSpec {
+        name: name.to_owned(),
+        seed: 23,
+        dataset: DatasetSpec::Synthetic {
+            grid_rows: 3,
+            grid_cols: 3,
+            cell_w: 40.0,
+            cell_h: 40.0,
+            cycles,
+            mean: 10.0,
+            std: 2.0,
+            field: drcell_datasets::FieldConfig {
+                cycles_per_day: 16,
+                ..drcell_datasets::FieldConfig::default()
+            },
+        },
+        perturbations: drcell_datasets::PerturbationStack::none(),
+        policy: PolicySpec::Random,
+        quality: QualitySpec {
+            epsilon: 0.5,
+            p: 0.9,
+        },
+        runner: RunnerSpec {
+            window: 8,
+            ..RunnerSpec::default()
+        },
+        train_cycles: 16,
+    }
+}
+
+/// A fresh per-test scratch directory (wiped at the start so reruns of a
+/// failed test never see stale journals or spills).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("drcell-restart-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// One daemon incarnation over the given store directory.
+fn start_incarnation(
+    dir: &std::path::Path,
+    config: ServeConfig,
+) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let config = ServeConfig {
+        cache_dir: Some(dir.join("cache")),
+        journal: Some(dir.join("journal.jsonl")),
+        ..config
+    };
+    let server = Server::bind_with("127.0.0.1:0", config).expect("bind ephemeral");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+fn shut_down(addr: std::net::SocketAddr, handle: std::thread::JoinHandle<()>) {
+    Client::connect(addr)
+        .expect("connect for shutdown")
+        .shutdown()
+        .expect("shutdown ack");
+    handle.join().expect("server thread");
+}
+
+/// The tentpole durability property: the job table outlives the daemon,
+/// and a re-submitted finished spec replays byte-identically from the
+/// disk cache of the *previous* incarnation.
+#[test]
+fn job_table_and_results_survive_a_restart() {
+    let dir = scratch("replay");
+    let spec = tiny_spec("restart-replay", 28);
+
+    // First incarnation: run the job cold, remember its bytes.
+    let (addr, handle) = start_incarnation(&dir, ServeConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+    let cold = client.run_spec(&spec).unwrap().collect().unwrap();
+    assert_eq!(cold.ok, 1);
+    assert_eq!(cold.rows.len(), 12, "28 cycles - 16 train = 12 rows");
+    let cold_stats = client.stats().unwrap();
+    assert_eq!(cold_stats.mem_hits + cold_stats.disk_hits, 0);
+    assert_eq!(cold_stats.misses, 1);
+    drop(client);
+    shut_down(addr, handle);
+
+    // Second incarnation, same journal and cache dir: the table is
+    // reconstructed (job 1 done, fully completed, stamps intact) …
+    let (addr, handle) = start_incarnation(&dir, ServeConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+    let jobs = client.jobs().unwrap();
+    assert_eq!(jobs.len(), 1, "journal replay lost the job table: {jobs:?}");
+    assert_eq!(jobs[0].job, 1);
+    assert_eq!(jobs[0].state, JobState::Done);
+    assert_eq!(jobs[0].completed, 1);
+    assert!(jobs[0].started_ms.is_some() && jobs[0].finished_ms.is_some());
+
+    // … and the same spec replays warm from disk, byte for byte. The
+    // replay is a real job: it gets a fresh id continuing the journal's
+    // dense sequence.
+    let stream = client.run_spec(&spec).unwrap();
+    assert_eq!(stream.job, 2);
+    let warm = stream.collect().unwrap();
+    assert_eq!(warm.rows, cold.rows, "warm replay must be byte-identical");
+    assert_eq!(warm.ok, 1);
+    let warm_stats = client.stats().unwrap();
+    assert_eq!(
+        warm_stats.disk_hits, 1,
+        "restart empties RAM, so the hit is disk"
+    );
+    drop(client);
+    shut_down(addr, handle);
+}
+
+/// Shutdown journals the cancellation of still-queued jobs: after a
+/// restart they are reported `cancelled`, not forgotten or re-run.
+#[test]
+fn queued_jobs_cancelled_at_shutdown_stay_cancelled_after_restart() {
+    let dir = scratch("queued");
+    let config = ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start_incarnation(&dir, config.clone());
+
+    // Occupy the single worker, then queue a second job behind it.
+    let mut first = Client::connect(addr).unwrap();
+    let mut stream = first.run_spec(&tiny_spec("restart-running", 400)).unwrap();
+    assert!(matches!(stream.next_frame().unwrap(), Some(Frame::Row(_))));
+    let queued = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        let output = client
+            .run_spec(&tiny_spec("restart-queued", 60))
+            .unwrap()
+            .collect()
+            .unwrap();
+        output.cancelled
+    });
+    std::thread::sleep(Duration::from_millis(200));
+    Client::connect(addr).unwrap().shutdown().unwrap();
+    while stream.next_frame().unwrap().is_some() {}
+    assert!(
+        queued.join().unwrap(),
+        "queued job must come back cancelled"
+    );
+    drop(first);
+    handle.join().expect("server thread");
+
+    // The next incarnation replays both outcomes from the journal.
+    let (addr, handle) = start_incarnation(&dir, config);
+    let mut client = Client::connect(addr).unwrap();
+    let jobs = client.jobs().unwrap();
+    assert_eq!(jobs.len(), 2);
+    assert_eq!(
+        jobs[0].state,
+        JobState::Done,
+        "running job finished: {jobs:?}"
+    );
+    assert_eq!(jobs[1].state, JobState::Cancelled, "queued job: {jobs:?}");
+    drop(client);
+    shut_down(addr, handle);
+}
+
+/// `max_queue` bounds the backlog: once the queue is full, further
+/// submits are refused with a structured `queue_full` busy frame and no
+/// job is created.
+#[test]
+fn full_queue_refuses_submits_with_busy() {
+    let dir = scratch("queue-full");
+    let config = ServeConfig {
+        workers: 1,
+        max_queue: 1,
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start_incarnation(&dir, config);
+
+    // Job 1 occupies the worker (popped off the queue), job 2 fills the
+    // queue, job 3 must bounce.
+    let mut running = Client::connect(addr).unwrap();
+    let mut stream = running.run_spec(&tiny_spec("busy-running", 2000)).unwrap();
+    assert!(matches!(stream.next_frame().unwrap(), Some(Frame::Row(_))));
+    let mut waiting = Client::connect(addr).unwrap();
+    let queued = waiting.run_spec(&tiny_spec("busy-queued", 60)).unwrap();
+    let queued_id = queued.job;
+
+    let mut refused = Client::connect(addr).unwrap();
+    match refused.run_spec(&tiny_spec("busy-refused", 60)) {
+        Err(ServeError::Busy {
+            reason,
+            depth,
+            limit,
+        }) => {
+            assert_eq!(reason, "queue_full");
+            assert_eq!((depth, limit), (1, 1));
+        }
+        other => panic!("expected busy, got {other:?}"),
+    }
+    // The refusal created no job: the table still ends at the queued one.
+    let jobs = refused.jobs().unwrap();
+    assert_eq!(jobs.last().unwrap().job, queued_id);
+
+    drop(running); // disconnect cancels the running job, freeing the worker
+    drop(waiting);
+    drop(refused);
+    shut_down(addr, handle);
+}
+
+/// `max_client_jobs` bounds one client's in-flight jobs (keyed by peer
+/// IP); the slot frees when the stream finishes.
+#[test]
+fn per_client_cap_refuses_then_recovers() {
+    let dir = scratch("client-cap");
+    let config = ServeConfig {
+        workers: 2,
+        max_client_jobs: 1,
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start_incarnation(&dir, config);
+
+    // One in-flight job from 127.0.0.1 holds the only slot…
+    let mut holder = Client::connect(addr).unwrap();
+    let mut stream = holder.run_spec(&tiny_spec("cap-held", 2000)).unwrap();
+    let held_id = stream.job;
+    assert!(matches!(stream.next_frame().unwrap(), Some(Frame::Row(_))));
+
+    // …so a second submit (same IP, different connection) bounces.
+    let mut second = Client::connect(addr).unwrap();
+    match second.run_spec(&tiny_spec("cap-refused", 60)) {
+        Err(ServeError::Busy {
+            reason,
+            depth,
+            limit,
+        }) => {
+            assert_eq!(reason, "client_limit");
+            assert_eq!((depth, limit), (1, 1));
+        }
+        other => panic!("expected busy, got {other:?}"),
+    }
+
+    // Finish the held job (cancel + drain releases the slot)…
+    second.cancel(held_id).unwrap();
+    while stream.next_frame().unwrap().is_some() {}
+
+    // …after which the same client is admitted again. The server releases
+    // the slot just *after* writing the stream's final frame, so poll
+    // briefly instead of racing that release.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let output = loop {
+        match second.run_spec(&tiny_spec("cap-after", 24)) {
+            Ok(stream) => break stream.collect().unwrap(),
+            Err(ServeError::Busy { .. }) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => panic!("submit after slot release failed: {e}"),
+        }
+    };
+    assert_eq!(output.ok, 1);
+    drop(holder);
+    drop(second);
+    shut_down(addr, handle);
+}

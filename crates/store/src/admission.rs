@@ -1,0 +1,169 @@
+//! Admission control for the serving daemon: a global queue-depth bound
+//! and a per-client in-flight cap.
+//!
+//! Both limits exist to keep the daemon's refusals *structured*. Without
+//! them, overload shows up as unbounded queue growth and eventually an
+//! opaque stall; with them, an over-limit submit is rejected immediately
+//! with a machine-readable reason the client can back off on.
+//!
+//! Clients are identified by an opaque string (the daemon uses the peer
+//! IP); the controller does not interpret it. Admission is granted as an
+//! RAII [`Slot`] — dropping the slot releases the client's in-flight
+//! count, so a panicking connection handler can never leak capacity.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Why a submit was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusyReason {
+    /// The global job queue is at its depth bound.
+    QueueFull,
+    /// This client already has its maximum jobs in flight.
+    ClientLimit,
+}
+
+impl BusyReason {
+    /// Wire name of the reason (`queue_full` / `client_limit`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BusyReason::QueueFull => "queue_full",
+            BusyReason::ClientLimit => "client_limit",
+        }
+    }
+}
+
+/// A structured refusal: the reason plus the observed value and the limit
+/// it exceeded, so the client (and the CLI) can report actionable numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Busy {
+    /// What bound was hit.
+    pub reason: BusyReason,
+    /// The observed depth/count at refusal time.
+    pub depth: usize,
+    /// The configured bound.
+    pub limit: usize,
+}
+
+#[derive(Debug, Default)]
+struct Counts {
+    inflight: HashMap<String, usize>,
+}
+
+/// The admission controller. Cheap to share (`Arc` internally for slots).
+#[derive(Debug)]
+pub struct Admission {
+    max_queue: usize,
+    max_per_client: usize,
+    counts: Arc<Mutex<Counts>>,
+}
+
+/// An admitted job's capacity hold. Dropping it releases the client's
+/// in-flight count.
+#[derive(Debug)]
+pub struct Slot {
+    client: String,
+    counts: Arc<Mutex<Counts>>,
+}
+
+impl Drop for Slot {
+    fn drop(&mut self) {
+        let mut counts = self.counts.lock().expect("admission lock");
+        if let Some(n) = counts.inflight.get_mut(&self.client) {
+            *n -= 1;
+            if *n == 0 {
+                counts.inflight.remove(&self.client);
+            }
+        }
+    }
+}
+
+impl Admission {
+    /// A controller with the given bounds. A bound of `0` means
+    /// *unlimited* for that dimension.
+    pub fn new(max_queue: usize, max_per_client: usize) -> Admission {
+        Admission {
+            max_queue,
+            max_per_client,
+            counts: Arc::new(Mutex::new(Counts::default())),
+        }
+    }
+
+    /// The configured queue-depth bound (`0` = unlimited).
+    pub fn max_queue(&self) -> usize {
+        self.max_queue
+    }
+
+    /// Tries to admit one job from `client` given the current global
+    /// queue depth. On success the returned [`Slot`] holds the client's
+    /// in-flight count until dropped.
+    ///
+    /// The caller must pass the queue depth it observes under its own
+    /// queue lock (and hold that lock until the job is enqueued), so the
+    /// depth check cannot race with concurrent submits.
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured [`Busy`] when either bound would be exceeded.
+    pub fn try_admit(&self, client: &str, queue_depth: usize) -> Result<Slot, Busy> {
+        if self.max_queue > 0 && queue_depth >= self.max_queue {
+            return Err(Busy {
+                reason: BusyReason::QueueFull,
+                depth: queue_depth,
+                limit: self.max_queue,
+            });
+        }
+        let mut counts = self.counts.lock().expect("admission lock");
+        let inflight = counts.inflight.get(client).copied().unwrap_or(0);
+        if self.max_per_client > 0 && inflight >= self.max_per_client {
+            return Err(Busy {
+                reason: BusyReason::ClientLimit,
+                depth: inflight,
+                limit: self.max_per_client,
+            });
+        }
+        *counts.inflight.entry(client.to_owned()).or_insert(0) += 1;
+        Ok(Slot {
+            client: client.to_owned(),
+            counts: Arc::clone(&self.counts),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_depth_bound_refuses_with_numbers() {
+        let adm = Admission::new(2, 0);
+        assert!(adm.try_admit("a", 0).is_ok());
+        assert!(adm.try_admit("a", 1).is_ok());
+        let busy = adm.try_admit("a", 2).unwrap_err();
+        assert_eq!(busy.reason, BusyReason::QueueFull);
+        assert_eq!((busy.depth, busy.limit), (2, 2));
+    }
+
+    #[test]
+    fn per_client_cap_is_released_by_slot_drop() {
+        let adm = Admission::new(0, 1);
+        let slot = adm.try_admit("10.0.0.1", 0).unwrap();
+        let busy = adm.try_admit("10.0.0.1", 0).unwrap_err();
+        assert_eq!(busy.reason, BusyReason::ClientLimit);
+        assert_eq!((busy.depth, busy.limit), (1, 1));
+        // A different client is unaffected.
+        let other = adm.try_admit("10.0.0.2", 0).unwrap();
+        drop(slot);
+        assert!(adm.try_admit("10.0.0.1", 0).is_ok());
+        drop(other);
+    }
+
+    #[test]
+    fn zero_bounds_mean_unlimited() {
+        let adm = Admission::new(0, 0);
+        let mut slots = Vec::new();
+        for i in 0..100 {
+            slots.push(adm.try_admit("c", i).unwrap());
+        }
+    }
+}

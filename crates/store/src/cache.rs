@@ -1,0 +1,347 @@
+//! The deterministic result cache: a bounded in-memory LRU of finished
+//! row streams with optional disk spill — a transposition table for
+//! scenarios.
+//!
+//! Every cell-selection run is a pure function of its spec (the
+//! workspace's CI-pinned determinism invariant), so a finished row stream
+//! can be replayed to any later client *as the computation's result*, not
+//! as an approximation of it. Entries are keyed by
+//! [`crate::key::scenario_key`] content hashes and store the row lines
+//! exactly as first streamed; a hit therefore reproduces the cold run
+//! byte for byte.
+//!
+//! Bounds and policy, transposition-table style (bounded slots +
+//! replacement): memory holds at most `mem_budget` bytes of rows, evicting
+//! least-recently-used entries; the optional spill directory holds one
+//! file per hash with no bound (it is the durable tier — an LRU sweep can
+//! be layered on later without touching the interface). Spill commits are
+//! write-to-temp + atomic rename, so a crash mid-write can never leave a
+//! half-stream behind: a file either exists completely or not at all.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Hit/miss accounting, readable at any time (the serving bench gates on
+/// these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from memory.
+    pub mem_hits: u64,
+    /// Lookups answered from the spill directory (and promoted to memory).
+    pub disk_hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries currently resident in memory.
+    pub entries: usize,
+    /// Row bytes currently resident in memory.
+    pub bytes: usize,
+}
+
+impl CacheStats {
+    /// Memory and disk hits combined.
+    pub fn hits(&self) -> u64 {
+        self.mem_hits + self.disk_hits
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    rows: Arc<Vec<String>>,
+    bytes: usize,
+    /// Monotonic LRU clock value of the last touch.
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<String, Entry>,
+    clock: u64,
+    bytes: usize,
+}
+
+/// Bounded in-memory LRU of finished row streams, with optional disk
+/// spill. Cheap to share: all methods take `&self`.
+#[derive(Debug)]
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    mem_budget: usize,
+    dir: Option<PathBuf>,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    /// Distinguishes concurrent writers' temp files within one process.
+    tmp_seq: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache holding up to `mem_budget` bytes of rows in memory,
+    /// spilling to `dir` when given (the directory is created if absent).
+    /// A zero budget keeps nothing in memory — with a spill dir that is a
+    /// disk-only cache; without one the cache stores nothing (but still
+    /// counts lookups).
+    ///
+    /// # Errors
+    ///
+    /// Propagates spill-directory creation failures.
+    pub fn new(mem_budget: usize, dir: Option<PathBuf>) -> std::io::Result<ResultCache> {
+        if let Some(d) = &dir {
+            fs::create_dir_all(d)?;
+        }
+        Ok(ResultCache {
+            inner: Mutex::new(Inner::default()),
+            mem_budget,
+            dir,
+            mem_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            tmp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The spill directory, if spill is enabled.
+    pub fn spill_dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Looks `key` up: memory first, then the spill directory (a disk hit
+    /// is promoted back into memory). Returns the stored rows, or `None`
+    /// on a miss.
+    pub fn lookup(&self, key: &str) -> Option<Arc<Vec<String>>> {
+        {
+            let mut inner = self.inner.lock().expect("cache lock");
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some(entry) = inner.map.get_mut(key) {
+                entry.last_used = clock;
+                self.mem_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(Arc::clone(&entry.rows));
+            }
+        }
+        if let Some(rows) = self.load_spilled(key) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            let rows = Arc::new(rows);
+            self.insert_mem(key, Arc::clone(&rows));
+            return Some(rows);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores the finished rows of `key`: into memory (evicting LRU
+    /// entries past the budget) and, when spill is enabled, durably onto
+    /// disk via an atomic rename. Spill I/O failures are swallowed — the
+    /// cache is an accelerator, never a correctness dependency.
+    pub fn insert(&self, key: &str, rows: Vec<String>) {
+        let rows = Arc::new(rows);
+        self.spill(key, &rows);
+        self.insert_mem(key, rows);
+    }
+
+    /// Current accounting snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock");
+        CacheStats {
+            mem_hits: self.mem_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: inner.map.len(),
+            bytes: inner.bytes,
+        }
+    }
+
+    fn insert_mem(&self, key: &str, rows: Arc<Vec<String>>) {
+        let bytes = entry_bytes(&rows);
+        if bytes > self.mem_budget {
+            // Larger than the whole budget: admitting it would evict
+            // everything and then be evicted itself on the next insert.
+            // (With spill enabled it is still served from disk.)
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(old) = inner.map.insert(
+            key.to_owned(),
+            Entry {
+                rows,
+                bytes,
+                last_used: clock,
+            },
+        ) {
+            inner.bytes -= old.bytes;
+        }
+        inner.bytes += bytes;
+        // Evict least-recently-used entries until back under budget. The
+        // linear min-scan is O(entries) per eviction — entries are whole
+        // row streams (kilobytes to megabytes each), so the map stays
+        // small; no ordering structure to keep coherent.
+        while inner.bytes > self.mem_budget {
+            let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            if let Some(old) = inner.map.remove(&victim) {
+                inner.bytes -= old.bytes;
+            }
+        }
+    }
+
+    fn spill_path(&self, key: &str) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{key}.rows")))
+    }
+
+    fn load_spilled(&self, key: &str) -> Option<Vec<String>> {
+        let path = self.spill_path(key)?;
+        let content = fs::read_to_string(path).ok()?;
+        Some(content.lines().map(str::to_owned).collect())
+    }
+
+    fn spill(&self, key: &str, rows: &[String]) {
+        let Some(path) = self.spill_path(key) else {
+            return;
+        };
+        if path.exists() {
+            // Content-addressed: an existing file already holds these
+            // exact bytes.
+            return;
+        }
+        let seq = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
+        // Commit protocol: write everything to the temp file, then rename
+        // onto the final name — rename within one directory is atomic, so
+        // readers only ever see complete streams. Failures just skip the
+        // spill (lookup falls back to recompute).
+        let write = |tmp: &Path| -> std::io::Result<()> {
+            let mut f = fs::File::create(tmp)?;
+            for row in rows {
+                f.write_all(row.as_bytes())?;
+                f.write_all(b"\n")?;
+            }
+            f.sync_all()?;
+            Ok(())
+        };
+        if write(&tmp).is_ok() {
+            let _ = fs::rename(&tmp, &path);
+        }
+        let _ = fs::remove_file(&tmp);
+    }
+}
+
+fn entry_bytes(rows: &[String]) -> usize {
+    // Row bytes plus the newline each costs on the wire; the per-String
+    // allocator overhead is noise at row sizes (hundreds of bytes).
+    rows.iter().map(|r| r.len() + 1).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(tag: &str, n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("{{\"{tag}\":{i}}}")).collect()
+    }
+
+    #[test]
+    fn mem_hit_returns_identical_rows_and_counts() {
+        let cache = ResultCache::new(1 << 20, None).unwrap();
+        assert!(cache.lookup("k1").is_none());
+        cache.insert("k1", rows("a", 10));
+        let got = cache.lookup("k1").expect("hit");
+        assert_eq!(*got, rows("a", 10));
+        let stats = cache.stats();
+        assert_eq!(stats.mem_hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_budget() {
+        let a = rows("a", 10);
+        let budget = entry_bytes(&a) * 2 + 1; // fits two entries, not three
+        let cache = ResultCache::new(budget, None).unwrap();
+        cache.insert("a", rows("a", 10));
+        cache.insert("b", rows("b", 10));
+        assert!(cache.lookup("a").is_some()); // touch a: b is now LRU
+        cache.insert("c", rows("c", 10));
+        assert!(cache.lookup("a").is_some(), "recently used survives");
+        assert!(cache.lookup("c").is_some(), "newest survives");
+        assert!(cache.lookup("b").is_none(), "LRU entry evicted");
+        assert!(cache.stats().bytes <= budget);
+    }
+
+    #[test]
+    fn oversized_entry_is_not_admitted_to_memory() {
+        let cache = ResultCache::new(16, None).unwrap();
+        cache.insert("big", rows("big", 10));
+        assert_eq!(cache.stats().entries, 0);
+        assert!(cache.lookup("big").is_none());
+    }
+
+    #[test]
+    fn disk_spill_survives_a_fresh_cache_and_promotes_to_memory() {
+        let dir = std::env::temp_dir().join(format!("drcell-store-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let cache = ResultCache::new(1 << 20, Some(dir.clone())).unwrap();
+            cache.insert("k", rows("k", 25));
+        }
+        // A brand-new cache over the same directory: memory is empty, the
+        // spill file answers — byte-identical — and promotes to memory.
+        let cache = ResultCache::new(1 << 20, Some(dir.clone())).unwrap();
+        let got = cache.lookup("k").expect("disk hit");
+        assert_eq!(*got, rows("k", 25));
+        let stats = cache.stats();
+        assert_eq!(stats.disk_hits, 1);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(cache.stats().mem_hits + 1, {
+            cache.lookup("k").unwrap();
+            cache.stats().mem_hits
+        });
+        // No temp litter from the commit protocol.
+        let litter: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| !e.file_name().to_string_lossy().ends_with(".rows"))
+            .collect();
+        assert!(litter.is_empty(), "temp files left behind: {litter:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_budget_with_spill_is_a_disk_cache() {
+        let dir = std::env::temp_dir().join(format!(
+            "drcell-store-test-disk-only-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = ResultCache::new(0, Some(dir.clone())).unwrap();
+        cache.insert("k", rows("k", 5));
+        assert_eq!(cache.stats().entries, 0, "nothing resident in memory");
+        assert_eq!(*cache.lookup("k").expect("disk hit"), rows("k", 5));
+        assert_eq!(cache.stats().disk_hits, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_row_streams_round_trip_through_disk() {
+        let dir =
+            std::env::temp_dir().join(format!("drcell-store-test-empty-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = ResultCache::new(0, Some(dir.clone())).unwrap();
+        cache.insert("nil", Vec::new());
+        assert_eq!(
+            *cache.lookup("nil").expect("disk hit"),
+            Vec::<String>::new()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

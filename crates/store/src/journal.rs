@@ -1,0 +1,283 @@
+//! The durable job journal: an append-only, line-delimited log of job
+//! state transitions, replayable into a job table after a daemon restart.
+//!
+//! Each record is one line of compact JSON (the same writer the wire
+//! protocol uses, so the log is greppable and newline-framed). Appends
+//! are flushed per record; a crash can therefore lose at most the line
+//! being written, and [`Journal::replay`] tolerates exactly that — a
+//! truncated or garbled final line is skipped, never fatal (every earlier
+//! line was complete when its flush returned).
+//!
+//! The journal records *facts*, not intentions: `create` when a job is
+//! accepted, `state` whenever its lifecycle state changes. Recovery
+//! policy (what to do with a job that was `queued` or `running` when the
+//! process died) belongs to the replayer — the serving daemon marks such
+//! jobs `cancelled` and journals that decision, so after a restart the
+//! table reports them honestly instead of silently dropping them.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use drcell_scenario::json::{parse_json, to_json};
+use serde::Value;
+
+/// One journal record, as written and as replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// A job was accepted into the table.
+    Create {
+        /// Server-assigned job id.
+        job: u64,
+        /// Scenario count the job expanded to.
+        scenarios: usize,
+        /// Wall-clock milliseconds since the Unix epoch at acceptance.
+        at_ms: u64,
+    },
+    /// A job moved to a new lifecycle state.
+    State {
+        /// Job id.
+        job: u64,
+        /// Wire name of the new state (`running`, `done`, `cancelled`,
+        /// `failed` — the journal does not interpret it).
+        state: String,
+        /// Scenarios finished at transition time.
+        completed: usize,
+        /// Wall-clock milliseconds since the Unix epoch at transition.
+        at_ms: u64,
+    },
+}
+
+impl Record {
+    fn to_line(&self) -> String {
+        let entries = match self {
+            Record::Create {
+                job,
+                scenarios,
+                at_ms,
+            } => vec![
+                ("op".to_owned(), Value::Str("create".to_owned())),
+                ("job".to_owned(), Value::UInt(*job)),
+                ("scenarios".to_owned(), Value::UInt(*scenarios as u64)),
+                ("at_ms".to_owned(), Value::UInt(*at_ms)),
+            ],
+            Record::State {
+                job,
+                state,
+                completed,
+                at_ms,
+            } => vec![
+                ("op".to_owned(), Value::Str("state".to_owned())),
+                ("job".to_owned(), Value::UInt(*job)),
+                ("state".to_owned(), Value::Str(state.clone())),
+                ("completed".to_owned(), Value::UInt(*completed as u64)),
+                ("at_ms".to_owned(), Value::UInt(*at_ms)),
+            ],
+        };
+        to_json(&Value::Map(entries))
+    }
+
+    fn parse(line: &str) -> Option<Record> {
+        let v = parse_json(line).ok()?;
+        let field = |name: &str| v.get(name).and_then(Value::as_u64);
+        match v.get("op").and_then(Value::as_str)? {
+            "create" => Some(Record::Create {
+                job: field("job")?,
+                scenarios: field("scenarios")? as usize,
+                at_ms: field("at_ms")?,
+            }),
+            "state" => Some(Record::State {
+                job: field("job")?,
+                state: v.get("state").and_then(Value::as_str)?.to_owned(),
+                completed: field("completed")? as usize,
+                at_ms: field("at_ms")?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Wall-clock milliseconds since the Unix epoch — the journal's (and the
+/// job table's) timestamp base.
+pub fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// An append-only journal over one log file. Shareable: appends lock
+/// internally and flush before returning.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path` for appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file creation/open failures.
+    pub fn open(path: &Path) -> std::io::Result<Journal> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// The journal file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record and flushes it to the OS. Append failures are
+    /// reported but the journal stays usable (the next append retries the
+    /// stream).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/flush failures.
+    pub fn append(&self, record: &Record) -> std::io::Result<()> {
+        let mut w = self.writer.lock().expect("journal lock");
+        w.write_all(record.to_line().as_bytes())?;
+        w.write_all(b"\n")?;
+        w.flush()
+    }
+
+    /// Replays the journal at `path` into its record sequence, in append
+    /// order. A missing file replays as empty (first boot); a truncated
+    /// or garbled final line — the signature of a crash mid-append — is
+    /// skipped. Garbage *before* the last line is an error: that is
+    /// corruption, not a crash artefact, and silently dropping acknowledged
+    /// state transitions would break the durability contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures and mid-file corruption.
+    pub fn replay(path: &Path) -> std::io::Result<Vec<Record>> {
+        let content = match std::fs::read_to_string(path) {
+            Ok(c) => c,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let lines: Vec<&str> = content.lines().collect();
+        let mut records = Vec::with_capacity(lines.len());
+        for (i, line) in lines.iter().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match Record::parse(line) {
+                Some(r) => records.push(r),
+                None if i + 1 == lines.len() => {
+                    // Torn final line from a crash mid-append: drop it.
+                }
+                None => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!(
+                            "corrupt journal record at line {} of {}",
+                            i + 1,
+                            path.display()
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("drcell-journal-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn records_round_trip_through_the_file() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let records = vec![
+            Record::Create {
+                job: 1,
+                scenarios: 2,
+                at_ms: 1000,
+            },
+            Record::State {
+                job: 1,
+                state: "running".to_owned(),
+                completed: 0,
+                at_ms: 1001,
+            },
+            Record::State {
+                job: 1,
+                state: "done".to_owned(),
+                completed: 2,
+                at_ms: 2002,
+            },
+        ];
+        {
+            let journal = Journal::open(&path).unwrap();
+            for r in &records {
+                journal.append(r).unwrap();
+            }
+        }
+        assert_eq!(Journal::replay(&path).unwrap(), records);
+        // Re-opening appends, never truncates.
+        let journal = Journal::open(&path).unwrap();
+        journal
+            .append(&Record::Create {
+                job: 2,
+                scenarios: 1,
+                at_ms: 3000,
+            })
+            .unwrap();
+        assert_eq!(Journal::replay(&path).unwrap().len(), 4);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_replays_empty() {
+        let path = temp_path("missing");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(Journal::replay(&path).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn torn_final_line_is_skipped_but_mid_file_garbage_is_fatal() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let journal = Journal::open(&path).unwrap();
+        journal
+            .append(&Record::Create {
+                job: 1,
+                scenarios: 1,
+                at_ms: 7,
+            })
+            .unwrap();
+        drop(journal);
+        // Simulate a crash mid-append: a truncated trailing line.
+        let mut content = std::fs::read_to_string(&path).unwrap();
+        content.push_str("{\"op\":\"state\",\"job\":1,\"sta");
+        std::fs::write(&path, &content).unwrap();
+        let replayed = Journal::replay(&path).unwrap();
+        assert_eq!(replayed.len(), 1);
+        // But garbage *between* valid records is corruption.
+        let torn = std::fs::read_to_string(&path).unwrap();
+        let corrupted = format!("not json at all\n{torn}");
+        std::fs::write(&path, corrupted).unwrap();
+        assert!(Journal::replay(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -23,3 +23,4 @@ pub use drcell_rl as rl;
 pub use drcell_scenario as scenario;
 pub use drcell_serve as serve;
 pub use drcell_stats as stats;
+pub use drcell_store as store;
