@@ -218,11 +218,15 @@ fn cmd_list(opts: &Options) -> Result<(), String> {
 
 fn cmd_jobs(opts: &Options) -> Result<(), String> {
     let mut client = connect(opts)?;
-    for info in client.jobs().map_err(|e| e.to_string())? {
+    let snapshot = client.jobs().map_err(|e| e.to_string())?;
+    // Live durations use the *server's* clock from the snapshot — every
+    // stamp in the frame comes from that one clock, so client/daemon
+    // clock skew cannot distort them.
+    let now = snapshot.now_ms;
+    for info in snapshot.jobs {
         // Durations from the lifecycle stamps: waited = queued→started,
         // ran = started→finished (or →now while still running).
         let secs = |from: u64, to: u64| (to.saturating_sub(from)) as f64 / 1000.0;
-        let now = drcell_store::now_ms();
         let timing = match (info.started_ms, info.finished_ms) {
             (None, _) => format!("waiting {:.1}s", secs(info.queued_ms, now)),
             (Some(s), None) => {

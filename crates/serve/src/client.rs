@@ -6,7 +6,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 
 use drcell_scenario::{ScenarioSpec, SweepSpec};
 
-use crate::protocol::{Frame, JobInfo, JobState, Request, RunTarget, ServerStats};
+use crate::protocol::{Frame, JobState, JobsSnapshot, Request, RunTarget, ServerStats};
 use crate::ServeError;
 
 /// A blocking client over one daemon connection. Requests are sequential:
@@ -105,15 +105,17 @@ impl Client {
         }
     }
 
-    /// Snapshot of the daemon's job table.
+    /// Snapshot of the daemon's job table, stamped with the server clock
+    /// it was taken at (compute live durations against that stamp, not
+    /// this machine's clock).
     ///
     /// # Errors
     ///
     /// Propagates transport, protocol and server errors.
-    pub fn jobs(&mut self) -> Result<Vec<JobInfo>, ServeError> {
+    pub fn jobs(&mut self) -> Result<JobsSnapshot, ServeError> {
         self.send(&Request::Jobs)?;
         match self.read_reply()? {
-            Frame::JobTable { jobs } => Ok(jobs),
+            Frame::JobTable { now_ms, jobs } => Ok(JobsSnapshot { now_ms, jobs }),
             other => Err(ServeError::unexpected("jobs", &other)),
         }
     }

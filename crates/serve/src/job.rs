@@ -12,10 +12,13 @@
 //!
 //! With a journal attached, every accepted job and every state transition
 //! is appended (and flushed) as a fact; [`JobTable::with_journal`] replays
-//! those facts at startup. A job that was still `queued`/`running` when
-//! the process died cannot be resumed — its stream had no receiver — so
-//! recovery marks it `cancelled` and journals *that* too: after a restart
-//! the table reports what actually happened instead of forgetting the job.
+//! those facts at startup and then compacts the file to the snapshot it
+//! reconstructed, so journal size and replay time stay proportional to the
+//! job count, not to the full record history. A job that was still
+//! `queued`/`running` when the process died cannot be resumed — its stream
+//! had no receiver — so recovery marks it `cancelled` and persists *that*
+//! too: after a restart the table reports what actually happened instead
+//! of forgetting the job.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -215,9 +218,11 @@ impl JobTable {
     }
 
     /// A durable table over `journal`: replays every record already in the
-    /// file to reconstruct the previous process's jobs, then keeps
-    /// appending. Jobs that were not terminal at the crash/shutdown are
-    /// marked `cancelled` — and that recovery decision is journalled, so
+    /// file to reconstruct the previous process's jobs, compacts the file
+    /// down to that reconstructed snapshot (so replay cost does not grow
+    /// with the daemon's full history), then keeps appending. Jobs that
+    /// were not terminal at the crash/shutdown are marked `cancelled` —
+    /// and that recovery decision is part of the compacted snapshot, so
     /// the next restart replays it as a plain fact.
     ///
     /// # Errors
@@ -270,14 +275,49 @@ impl JobTable {
             }
         }
         // Anything non-terminal died with the old process: its stream has
-        // no receiver, so the honest state is cancelled. set_state
-        // journals the decision.
+        // no receiver, so the honest state is cancelled. The compaction
+        // below persists the decision.
         for job in &jobs {
             if !job.state().is_terminal() {
                 job.cancel();
                 job.set_state(JobState::Cancelled);
             }
         }
+        // Compact: the replayed history (per-scenario progress records
+        // included) collapses into the snapshot that reproduces today's
+        // table — including the recovery cancellations above — so replay
+        // cost and journal size stay O(jobs) across restarts instead of
+        // O(every record ever written). Within one incarnation the file
+        // still grows with progress records; the next restart folds them
+        // away again.
+        let mut snapshot = Vec::with_capacity(jobs.len() * 3);
+        for job in &jobs {
+            snapshot.push(Record::Create {
+                job: job.id,
+                scenarios: job.scenarios,
+                at_ms: job.queued_ms,
+            });
+            let completed = job.completed.load(Ordering::Acquire);
+            let started_ms = job.started_ms.load(Ordering::Acquire);
+            if started_ms != 0 {
+                snapshot.push(Record::State {
+                    job: job.id,
+                    state: JobState::Running.as_str().to_owned(),
+                    completed,
+                    at_ms: started_ms,
+                });
+            }
+            let state = job.state();
+            if state.is_terminal() {
+                snapshot.push(Record::State {
+                    job: job.id,
+                    state: state.as_str().to_owned(),
+                    completed,
+                    at_ms: job.finished_ms.load(Ordering::Acquire),
+                });
+            }
+        }
+        journal.compact(&snapshot)?;
         Ok(JobTable {
             jobs: Mutex::new(jobs),
             journal: Some(journal),
@@ -426,6 +466,43 @@ mod tests {
         assert_eq!(snap.len(), 4);
         assert_eq!(snap[1].state, JobState::Cancelled);
         assert_eq!(snap[3].state, JobState::Cancelled);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn restart_compacts_the_journal_to_a_snapshot() {
+        let path = temp_journal("compact");
+        let _ = std::fs::remove_file(&path);
+        let journal_lines = |p: &std::path::Path| {
+            std::fs::read_to_string(p)
+                .unwrap()
+                .lines()
+                .filter(|l| !l.trim().is_empty())
+                .count()
+        };
+        {
+            let table = JobTable::with_journal(Arc::new(Journal::open(&path).unwrap())).unwrap();
+            let job = table.create(40);
+            job.set_state(JobState::Running);
+            for _ in 0..40 {
+                job.mark_scenario_finished(); // one progress record each
+            }
+            job.set_state(JobState::Done);
+        }
+        let before = journal_lines(&path);
+        assert!(before > 40, "history journal holds progress records");
+        let table = JobTable::with_journal(Arc::new(Journal::open(&path).unwrap())).unwrap();
+        // The snapshot per job is create + running + terminal — history
+        // stays bounded by the table, not by per-scenario progress.
+        assert_eq!(journal_lines(&path), 3);
+        let info = table.snapshot()[0];
+        assert_eq!(info.state, JobState::Done);
+        assert_eq!(info.completed, 40);
+        assert!(info.started_ms.is_some() && info.finished_ms.is_some());
+        // The compacted journal replays identically on the next restart.
+        drop(table);
+        let table = JobTable::with_journal(Arc::new(Journal::open(&path).unwrap())).unwrap();
+        assert_eq!(table.snapshot()[0], info);
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -77,7 +77,7 @@ mod server;
 use std::fmt;
 
 pub use client::{Client, JobOutput, JobStream};
-pub use protocol::{Frame, JobInfo, JobState, Request, RunTarget, ServerStats};
+pub use protocol::{Frame, JobInfo, JobState, JobsSnapshot, Request, RunTarget, ServerStats};
 pub use server::{ServeConfig, Server};
 
 /// Anything that can go wrong on the serving path.

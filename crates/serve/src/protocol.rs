@@ -216,6 +216,18 @@ pub struct JobInfo {
     pub finished_ms: Option<u64>,
 }
 
+/// A `jobs` snapshot together with the server clock it was taken at —
+/// what [`crate::Client::jobs`] returns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobsSnapshot {
+    /// The server's wall clock (epoch ms) at snapshot time. Compute live
+    /// waiting/running durations against this, never against the client
+    /// machine's clock — the two hosts may be skewed.
+    pub now_ms: u64,
+    /// Snapshot rows, in job-id order.
+    pub jobs: Vec<JobInfo>,
+}
+
 /// Result-cache and queue counters, the reply to `stats`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServerStats {
@@ -294,6 +306,10 @@ pub enum Frame {
     },
     /// Reply to `jobs`.
     JobTable {
+        /// The *server's* wall clock (epoch ms) at snapshot time. Live
+        /// durations (waiting/running) must be computed against this, not
+        /// the client's clock — the two machines may disagree.
+        now_ms: u64,
         /// Snapshot rows, in job-id order.
         jobs: Vec<JobInfo>,
     },
@@ -422,7 +438,10 @@ impl Frame {
                         finished_ms: jv.get("finished_ms").and_then(Value::as_u64),
                     });
                 }
-                Ok(Frame::JobTable { jobs })
+                Ok(Frame::JobTable {
+                    now_ms: count("now_ms")?,
+                    jobs,
+                })
             }
             "cancel" => Ok(Frame::CancelAck {
                 job: job()?,
@@ -543,33 +562,38 @@ pub mod frames {
         )
     }
 
-    /// `jobs` (table snapshot) frame.
-    pub fn job_table(jobs: &[JobInfo]) -> String {
+    /// `jobs` (table snapshot) frame. `now_ms` is the server clock the
+    /// snapshot was taken at, so clients compute durations against one
+    /// clock.
+    pub fn job_table(now_ms: u64, jobs: &[JobInfo]) -> String {
         event(
             "jobs",
-            vec![(
-                "jobs".to_owned(),
-                Value::Seq(
-                    jobs.iter()
-                        .map(|j| {
-                            let mut entries = vec![
-                                ("job".to_owned(), Value::UInt(j.job)),
-                                ("state".to_owned(), Value::Str(j.state.as_str().to_owned())),
-                                ("scenarios".to_owned(), Value::UInt(j.scenarios as u64)),
-                                ("completed".to_owned(), Value::UInt(j.completed as u64)),
-                                ("queued_ms".to_owned(), Value::UInt(j.queued_ms)),
-                            ];
-                            if let Some(ms) = j.started_ms {
-                                entries.push(("started_ms".to_owned(), Value::UInt(ms)));
-                            }
-                            if let Some(ms) = j.finished_ms {
-                                entries.push(("finished_ms".to_owned(), Value::UInt(ms)));
-                            }
-                            Value::Map(entries)
-                        })
-                        .collect(),
+            vec![
+                ("now_ms".to_owned(), Value::UInt(now_ms)),
+                (
+                    "jobs".to_owned(),
+                    Value::Seq(
+                        jobs.iter()
+                            .map(|j| {
+                                let mut entries = vec![
+                                    ("job".to_owned(), Value::UInt(j.job)),
+                                    ("state".to_owned(), Value::Str(j.state.as_str().to_owned())),
+                                    ("scenarios".to_owned(), Value::UInt(j.scenarios as u64)),
+                                    ("completed".to_owned(), Value::UInt(j.completed as u64)),
+                                    ("queued_ms".to_owned(), Value::UInt(j.queued_ms)),
+                                ];
+                                if let Some(ms) = j.started_ms {
+                                    entries.push(("started_ms".to_owned(), Value::UInt(ms)));
+                                }
+                                if let Some(ms) = j.finished_ms {
+                                    entries.push(("finished_ms".to_owned(), Value::UInt(ms)));
+                                }
+                                Value::Map(entries)
+                            })
+                            .collect(),
+                    ),
                 ),
-            )],
+            ],
         )
     }
 
@@ -686,27 +710,31 @@ mod tests {
                 },
             ),
             (
-                frames::job_table(&[
-                    JobInfo {
-                        job: 1,
-                        state: JobState::Running,
-                        scenarios: 4,
-                        completed: 2,
-                        queued_ms: 1_700_000_000_000,
-                        started_ms: Some(1_700_000_000_500),
-                        finished_ms: None,
-                    },
-                    JobInfo {
-                        job: 2,
-                        state: JobState::Queued,
-                        scenarios: 1,
-                        completed: 0,
-                        queued_ms: 1_700_000_001_000,
-                        started_ms: None,
-                        finished_ms: None,
-                    },
-                ]),
+                frames::job_table(
+                    1_700_000_002_000,
+                    &[
+                        JobInfo {
+                            job: 1,
+                            state: JobState::Running,
+                            scenarios: 4,
+                            completed: 2,
+                            queued_ms: 1_700_000_000_000,
+                            started_ms: Some(1_700_000_000_500),
+                            finished_ms: None,
+                        },
+                        JobInfo {
+                            job: 2,
+                            state: JobState::Queued,
+                            scenarios: 1,
+                            completed: 0,
+                            queued_ms: 1_700_000_001_000,
+                            started_ms: None,
+                            finished_ms: None,
+                        },
+                    ],
+                ),
                 Frame::JobTable {
+                    now_ms: 1_700_000_002_000,
                     jobs: vec![
                         JobInfo {
                             job: 1,
@@ -780,8 +808,9 @@ mod tests {
             r#"{"event":"accepted","job":1}"#,
             r#"{"event":"scenario","job":1,"index":0}"#,
             r#"{"event":"scenario","job":1,"name":"x"}"#,
-            r#"{"event":"jobs","jobs":[{"job":1,"state":"done","scenarios":1}]}"#,
-            r#"{"event":"jobs","jobs":[{"job":1,"state":"done","scenarios":1,"completed":1}]}"#,
+            r#"{"event":"jobs","now_ms":5,"jobs":[{"job":1,"state":"done","scenarios":1}]}"#,
+            r#"{"event":"jobs","now_ms":5,"jobs":[{"job":1,"state":"done","scenarios":1,"completed":1}]}"#,
+            r#"{"event":"jobs","jobs":[{"job":1,"state":"done","scenarios":1,"completed":1,"queued_ms":2}]}"#,
             r#"{"event":"cancel","job":1}"#,
             r#"{"event":"cancelled"}"#,
             r#"{"event":"busy","reason":"queue_full","depth":4}"#,

@@ -322,7 +322,12 @@ fn worker_loop(shared: &Shared) {
             }
         };
         match next {
-            Some(queued) => execute_job(queued, shared),
+            Some(queued) => {
+                // The job left the queue: free its admission depth unit so
+                // new submits can take its place while it runs.
+                shared.admission.release_queued();
+                execute_job(queued, shared)
+            }
             None => {
                 // Shutdown: everything still queued is cancelled, not run.
                 loop {
@@ -330,6 +335,7 @@ fn worker_loop(shared: &Shared) {
                     let Some(QueuedJob { job, tx, .. }) = queued else {
                         return;
                     };
+                    shared.admission.release_queued();
                     job.set_state(JobState::Cancelled);
                     let _ = tx.send(frames::cancelled(job.id));
                 }
@@ -569,7 +575,11 @@ fn dispatch(
             let names: Vec<String> = registry::registry().into_iter().map(|s| s.name).collect();
             write_line(writer, &frames::scenario_names(&names)).is_ok()
         }
-        Request::Jobs => write_line(writer, &frames::job_table(&shared.table.snapshot())).is_ok(),
+        Request::Jobs => write_line(
+            writer,
+            &frames::job_table(drcell_store::now_ms(), &shared.table.snapshot()),
+        )
+        .is_ok(),
         Request::Stats => {
             let cache = shared.cache.stats();
             let queue_depth = shared.queue.lock().expect("job queue lock").len();
@@ -646,39 +656,52 @@ fn dispatch(
 fn submit(specs: Vec<ScenarioSpec>, writer: &mut TcpStream, shared: &Shared, client: &str) -> bool {
     let scenarios = specs.len();
     let (tx, rx) = mpsc::sync_channel::<String>(FRAME_BUFFER);
-    let (job, _slot) = {
+    // Admission first, under the controller's own lock (it accounts queue
+    // depth internally, released when a worker pops the job): a refused
+    // submit costs one busy frame and creates no job at all.
+    let _slot = match shared.admission.try_admit(client) {
+        Ok(slot) => slot,
+        Err(busy) => {
+            return write_line(
+                writer,
+                &frames::busy(busy.reason.as_str(), busy.depth, busy.limit),
+            )
+            .is_ok();
+        }
+    };
+    if shared.shutting_down() {
+        shared.admission.release_queued();
+        return write_line(writer, &frames::error("server is shutting down")).is_ok();
+    }
+    // Create (and, on a durable table, journal) the job *before* taking
+    // the queue lock: the journal append is a disk flush, and holding the
+    // queue mutex across it would stall every worker pop and every other
+    // connection's submit. Create-record id order in the journal is
+    // guaranteed by the table's own lock, not this one.
+    let job = shared.table.create(scenarios);
+    {
         // The shutdown check must share the queue lock with the push and
         // with the workers' own flag check: workers only exit after
         // observing the flag under this lock, so a job pushed while the
         // flag is still false (under the lock) is guaranteed to be either
         // executed or drain-cancelled — never orphaned with every worker
         // already gone (which would wedge the recv() loop below forever).
-        // Admission shares the same lock so the depth it checks cannot
-        // race with concurrent submits.
         let mut queue = shared.queue.lock().expect("job queue lock");
         if shared.shutting_down() {
             drop(queue);
+            shared.admission.release_queued();
+            // The job already exists (and is journalled on a durable
+            // table); record the honest outcome instead of erasing it.
+            job.cancel();
+            job.set_state(JobState::Cancelled);
             return write_line(writer, &frames::error("server is shutting down")).is_ok();
         }
-        let slot = match shared.admission.try_admit(client, queue.len()) {
-            Ok(slot) => slot,
-            Err(busy) => {
-                drop(queue);
-                return write_line(
-                    writer,
-                    &frames::busy(busy.reason.as_str(), busy.depth, busy.limit),
-                )
-                .is_ok();
-            }
-        };
-        let job = shared.table.create(scenarios);
         queue.push_back(QueuedJob {
             job: Arc::clone(&job),
             specs,
             tx,
         });
-        (job, slot)
-    };
+    }
     shared.available.notify_one();
     let accepted = frames::accepted(job.id, scenarios);
     let mut client_alive = write_line(writer, &accepted).is_ok();

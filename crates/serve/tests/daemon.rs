@@ -129,7 +129,7 @@ fn job_streams_to_done_and_table_records_it() {
     assert!(!output.cancelled);
     assert_eq!(output.rows.len(), 12, "28 cycles - 16 train = 12 rows");
     assert!(output.rows[0].starts_with("{\"scenario\":\"protocol-done\""));
-    let jobs = client.jobs().unwrap();
+    let jobs = client.jobs().unwrap().jobs;
     let info = jobs.iter().find(|j| j.job == job_id).unwrap();
     assert_eq!(info.state, JobState::Done);
     assert_eq!(info.completed, 1);
@@ -154,7 +154,7 @@ fn failing_scenario_is_isolated_and_job_ends_failed() {
         .collect()
         .unwrap();
     assert_eq!(output.ok, 1);
-    let jobs = client.jobs().unwrap();
+    let jobs = client.jobs().unwrap().jobs;
     assert_eq!(jobs[0].state, JobState::Failed);
     assert_eq!(jobs[1].state, JobState::Done);
     drop(client);
@@ -195,7 +195,7 @@ fn mid_stream_cancel_stops_the_job_at_a_cycle_boundary() {
         }
     }
     assert!(saw_cancelled);
-    let jobs = canceller.jobs().unwrap();
+    let jobs = canceller.jobs().unwrap().jobs;
     assert_eq!(jobs[0].state, JobState::Cancelled);
     // The worker is free again: a fresh job completes normally.
     let output = submitter
@@ -225,7 +225,7 @@ fn client_disconnect_cancels_its_job_without_poisoning_the_table() {
     let mut observer = Client::connect(addr).unwrap();
     let deadline = Instant::now() + Duration::from_secs(30);
     loop {
-        let jobs = observer.jobs().unwrap();
+        let jobs = observer.jobs().unwrap().jobs;
         if jobs.first().map(|j| j.state) == Some(JobState::Cancelled) {
             break;
         }

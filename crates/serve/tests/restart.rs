@@ -99,7 +99,7 @@ fn job_table_and_results_survive_a_restart() {
     // reconstructed (job 1 done, fully completed, stamps intact) …
     let (addr, handle) = start_incarnation(&dir, ServeConfig::default());
     let mut client = Client::connect(addr).unwrap();
-    let jobs = client.jobs().unwrap();
+    let jobs = client.jobs().unwrap().jobs;
     assert_eq!(jobs.len(), 1, "journal replay lost the job table: {jobs:?}");
     assert_eq!(jobs[0].job, 1);
     assert_eq!(jobs[0].state, JobState::Done);
@@ -160,7 +160,7 @@ fn queued_jobs_cancelled_at_shutdown_stay_cancelled_after_restart() {
     // The next incarnation replays both outcomes from the journal.
     let (addr, handle) = start_incarnation(&dir, config);
     let mut client = Client::connect(addr).unwrap();
-    let jobs = client.jobs().unwrap();
+    let jobs = client.jobs().unwrap().jobs;
     assert_eq!(jobs.len(), 2);
     assert_eq!(
         jobs[0].state,
@@ -207,7 +207,7 @@ fn full_queue_refuses_submits_with_busy() {
         other => panic!("expected busy, got {other:?}"),
     }
     // The refusal created no job: the table still ends at the queued one.
-    let jobs = refused.jobs().unwrap();
+    let jobs = refused.jobs().unwrap().jobs;
     assert_eq!(jobs.last().unwrap().job, queued_id);
 
     drop(running); // disconnect cancels the running job, freeing the worker

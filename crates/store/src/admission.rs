@@ -10,6 +10,12 @@
 //! IP); the controller does not interpret it. Admission is granted as an
 //! RAII [`Slot`] — dropping the slot releases the client's in-flight
 //! count, so a panicking connection handler can never leak capacity.
+//!
+//! The queue-depth bound is accounted *inside* the controller (admitted
+//! jobs count against it until the caller reports them dequeued via
+//! [`Admission::release_queued`]), so admission needs no external queue
+//! lock — callers can keep disk I/O such as journal appends off their hot
+//! queue mutex without the depth check racing concurrent submits.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -48,6 +54,9 @@ pub struct Busy {
 #[derive(Debug, Default)]
 struct Counts {
     inflight: HashMap<String, usize>,
+    /// Jobs admitted and not yet reported dequeued — the depth the
+    /// `max_queue` bound is checked against.
+    queued: usize,
 }
 
 /// The admission controller. Cheap to share (`Arc` internally for slots).
@@ -94,26 +103,26 @@ impl Admission {
         self.max_queue
     }
 
-    /// Tries to admit one job from `client` given the current global
-    /// queue depth. On success the returned [`Slot`] holds the client's
+    /// Tries to admit one job from `client`. On success the job counts
+    /// against the queue-depth bound until [`Admission::release_queued`]
+    /// is called for it, and the returned [`Slot`] holds the client's
     /// in-flight count until dropped.
     ///
-    /// The caller must pass the queue depth it observes under its own
-    /// queue lock (and hold that lock until the job is enqueued), so the
-    /// depth check cannot race with concurrent submits.
+    /// Both checks happen under the controller's own lock, so concurrent
+    /// submits cannot race each other past a bound.
     ///
     /// # Errors
     ///
     /// Returns a structured [`Busy`] when either bound would be exceeded.
-    pub fn try_admit(&self, client: &str, queue_depth: usize) -> Result<Slot, Busy> {
-        if self.max_queue > 0 && queue_depth >= self.max_queue {
+    pub fn try_admit(&self, client: &str) -> Result<Slot, Busy> {
+        let mut counts = self.counts.lock().expect("admission lock");
+        if self.max_queue > 0 && counts.queued >= self.max_queue {
             return Err(Busy {
                 reason: BusyReason::QueueFull,
-                depth: queue_depth,
+                depth: counts.queued,
                 limit: self.max_queue,
             });
         }
-        let mut counts = self.counts.lock().expect("admission lock");
         let inflight = counts.inflight.get(client).copied().unwrap_or(0);
         if self.max_per_client > 0 && inflight >= self.max_per_client {
             return Err(Busy {
@@ -122,11 +131,22 @@ impl Admission {
                 limit: self.max_per_client,
             });
         }
+        counts.queued += 1;
         *counts.inflight.entry(client.to_owned()).or_insert(0) += 1;
         Ok(Slot {
             client: client.to_owned(),
             counts: Arc::clone(&self.counts),
         })
+    }
+
+    /// Releases one unit of queue depth. Call exactly once per admitted
+    /// job, when it leaves the queue — a worker popped it (to run *or* to
+    /// drain-cancel it), or the submit was abandoned before enqueueing.
+    /// Distinct from [`Slot`] drop: the slot tracks the client's whole
+    /// in-flight window, which outlives the queue residency.
+    pub fn release_queued(&self) {
+        let mut counts = self.counts.lock().expect("admission lock");
+        counts.queued = counts.queued.saturating_sub(1);
     }
 }
 
@@ -135,26 +155,34 @@ mod tests {
     use super::*;
 
     #[test]
-    fn queue_depth_bound_refuses_with_numbers() {
+    fn queue_depth_bound_refuses_until_released() {
         let adm = Admission::new(2, 0);
-        assert!(adm.try_admit("a", 0).is_ok());
-        assert!(adm.try_admit("a", 1).is_ok());
-        let busy = adm.try_admit("a", 2).unwrap_err();
+        let _a = adm.try_admit("a").unwrap();
+        let _b = adm.try_admit("a").unwrap();
+        let busy = adm.try_admit("a").unwrap_err();
         assert_eq!(busy.reason, BusyReason::QueueFull);
         assert_eq!((busy.depth, busy.limit), (2, 2));
+        // A worker popping one job frees depth even while its slot (the
+        // client's in-flight hold) stays alive.
+        adm.release_queued();
+        let _c = adm.try_admit("a").unwrap();
+        assert_eq!(
+            adm.try_admit("a").unwrap_err().reason,
+            BusyReason::QueueFull
+        );
     }
 
     #[test]
     fn per_client_cap_is_released_by_slot_drop() {
         let adm = Admission::new(0, 1);
-        let slot = adm.try_admit("10.0.0.1", 0).unwrap();
-        let busy = adm.try_admit("10.0.0.1", 0).unwrap_err();
+        let slot = adm.try_admit("10.0.0.1").unwrap();
+        let busy = adm.try_admit("10.0.0.1").unwrap_err();
         assert_eq!(busy.reason, BusyReason::ClientLimit);
         assert_eq!((busy.depth, busy.limit), (1, 1));
         // A different client is unaffected.
-        let other = adm.try_admit("10.0.0.2", 0).unwrap();
+        let other = adm.try_admit("10.0.0.2").unwrap();
         drop(slot);
-        assert!(adm.try_admit("10.0.0.1", 0).is_ok());
+        assert!(adm.try_admit("10.0.0.1").is_ok());
         drop(other);
     }
 
@@ -162,8 +190,8 @@ mod tests {
     fn zero_bounds_mean_unlimited() {
         let adm = Admission::new(0, 0);
         let mut slots = Vec::new();
-        for i in 0..100 {
-            slots.push(adm.try_admit("c", i).unwrap());
+        for _ in 0..100 {
+            slots.push(adm.try_admit("c").unwrap());
         }
     }
 }

@@ -135,7 +135,16 @@ impl ResultCache {
     /// entries past the budget) and, when spill is enabled, durably onto
     /// disk via an atomic rename. Spill I/O failures are swallowed — the
     /// cache is an accelerator, never a correctness dependency.
+    ///
+    /// Rows must not contain `'\n'`: the spill file (like the wire
+    /// protocol) is newline-framed, and an embedded newline would split
+    /// one row into two on reload, silently breaking byte-identical
+    /// replay.
     pub fn insert(&self, key: &str, rows: Vec<String>) {
+        debug_assert!(
+            rows.iter().all(|r| !r.contains('\n')),
+            "cached rows must be newline-free (newline framing on disk and the wire)"
+        );
         let rows = Arc::new(rows);
         self.spill(key, &rows);
         self.insert_mem(key, rows);
@@ -201,7 +210,16 @@ impl ResultCache {
     fn load_spilled(&self, key: &str) -> Option<Vec<String>> {
         let path = self.spill_path(key)?;
         let content = fs::read_to_string(path).ok()?;
-        Some(content.lines().map(str::to_owned).collect())
+        // Split strictly on '\n', mirroring the writer in `spill` —
+        // str::lines would also strip a trailing '\r' and silently alter
+        // the replayed bytes. The writer terminates every row (including
+        // the last) with '\n', so drop the empty element after the final
+        // separator.
+        let mut rows: Vec<String> = content.split('\n').map(str::to_owned).collect();
+        if rows.last().is_some_and(String::is_empty) {
+            rows.pop();
+        }
+        Some(rows)
     }
 
     fn spill(&self, key: &str, rows: &[String]) {
@@ -328,6 +346,25 @@ mod tests {
         assert_eq!(cache.stats().entries, 0, "nothing resident in memory");
         assert_eq!(*cache.lookup("k").expect("disk hit"), rows("k", 5));
         assert_eq!(cache.stats().disk_hits, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rows_with_carriage_returns_replay_byte_identically_from_disk() {
+        let dir = std::env::temp_dir().join(format!("drcell-store-test-cr-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let rows = vec![
+            "{\"note\":\"trailing\"}\r".to_owned(),
+            "{\"note\":\"embedded\rreturn\"}".to_owned(),
+            String::new(),
+        ];
+        let cache = ResultCache::new(0, Some(dir.clone())).unwrap();
+        cache.insert("cr", rows.clone());
+        assert_eq!(
+            *cache.lookup("cr").expect("disk hit"),
+            rows,
+            "strict newline framing must not strip or split on '\\r'"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

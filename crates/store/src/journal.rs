@@ -6,7 +6,11 @@
 //! are flushed per record; a crash can therefore lose at most the line
 //! being written, and [`Journal::replay`] tolerates exactly that — a
 //! truncated or garbled final line is skipped, never fatal (every earlier
-//! line was complete when its flush returned).
+//! line was complete when its flush returned). [`Journal::open`] truncates
+//! such a torn tail before the first new append, so the next record starts
+//! on a fresh line instead of being glued onto the partial one (which
+//! would turn a recoverable crash artefact into mid-file corruption on the
+//! following restart).
 //!
 //! The journal records *facts*, not intentions: `create` when a job is
 //! accepted, `state` whenever its lifecycle state changes. Recovery
@@ -16,7 +20,7 @@
 //! table reports them honestly instead of silently dropping them.
 
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Write};
+use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
@@ -117,6 +121,9 @@ pub struct Journal {
 
 impl Journal {
     /// Opens (creating if absent) the journal at `path` for appending.
+    /// A torn final line left by a crash mid-append is truncated away
+    /// first — [`Journal::replay`] already skips it, but appending after
+    /// it would glue the next record onto the partial line.
     ///
     /// # Errors
     ///
@@ -127,6 +134,7 @@ impl Journal {
                 std::fs::create_dir_all(parent)?;
             }
         }
+        repair_torn_tail(path)?;
         let file = OpenOptions::new().create(true).append(true).open(path)?;
         Ok(Journal {
             path: path.to_path_buf(),
@@ -151,6 +159,44 @@ impl Journal {
         w.write_all(record.to_line().as_bytes())?;
         w.write_all(b"\n")?;
         w.flush()
+    }
+
+    /// Atomically rewrites the journal to exactly `records`: write to a
+    /// temp file, fsync, rename over the live path, reopen for append.
+    /// This is the compaction primitive — a replayer that has folded the
+    /// full history into a snapshot calls this so replay cost and file
+    /// size stay proportional to the snapshot, not to every record ever
+    /// written. The writer lock is held across the swap, so no append can
+    /// interleave with the rewrite or land on the dead file handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/rename failures; on error the original journal is
+    /// untouched (the rename is the commit point).
+    pub fn compact(&self, records: &[Record]) -> std::io::Result<()> {
+        let mut writer = self.writer.lock().expect("journal lock");
+        let tmp = self
+            .path
+            .with_extension(format!("compact.{}", std::process::id()));
+        let write = |tmp: &Path| -> std::io::Result<()> {
+            let mut f = BufWriter::new(File::create(tmp)?);
+            for record in records {
+                f.write_all(record.to_line().as_bytes())?;
+                f.write_all(b"\n")?;
+            }
+            f.flush()?;
+            f.get_ref().sync_all()
+        };
+        if let Err(e) = write(&tmp).and_then(|()| std::fs::rename(&tmp, &self.path)) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        *writer = BufWriter::new(file);
+        Ok(())
     }
 
     /// Replays the journal at `path` into its record sequence, in append
@@ -194,6 +240,24 @@ impl Journal {
         }
         Ok(records)
     }
+}
+
+/// Truncates a torn final line (one with no trailing newline — the
+/// signature of a crash mid-append) back to the end of the last complete
+/// record, so the next append starts on a fresh line.
+fn repair_torn_tail(path: &Path) -> std::io::Result<()> {
+    let mut file = match OpenOptions::new().read(true).write(true).open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    if bytes.last().is_none_or(|b| *b == b'\n') {
+        return Ok(());
+    }
+    let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+    file.set_len(keep as u64)
 }
 
 #[cfg(test)]
@@ -278,6 +342,93 @@ mod tests {
         let corrupted = format!("not json at all\n{torn}");
         std::fs::write(&path, corrupted).unwrap();
         assert!(Journal::replay(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_repairs_a_torn_tail_so_appends_never_glue() {
+        let path = temp_path("repair");
+        let _ = std::fs::remove_file(&path);
+        let first = Record::Create {
+            job: 1,
+            scenarios: 1,
+            at_ms: 7,
+        };
+        {
+            let journal = Journal::open(&path).unwrap();
+            journal.append(&first).unwrap();
+        }
+        // Crash mid-append: a partial line with no trailing newline.
+        let mut content = std::fs::read_to_string(&path).unwrap();
+        content.push_str("{\"op\":\"state\",\"job\":1,\"sta");
+        std::fs::write(&path, &content).unwrap();
+        // The restart-after-crash sequence the torn tail used to corrupt:
+        // open (appends would otherwise glue onto the partial line), write
+        // a recovery record, then replay on the *next* restart.
+        let journal = Journal::open(&path).unwrap();
+        let second = Record::State {
+            job: 1,
+            state: "cancelled".to_owned(),
+            completed: 0,
+            at_ms: 9,
+        };
+        journal.append(&second).unwrap();
+        drop(journal);
+        assert_eq!(
+            Journal::replay(&path).unwrap(),
+            vec![first, second],
+            "torn tail must be truncated, not glued into the next record"
+        );
+        // A torn tail with no complete record at all truncates to empty.
+        std::fs::write(&path, "{\"op\":\"cre").unwrap();
+        let journal = Journal::open(&path).unwrap();
+        journal
+            .append(&Record::Create {
+                job: 1,
+                scenarios: 2,
+                at_ms: 1,
+            })
+            .unwrap();
+        drop(journal);
+        assert_eq!(Journal::replay(&path).unwrap().len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compact_rewrites_the_file_and_keeps_appending() {
+        let path = temp_path("compact");
+        let _ = std::fs::remove_file(&path);
+        let journal = Journal::open(&path).unwrap();
+        for i in 0..10 {
+            journal
+                .append(&Record::State {
+                    job: 1,
+                    state: "running".to_owned(),
+                    completed: i,
+                    at_ms: i as u64,
+                })
+                .unwrap();
+        }
+        let snapshot = vec![Record::Create {
+            job: 1,
+            scenarios: 10,
+            at_ms: 0,
+        }];
+        journal.compact(&snapshot).unwrap();
+        assert_eq!(Journal::replay(&path).unwrap(), snapshot);
+        // Appends after compaction land in the rewritten file.
+        let tail = Record::State {
+            job: 1,
+            state: "done".to_owned(),
+            completed: 10,
+            at_ms: 11,
+        };
+        journal.append(&tail).unwrap();
+        drop(journal);
+        assert_eq!(
+            Journal::replay(&path).unwrap(),
+            vec![snapshot[0].clone(), tail]
+        );
         let _ = std::fs::remove_file(&path);
     }
 }
