@@ -57,6 +57,6 @@ pub use engine::SweepEngine;
 pub use error::ScenarioError;
 pub use exec::{run_scenario, run_scenario_streaming, ScenarioResult};
 pub use spec::{
-    stream_seed, streams, DatasetSpec, NetworkKind, PolicySpec, QualitySpec, RunnerSpec,
-    ScenarioSpec, SweepSpec,
+    shard_ranges, stream_seed, streams, DatasetSpec, NetworkKind, PolicySpec, QualitySpec,
+    RunnerSpec, ScenarioSpec, SweepSpec,
 };

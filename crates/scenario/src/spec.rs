@@ -515,6 +515,30 @@ pub struct SweepSpec {
     pub inner_threads: Option<usize>,
 }
 
+/// Splits `total` matrix entries into at most `shards` contiguous,
+/// near-even, non-empty index ranges — the shard plan of a federated
+/// sweep. The first `total % shards` ranges carry one extra entry, ranges
+/// cover `0..total` exactly once in order, and fewer than `shards` ranges
+/// come back when there are fewer entries than shards. Concatenating
+/// per-range results in range order therefore reproduces matrix order by
+/// construction.
+pub fn shard_ranges(total: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    if total == 0 || shards == 0 {
+        return Vec::new();
+    }
+    let shards = shards.min(total);
+    let base = total / shards;
+    let extra = total % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
 impl SweepSpec {
     /// A sweep that runs exactly the base scenario.
     pub fn single(base: ScenarioSpec) -> Self {
@@ -609,6 +633,36 @@ impl SweepSpec {
             }
         }
         out
+    }
+
+    /// The number of scenarios [`SweepSpec::expand`] produces, without
+    /// cloning any of them: the product of the non-empty axis lengths.
+    pub fn matrix_len(&self) -> usize {
+        [
+            self.policies.len(),
+            self.epsilons.len(),
+            self.ps.len(),
+            self.seeds.len(),
+            self.perturbations.len(),
+        ]
+        .iter()
+        .map(|&n| n.max(1))
+        .product()
+    }
+
+    /// Expands only the `start..end` slice of the scenario matrix —
+    /// exactly `self.expand()[start..end].to_vec()`, with every scenario
+    /// keeping its global name and derivation. This is the sweep-slicing
+    /// primitive of sharded execution: a daemon handed `start..end` runs
+    /// the same scenarios, under the same names and seeds, as the
+    /// single-host engine would at those matrix indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.matrix_len()`, like any
+    /// out-of-bounds slice.
+    pub fn expand_range(&self, start: usize, end: usize) -> Vec<ScenarioSpec> {
+        self.expand()[start..end].to_vec()
     }
 }
 
@@ -718,6 +772,52 @@ mod tests {
         assert!(names.contains(&"tiny/DR-Cell#1".to_owned()), "{names:?}");
         assert!(names.contains(&"tiny/DR-Cell#2".to_owned()), "{names:?}");
         assert!(names.contains(&"tiny/RANDOM".to_owned()), "{names:?}");
+    }
+
+    #[test]
+    fn shard_ranges_cover_the_matrix_contiguously() {
+        for (total, shards) in [(8, 3), (8, 8), (3, 8), (1, 1), (100, 7), (5, 2)] {
+            let ranges = shard_ranges(total, shards);
+            assert_eq!(ranges.len(), shards.min(total), "{total}/{shards}");
+            // Contiguous cover of 0..total, every range non-empty.
+            let mut next = 0usize;
+            for r in &ranges {
+                assert_eq!(r.start, next, "{total}/{shards}: {ranges:?}");
+                assert!(!r.is_empty(), "{total}/{shards}: {ranges:?}");
+                next = r.end;
+            }
+            assert_eq!(next, total);
+            // Near-even: lengths differ by at most one.
+            let lens: Vec<usize> = ranges.iter().map(ExactSizeIterator::len).collect();
+            let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+            assert!(max - min <= 1, "{total}/{shards}: {lens:?}");
+        }
+        assert!(shard_ranges(0, 4).is_empty());
+        assert!(shard_ranges(4, 0).is_empty());
+    }
+
+    #[test]
+    fn expand_range_is_a_slice_of_expand() {
+        let sweep = SweepSpec {
+            base: tiny_base(),
+            policies: vec![PolicySpec::Random, PolicySpec::Qbc],
+            epsilons: vec![0.4, 0.6],
+            ps: Vec::new(),
+            seeds: vec![1, 2],
+            perturbations: Vec::new(),
+            inner_threads: None,
+        };
+        let full = sweep.expand();
+        assert_eq!(sweep.matrix_len(), full.len());
+        assert_eq!(sweep.expand_range(0, full.len()), full);
+        assert_eq!(sweep.expand_range(3, 6), full[3..6].to_vec());
+        assert!(sweep.expand_range(5, 5).is_empty());
+        // The shard plan reassembles the matrix exactly.
+        let stitched: Vec<ScenarioSpec> = shard_ranges(full.len(), 3)
+            .into_iter()
+            .flat_map(|r| sweep.expand_range(r.start, r.end))
+            .collect();
+        assert_eq!(stitched, full);
     }
 
     #[test]

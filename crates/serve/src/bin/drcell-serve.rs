@@ -6,8 +6,8 @@ use std::io::Write;
 use std::process::ExitCode;
 
 use drcell_scenario::cli::load_spec_value;
-use drcell_scenario::{ScenarioSpec, SweepSpec};
-use drcell_serve::{Client, ServeConfig, Server};
+use drcell_scenario::{registry, ScenarioSpec, SweepSpec};
+use drcell_serve::{fansweep_with, Client, ClientConfig, FleetConfig, ServeConfig, Server};
 use serde::Deserialize;
 
 const USAGE: &str = "drcell-serve — scenario-serving daemon for DR-Cell
@@ -18,6 +18,9 @@ USAGE:
                         [--max-queue N] [--max-client-jobs N]
   drcell-serve submit   --addr HOST:PORT (--name SCENARIO | --spec FILE |
                         --sweep FILE) [--rows OUT.jsonl]
+  drcell-serve fansweep --daemon HOST:PORT [--daemon HOST:PORT ...]
+                        [--sweep FILE] [--shards N] [--read-timeout SECS]
+                        [--rows OUT.jsonl]
   drcell-serve list     --addr HOST:PORT
   drcell-serve jobs     --addr HOST:PORT
   drcell-serve stats    --addr HOST:PORT
@@ -42,7 +45,16 @@ jobs; over-limit submits get a structured busy frame instead of queueing
 `submit` streams a job and writes its result rows (JSONL, byte-identical
 to `drcell-scenario run/sweep --jsonl` for the same spec) to --rows or
 stdout; control frames go to stderr. Exits nonzero if any scenario fails
-or the job is cancelled.";
+or the job is cancelled.
+
+`fansweep` shards a sweep's scenario matrix across every --daemon (the
+default sweep when --sweep is omitted, matching `drcell-scenario sweep`)
+and merges the streams back into single-host row order — the output is
+byte-identical to `submit --sweep` against one daemon. A daemon that
+dies mid-shard hands its shard to a survivor; the run only fails once
+*every* daemon is gone. --shards defaults to the daemon count (more =
+finer work stealing); --read-timeout bounds the silence between frames
+before a daemon is declared dead (default: unbounded).";
 
 #[derive(Debug, Default)]
 struct Options {
@@ -58,6 +70,9 @@ struct Options {
     journal: Option<String>,
     max_queue: usize,
     max_client_jobs: usize,
+    daemons: Vec<String>,
+    shards: Option<usize>,
+    read_timeout: Option<u64>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -98,6 +113,16 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.max_client_jobs = v
                     .parse()
                     .map_err(|_| format!("bad --max-client-jobs `{v}`"))?;
+            }
+            "--daemon" => opts.daemons.push(take()?),
+            "--shards" => {
+                let v = take()?;
+                opts.shards = Some(v.parse().map_err(|_| format!("bad --shards `{v}`"))?);
+            }
+            "--read-timeout" => {
+                let v = take()?;
+                opts.read_timeout =
+                    Some(v.parse().map_err(|_| format!("bad --read-timeout `{v}`"))?);
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -208,6 +233,62 @@ fn cmd_submit(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_fansweep(opts: &Options) -> Result<(), String> {
+    if opts.daemons.is_empty() {
+        return Err("fansweep needs at least one --daemon HOST:PORT".to_owned());
+    }
+    let sweep = match &opts.sweep {
+        Some(path) => {
+            let value = load_spec_value(path).map_err(|e| e.to_string())?;
+            SweepSpec::from_value(&value).map_err(|e| e.to_string())?
+        }
+        // Mirror `drcell-scenario sweep` without --spec, so the two CLIs
+        // can be compared byte for byte out of the box.
+        None => registry::default_sweep(),
+    };
+    let config = FleetConfig {
+        shards: opts.shards,
+        client: ClientConfig {
+            read: opts.read_timeout.map(std::time::Duration::from_secs),
+            ..ClientConfig::default()
+        },
+    };
+    eprintln!(
+        "fansweep: {} scenario(s) over {} daemon(s)",
+        sweep.matrix_len(),
+        opts.daemons.len()
+    );
+    let output = fansweep_with(&opts.daemons, &sweep, &config).map_err(|e| e.to_string())?;
+    let mut sink: Box<dyn Write> = match &opts.rows {
+        Some(path) => Box::new(fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?),
+        None => Box::new(std::io::stdout()),
+    };
+    for row in &output.rows {
+        writeln!(sink, "{row}").map_err(|e| e.to_string())?;
+    }
+    sink.flush().map_err(|e| e.to_string())?;
+    for report in &output.shards {
+        eprintln!(
+            "shard {}..{}: {} (attempt(s): {})",
+            report.range.start, report.range.end, report.daemon, report.attempts
+        );
+    }
+    for (daemon, reason) in &output.dead {
+        eprintln!("daemon {daemon} retired: {reason}");
+    }
+    for (index, error) in &output.scenario_errors {
+        eprintln!("scenario {index} FAILED: {error}");
+    }
+    if let Some(path) = &opts.rows {
+        eprintln!("wrote {path} ({} rows)", output.rows.len());
+    }
+    if output.failed > 0 {
+        return Err(format!("{} scenario(s) failed", output.failed));
+    }
+    eprintln!("fansweep done: {} scenario(s) ok", output.ok);
+    Ok(())
+}
+
 fn cmd_list(opts: &Options) -> Result<(), String> {
     let mut client = connect(opts)?;
     for name in client.list().map_err(|e| e.to_string())? {
@@ -302,6 +383,7 @@ fn main() -> ExitCode {
     let result = parse_options(rest).and_then(|opts| match command {
         "serve" => cmd_serve(&opts),
         "submit" => cmd_submit(&opts),
+        "fansweep" => cmd_fansweep(&opts),
         "list" => cmd_list(&opts),
         "jobs" => cmd_jobs(&opts),
         "stats" => cmd_stats(&opts),

@@ -1,18 +1,91 @@
 //! A blocking, dependency-free client for the daemon — the library the
 //! CLI client commands, the examples and the test suites are built on.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use drcell_scenario::{ScenarioSpec, SweepSpec};
 
 use crate::protocol::{Frame, JobState, JobsSnapshot, Request, RunTarget, ServerStats};
 use crate::ServeError;
 
+/// The client's transport deadlines. Every limit is optional; `None`
+/// means unbounded (the raw blocking-socket behaviour).
+///
+/// The defaults are chosen for talking to a *remote* daemon: connects
+/// fail after 10 s instead of hanging on an unreachable address, writes
+/// fail after 30 s on a stalled peer, and **reads stay unbounded** —
+/// a job stream legitimately goes quiet for as long as one testing cycle
+/// (or a whole policy-training phase) takes to compute, so a default read
+/// deadline would kill healthy long jobs. Set [`ClientConfig::read`] only
+/// when an upper bound on inter-frame gaps is actually known (idle
+/// control connections, coordinators with their own liveness policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Deadline for establishing the TCP connection (default 10 s).
+    pub connect: Option<Duration>,
+    /// Deadline for each socket read (default `None`: job streams block
+    /// until the next frame, however long the server computes).
+    pub read: Option<Duration>,
+    /// Deadline for each socket write (default 30 s).
+    pub write: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect: Some(Duration::from_secs(10)),
+            read: None,
+            write: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// No deadlines at all — every call blocks indefinitely.
+    pub fn unbounded() -> Self {
+        ClientConfig {
+            connect: None,
+            read: None,
+            write: None,
+        }
+    }
+}
+
+/// Maps a transport failure to [`ServeError`], surfacing expired
+/// deadlines as the distinct [`ServeError::Timeout`].
+fn transport_error(during: &str, e: std::io::Error) -> ServeError {
+    if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+        ServeError::Timeout(during.to_owned())
+    } else {
+        ServeError::Io(e)
+    }
+}
+
 /// A blocking client over one daemon connection. Requests are sequential:
 /// a submitted job streams to completion (or cancellation) before the
 /// connection can issue the next request — run concurrent jobs over
 /// separate clients.
+///
+/// # Deadlines
+///
+/// [`Client::connect`] applies [`ClientConfig::default`] (bounded connect
+/// and write, unbounded read); [`Client::connect_with`] takes explicit
+/// deadlines. An expired deadline surfaces as [`ServeError::Timeout`],
+/// and — like any transport failure — **poisons** the client: the
+/// connection's framing can no longer be trusted (a reply may be half
+/// read or half written), so every later request fails loudly instead of
+/// desyncing.
+///
+/// # Abandoned job streams
+///
+/// Dropping a [`JobStream`] before its final frame used to leave the
+/// job's remaining `row`/`done` frames in the socket, where the next
+/// request would silently consume them as its reply. Now the stream's
+/// `Drop` poisons the client and shuts the connection down, which also
+/// makes the daemon cancel the abandoned job at its next row. Drain
+/// streams (e.g. [`JobStream::collect`]) to keep a connection reusable.
 ///
 /// ```
 /// use drcell_serve::{Client, Server};
@@ -41,38 +114,125 @@ use crate::ServeError;
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// `Some(reason)` once the connection's framing can no longer be
+    /// trusted; every later request fails with the reason.
+    poisoned: Option<String>,
 }
 
 impl Client {
-    /// Connects to a running daemon.
+    /// Connects to a running daemon with the default deadlines
+    /// ([`ClientConfig::default`]: 10 s connect, 30 s write, unbounded
+    /// read).
     ///
     /// # Errors
     ///
-    /// Propagates socket failures.
-    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+    /// Propagates socket failures; an expired connect deadline is
+    /// [`ServeError::Timeout`].
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ServeError> {
+        Client::connect_with(addr, &ClientConfig::default())
+    }
+
+    /// Connects with explicit deadlines. With a connect deadline set,
+    /// every resolved address is tried in turn before giving up (the
+    /// deadline applies per attempt).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures; expired deadlines are
+    /// [`ServeError::Timeout`].
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        config: &ClientConfig,
+    ) -> Result<Client, ServeError> {
+        let stream = match config.connect {
+            None => TcpStream::connect(addr).map_err(|e| transport_error("connect", e))?,
+            Some(deadline) => {
+                let mut last: Option<std::io::Error> = None;
+                let mut stream = None;
+                for resolved in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, deadline) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                match stream {
+                    Some(s) => s,
+                    None => {
+                        let e = last.unwrap_or_else(|| {
+                            std::io::Error::new(
+                                ErrorKind::InvalidInput,
+                                "address resolved to no socket address",
+                            )
+                        });
+                        return Err(transport_error("connect", e));
+                    }
+                }
+            }
+        };
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(config.read)?;
+        stream.set_write_timeout(config.write)?;
         let writer = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
+            poisoned: None,
         })
     }
 
+    /// Fails if the client is poisoned (an abandoned job stream or a
+    /// transport failure left the connection's framing unknown).
+    fn ensure_usable(&self) -> Result<(), ServeError> {
+        match &self.poisoned {
+            Some(reason) => Err(ServeError::Protocol(format!("client poisoned: {reason}"))),
+            None => Ok(()),
+        }
+    }
+
+    /// Marks the connection unusable and tears it down, so the daemon
+    /// sees the disconnect (and cancels any job this connection was
+    /// streaming) instead of blocking on a peer that will never read.
+    fn poison(&mut self, reason: &str) {
+        if self.poisoned.is_none() {
+            self.poisoned = Some(reason.to_owned());
+        }
+        let _ = self.writer.shutdown(Shutdown::Both);
+    }
+
     fn send(&mut self, request: &Request) -> Result<(), ServeError> {
-        self.writer.write_all(request.to_line().as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        Ok(())
+        self.ensure_usable()?;
+        let mut line = request.to_line();
+        line.push('\n');
+        // A failed or timed-out write may have sent a prefix of the
+        // request; the connection's framing is gone either way.
+        self.writer.write_all(line.as_bytes()).map_err(|e| {
+            let e = transport_error("write request", e);
+            self.poison(&e.to_string());
+            e
+        })
     }
 
     fn read_frame(&mut self) -> Result<Frame, ServeError> {
+        self.ensure_usable()?;
         let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
-            return Err(ServeError::Protocol(
-                "server closed the connection".to_owned(),
-            ));
+        match self.reader.read_line(&mut line) {
+            // A timed-out or failed read may have consumed part of a
+            // frame into the buffer; only a loud failure is safe now.
+            Err(e) => {
+                let e = transport_error("read frame", e);
+                self.poison(&e.to_string());
+                Err(e)
+            }
+            Ok(0) => {
+                let e = ServeError::Protocol("server closed the connection".to_owned());
+                self.poison(&e.to_string());
+                Err(e)
+            }
+            Ok(_) => Frame::parse(line.trim_end_matches('\n')),
         }
-        Frame::parse(line.trim_end_matches('\n'))
     }
 
     /// Reads the single reply frame of a non-streaming request.
@@ -191,6 +351,30 @@ impl Client {
     pub fn sweep(&mut self, spec: &SweepSpec) -> Result<JobStream<'_>, ServeError> {
         self.submit(Request::Sweep {
             spec: Box::new(spec.clone()),
+            range: None,
+        })
+    }
+
+    /// Submits the `start..end` slice of a sweep's scenario matrix as one
+    /// streaming job — the shard primitive of federated sweeps. The
+    /// server expands the full matrix, runs only the slice, and streams
+    /// every row and `scenario` frame under its **global** matrix index,
+    /// so per-shard outputs concatenate back into the single-host JSONL
+    /// byte for byte.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport, protocol and server errors (an out-of-range
+    /// or empty slice is a server error).
+    pub fn sweep_range(
+        &mut self,
+        spec: &SweepSpec,
+        start: usize,
+        end: usize,
+    ) -> Result<JobStream<'_>, ServeError> {
+        self.submit(Request::Sweep {
+            spec: Box::new(spec.clone()),
+            range: Some((start, end)),
         })
     }
 
@@ -208,9 +392,15 @@ impl Client {
     }
 }
 
-/// The frame stream of one submitted job. Drop-safe only after the final
-/// frame; use [`JobStream::collect`] unless you need frame-by-frame
-/// control.
+/// The frame stream of one submitted job. Use [`JobStream::collect`]
+/// unless you need frame-by-frame control.
+///
+/// Dropping the stream before its final frame (`done`/`cancelled`)
+/// **poisons the client**: the job's remaining frames are still in the
+/// socket, so the connection cannot serve another request without
+/// desyncing. The drop also shuts the connection down, which the daemon
+/// treats as a client death — the abandoned job is cancelled at its next
+/// row. To keep the connection, drain the stream instead of dropping it.
 #[derive(Debug)]
 pub struct JobStream<'a> {
     client: &'a mut Client,
@@ -249,7 +439,17 @@ impl JobStream<'_> {
         if self.finished {
             return Ok(None);
         }
-        let frame = self.client.read_frame()?;
+        let frame = match self.client.read_frame() {
+            Ok(frame) => frame,
+            Err(e) => {
+                // The transport failed (the client is already poisoned);
+                // the stream can never produce its final frame, so mark it
+                // finished to keep `Drop` from re-poisoning with a less
+                // precise reason.
+                self.finished = true;
+                return Err(e);
+            }
+        };
         if frame.ends_stream() {
             self.finished = true;
         }
@@ -293,5 +493,21 @@ impl JobStream<'_> {
             }
         }
         Ok(output)
+    }
+}
+
+impl Drop for JobStream<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            // The job's remaining frames are still in flight; the next
+            // request on this connection would read them as its reply.
+            // Fail loudly from here on, and close the socket so the
+            // daemon cancels the abandoned job instead of streaming into
+            // a buffer nobody drains.
+            self.client.poison(&format!(
+                "job {} stream dropped before its final frame; the connection is desynced",
+                self.job
+            ));
+        }
     }
 }

@@ -1,0 +1,357 @@
+//! Federated sweeps: shard one [`SweepSpec`] matrix across a fleet of
+//! daemons and merge the row streams back into the canonical single-host
+//! order.
+//!
+//! The coordinator is a pure client — daemons don't know about each other
+//! and need no new protocol. It leans on two existing guarantees:
+//!
+//! * **Global indices.** A `sweep` request with a `start`/`end` slice
+//!   streams every row, `scenario` frame and cache key under its index in
+//!   the *full* matrix, so per-shard outputs concatenated in shard order
+//!   are byte-identical to one daemon (or `SweepEngine`) running the
+//!   whole matrix.
+//! * **Deterministic seeding.** Each scenario's stream is seeded from the
+//!   spec alone, so it does not matter *which* daemon runs a shard — or
+//!   how often a shard is retried after a daemon dies.
+//!
+//! Scheduling is work stealing over a shared shard queue: one thread per
+//! daemon claims shards until none remain. When a daemon fails mid-shard
+//! (its hardened [`Client`] poisons itself on any transport fault, so the
+//! failure is loud), the whole shard goes back on the queue for a
+//! survivor and the dead daemon is retired — a shard is therefore
+//! attempted at most once per daemon, and a sweep survives any failure
+//! short of losing the entire fleet.
+//!
+//! ```no_run
+//! use drcell_scenario::registry;
+//! use drcell_serve::coordinator::fansweep;
+//!
+//! let sweep = registry::default_sweep();
+//! let fleet = ["10.0.0.1:7070", "10.0.0.2:7070"];
+//! let output = fansweep(&fleet, &sweep).unwrap();
+//! // `output.rows` == the single-host `drcell-scenario sweep --jsonl` file.
+//! ```
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::{Condvar, Mutex};
+
+use drcell_scenario::{shard_ranges, SweepSpec};
+
+use crate::client::{Client, ClientConfig, JobOutput};
+use crate::ServeError;
+
+/// Tuning for [`fansweep_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FleetConfig {
+    /// Shard count; `None` (the default) means one shard per daemon.
+    /// More shards than daemons gives finer-grained work stealing (a
+    /// fast daemon picks up slack from a slow one) at the cost of more
+    /// jobs; the count is capped at the matrix size either way.
+    pub shards: Option<usize>,
+    /// Transport deadlines for every daemon connection. Defaults to
+    /// [`ClientConfig::default`] — bounded connect and write, unbounded
+    /// read. Set [`ClientConfig::read`] to also treat a *silent* (but
+    /// connected) daemon as dead after a known upper bound on its
+    /// inter-frame gaps.
+    pub client: ClientConfig,
+}
+
+/// How one shard of the matrix was served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardReport {
+    /// The contiguous matrix slice this shard covered.
+    pub range: Range<usize>,
+    /// Address of the daemon that *finished* the shard.
+    pub daemon: String,
+    /// Claims it took (1 = no retries; each retry means a daemon died
+    /// mid-shard and a survivor re-ran it).
+    pub attempts: usize,
+}
+
+/// The merged result of a federated sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOutput {
+    /// Result rows in full-matrix order — byte-identical to the
+    /// single-host `--jsonl` file for the same spec.
+    pub rows: Vec<String>,
+    /// `(global matrix index, error)` of every failed scenario.
+    pub scenario_errors: Vec<(usize, String)>,
+    /// Scenarios that succeeded, fleet-wide.
+    pub ok: usize,
+    /// Scenarios that failed, fleet-wide.
+    pub failed: usize,
+    /// Per-shard provenance, in shard (= matrix) order.
+    pub shards: Vec<ShardReport>,
+    /// `(address, reason)` of every daemon retired mid-sweep. Non-empty
+    /// `dead` with an `Ok` result means the sweep survived failures.
+    pub dead: Vec<(String, String)>,
+}
+
+/// Book-keeping shared by the per-daemon worker threads. The invariant
+/// `queue.len() + running + finished == shard count` holds whenever the
+/// lock is released, so `finished == shard count` is the one termination
+/// condition a waiter needs.
+struct FleetState {
+    /// Shard indices nobody has claimed (or that a dead daemon returned).
+    queue: VecDeque<usize>,
+    /// Shards currently being streamed by some daemon.
+    running: usize,
+    /// Shards merged into `results`.
+    finished: usize,
+    /// Per-shard output and the daemon that produced it.
+    results: Vec<Option<(JobOutput, String)>>,
+    /// Per-shard claim counts.
+    attempts: Vec<usize>,
+    /// Daemons retired by a failure, with the reason.
+    dead: Vec<(String, String)>,
+}
+
+/// Runs `spec` across `daemons` with the default [`FleetConfig`].
+///
+/// # Errors
+///
+/// [`ServeError::Fleet`] when the daemon list is empty or every daemon
+/// died before the last shard finished; individual daemon failures are
+/// *not* errors while at least one survivor remains (they are reported in
+/// [`FleetOutput::dead`]).
+pub fn fansweep<A: AsRef<str> + Sync>(
+    daemons: &[A],
+    spec: &SweepSpec,
+) -> Result<FleetOutput, ServeError> {
+    fansweep_with(daemons, spec, &FleetConfig::default())
+}
+
+/// [`fansweep`] with explicit shard count and transport deadlines.
+///
+/// # Errors
+///
+/// As [`fansweep`].
+pub fn fansweep_with<A: AsRef<str> + Sync>(
+    daemons: &[A],
+    spec: &SweepSpec,
+    config: &FleetConfig,
+) -> Result<FleetOutput, ServeError> {
+    if daemons.is_empty() {
+        return Err(ServeError::Fleet(
+            "a federated sweep needs at least one daemon address".to_owned(),
+        ));
+    }
+    let total = spec.matrix_len();
+    let ranges = shard_ranges(total, config.shards.unwrap_or(daemons.len()).max(1));
+    let state = Mutex::new(FleetState {
+        queue: (0..ranges.len()).collect(),
+        running: 0,
+        finished: 0,
+        results: vec![None; ranges.len()],
+        attempts: vec![0; ranges.len()],
+        dead: Vec::new(),
+    });
+    let available = Condvar::new();
+
+    std::thread::scope(|scope| {
+        for daemon in daemons {
+            let (state, available, ranges) = (&state, &available, &ranges);
+            scope.spawn(move || {
+                serve_shards(
+                    daemon.as_ref(),
+                    spec,
+                    &config.client,
+                    state,
+                    available,
+                    ranges,
+                );
+            });
+        }
+    });
+
+    let state = state
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    merge(state, &ranges)
+}
+
+/// One daemon's worker loop: claim shards off the queue until the sweep
+/// is finished, or retire the daemon on its first failure (returning the
+/// in-flight shard to the queue for a survivor).
+fn serve_shards(
+    daemon: &str,
+    spec: &SweepSpec,
+    config: &ClientConfig,
+    state: &Mutex<FleetState>,
+    available: &Condvar,
+    ranges: &[Range<usize>],
+) {
+    let retire = |reason: String| {
+        let mut st = state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.dead.push((daemon.to_owned(), reason));
+        available.notify_all();
+    };
+    let mut client = match Client::connect_with(daemon, config) {
+        Ok(client) => client,
+        Err(e) => return retire(format!("connect failed: {e}")),
+    };
+    loop {
+        // Claim a shard. Waiting while others run matters: if a running
+        // daemon dies, its shard lands back on the queue and a waiter
+        // must be around to steal it.
+        let shard = {
+            let mut st = state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                if st.finished == ranges.len() {
+                    return;
+                }
+                if let Some(shard) = st.queue.pop_front() {
+                    st.running += 1;
+                    st.attempts[shard] += 1;
+                    break shard;
+                }
+                st = available
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        let range = &ranges[shard];
+        match run_shard(&mut client, spec, range) {
+            Ok(output) => {
+                let mut st = state
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                st.results[shard] = Some((output, daemon.to_owned()));
+                st.finished += 1;
+                st.running -= 1;
+                available.notify_all();
+            }
+            Err(e) => {
+                // The client is poisoned (or the job came back
+                // cancelled): this daemon is done. Hand the whole shard
+                // to a survivor — re-running it is free of double-count
+                // risk because results merge by shard, not by append.
+                let mut st = state
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                st.queue.push_back(shard);
+                st.running -= 1;
+                drop(st);
+                available.notify_all();
+                return retire(format!("shard {}..{} failed: {e}", range.start, range.end));
+            }
+        }
+    }
+}
+
+/// Streams one shard to completion on `client`.
+fn run_shard(
+    client: &mut Client,
+    spec: &SweepSpec,
+    range: &Range<usize>,
+) -> Result<JobOutput, ServeError> {
+    let output = client
+        .sweep_range(spec, range.start, range.end)?
+        .collect()?;
+    if output.cancelled {
+        // Someone cancelled the job server-side; the shard is incomplete
+        // and this connection's job slot may be contended — treat it like
+        // a daemon failure so a survivor re-runs the slice.
+        return Err(ServeError::Fleet(format!(
+            "shard {}..{} was cancelled on the daemon",
+            range.start, range.end
+        )));
+    }
+    Ok(output)
+}
+
+/// Stitches per-shard outputs back into full-matrix order, or reports
+/// the unfinished shards when the fleet died first.
+fn merge(state: FleetState, ranges: &[Range<usize>]) -> Result<FleetOutput, ServeError> {
+    let FleetState {
+        results,
+        attempts,
+        dead,
+        finished,
+        ..
+    } = state;
+    if finished != ranges.len() {
+        let unfinished: Vec<String> = results
+            .iter()
+            .zip(ranges)
+            .filter(|(r, _)| r.is_none())
+            .map(|(_, range)| format!("{}..{}", range.start, range.end))
+            .collect();
+        let reasons: Vec<String> = dead
+            .iter()
+            .map(|(daemon, reason)| format!("{daemon}: {reason}"))
+            .collect();
+        return Err(ServeError::Fleet(format!(
+            "every daemon died with shard(s) [{}] unfinished — {}",
+            unfinished.join(", "),
+            reasons.join("; ")
+        )));
+    }
+    let mut output = FleetOutput {
+        rows: Vec::new(),
+        scenario_errors: Vec::new(),
+        ok: 0,
+        failed: 0,
+        shards: Vec::with_capacity(ranges.len()),
+        dead,
+    };
+    // Shards are contiguous slices in matrix order, and every row and
+    // scenario frame inside one carries its global index, so plain
+    // concatenation in shard order *is* the single-host output.
+    for (shard, (result, range)) in results.into_iter().zip(ranges).enumerate() {
+        let (job, daemon) = result.expect("finished == len ensures every shard has a result");
+        output.rows.extend(job.rows);
+        output.scenario_errors.extend(job.scenario_errors);
+        output.ok += job.ok;
+        output.failed += job.failed;
+        output.shards.push(ShardReport {
+            range: range.clone(),
+            daemon,
+            attempts: attempts[shard],
+        });
+    }
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn an_empty_fleet_is_refused() {
+        let sweep = drcell_scenario::registry::default_sweep();
+        let daemons: [&str; 0] = [];
+        match fansweep(&daemons, &sweep) {
+            Err(ServeError::Fleet(msg)) => assert!(msg.contains("at least one daemon")),
+            other => panic!("expected a fleet error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn an_unreachable_fleet_reports_every_daemon_and_shard() {
+        let sweep = drcell_scenario::registry::default_sweep();
+        // TEST-NET-1 addresses with a tight connect deadline: both
+        // daemons retire at connect, so every shard stays unfinished.
+        let daemons = ["192.0.2.1:1", "192.0.2.2:1"];
+        let config = FleetConfig {
+            shards: None,
+            client: ClientConfig {
+                connect: Some(std::time::Duration::from_millis(200)),
+                ..ClientConfig::default()
+            },
+        };
+        match fansweep_with(&daemons, &sweep, &config) {
+            Err(ServeError::Fleet(msg)) => {
+                assert!(msg.contains("unfinished"), "{msg}");
+                assert!(msg.contains("192.0.2.1:1"), "{msg}");
+                assert!(msg.contains("192.0.2.2:1"), "{msg}");
+            }
+            other => panic!("expected a fleet error, got {other:?}"),
+        }
+    }
+}

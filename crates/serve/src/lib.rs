@@ -39,9 +39,13 @@
 //!   structured `busy` frame ([`ServeError::Busy`]), bounded by
 //!   [`ServeConfig::max_queue`] and [`ServeConfig::max_client_jobs`].
 //!
-//! What it deliberately defers: multi-host sharding (a separate ROADMAP
-//! item — the deterministic per-scenario seeding already makes cross-host
-//! result merging safe by construction).
+//! Multi-host sharding lives on top of this contract: the
+//! [`coordinator`] module fans one sweep out across a fleet of daemons
+//! as server-side sweep slices and merges the streams back into
+//! single-host row order, byte for byte — the deterministic per-scenario
+//! seeding is what makes shards merge-safe (and retry-safe) by
+//! construction. See [`coordinator::fansweep`] and the `fansweep` CLI
+//! subcommand.
 //!
 //! ## Protocol in one screen
 //!
@@ -70,13 +74,15 @@
 #![deny(missing_docs)]
 
 pub mod client;
+pub mod coordinator;
 pub mod job;
 pub mod protocol;
 mod server;
 
 use std::fmt;
 
-pub use client::{Client, JobOutput, JobStream};
+pub use client::{Client, ClientConfig, JobOutput, JobStream};
+pub use coordinator::{fansweep, fansweep_with, FleetConfig, FleetOutput, ShardReport};
 pub use protocol::{Frame, JobInfo, JobState, JobsSnapshot, Request, RunTarget, ServerStats};
 pub use server::{ServeConfig, Server};
 
@@ -85,8 +91,19 @@ pub use server::{ServeConfig, Server};
 pub enum ServeError {
     /// Transport failure (socket read/write).
     Io(std::io::Error),
+    /// A configured deadline expired (connect, read or write) — the
+    /// counterpart is unreachable or stalled. Distinct from [`Io`] so a
+    /// coordinator can treat a silent daemon as dead without string
+    /// matching.
+    ///
+    /// [`Io`]: ServeError::Io
+    Timeout(String),
     /// A malformed or out-of-order frame on either side.
     Protocol(String),
+    /// A federated sweep ran out of daemons before every shard finished
+    /// ([`coordinator::fansweep`]). The message lists the unfinished
+    /// shards and why each daemon was retired.
+    Fleet(String),
     /// The server reported a request-level error.
     Server(String),
     /// The server refused the submit at admission (back off and retry).
@@ -110,7 +127,9 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::Io(e) => write!(f, "serve i/o error: {e}"),
+            ServeError::Timeout(what) => write!(f, "serve timeout: {what}"),
             ServeError::Protocol(msg) => write!(f, "serve protocol error: {msg}"),
+            ServeError::Fleet(msg) => write!(f, "fleet error: {msg}"),
             ServeError::Server(msg) => write!(f, "server error: {msg}"),
             ServeError::Busy {
                 reason,

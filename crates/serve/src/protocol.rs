@@ -42,9 +42,17 @@ pub enum Request {
     Run(RunTarget),
     /// `{"cmd":"sweep","spec":{…}}` — submit a [`SweepSpec`]; the server
     /// expands it and streams every scenario's rows in matrix order.
+    /// With `"start"` and `"end"` (both or neither), only the
+    /// `start..end` slice of the matrix runs — the **shard** primitive of
+    /// federated sweeps — and rows/`scenario` frames carry the *global*
+    /// matrix index, so per-shard streams concatenate back into the
+    /// single-host JSONL byte for byte.
     Sweep {
         /// The sweep to expand and run.
         spec: Box<SweepSpec>,
+        /// `Some((start, end))` to run only that slice of the expanded
+        /// matrix; `None` runs all of it.
+        range: Option<(usize, usize)>,
     },
     /// `{"cmd":"list"}` — names of the built-in scenario registry.
     List,
@@ -97,15 +105,34 @@ impl Request {
                     )),
                 }
             }
-            "sweep" => match v.get("spec") {
-                Some(sv) => Ok(Request::Sweep {
-                    spec: Box::new(
+            "sweep" => {
+                let spec = match v.get("spec") {
+                    Some(sv) => Box::new(
                         SweepSpec::from_value(sv)
                             .map_err(|e| ServeError::Protocol(format!("bad sweep spec: {e}")))?,
                     ),
-                }),
-                None => Err(ServeError::Protocol("sweep needs a `spec`".to_owned())),
-            },
+                    None => return Err(ServeError::Protocol("sweep needs a `spec`".to_owned())),
+                };
+                // A half-specified slice must fail loudly: silently
+                // defaulting the missing bound would run the wrong
+                // scenarios and still merge cleanly downstream.
+                let bound = |field: &str| match v.get(field) {
+                    None => Ok(None),
+                    Some(bv) => bv.as_u64().map(|n| Some(n as usize)).ok_or_else(|| {
+                        ServeError::Protocol(format!("sweep `{field}` must be a number"))
+                    }),
+                };
+                let range = match (bound("start")?, bound("end")?) {
+                    (None, None) => None,
+                    (Some(start), Some(end)) => Some((start, end)),
+                    _ => {
+                        return Err(ServeError::Protocol(
+                            "sweep slice needs both `start` and `end`".to_owned(),
+                        ))
+                    }
+                };
+                Ok(Request::Sweep { spec, range })
+            }
             "list" => Ok(Request::List),
             "jobs" => Ok(Request::Jobs),
             "stats" => Ok(Request::Stats),
@@ -131,10 +158,17 @@ impl Request {
                 ("cmd".to_owned(), Value::Str("run".to_owned())),
                 ("spec".to_owned(), spec.to_value()),
             ],
-            Request::Sweep { spec } => vec![
-                ("cmd".to_owned(), Value::Str("sweep".to_owned())),
-                ("spec".to_owned(), spec.to_value()),
-            ],
+            Request::Sweep { spec, range } => {
+                let mut entries = vec![
+                    ("cmd".to_owned(), Value::Str("sweep".to_owned())),
+                    ("spec".to_owned(), spec.to_value()),
+                ];
+                if let Some((start, end)) = range {
+                    entries.push(("start".to_owned(), Value::UInt(*start as u64)));
+                    entries.push(("end".to_owned(), Value::UInt(*end as u64)));
+                }
+                entries
+            }
             Request::List => vec![("cmd".to_owned(), Value::Str("list".to_owned()))],
             Request::Jobs => vec![("cmd".to_owned(), Value::Str("jobs".to_owned()))],
             Request::Stats => vec![("cmd".to_owned(), Value::Str("stats".to_owned()))],
@@ -628,6 +662,11 @@ mod tests {
             ))),
             Request::Sweep {
                 spec: Box::new(registry::default_sweep()),
+                range: None,
+            },
+            Request::Sweep {
+                spec: Box::new(registry::default_sweep()),
+                range: Some((2, 6)),
             },
             Request::List,
             Request::Jobs,
@@ -657,6 +696,30 @@ mod tests {
             "{\"cmd\":\"run\",\"spec\":{\"name\":\"broken\"}}",
         ] {
             assert!(Request::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn half_specified_or_mistyped_sweep_slices_are_rejected() {
+        // A shard request that lost one bound (version skew, hand-rolled
+        // client) must fail loudly — defaulting it would run the wrong
+        // scenarios and still merge cleanly downstream.
+        let spec_value = registry::default_sweep().to_value();
+        for extra in [
+            vec![("start".to_owned(), Value::UInt(1))],
+            vec![("end".to_owned(), Value::UInt(4))],
+            vec![
+                ("start".to_owned(), Value::Str("a".to_owned())),
+                ("end".to_owned(), Value::UInt(4)),
+            ],
+        ] {
+            let mut entries = vec![
+                ("cmd".to_owned(), Value::Str("sweep".to_owned())),
+                ("spec".to_owned(), spec_value.clone()),
+            ];
+            entries.extend(extra);
+            let line = to_json(&Value::Map(entries));
+            assert!(Request::parse(&line).is_err(), "accepted: {line}");
         }
     }
 

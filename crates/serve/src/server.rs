@@ -92,6 +92,11 @@ const MAX_REQUEST_BYTES: usize = 4 << 20;
 struct QueuedJob {
     job: Arc<Job>,
     specs: Vec<ScenarioSpec>,
+    /// Global matrix index of `specs[0]` — non-zero when the job is a
+    /// sweep *slice* (a shard of a federated sweep). Rows, `scenario`
+    /// frames and cache keys all use `offset + i`, so a shard's stream is
+    /// byte-identical to the same indices of the single-host run.
+    offset: usize,
     tx: SyncSender<String>,
 }
 
@@ -355,7 +360,12 @@ fn worker_loop(shared: &Shared) {
 /// finished scenarios are inserted; failures and cancellations never
 /// poison the cache.
 fn execute_job(queued: QueuedJob, shared: &Shared) {
-    let QueuedJob { job, specs, tx } = queued;
+    let QueuedJob {
+        job,
+        specs,
+        offset,
+        tx,
+    } = queued;
     if job.is_cancelled() {
         job.set_state(JobState::Cancelled);
         let _ = tx.send(frames::cancelled(job.id));
@@ -364,6 +374,8 @@ fn execute_job(queued: QueuedJob, shared: &Shared) {
     job.set_state(JobState::Running);
     let (mut ok, mut failed) = (0usize, 0usize);
     for (index, spec) in specs.iter().enumerate() {
+        // Sliced sweeps report and cache under global matrix indices.
+        let index = offset + index;
         if job.is_cancelled() {
             job.set_state(JobState::Cancelled);
             let _ = tx.send(frames::cancelled(job.id));
@@ -512,16 +524,27 @@ fn write_line(writer: &mut TcpStream, line: &str) -> std::io::Result<()> {
 /// One client connection: a sequential request/response loop. Job streams
 /// are exclusive — while a job streams, the connection serves that job
 /// only (submit concurrent jobs over separate connections).
+/// The admission identity of a connection: the peer IP (per-client caps
+/// bound what one *machine* can hold in flight, not what one connection
+/// can). When the peer address is unknowable, every such connection used
+/// to share the single literal `"unknown"` — one admission bucket, so
+/// unrelated clients could exhaust each other's `--max-client-jobs` cap.
+/// Now each falls back to a process-unique key: no cross-client
+/// interference, at the cost of the per-machine bound not aggregating
+/// those (rare) connections.
+fn admission_key(peer: std::io::Result<SocketAddr>) -> String {
+    static ANON_CONN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    match peer {
+        Ok(addr) => addr.ip().to_string(),
+        Err(_) => format!("conn#{}", ANON_CONN.fetch_add(1, Ordering::Relaxed)),
+    }
+}
+
 fn handle_connection(stream: TcpStream, shared: &Shared, server_addr: SocketAddr) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_POLL));
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
-    // Admission identity: the peer address (per-client caps bound what one
-    // machine can hold in flight, not what one connection can).
-    let client = stream
-        .peer_addr()
-        .map(|a| a.ip().to_string())
-        .unwrap_or_else(|_| "unknown".to_owned());
+    let client = admission_key(stream.peer_addr());
     let Ok(mut writer) = stream.try_clone() else {
         return;
     };
@@ -638,22 +661,51 @@ fn dispatch(
                 },
                 RunTarget::Spec(spec) => *spec,
             };
-            submit(vec![spec], writer, shared, client)
+            submit(vec![spec], 0, writer, shared, client)
         }
-        Request::Sweep { spec } => {
-            let specs = spec.expand();
+        Request::Sweep { spec, range } => {
+            let mut specs = spec.expand();
             if specs.is_empty() {
                 return write_line(writer, &frames::error("sweep expands to no scenarios")).is_ok();
             }
-            submit(specs, writer, shared, client)
+            let offset = match range {
+                None => 0,
+                Some((start, end)) => {
+                    // Validate against the expanded matrix so a stale
+                    // shard plan gets a loud request error, never a
+                    // silently truncated slice.
+                    if start >= end || end > specs.len() {
+                        return write_line(
+                            writer,
+                            &frames::error(&format!(
+                                "sweep slice {start}..{end} is invalid for a \
+                                 {}-scenario matrix",
+                                specs.len()
+                            )),
+                        )
+                        .is_ok();
+                    }
+                    specs.truncate(end);
+                    specs.drain(..start);
+                    start
+                }
+            };
+            submit(specs, offset, writer, shared, client)
         }
     }
 }
 
 /// Queues a job and streams its frames back until it finishes. Admission
 /// happens first — a refused submit costs one `busy` frame and creates no
-/// job at all.
-fn submit(specs: Vec<ScenarioSpec>, writer: &mut TcpStream, shared: &Shared, client: &str) -> bool {
+/// job at all. `offset` is the global matrix index of `specs[0]` (non-zero
+/// for sweep slices).
+fn submit(
+    specs: Vec<ScenarioSpec>,
+    offset: usize,
+    writer: &mut TcpStream,
+    shared: &Shared,
+    client: &str,
+) -> bool {
     let scenarios = specs.len();
     let (tx, rx) = mpsc::sync_channel::<String>(FRAME_BUFFER);
     // Admission first, under the controller's own lock (it accounts queue
@@ -699,6 +751,7 @@ fn submit(specs: Vec<ScenarioSpec>, writer: &mut TcpStream, shared: &Shared, cli
         queue.push_back(QueuedJob {
             job: Arc::clone(&job),
             specs,
+            offset,
             tx,
         });
     }
@@ -718,4 +771,28 @@ fn submit(specs: Vec<ScenarioSpec>, writer: &mut TcpStream, shared: &Shared, cli
         }
     }
     client_alive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_keys_are_unique_when_the_peer_is_unknown() {
+        let addr: SocketAddr = "198.51.100.7:4991".parse().unwrap();
+        assert_eq!(admission_key(Ok(addr)), "198.51.100.7");
+
+        let anon = || {
+            admission_key(Err(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "no peer",
+            )))
+        };
+        let (a, b) = (anon(), anon());
+        assert!(a.starts_with("conn#"), "unexpected fallback key {a:?}");
+        // The old fallback was the shared literal "unknown": every
+        // peerless connection landed in one admission bucket and could
+        // exhaust the per-client job cap for all the others.
+        assert_ne!(a, b, "fallback admission keys must be per-connection");
+    }
 }

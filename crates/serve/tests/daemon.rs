@@ -3,11 +3,13 @@
 //! server on an ephemeral port.
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
-use drcell_scenario::{DatasetSpec, PolicySpec, QualitySpec, RunnerSpec, ScenarioSpec};
-use drcell_serve::{Client, Frame, JobState, Server};
+use drcell_scenario::{
+    shard_ranges, DatasetSpec, PolicySpec, QualitySpec, RunnerSpec, ScenarioSpec, SweepSpec,
+};
+use drcell_serve::{Client, ClientConfig, Frame, JobState, ServeError, Server};
 
 /// A cheap, fully deterministic scenario; `cycles` scales its runtime.
 fn tiny_spec(name: &str, cycles: usize) -> ScenarioSpec {
@@ -195,6 +197,7 @@ fn mid_stream_cancel_stops_the_job_at_a_cycle_boundary() {
         }
     }
     assert!(saw_cancelled);
+    drop(stream); // fully drained: dropping does not poison the client
     let jobs = canceller.jobs().unwrap().jobs;
     assert_eq!(jobs[0].state, JobState::Cancelled);
     // The worker is free again: a fresh job completes normally.
@@ -247,6 +250,119 @@ fn client_disconnect_cancels_its_job_without_poisoning_the_table() {
 }
 
 #[test]
+fn abandoned_job_stream_poisons_the_client_loudly() {
+    let (addr, handle) = start_server(1);
+    let mut client = Client::connect(addr).unwrap();
+    {
+        let mut stream = client
+            .run_spec(&tiny_spec("protocol-abandon", 2000))
+            .unwrap();
+        assert!(matches!(stream.next_frame().unwrap(), Some(Frame::Row(_))));
+        // Drop mid-stream: the job's remaining frames are still in the
+        // socket buffer.
+    }
+    // Before the fix the next request silently consumed leftover row
+    // frames as its reply (a desynced connection); now it fails loudly,
+    // and keeps failing — the poison is sticky.
+    let err = client.list().unwrap_err();
+    assert!(err.to_string().contains("poisoned"), "{err}");
+    let err = client.jobs().unwrap_err();
+    assert!(err.to_string().contains("poisoned"), "{err}");
+    // The poison also tore the socket down, so the daemon cancels the
+    // abandoned job instead of streaming into a buffer nobody drains.
+    let mut observer = Client::connect(addr).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let jobs = observer.jobs().unwrap().jobs;
+        if jobs.first().map(|j| j.state) == Some(JobState::Cancelled) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "abandoned job never cancelled: {jobs:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    drop(observer);
+    drop(client);
+    shut_down(addr, handle);
+}
+
+#[test]
+fn a_silent_server_times_out_instead_of_hanging_forever() {
+    // A listener that accepts connections and never replies — the shape
+    // of a hung or wedged daemon. Before `ClientConfig` deadlines, a
+    // client on such a connection blocked forever inside `read_frame`.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let mut held = Vec::new();
+        for stream in listener.incoming() {
+            match stream {
+                Ok(s) => held.push(s),
+                Err(_) => break,
+            }
+        }
+    });
+    let config = ClientConfig {
+        read: Some(Duration::from_millis(300)),
+        ..ClientConfig::default()
+    };
+    let mut client = Client::connect_with(addr, &config).unwrap();
+    let start = Instant::now();
+    let err = client.list().unwrap_err();
+    assert!(
+        matches!(err, ServeError::Timeout(_)),
+        "expected the distinct timeout variant, got {err:?}"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "read deadline took {:?} to fire",
+        start.elapsed()
+    );
+    // The expired deadline poisoned the connection (a reply might have
+    // been half read); later requests fail loudly.
+    let err = client.list().unwrap_err();
+    assert!(err.to_string().contains("poisoned"), "{err}");
+}
+
+#[test]
+fn sweep_slices_stream_global_indices_and_reassemble_the_matrix() {
+    let mut sweep = SweepSpec::single(tiny_spec("protocol-slices", 26));
+    sweep.seeds = vec![1, 2, 3, 4, 5];
+    let (addr, handle) = start_server(1);
+    let mut client = Client::connect(addr).unwrap();
+    let full = client.sweep(&sweep).unwrap().collect().unwrap();
+    assert_eq!(full.ok, 5);
+    // Slice the matrix into shards and stitch the streams back together:
+    // rows must carry *global* indices, so plain concatenation equals the
+    // unsliced sweep byte for byte. (This also pins the cache keys to
+    // global indices — the full sweep above warmed the cache.)
+    let mut stitched = Vec::new();
+    for range in shard_ranges(sweep.matrix_len(), 2) {
+        let out = client
+            .sweep_range(&sweep, range.start, range.end)
+            .unwrap()
+            .collect()
+            .unwrap();
+        stitched.extend(out.rows);
+    }
+    assert_eq!(
+        stitched, full.rows,
+        "sliced sweeps must reassemble the full matrix byte for byte"
+    );
+    // Out-of-range and empty slices are request errors, not hangs.
+    let err = client.sweep_range(&sweep, 3, 99).unwrap_err();
+    assert!(err.to_string().contains("invalid"), "{err}");
+    let err = client.sweep_range(&sweep, 2, 2).unwrap_err();
+    assert!(err.to_string().contains("invalid"), "{err}");
+    // The connection survives both rejections.
+    assert!(!client.list().unwrap().is_empty());
+    drop(client);
+    shut_down(addr, handle);
+}
+
+#[test]
 fn shutdown_cancels_queued_jobs_but_finishes_running_ones() {
     // One worker, two jobs: the second queues behind the first. Shutdown
     // while the first streams; the first must finish, the second must come
@@ -282,6 +398,7 @@ fn shutdown_cancels_queued_jobs_but_finishes_running_ones() {
         second.join().unwrap(),
         "queued job must come back cancelled"
     );
+    drop(stream);
     drop(first);
     handle.join().expect("server thread");
 }

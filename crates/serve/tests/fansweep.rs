@@ -1,0 +1,273 @@
+//! Federated sweep coordinator against live fleets: byte-identity with
+//! the single-host engine, work stealing when a daemon goes silent, and
+//! survival of a daemon *process* killed mid-shard.
+
+use std::io::{BufRead, BufReader};
+use std::net::{SocketAddr, TcpListener};
+use std::process::{Child, ChildStderr, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use drcell_scenario::{
+    sink, DatasetSpec, PolicySpec, QualitySpec, RunnerSpec, ScenarioSpec, SweepEngine, SweepSpec,
+};
+use drcell_serve::{fansweep, fansweep_with, Client, ClientConfig, FleetConfig, JobState, Server};
+
+/// A cheap, fully deterministic scenario; `cycles` scales its runtime.
+fn base_spec(name: &str, cycles: usize) -> ScenarioSpec {
+    ScenarioSpec {
+        name: name.to_owned(),
+        seed: 11,
+        dataset: DatasetSpec::Synthetic {
+            grid_rows: 3,
+            grid_cols: 3,
+            cell_w: 40.0,
+            cell_h: 40.0,
+            cycles,
+            mean: 10.0,
+            std: 2.0,
+            field: drcell_datasets::FieldConfig {
+                cycles_per_day: 16,
+                ..drcell_datasets::FieldConfig::default()
+            },
+        },
+        perturbations: drcell_datasets::PerturbationStack::none(),
+        policy: PolicySpec::Random,
+        quality: QualitySpec {
+            epsilon: 0.5,
+            p: 0.9,
+        },
+        runner: RunnerSpec {
+            window: 8,
+            ..RunnerSpec::default()
+        },
+        train_cycles: 16,
+    }
+}
+
+/// A seed-axis sweep over the base scenario: `seeds.len()` grid points.
+fn fleet_sweep(cycles: usize, seeds: Vec<u64>) -> SweepSpec {
+    let mut sweep = SweepSpec::single(base_spec("fansweep", cycles));
+    sweep.seeds = seeds;
+    sweep
+}
+
+/// The single-host reference: `SweepEngine` JSONL rows in matrix order.
+fn engine_rows(sweep: &SweepSpec) -> Vec<String> {
+    let specs = sweep.expand();
+    let results = SweepEngine::new(1).run(&specs);
+    let ok: Vec<_> = results
+        .iter()
+        .map(|r| r.as_ref().expect("engine scenario runs"))
+        .collect();
+    let mut buf = Vec::new();
+    sink::write_jsonl(&mut buf, &ok).expect("in-memory write");
+    String::from_utf8(buf)
+        .expect("utf8 rows")
+        .lines()
+        .map(str::to_owned)
+        .collect()
+}
+
+#[test]
+fn federated_sweep_is_byte_identical_to_the_engine() {
+    let sweep = fleet_sweep(30, vec![1, 2, 3, 4, 5]);
+    let reference = engine_rows(&sweep);
+
+    let fleet: Vec<(SocketAddr, std::thread::JoinHandle<()>)> = (0..2)
+        .map(|_| {
+            let server = Server::bind("127.0.0.1:0", 1).expect("bind");
+            let addr = server.local_addr().expect("addr");
+            (
+                addr,
+                std::thread::spawn(move || server.run().expect("server run")),
+            )
+        })
+        .collect();
+    let addrs: Vec<String> = fleet.iter().map(|(a, _)| a.to_string()).collect();
+
+    let output = fansweep(&addrs, &sweep).expect("fansweep");
+    assert_eq!(output.ok, 5);
+    assert_eq!(output.failed, 0);
+    assert!(output.dead.is_empty(), "{:?}", output.dead);
+    assert_eq!(
+        output.rows, reference,
+        "federated rows diverged from the engine"
+    );
+    // Default sharding: one contiguous shard per daemon, covering the
+    // matrix, each served on the first attempt.
+    assert_eq!(output.shards.len(), 2);
+    assert_eq!(output.shards[0].range, 0..3);
+    assert_eq!(output.shards[1].range, 3..5);
+    assert!(output.shards.iter().all(|s| s.attempts == 1));
+
+    for (addr, handle) in fleet {
+        Client::connect(addr)
+            .expect("connect")
+            .shutdown()
+            .expect("shutdown");
+        handle.join().expect("server thread");
+    }
+}
+
+#[test]
+fn a_silent_daemon_is_retired_and_its_shard_reruns_on_a_survivor() {
+    let sweep = fleet_sweep(26, vec![1, 2]);
+    let reference = engine_rows(&sweep);
+
+    // A "daemon" that accepts connections and never replies — without a
+    // read deadline the coordinator would hang on it forever.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let silent_addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        let mut held = Vec::new();
+        for stream in listener.incoming() {
+            match stream {
+                Ok(s) => held.push(s),
+                Err(_) => break,
+            }
+        }
+    });
+
+    let server = Server::bind("127.0.0.1:0", 1).expect("bind");
+    let live_addr = server.local_addr().expect("addr");
+    let live = std::thread::spawn(move || server.run().expect("server run"));
+
+    let daemons = [silent_addr.clone(), live_addr.to_string()];
+    let config = FleetConfig {
+        shards: None,
+        client: ClientConfig {
+            read: Some(Duration::from_secs(2)),
+            ..ClientConfig::default()
+        },
+    };
+    let output =
+        fansweep_with(&daemons, &sweep, &config).expect("fansweep survives a silent daemon");
+    assert_eq!(output.rows, reference, "merged rows diverged");
+    assert_eq!(output.dead.len(), 1, "{:?}", output.dead);
+    assert_eq!(output.dead[0].0, silent_addr);
+    assert!(output.dead[0].1.contains("timeout"), "{:?}", output.dead);
+    // The silent daemon's shard was stolen and re-attempted.
+    assert!(
+        output.shards.iter().any(|s| s.attempts == 2),
+        "{:?}",
+        output.shards
+    );
+    assert!(
+        output
+            .shards
+            .iter()
+            .all(|s| s.daemon == live_addr.to_string()),
+        "{:?}",
+        output.shards
+    );
+
+    Client::connect(live_addr).unwrap().shutdown().unwrap();
+    live.join().expect("server thread");
+}
+
+/// A real daemon process on an ephemeral port, killed on drop so a
+/// failing test never leaks it.
+struct DaemonProc {
+    child: Child,
+    addr: String,
+    /// Keeps the stderr pipe open for the daemon's lifetime.
+    _stderr: BufReader<ChildStderr>,
+}
+
+impl DaemonProc {
+    fn spawn() -> DaemonProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_drcell-serve"))
+            .args(["serve", "--addr", "127.0.0.1:0", "--workers", "1"])
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn daemon process");
+        let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+        let mut banner = String::new();
+        stderr.read_line(&mut banner).expect("read banner");
+        // "drcell-serve listening on 127.0.0.1:PORT with 1 worker(s)"
+        let addr = banner
+            .split("listening on ")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"))
+            .to_owned();
+        DaemonProc {
+            child,
+            addr,
+            _stderr: stderr,
+        }
+    }
+}
+
+impl Drop for DaemonProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn a_daemon_killed_mid_shard_hands_its_shard_to_a_survivor() {
+    // Scenarios long enough (several seconds each, even in release) that
+    // the kill — fired ~100 ms after the shard starts — reliably lands
+    // mid-stream.
+    let sweep = fleet_sweep(800, vec![1, 2]);
+    let reference = engine_rows(&sweep);
+
+    let mut victim = DaemonProc::spawn();
+    let survivor = DaemonProc::spawn();
+    let daemons = [victim.addr.clone(), survivor.addr.clone()];
+
+    let coordinator = {
+        let daemons = daemons.clone();
+        let sweep = sweep.clone();
+        std::thread::spawn(move || fansweep(&daemons, &sweep))
+    };
+
+    // Wait until the victim is actually streaming a shard, then SIGKILL
+    // it — no goodbye, no graceful shutdown.
+    let mut probe = Client::connect(victim.addr.as_str()).expect("probe victim");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let jobs = probe.jobs().expect("victim job table").jobs;
+        if jobs.iter().any(|j| j.state == JobState::Running) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "victim never started a shard: {jobs:?}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    std::thread::sleep(Duration::from_millis(100)); // let some rows flow
+    victim.child.kill().expect("kill victim");
+
+    let output = coordinator
+        .join()
+        .expect("coordinator thread")
+        .expect("fansweep must survive one dead daemon");
+    assert_eq!(output.ok, 2);
+    assert_eq!(
+        output.rows, reference,
+        "merged rows diverged from the engine after the kill"
+    );
+    assert_eq!(output.dead.len(), 1, "{:?}", output.dead);
+    assert_eq!(output.dead[0].0, victim.addr);
+    assert!(
+        output.shards.iter().any(|s| s.attempts >= 2),
+        "the killed shard must have been re-attempted: {:?}",
+        output.shards
+    );
+    assert!(
+        output.shards.iter().all(|s| s.daemon == survivor.addr),
+        "{:?}",
+        output.shards
+    );
+
+    // Clean shutdown for the survivor; the Drop kill is only a backstop.
+    Client::connect(survivor.addr.as_str())
+        .expect("connect survivor")
+        .shutdown()
+        .expect("shutdown survivor");
+}

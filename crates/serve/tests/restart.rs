@@ -154,6 +154,7 @@ fn queued_jobs_cancelled_at_shutdown_stay_cancelled_after_restart() {
         queued.join().unwrap(),
         "queued job must come back cancelled"
     );
+    drop(stream);
     drop(first);
     handle.join().expect("server thread");
 
@@ -210,7 +211,11 @@ fn full_queue_refuses_submits_with_busy() {
     let jobs = refused.jobs().unwrap().jobs;
     assert_eq!(jobs.last().unwrap().job, queued_id);
 
-    drop(running); // disconnect cancels the running job, freeing the worker
+    // Abandoning the stream poisons `running` and closes its socket; the
+    // daemon cancels the running job, freeing the worker.
+    drop(stream);
+    drop(running);
+    drop(queued);
     drop(waiting);
     drop(refused);
     shut_down(addr, handle);
@@ -266,6 +271,7 @@ fn per_client_cap_refuses_then_recovers() {
         }
     };
     assert_eq!(output.ok, 1);
+    drop(stream);
     drop(holder);
     drop(second);
     shut_down(addr, handle);

@@ -64,6 +64,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             other => println!("  {other:?}"),
         }
     }
+    // The stream is fully drained, so dropping it keeps the connection
+    // reusable (an *undrained* stream would poison the client instead).
+    drop(stream);
 
     // A `sweep` job, collected wholesale: rows come back in matrix order,
     // byte-identical to `drcell-scenario sweep --jsonl` for the same spec.
