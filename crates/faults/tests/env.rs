@@ -1,0 +1,21 @@
+//! Environment-driven configuration, in its own process so the lazy env
+//! read happens before any other registry access.
+
+#[test]
+fn failpoints_configure_from_the_environment_on_first_access() {
+    std::env::set_var("DRCELL_FAULT_SEED", "99");
+    std::env::set_var(
+        "DRCELL_FAILPOINTS",
+        "env.point=1*off->1*error(from env); env.other=disconnect",
+    );
+    assert_eq!(drcell_faults::eval("env.point"), None);
+    assert_eq!(
+        drcell_faults::eval("env.point"),
+        Some(drcell_faults::Fault::Error("from env".into()))
+    );
+    assert_eq!(
+        drcell_faults::eval("env.other"),
+        Some(drcell_faults::Fault::Disconnect)
+    );
+    assert_eq!(drcell_faults::eval("env.unset"), None);
+}

@@ -4,10 +4,13 @@
 use std::fs;
 use std::io::Write;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 use drcell_scenario::cli::load_spec_value;
 use drcell_scenario::{registry, ScenarioSpec, SweepSpec};
-use drcell_serve::{fansweep_with, Client, ClientConfig, FleetConfig, ServeConfig, Server};
+use drcell_serve::{
+    fansweep_with, Client, ClientConfig, FleetConfig, JobStream, ServeConfig, ServeError, Server,
+};
 use serde::Deserialize;
 
 const USAGE: &str = "drcell-serve — scenario-serving daemon for DR-Cell
@@ -17,10 +20,11 @@ USAGE:
                         [--cache-mem MIB] [--cache-dir DIR] [--journal FILE]
                         [--max-queue N] [--max-client-jobs N]
   drcell-serve submit   --addr HOST:PORT (--name SCENARIO | --spec FILE |
-                        --sweep FILE) [--rows OUT.jsonl]
+                        --sweep FILE) [--rows OUT.jsonl] [--retry-busy N]
   drcell-serve fansweep --daemon HOST:PORT [--daemon HOST:PORT ...]
                         [--sweep FILE] [--shards N] [--read-timeout SECS]
-                        [--rows OUT.jsonl]
+                        [--rows OUT.jsonl] [--manifest DIR] [--resume]
+  drcell-serve ping     --addr HOST:PORT
   drcell-serve list     --addr HOST:PORT
   drcell-serve jobs     --addr HOST:PORT
   drcell-serve stats    --addr HOST:PORT
@@ -45,16 +49,27 @@ jobs; over-limit submits get a structured busy frame instead of queueing
 `submit` streams a job and writes its result rows (JSONL, byte-identical
 to `drcell-scenario run/sweep --jsonl` for the same spec) to --rows or
 stdout; control frames go to stderr. Exits nonzero if any scenario fails
-or the job is cancelled.
+or the job is cancelled. `--retry-busy N` retries an admission refusal
+(busy frame) up to N times with exponential backoff (200 ms doubling,
+capped at 5 s) on a fresh connection each time.
 
 `fansweep` shards a sweep's scenario matrix across every --daemon (the
 default sweep when --sweep is omitted, matching `drcell-scenario sweep`)
 and merges the streams back into single-host row order — the output is
 byte-identical to `submit --sweep` against one daemon. A daemon that
-dies mid-shard hands its shard to a survivor; the run only fails once
-*every* daemon is gone. --shards defaults to the daemon count (more =
-finer work stealing); --read-timeout bounds the silence between frames
-before a daemon is declared dead (default: unbounded).";
+fails mid-shard is retired and its shard re-dispatched with capped
+exponential backoff (200 ms doubling, capped at 5 s, deterministic
+jitter); retired daemons are health-probed (connect + ping, 500 ms
+cooldown doubling up to 3 probes) and re-admitted if they come back.
+The run only fails once every daemon is gone for good or a shard
+exhausts its attempt budget. --shards defaults to the daemon count
+(more = finer work stealing); --read-timeout bounds the silence between
+frames before a daemon is declared dead (default: unbounded).
+--manifest DIR checkpoints every finished shard durably; --resume
+restarts a killed fansweep from that manifest, re-running only the
+unfinished shards — the merged output is byte-identical either way.
+
+`ping` does one health round trip and prints the server clock and RTT.";
 
 #[derive(Debug, Default)]
 struct Options {
@@ -73,6 +88,9 @@ struct Options {
     daemons: Vec<String>,
     shards: Option<usize>,
     read_timeout: Option<u64>,
+    manifest: Option<String>,
+    resume: bool,
+    retry_busy: usize,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -124,6 +142,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.read_timeout =
                     Some(v.parse().map_err(|_| format!("bad --read-timeout `{v}`"))?);
             }
+            "--manifest" => opts.manifest = Some(take()?),
+            "--resume" => opts.resume = true,
+            "--retry-busy" => {
+                let v = take()?;
+                opts.retry_busy = v.parse().map_err(|_| format!("bad --retry-busy `{v}`"))?;
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -164,25 +188,70 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
     server.run().map_err(|e| e.to_string())
 }
 
+/// What `submit` asks the daemon to run, parsed once so busy retries
+/// don't re-read spec files.
+enum SubmitTarget {
+    Name(String),
+    Spec(Box<ScenarioSpec>),
+    Sweep(Box<SweepSpec>),
+}
+
 fn cmd_submit(opts: &Options) -> Result<(), String> {
-    let mut client = connect(opts)?;
-    let stream = match (&opts.name, &opts.spec, &opts.sweep) {
-        (Some(name), None, None) => client.run_name(name),
+    let target = match (&opts.name, &opts.spec, &opts.sweep) {
+        (Some(name), None, None) => SubmitTarget::Name(name.clone()),
         (None, Some(path), None) => {
             let value = load_spec_value(path).map_err(|e| e.to_string())?;
             let spec = ScenarioSpec::from_value(&value).map_err(|e| e.to_string())?;
-            client.run_spec(&spec)
+            SubmitTarget::Spec(Box::new(spec))
         }
         (None, None, Some(path)) => {
             let value = load_spec_value(path).map_err(|e| e.to_string())?;
             let spec = SweepSpec::from_value(&value).map_err(|e| e.to_string())?;
-            client.sweep(&spec)
+            SubmitTarget::Sweep(Box::new(spec))
         }
         _ => {
             return Err("submit needs exactly one of --name, --spec or --sweep".to_owned());
         }
+    };
+    // Admission refusals (busy frames) are retried on a *fresh*
+    // connection each time — the refused connection stays usable in
+    // principle, but reconnecting also covers daemons that restart
+    // between attempts.
+    let mut attempt = 0usize;
+    loop {
+        attempt += 1;
+        let mut client = connect(opts)?;
+        let submitted = match &target {
+            SubmitTarget::Name(name) => client.run_name(name),
+            SubmitTarget::Spec(spec) => client.run_spec(spec),
+            SubmitTarget::Sweep(spec) => client.sweep(spec),
+        };
+        match submitted {
+            Ok(stream) => return drain_job(stream, opts),
+            Err(ServeError::Busy {
+                reason,
+                depth,
+                limit,
+            }) if attempt <= opts.retry_busy => {
+                // 200 ms doubling, capped at 5 s.
+                let backoff = Duration::from_millis(200)
+                    .saturating_mul(1u32 << (attempt - 1).min(16) as u32)
+                    .min(Duration::from_secs(5));
+                eprintln!(
+                    "server busy ({reason}, {depth}/{limit}); retry {attempt}/{} in {} ms",
+                    opts.retry_busy,
+                    backoff.as_millis()
+                );
+                std::thread::sleep(backoff);
+            }
+            Err(e) => return Err(e.to_string()),
+        }
     }
-    .map_err(|e| e.to_string())?;
+}
+
+/// Streams an accepted job's frames to completion, writing rows to
+/// `--rows` or stdout.
+fn drain_job(stream: JobStream<'_>, opts: &Options) -> Result<(), String> {
     eprintln!(
         "job {} accepted ({} scenario(s))",
         stream.job, stream.scenarios
@@ -246,17 +315,24 @@ fn cmd_fansweep(opts: &Options) -> Result<(), String> {
         // can be compared byte for byte out of the box.
         None => registry::default_sweep(),
     };
+    if opts.resume && opts.manifest.is_none() {
+        return Err("--resume needs --manifest DIR".to_owned());
+    }
     let config = FleetConfig {
         shards: opts.shards,
         client: ClientConfig {
-            read: opts.read_timeout.map(std::time::Duration::from_secs),
+            read: opts.read_timeout.map(Duration::from_secs),
             ..ClientConfig::default()
         },
+        manifest: opts.manifest.as_ref().map(Into::into),
+        resume: opts.resume,
+        ..FleetConfig::default()
     };
     eprintln!(
-        "fansweep: {} scenario(s) over {} daemon(s)",
+        "fansweep: {} scenario(s) over {} daemon(s){}",
         sweep.matrix_len(),
-        opts.daemons.len()
+        opts.daemons.len(),
+        if opts.resume { " (resuming)" } else { "" }
     );
     let output = fansweep_with(&opts.daemons, &sweep, &config).map_err(|e| e.to_string())?;
     let mut sink: Box<dyn Write> = match &opts.rows {
@@ -269,12 +345,19 @@ fn cmd_fansweep(opts: &Options) -> Result<(), String> {
     sink.flush().map_err(|e| e.to_string())?;
     for report in &output.shards {
         eprintln!(
-            "shard {}..{}: {} (attempt(s): {})",
-            report.range.start, report.range.end, report.daemon, report.attempts
+            "shard {}..{}: {} (attempt(s): {}){}",
+            report.range.start,
+            report.range.end,
+            report.daemon,
+            report.attempts,
+            if report.resumed { " [resumed]" } else { "" }
         );
     }
     for (daemon, reason) in &output.dead {
         eprintln!("daemon {daemon} retired: {reason}");
+    }
+    for (daemon, reason) in &output.readmitted {
+        eprintln!("daemon {daemon} re-admitted after: {reason}");
     }
     for (index, error) in &output.scenario_errors {
         eprintln!("scenario {index} FAILED: {error}");
@@ -286,6 +369,17 @@ fn cmd_fansweep(opts: &Options) -> Result<(), String> {
         return Err(format!("{} scenario(s) failed", output.failed));
     }
     eprintln!("fansweep done: {} scenario(s) ok", output.ok);
+    Ok(())
+}
+
+fn cmd_ping(opts: &Options) -> Result<(), String> {
+    let mut client = connect(opts)?;
+    let sent = Instant::now();
+    let now_ms = client.ping().map_err(|e| e.to_string())?;
+    println!(
+        "pong: server clock {now_ms} ms, rtt {:.1} ms",
+        sent.elapsed().as_secs_f64() * 1000.0
+    );
     Ok(())
 }
 
@@ -384,6 +478,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&opts),
         "submit" => cmd_submit(&opts),
         "fansweep" => cmd_fansweep(&opts),
+        "ping" => cmd_ping(&opts),
         "list" => cmd_list(&opts),
         "jobs" => cmd_jobs(&opts),
         "stats" => cmd_stats(&opts),

@@ -144,6 +144,9 @@ impl Client {
         addr: A,
         config: &ClientConfig,
     ) -> Result<Client, ServeError> {
+        if let Some(fault) = crate::fault_io("client.connect") {
+            return Err(transport_error("connect", fault));
+        }
         let stream = match config.connect {
             None => TcpStream::connect(addr).map_err(|e| transport_error("connect", e))?,
             Some(deadline) => {
@@ -204,6 +207,11 @@ impl Client {
 
     fn send(&mut self, request: &Request) -> Result<(), ServeError> {
         self.ensure_usable()?;
+        if let Some(fault) = crate::fault_io("client.write") {
+            let e = transport_error("write request", fault);
+            self.poison(&e.to_string());
+            return Err(e);
+        }
         let mut line = request.to_line();
         line.push('\n');
         // A failed or timed-out write may have sent a prefix of the
@@ -217,6 +225,11 @@ impl Client {
 
     fn read_frame(&mut self) -> Result<Frame, ServeError> {
         self.ensure_usable()?;
+        if let Some(fault) = crate::fault_io("client.read_frame") {
+            let e = transport_error("read frame", fault);
+            self.poison(&e.to_string());
+            return Err(e);
+        }
         let mut line = String::new();
         match self.reader.read_line(&mut line) {
             // A timed-out or failed read may have consumed part of a
@@ -305,6 +318,24 @@ impl Client {
         match self.read_reply()? {
             Frame::CancelAck { state, .. } => Ok(state),
             other => Err(ServeError::unexpected("cancel", &other)),
+        }
+    }
+
+    /// Liveness probe: sends `ping`, returns the server's wall clock
+    /// (epoch ms) from the `pong`. Answered by the daemon's connection
+    /// thread without touching the job queue, so it proves transport
+    /// health (the property shard dispatch needs) even on a saturated
+    /// daemon — the coordinator probes retired daemons with exactly this
+    /// before re-admitting them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport, protocol and server errors.
+    pub fn ping(&mut self) -> Result<u64, ServeError> {
+        self.send(&Request::Ping)?;
+        match self.read_reply()? {
+            Frame::Pong { now_ms } => Ok(now_ms),
+            other => Err(ServeError::unexpected("pong", &other)),
         }
     }
 

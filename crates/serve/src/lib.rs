@@ -47,6 +47,16 @@
 //! construction. See [`coordinator::fansweep`] and the `fansweep` CLI
 //! subcommand.
 //!
+//! The coordinator is built to survive everything short of total fleet
+//! loss: failed shards are retried with capped exponential backoff and
+//! deterministic jitter, retired daemons are health-probed (`ping`) and
+//! re-admitted after a cooldown, and with a [`manifest::SweepManifest`]
+//! ([`coordinator::FleetConfig::manifest`]) every finished shard is
+//! checkpointed durably — a coordinator killed mid-sweep resumes with
+//! only the unfinished shards and still merges byte-identically. With
+//! the `failpoints` feature all of these paths are exercisable under
+//! seeded fault schedules via `drcell-faults`.
+//!
 //! ## Protocol in one screen
 //!
 //! ```text
@@ -76,15 +86,32 @@
 pub mod client;
 pub mod coordinator;
 pub mod job;
+pub mod manifest;
 pub mod protocol;
 mod server;
 
 use std::fmt;
 
 pub use client::{Client, ClientConfig, JobOutput, JobStream};
-pub use coordinator::{fansweep, fansweep_with, FleetConfig, FleetOutput, ShardReport};
+pub use coordinator::{
+    fansweep, fansweep_with, FleetConfig, FleetOutput, ProbeConfig, RetryConfig, ShardReport,
+};
+pub use manifest::SweepManifest;
 pub use protocol::{Frame, JobInfo, JobState, JobsSnapshot, Request, RunTarget, ServerStats};
 pub use server::{ServeConfig, Server};
+
+/// Evaluate a named failpoint, mapping any fault onto `std::io::Error`.
+/// Compiles to a constant `None` without the `failpoints` feature.
+#[cfg(feature = "failpoints")]
+pub(crate) fn fault_io(name: &str) -> Option<std::io::Error> {
+    drcell_faults::eval(name).map(drcell_faults::Fault::into_io)
+}
+
+/// Failpoints disabled: no registry, no branch.
+#[cfg(not(feature = "failpoints"))]
+pub(crate) fn fault_io(_name: &str) -> Option<std::io::Error> {
+    None
+}
 
 /// Anything that can go wrong on the serving path.
 #[derive(Debug)]

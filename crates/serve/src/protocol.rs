@@ -72,6 +72,13 @@ pub enum Request {
     /// `{"cmd":"shutdown"}` — stop accepting connections, cancel queued
     /// jobs, let running jobs finish, then exit.
     Shutdown,
+    /// `{"cmd":"ping"}` — liveness probe. Answered with a `pong` frame
+    /// straight from the connection thread: it touches no queue, no
+    /// worker and no admission slot, so it stays honest about *transport*
+    /// health even when the daemon is saturated with jobs. The
+    /// coordinator uses it to decide whether a retired daemon has come
+    /// back.
+    Ping,
 }
 
 impl Request {
@@ -143,6 +150,7 @@ impl Request {
                 Ok(Request::Cancel { job })
             }
             "shutdown" => Ok(Request::Shutdown),
+            "ping" => Ok(Request::Ping),
             other => Err(ServeError::Protocol(format!("unknown cmd `{other}`"))),
         }
     }
@@ -177,6 +185,7 @@ impl Request {
                 ("job".to_owned(), Value::UInt(*job)),
             ],
             Request::Shutdown => vec![("cmd".to_owned(), Value::Str("shutdown".to_owned()))],
+            Request::Ping => vec![("cmd".to_owned(), Value::Str("ping".to_owned()))],
         };
         to_json(&Value::Map(entries))
     }
@@ -357,6 +366,12 @@ pub enum Frame {
     },
     /// Reply to `shutdown`.
     ShutdownAck,
+    /// Reply to `ping`: the daemon's transport is alive.
+    Pong {
+        /// The server's wall clock (epoch ms) when the pong was sent —
+        /// lets a prober detect gross clock skew for free.
+        now_ms: u64,
+    },
 }
 
 impl Frame {
@@ -488,6 +503,9 @@ impl Frame {
                     })?,
             }),
             "shutdown" => Ok(Frame::ShutdownAck),
+            "pong" => Ok(Frame::Pong {
+                now_ms: count("now_ms")?,
+            }),
             other => Err(ServeError::Protocol(format!("unknown event `{other}`"))),
         }
     }
@@ -646,6 +664,11 @@ pub mod frames {
     pub fn shutdown_ack() -> String {
         event("shutdown", Vec::new())
     }
+
+    /// `pong` liveness frame.
+    pub fn pong(now_ms: u64) -> String {
+        event("pong", vec![("now_ms".to_owned(), Value::UInt(now_ms))])
+    }
 }
 
 #[cfg(test)]
@@ -673,6 +696,7 @@ mod tests {
             Request::Stats,
             Request::Cancel { job: 42 },
             Request::Shutdown,
+            Request::Ping,
         ];
         for req in reqs {
             let line = req.to_line();
@@ -854,6 +878,7 @@ mod tests {
                 },
             ),
             (frames::shutdown_ack(), Frame::ShutdownAck),
+            (frames::pong(1234), Frame::Pong { now_ms: 1234 }),
         ];
         for (line, expected) in cases {
             assert!(line.starts_with("{\"event\":"), "control frame: {line}");

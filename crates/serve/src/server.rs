@@ -268,6 +268,12 @@ impl Server {
                         if shared.shutting_down() {
                             break;
                         }
+                        if crate::fault_io("serve.accept").is_some() {
+                            // Injected accept failure: the connection is
+                            // dropped on the floor, as if the handshake
+                            // died — the daemon itself must keep serving.
+                            continue;
+                        }
                         let shared = &shared;
                         scope.spawn(move || handle_connection(stream, shared, addr));
                     }
@@ -477,6 +483,11 @@ enum LineRead {
 /// the complete line, where a bad sequence is a malformed *frame* (one
 /// error response), not a dead connection.
 fn read_line(reader: &mut BufReader<TcpStream>, line: &mut Vec<u8>, shared: &Shared) -> LineRead {
+    if crate::fault_io("serve.read_frame").is_some() {
+        // Injected read failure: indistinguishable from the peer dying,
+        // which is exactly how real read errors are handled below.
+        return LineRead::Closed;
+    }
     loop {
         if line.len() > MAX_REQUEST_BYTES {
             return LineRead::Overflow;
@@ -517,6 +528,11 @@ fn read_line(reader: &mut BufReader<TcpStream>, line: &mut Vec<u8>, shared: &Sha
 }
 
 fn write_line(writer: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    if let Some(e) = crate::fault_io("serve.write_frame") {
+        // Injected write failure — the same shape as a write deadline
+        // expiring mid-frame; callers treat it as a dead client.
+        return Err(e);
+    }
     writer.write_all(line.as_bytes())?;
     writer.write_all(b"\n")
 }
@@ -630,6 +646,12 @@ fn dispatch(
             }
             None => write_line(writer, &frames::error(&format!("no job {job}"))).is_ok(),
         },
+        Request::Ping => {
+            // Answered inline: no queue, no admission, no worker — a pong
+            // certifies transport health only, which is the exact property
+            // a coordinator needs before re-admitting a retired daemon.
+            write_line(writer, &frames::pong(drcell_store::now_ms())).is_ok()
+        }
         Request::Shutdown => {
             let _ = write_line(writer, &frames::shutdown_ack());
             shared.shutdown.store(true, Ordering::Release);

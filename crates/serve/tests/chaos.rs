@@ -1,0 +1,335 @@
+//! Chaos suite: federated sweeps under seeded fault schedules.
+//!
+//! Every test drives a live in-process fleet through `drcell-faults`
+//! failpoints — injected disconnects, frame errors, spill failures,
+//! dispatch faults — and asserts the one invariant that matters: the
+//! merged JSONL stays **byte-identical** to the fault-free single-host
+//! engine run. Faults may retire daemons, force retries and trigger
+//! re-admissions, but they must never corrupt output.
+//!
+//! Only compiled with `--features failpoints`; the registry is
+//! process-global, so every test serialises on one mutex.
+
+#![cfg(feature = "failpoints")]
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+use drcell_scenario::{
+    sink, DatasetSpec, PolicySpec, QualitySpec, RunnerSpec, ScenarioSpec, SweepEngine, SweepSpec,
+};
+use drcell_serve::{
+    fansweep_with, Client, ClientConfig, FleetConfig, ProbeConfig, RetryConfig, ServeConfig, Server,
+};
+
+/// The faults registry is process-global: serialise every test.
+fn lock() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+/// A cheap, fully deterministic scenario; `cycles` scales its runtime.
+fn base_spec(name: &str, cycles: usize) -> ScenarioSpec {
+    ScenarioSpec {
+        name: name.to_owned(),
+        seed: 11,
+        dataset: DatasetSpec::Synthetic {
+            grid_rows: 3,
+            grid_cols: 3,
+            cell_w: 40.0,
+            cell_h: 40.0,
+            cycles,
+            mean: 10.0,
+            std: 2.0,
+            field: drcell_datasets::FieldConfig {
+                cycles_per_day: 16,
+                ..drcell_datasets::FieldConfig::default()
+            },
+        },
+        perturbations: drcell_datasets::PerturbationStack::none(),
+        policy: PolicySpec::Random,
+        quality: QualitySpec {
+            epsilon: 0.5,
+            p: 0.9,
+        },
+        runner: RunnerSpec {
+            window: 8,
+            ..RunnerSpec::default()
+        },
+        train_cycles: 16,
+    }
+}
+
+fn chaos_sweep() -> SweepSpec {
+    let mut sweep = SweepSpec::single(base_spec("chaos", 24));
+    sweep.seeds = vec![1, 2, 3, 4];
+    sweep
+}
+
+/// The single-host, fault-free reference rows.
+fn engine_rows(sweep: &SweepSpec) -> Vec<String> {
+    let specs = sweep.expand();
+    let results = SweepEngine::new(1).run(&specs);
+    let ok: Vec<_> = results
+        .iter()
+        .map(|r| r.as_ref().expect("engine scenario runs"))
+        .collect();
+    let mut buf = Vec::new();
+    sink::write_jsonl(&mut buf, &ok).expect("in-memory write");
+    String::from_utf8(buf)
+        .expect("utf8 rows")
+        .lines()
+        .map(str::to_owned)
+        .collect()
+}
+
+struct Fleet {
+    addrs: Vec<String>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Starts `n` single-worker daemons. The first gets a disk spill dir so
+/// `store.cache.spill` / `store.cache.load` faults have a live code path
+/// to land on.
+fn start_fleet(n: usize, tag: &str) -> Fleet {
+    let mut addrs = Vec::new();
+    let mut handles = Vec::new();
+    for i in 0..n {
+        let config = ServeConfig {
+            workers: 1,
+            cache_dir: (i == 0).then(|| {
+                std::env::temp_dir().join(format!("drcell-chaos-{tag}-{}", std::process::id()))
+            }),
+            ..ServeConfig::default()
+        };
+        let server = Server::bind_with("127.0.0.1:0", config).expect("bind");
+        addrs.push(server.local_addr().expect("addr").to_string());
+        handles.push(std::thread::spawn(move || {
+            server.run().expect("server run");
+        }));
+    }
+    Fleet { addrs, handles }
+}
+
+impl Fleet {
+    /// Graceful shutdown — call only after `drcell_faults::clear()`, or
+    /// the shutdown handshake itself gets faulted.
+    fn shut_down(self) {
+        for addr in &self.addrs {
+            Client::connect(addr.as_str())
+                .expect("connect for shutdown")
+                .shutdown()
+                .expect("shutdown ack");
+        }
+        for handle in self.handles {
+            handle.join().expect("server thread");
+        }
+    }
+}
+
+/// Fast retry/probe settings so injected failures resolve in test time,
+/// with a read deadline so a server whose frame writes are faulted (it
+/// silently gives up on the client) doesn't hang the coordinator.
+fn chaos_config() -> FleetConfig {
+    FleetConfig {
+        shards: Some(4),
+        client: ClientConfig {
+            read: Some(Duration::from_secs(5)),
+            ..ClientConfig::default()
+        },
+        retry: RetryConfig {
+            base: Duration::from_millis(20),
+            cap: Duration::from_millis(200),
+            ..RetryConfig::default()
+        },
+        probe: ProbeConfig {
+            cooldown: Duration::from_millis(50),
+            max_probes: 8,
+        },
+        ..FleetConfig::default()
+    }
+}
+
+/// Runs one seeded fault schedule over a live 2-daemon fleet and asserts
+/// the merged rows are byte-identical to the fault-free engine run.
+fn run_schedule(tag: &str, seed: u64, schedule: &[(&str, &str)]) {
+    let sweep = chaos_sweep();
+    let reference = engine_rows(&sweep);
+    let fleet = start_fleet(2, tag);
+
+    drcell_faults::clear();
+    drcell_faults::set_seed(seed);
+    for (name, spec) in schedule {
+        drcell_faults::configure(name, spec).expect("valid schedule");
+    }
+    let result = fansweep_with(&fleet.addrs, &sweep, &chaos_config());
+    drcell_faults::clear();
+
+    let output = result.unwrap_or_else(|e| panic!("schedule {tag} must be survivable: {e}"));
+    assert_eq!(output.ok, 4, "schedule {tag}");
+    assert_eq!(
+        output.rows, reference,
+        "schedule {tag}: rows diverged from the fault-free engine run"
+    );
+    // The schedule must actually have bitten: every one here guarantees
+    // at least one failed dispatch, hence a retirement or a retry.
+    assert!(
+        !output.dead.is_empty()
+            || !output.readmitted.is_empty()
+            || output.shards.iter().any(|s| s.attempts > 1),
+        "schedule {tag} injected nothing: {:?} {:?} {:?}",
+        output.dead,
+        output.readmitted,
+        output.shards
+    );
+    fleet.shut_down();
+}
+
+#[test]
+fn chaos_schedule_client_disconnect_and_spill_faults() {
+    let _gate = lock();
+    // Third client write (a shard dispatch) disconnects; one in four
+    // server-side cache spills fails. Neither may change one output byte.
+    run_schedule(
+        "disconnect-spill",
+        0xC0FFEE,
+        &[
+            ("client.write", "2*off->1*disconnect"),
+            ("store.cache.spill", "25%error(injected spill failure)"),
+        ],
+    );
+}
+
+#[test]
+fn chaos_schedule_server_frame_errors() {
+    let _gate = lock();
+    // The server's 9th and 10th frame writes fail — landing inside some
+    // shard's row stream, which cancels the job server-side and forces
+    // the coordinator to retry the shard elsewhere.
+    run_schedule(
+        "frame-loss",
+        0xBADF00D,
+        &[("serve.write_frame", "8*off->2*error(injected frame loss)")],
+    );
+}
+
+#[test]
+fn chaos_schedule_read_faults_dropped_accept_and_slow_dispatch() {
+    let _gate = lock();
+    // A client read fault mid-stream, the second TCP accept dropped on
+    // the floor, and a dispatch that is first delayed then errors.
+    run_schedule(
+        "read-accept-dispatch",
+        0x5EED,
+        &[
+            ("client.read_frame", "12*off->1*error(injected read fault)"),
+            ("serve.accept", "1*off->1*disconnect"),
+            (
+                "coordinator.dispatch",
+                "1*delay(30)->1*error(injected dispatch fault)",
+            ),
+        ],
+    );
+}
+
+#[test]
+fn a_retired_daemon_is_probed_and_readmitted() {
+    let _gate = lock();
+    let sweep = chaos_sweep();
+    let reference = engine_rows(&sweep);
+    let fleet = start_fleet(1, "readmit");
+
+    // The single daemon's first connect is refused, retiring it with the
+    // sweep entirely unserved. The probe (connect + ping) succeeds — the
+    // failpoint entry is spent — so the daemon must be re-admitted and
+    // then serve every shard.
+    drcell_faults::clear();
+    drcell_faults::set_seed(7);
+    drcell_faults::configure("client.connect", "1*error(injected connect refusal)")
+        .expect("valid spec");
+    let result = fansweep_with(&fleet.addrs, &sweep, &chaos_config());
+    drcell_faults::clear();
+
+    let output = result.expect("the fleet recovers via re-admission");
+    assert_eq!(output.rows, reference, "rows diverged after re-admission");
+    assert!(
+        output.dead.is_empty(),
+        "a re-admitted daemon must leave the dead list: {:?}",
+        output.dead
+    );
+    assert_eq!(output.readmitted.len(), 1, "{:?}", output.readmitted);
+    assert_eq!(output.readmitted[0].0, fleet.addrs[0]);
+    assert!(
+        output.readmitted[0].1.contains("injected connect refusal"),
+        "{:?}",
+        output.readmitted
+    );
+    fleet.shut_down();
+}
+
+#[test]
+fn an_admission_slot_is_released_when_a_client_hits_a_write_deadline_mid_submit() {
+    let _gate = lock();
+    // One worker, one in-flight job per client: if the slot leaked, the
+    // recovery submit below could never be admitted.
+    let config = ServeConfig {
+        workers: 1,
+        max_client_jobs: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind_with("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+
+    // The accepted frame goes through; the first row write then fails as
+    // an injected deadline. The server must treat the client as gone:
+    // cancel the job, drain it, and release the admission slot.
+    drcell_faults::clear();
+    drcell_faults::configure(
+        "serve.write_frame",
+        "1*off->1*error(injected write deadline)",
+    )
+    .expect("valid spec");
+    let spec = base_spec("slot-release", 24);
+    {
+        let mut client = Client::connect(addr.as_str()).expect("connect");
+        let stream = client.run_spec(&spec).expect("accepted before the fault");
+        // The stream must fail or come back cancelled — never complete.
+        if let Ok(output) = stream.collect() {
+            assert!(output.cancelled, "job must not survive the dead client");
+        }
+    }
+    drcell_faults::clear();
+
+    // Same client identity (same IP): admission must free the slot once
+    // the cancelled job drains. Retry briefly — cancellation lands at the
+    // next cycle boundary, not instantly.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let output = loop {
+        let mut client = Client::connect(addr.as_str()).expect("reconnect");
+        let attempt = match client.run_spec(&spec) {
+            Ok(stream) => Some(stream.collect().expect("clean run after release")),
+            Err(e) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "admission slot never released: {e}"
+                );
+                None
+            }
+        };
+        if let Some(output) = attempt {
+            break output;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(output.ok, 1, "recovery job must finish cleanly");
+    assert!(!output.cancelled);
+
+    Client::connect(addr.as_str())
+        .expect("connect for shutdown")
+        .shutdown()
+        .expect("shutdown ack");
+    handle.join().expect("server thread");
+}

@@ -105,6 +105,21 @@ fn malformed_frames_get_error_responses_and_keep_the_connection() {
 }
 
 #[test]
+fn ping_answers_inline_with_the_server_clock() {
+    let (addr, handle) = start_server(1);
+    let mut client = Client::connect(addr).unwrap();
+    let first = client.ping().expect("ping");
+    assert!(first > 0, "server clock must be a real timestamp");
+    // The server clock never goes backwards across round trips, and the
+    // connection keeps serving ordinary requests afterwards.
+    let second = client.ping().expect("second ping");
+    assert!(second >= first, "{second} < {first}");
+    assert!(!client.list().unwrap().is_empty());
+    drop(client);
+    shut_down(addr, handle);
+}
+
+#[test]
 fn unknown_registry_name_and_unknown_job_are_request_errors() {
     let (addr, handle) = start_server(1);
     let mut client = Client::connect(addr).unwrap();

@@ -10,7 +10,9 @@ use std::time::{Duration, Instant};
 use drcell_scenario::{
     sink, DatasetSpec, PolicySpec, QualitySpec, RunnerSpec, ScenarioSpec, SweepEngine, SweepSpec,
 };
-use drcell_serve::{fansweep, fansweep_with, Client, ClientConfig, FleetConfig, JobState, Server};
+use drcell_serve::{
+    fansweep, fansweep_with, Client, ClientConfig, FleetConfig, JobState, ProbeConfig, Server,
+};
 
 /// A cheap, fully deterministic scenario; `cycles` scales its runtime.
 fn base_spec(name: &str, cycles: usize) -> ScenarioSpec {
@@ -133,12 +135,20 @@ fn a_silent_daemon_is_retired_and_its_shard_reruns_on_a_survivor() {
     let live = std::thread::spawn(move || server.run().expect("server run"));
 
     let daemons = [silent_addr.clone(), live_addr.to_string()];
+    // Probing disabled: a silent listener would eat `max_probes` ping
+    // timeouts (2 s each) before permanent retirement — re-admission has
+    // its own coverage in the chaos suite.
     let config = FleetConfig {
         shards: None,
         client: ClientConfig {
             read: Some(Duration::from_secs(2)),
             ..ClientConfig::default()
         },
+        probe: ProbeConfig {
+            max_probes: 0,
+            ..ProbeConfig::default()
+        },
+        ..FleetConfig::default()
     };
     let output =
         fansweep_with(&daemons, &sweep, &config).expect("fansweep survives a silent daemon");
@@ -270,4 +280,146 @@ fn a_daemon_killed_mid_shard_hands_its_shard_to_a_survivor() {
         .expect("connect survivor")
         .shutdown()
         .expect("shutdown survivor");
+}
+
+/// A fresh per-test temp dir, removed at scope end by the caller.
+fn manifest_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("drcell-fansweep-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn a_completed_manifest_resumes_byte_identically_with_no_fleet_at_all() {
+    let sweep = fleet_sweep(30, vec![1, 2, 3]);
+    let reference = engine_rows(&sweep);
+    let dir = manifest_dir("complete");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // First run: a live daemon, checkpointing every shard.
+    let server = Server::bind("127.0.0.1:0", 1).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    let config = FleetConfig {
+        shards: Some(3),
+        manifest: Some(dir.clone()),
+        ..FleetConfig::default()
+    };
+    let first =
+        fansweep_with(std::slice::from_ref(&addr), &sweep, &config).expect("checkpointed fansweep");
+    assert_eq!(first.rows, reference);
+    assert!(first.shards.iter().all(|s| !s.resumed));
+    Client::connect(addr.as_str()).unwrap().shutdown().unwrap();
+    handle.join().expect("server thread");
+
+    // Resume against an unreachable fleet: every shard replays from the
+    // manifest, so no connection is ever needed (probing disabled and a
+    // tight connect deadline would expose one immediately).
+    let resume = FleetConfig {
+        client: ClientConfig {
+            connect: Some(Duration::from_millis(200)),
+            ..ClientConfig::default()
+        },
+        probe: ProbeConfig {
+            max_probes: 0,
+            ..ProbeConfig::default()
+        },
+        manifest: Some(dir.clone()),
+        resume: true,
+        ..FleetConfig::default()
+    };
+    let output = fansweep_with(&["192.0.2.1:1"], &sweep, &resume)
+        .expect("a fully checkpointed sweep needs no daemons");
+    assert_eq!(output.rows, reference, "resumed rows diverged");
+    assert_eq!(output.shards.len(), 3);
+    assert!(
+        output.shards.iter().all(|s| s.resumed),
+        "{:?}",
+        output.shards
+    );
+    assert!(output.dead.is_empty(), "{:?}", output.dead);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_coordinator_killed_mid_fansweep_resumes_only_the_unfinished_shards() {
+    // Long enough per scenario that four shards cannot all finish in the
+    // window between the first checkpoint and the SIGKILL.
+    let sweep = fleet_sweep(400, vec![1, 2, 3, 4]);
+    let reference = engine_rows(&sweep);
+    let dir = manifest_dir("killed");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("manifest dir");
+
+    let server = Server::bind("127.0.0.1:0", 1).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+
+    // The coordinator is a real process so the kill is a real crash —
+    // no destructors, no flushes beyond what the manifest already did.
+    let sweep_path = dir.join("sweep.json");
+    std::fs::write(
+        &sweep_path,
+        drcell_scenario::json::to_json(&serde::Serialize::to_value(&sweep)),
+    )
+    .expect("write sweep spec");
+    let mut coordinator = Command::new(env!("CARGO_BIN_EXE_drcell-serve"))
+        .args([
+            "fansweep",
+            "--daemon",
+            &addr,
+            "--sweep",
+            sweep_path.to_str().unwrap(),
+            "--shards",
+            "4",
+            "--manifest",
+            dir.to_str().unwrap(),
+            "--rows",
+            dir.join("partial.jsonl").to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn coordinator");
+
+    // Kill as soon as the first shard checkpoint lands.
+    let log = dir.join("manifest.jsonl");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let recorded = std::fs::read_to_string(&log)
+            .map(|s| s.contains("\"op\":\"shard\""))
+            .unwrap_or(false);
+        if recorded {
+            break;
+        }
+        if coordinator.try_wait().expect("poll coordinator").is_some() {
+            panic!("coordinator finished before the kill window");
+        }
+        assert!(Instant::now() < deadline, "no shard checkpoint appeared");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    coordinator.kill().expect("kill coordinator");
+    coordinator.wait().expect("reap coordinator");
+
+    // Resume in-process against the same daemon.
+    let config = FleetConfig {
+        manifest: Some(dir.clone()),
+        resume: true,
+        ..FleetConfig::default()
+    };
+    let output =
+        fansweep_with(std::slice::from_ref(&addr), &sweep, &config).expect("resumed fansweep");
+    assert_eq!(output.ok, 4);
+    assert_eq!(
+        output.rows, reference,
+        "resumed rows diverged from the engine"
+    );
+    assert_eq!(output.shards.len(), 4, "{:?}", output.shards);
+    assert!(
+        output.shards.iter().any(|s| s.resumed),
+        "at least the checkpointed shard must resume: {:?}",
+        output.shards
+    );
+
+    Client::connect(addr.as_str()).unwrap().shutdown().unwrap();
+    handle.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
 }

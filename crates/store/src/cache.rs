@@ -84,12 +84,24 @@ impl ResultCache {
     /// disk-only cache; without one the cache stores nothing (but still
     /// counts lookups).
     ///
+    /// Opening also sweeps temp files (`*.tmp.*`) orphaned by a crash
+    /// between a spill's write and its rename: they are uncommitted by
+    /// definition (the rename is the commit point), so deleting them can
+    /// never lose a result — leaving them would grow the directory
+    /// forever, one dead file per crashed writer.
+    ///
     /// # Errors
     ///
     /// Propagates spill-directory creation failures.
     pub fn new(mem_budget: usize, dir: Option<PathBuf>) -> std::io::Result<ResultCache> {
         if let Some(d) = &dir {
             fs::create_dir_all(d)?;
+            for entry in fs::read_dir(d)?.flatten() {
+                let name = entry.file_name();
+                if name.to_string_lossy().contains(".tmp.") {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
         }
         Ok(ResultCache {
             inner: Mutex::new(Inner::default()),
@@ -209,6 +221,11 @@ impl ResultCache {
 
     fn load_spilled(&self, key: &str) -> Option<Vec<String>> {
         let path = self.spill_path(key)?;
+        if crate::fault_io("store.cache.load").is_some() {
+            // An unreadable spill file is a miss, never an error: the
+            // cache is an accelerator, the engine recomputes.
+            return None;
+        }
         let content = fs::read_to_string(path).ok()?;
         // Split strictly on '\n', mirroring the writer in `spill` —
         // str::lines would also strip a trailing '\r' and silently alter
@@ -238,6 +255,9 @@ impl ResultCache {
         // readers only ever see complete streams. Failures just skip the
         // spill (lookup falls back to recompute).
         let write = |tmp: &Path| -> std::io::Result<()> {
+            if let Some(e) = crate::fault_io("store.cache.spill") {
+                return Err(e);
+            }
             let mut f = fs::File::create(tmp)?;
             for row in rows {
                 f.write_all(row.as_bytes())?;
@@ -364,6 +384,27 @@ mod tests {
             *cache.lookup("cr").expect("disk hit"),
             rows,
             "strict newline framing must not strip or split on '\\r'"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn orphaned_temp_files_are_swept_on_open_and_committed_files_kept() {
+        let dir =
+            std::env::temp_dir().join(format!("drcell-store-test-orphan-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let cache = ResultCache::new(0, Some(dir.clone())).unwrap();
+            cache.insert("kept", rows("kept", 5));
+        }
+        // A crash between write and rename leaves exactly this artefact.
+        let orphan = dir.join("deadbeef.tmp.12345.0");
+        fs::write(&orphan, "{\"half\":").unwrap();
+        let cache = ResultCache::new(0, Some(dir.clone())).unwrap();
+        assert!(!orphan.exists(), "orphaned temp file must be swept on open");
+        assert_eq!(
+            *cache.lookup("kept").expect("committed file survives sweep"),
+            rows("kept", 5)
         );
         let _ = fs::remove_dir_all(&dir);
     }

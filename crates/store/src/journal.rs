@@ -18,6 +18,12 @@
 //! process died) belongs to the replayer — the serving daemon marks such
 //! jobs `cancelled` and journals that decision, so after a restart the
 //! table reports them honestly instead of silently dropping them.
+//!
+//! The line-level machinery (append-with-flush, torn-tail repair, atomic
+//! compaction) is its own type, [`LineJournal`], so other durable logs —
+//! the federated sweep manifest in `drcell-serve` — reuse the exact
+//! crash-recovery semantics without re-deriving them. [`Journal`] is the
+//! job-record typed wrapper over it.
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
@@ -111,24 +117,28 @@ pub fn now_ms() -> u64 {
         .unwrap_or(0)
 }
 
-/// An append-only journal over one log file. Shareable: appends lock
-/// internally and flush before returning.
+/// The line-level durable log: append-with-flush, torn-tail repair on
+/// open, atomic compaction. Lines are opaque here — typed journals (the
+/// job [`Journal`], the serve crate's sweep manifest) layer their record
+/// grammar on top and inherit the crash-recovery semantics.
+///
+/// Shareable: appends lock internally and flush before returning.
 #[derive(Debug)]
-pub struct Journal {
+pub struct LineJournal {
     path: PathBuf,
     writer: Mutex<BufWriter<File>>,
 }
 
-impl Journal {
-    /// Opens (creating if absent) the journal at `path` for appending.
-    /// A torn final line left by a crash mid-append is truncated away
-    /// first — [`Journal::replay`] already skips it, but appending after
-    /// it would glue the next record onto the partial line.
+impl LineJournal {
+    /// Opens (creating if absent) the log at `path` for appending. A torn
+    /// final line left by a crash mid-append is truncated away first —
+    /// replay already skips it, but appending after it would glue the
+    /// next record onto the partial line.
     ///
     /// # Errors
     ///
     /// Propagates file creation/open failures.
-    pub fn open(path: &Path) -> std::io::Result<Journal> {
+    pub fn open(path: &Path) -> std::io::Result<LineJournal> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
@@ -136,52 +146,62 @@ impl Journal {
         }
         repair_torn_tail(path)?;
         let file = OpenOptions::new().create(true).append(true).open(path)?;
-        Ok(Journal {
+        Ok(LineJournal {
             path: path.to_path_buf(),
             writer: Mutex::new(BufWriter::new(file)),
         })
     }
 
-    /// The journal file's path.
+    /// The log file's path.
     pub fn path(&self) -> &Path {
         &self.path
     }
 
-    /// Appends one record and flushes it to the OS. Append failures are
-    /// reported but the journal stays usable (the next append retries the
-    /// stream).
+    /// Appends one line (which must be newline-free) and flushes it to
+    /// the OS. Append failures are reported but the log stays usable
+    /// (the next append retries the stream).
     ///
     /// # Errors
     ///
     /// Propagates write/flush failures.
-    pub fn append(&self, record: &Record) -> std::io::Result<()> {
+    pub fn append(&self, line: &str) -> std::io::Result<()> {
+        debug_assert!(
+            !line.contains('\n'),
+            "journal lines are newline-framed and must be newline-free"
+        );
+        if let Some(e) = crate::fault_io("store.journal.append") {
+            return Err(e);
+        }
         let mut w = self.writer.lock().expect("journal lock");
-        w.write_all(record.to_line().as_bytes())?;
+        w.write_all(line.as_bytes())?;
         w.write_all(b"\n")?;
         w.flush()
     }
 
-    /// Atomically rewrites the journal to exactly `records`: write to a
-    /// temp file, fsync, rename over the live path, reopen for append.
-    /// This is the compaction primitive — a replayer that has folded the
-    /// full history into a snapshot calls this so replay cost and file
-    /// size stay proportional to the snapshot, not to every record ever
+    /// Atomically rewrites the log to exactly `lines`: write to a temp
+    /// file, fsync, rename over the live path, reopen for append. This is
+    /// the compaction primitive — a replayer that has folded the full
+    /// history into a snapshot calls this so replay cost and file size
+    /// stay proportional to the snapshot, not to every record ever
     /// written. The writer lock is held across the swap, so no append can
     /// interleave with the rewrite or land on the dead file handle.
     ///
     /// # Errors
     ///
-    /// Propagates write/rename failures; on error the original journal is
+    /// Propagates write/rename failures; on error the original log is
     /// untouched (the rename is the commit point).
-    pub fn compact(&self, records: &[Record]) -> std::io::Result<()> {
+    pub fn compact(&self, lines: &[String]) -> std::io::Result<()> {
         let mut writer = self.writer.lock().expect("journal lock");
+        if let Some(e) = crate::fault_io("store.journal.compact") {
+            return Err(e);
+        }
         let tmp = self
             .path
             .with_extension(format!("compact.{}", std::process::id()));
         let write = |tmp: &Path| -> std::io::Result<()> {
             let mut f = BufWriter::new(File::create(tmp)?);
-            for record in records {
-                f.write_all(record.to_line().as_bytes())?;
+            for line in lines {
+                f.write_all(line.as_bytes())?;
                 f.write_all(b"\n")?;
             }
             f.flush()?;
@@ -199,6 +219,80 @@ impl Journal {
         Ok(())
     }
 
+    /// Reads the log at `path` back as its non-empty lines, in append
+    /// order. A missing file replays as empty (first boot). Line *syntax*
+    /// is not interpreted here — typed replayers parse each line and
+    /// apply the torn-tail rule (an unparseable **final** line is a crash
+    /// artefact to skip; unparseable earlier lines are corruption).
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures.
+    pub fn lines(path: &Path) -> std::io::Result<Vec<String>> {
+        let content = match std::fs::read_to_string(path) {
+            Ok(c) => c,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        Ok(content
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(str::to_owned)
+            .collect())
+    }
+}
+
+/// An append-only journal of job lifecycle [`Record`]s over one log file.
+/// The typed face of [`LineJournal`]: same durability, torn-tail and
+/// compaction semantics, with the record grammar enforced on replay.
+#[derive(Debug)]
+pub struct Journal {
+    inner: LineJournal,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path` for appending.
+    /// A torn final line left by a crash mid-append is truncated away
+    /// first — [`Journal::replay`] already skips it, but appending after
+    /// it would glue the next record onto the partial line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file creation/open failures.
+    pub fn open(path: &Path) -> std::io::Result<Journal> {
+        Ok(Journal {
+            inner: LineJournal::open(path)?,
+        })
+    }
+
+    /// The journal file's path.
+    pub fn path(&self) -> &Path {
+        self.inner.path()
+    }
+
+    /// Appends one record and flushes it to the OS. Append failures are
+    /// reported but the journal stays usable (the next append retries the
+    /// stream).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/flush failures.
+    pub fn append(&self, record: &Record) -> std::io::Result<()> {
+        self.inner.append(&record.to_line())
+    }
+
+    /// Atomically rewrites the journal to exactly `records` — see
+    /// [`LineJournal::compact`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/rename failures; on error the original journal is
+    /// untouched (the rename is the commit point).
+    pub fn compact(&self, records: &[Record]) -> std::io::Result<()> {
+        let lines: Vec<String> = records.iter().map(Record::to_line).collect();
+        self.inner.compact(&lines)
+    }
+
     /// Replays the journal at `path` into its record sequence, in append
     /// order. A missing file replays as empty (first boot); a truncated
     /// or garbled final line — the signature of a crash mid-append — is
@@ -210,17 +304,9 @@ impl Journal {
     ///
     /// Propagates read failures and mid-file corruption.
     pub fn replay(path: &Path) -> std::io::Result<Vec<Record>> {
-        let content = match std::fs::read_to_string(path) {
-            Ok(c) => c,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
-            Err(e) => return Err(e),
-        };
-        let lines: Vec<&str> = content.lines().collect();
+        let lines = LineJournal::lines(path)?;
         let mut records = Vec::with_capacity(lines.len());
         for (i, line) in lines.iter().enumerate() {
-            if line.trim().is_empty() {
-                continue;
-            }
             match Record::parse(line) {
                 Some(r) => records.push(r),
                 None if i + 1 == lines.len() => {

@@ -27,6 +27,13 @@
 //! The crate is deliberately serve-agnostic: job states travel as strings
 //! and clients as opaque ids, so the daemon owns its own vocabulary and
 //! this layer stays reusable (and testable) without a socket in sight.
+//!
+//! With the `failpoints` feature the persistence seams — journal append
+//! and compact, cache spill write and load — evaluate named
+//! `drcell-faults` failpoints (`store.journal.append`,
+//! `store.journal.compact`, `store.cache.spill`, `store.cache.load`), so
+//! chaos tests can fail exactly one disk operation and assert the typed
+//! error or graceful degradation. A default build compiles none of this.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -39,5 +46,18 @@ pub mod sha256;
 
 pub use admission::{Admission, Busy, BusyReason, Slot};
 pub use cache::{CacheStats, ResultCache};
-pub use journal::{now_ms, Journal, Record};
+pub use journal::{now_ms, Journal, LineJournal, Record};
 pub use key::scenario_key;
+
+/// Evaluate a named failpoint, mapping any fault onto `std::io::Error`.
+/// Compiles to a constant `None` without the `failpoints` feature.
+#[cfg(feature = "failpoints")]
+pub(crate) fn fault_io(name: &str) -> Option<std::io::Error> {
+    drcell_faults::eval(name).map(drcell_faults::Fault::into_io)
+}
+
+/// Failpoints disabled: no registry, no branch.
+#[cfg(not(feature = "failpoints"))]
+pub(crate) fn fault_io(_name: &str) -> Option<std::io::Error> {
+    None
+}

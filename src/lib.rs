@@ -14,6 +14,7 @@
 
 pub use drcell_core as core;
 pub use drcell_datasets as datasets;
+pub use drcell_faults as faults;
 pub use drcell_inference as inference;
 pub use drcell_linalg as linalg;
 pub use drcell_neural as neural;
