@@ -1,0 +1,356 @@
+//! Many-client load gate for the serving daemon.
+//!
+//! Drives N concurrent clients against a live in-process daemon with a
+//! mixed workload — cold submits, warm cache hits, client cancellations
+//! and deadline'd jobs — and asserts the overload-protection contract on
+//! every run, in every mode:
+//!
+//! * every *successful* stream is byte-identical to the single-client
+//!   reference run of the same spec (two clients racing the same cold
+//!   spec must also agree with each other);
+//! * after the storm drains, the daemon reports **zero** queued jobs and
+//!   **zero** live admission slots — nothing stuck, nothing leaked;
+//! * every job the daemon ever accepted is in a terminal state.
+//!
+//! Modes (criterion-style harness with a gate bolted on):
+//!
+//! * `cargo bench -p drcell-bench --bench load` — print throughput.
+//! * `... --bench load -- --write BENCH_load.json` — record a baseline.
+//! * `... --bench load -- --check BENCH_load.json` — fail (exit 1) when
+//!   the concurrent/serial scaling factor drops below 1.0 (8 clients on
+//!   4 workers must never be *slower* than one client running the same
+//!   script) or regresses more than 30% against the committed baseline
+//!   (override: `--max-regression 0.50`).
+//!
+//! Machine portability: the scaling factor compares two measurements
+//! from the *same* run, so it holds on any hardware. The absolute
+//! throughput comparison is applied only when the baseline's serial
+//! throughput shows a comparable machine class (within 0.7–1.4×);
+//! otherwise it is skipped with a note.
+
+use std::time::{Duration, Instant};
+
+use drcell_bench::gate;
+use drcell_scenario::{DatasetSpec, PolicySpec, QualitySpec, RunnerSpec, ScenarioSpec};
+use drcell_serve::{Client, JobState, ServeConfig, Server};
+
+/// Worker threads the daemon runs; the storm oversubscribes them 2:1.
+const WORKERS: usize = 4;
+/// Concurrent client threads in the storm phase.
+const CLIENTS: usize = 8;
+/// Seeds whose rows are pre-computed by the reference pass and replayed
+/// warm during the storm.
+const WARM_SEEDS: [u64; 4] = [11, 12, 13, 14];
+
+/// The per-job workload: small enough that a cold run costs tens of
+/// milliseconds (the storm runs dozens of them), big enough that the
+/// engine does real per-cycle work.
+fn load_spec(seed: u64, cycles: usize) -> ScenarioSpec {
+    ScenarioSpec {
+        name: format!("load-{seed}"),
+        seed,
+        dataset: DatasetSpec::Synthetic {
+            grid_rows: 4,
+            grid_cols: 4,
+            cell_w: 40.0,
+            cell_h: 40.0,
+            cycles,
+            mean: 10.0,
+            std: 2.0,
+            field: drcell_datasets::FieldConfig {
+                cycles_per_day: 24,
+                ..drcell_datasets::FieldConfig::default()
+            },
+        },
+        perturbations: drcell_datasets::PerturbationStack::none(),
+        policy: PolicySpec::Random,
+        quality: QualitySpec {
+            epsilon: 0.5,
+            p: 0.9,
+        },
+        runner: RunnerSpec {
+            window: 8,
+            ..RunnerSpec::default()
+        },
+        train_cycles: 8,
+    }
+}
+
+/// A job that cannot finish inside the storm — cancellation and deadline
+/// targets. Dataset generation is cheap; the engine work is what drags.
+fn long_spec(seed: u64) -> ScenarioSpec {
+    load_spec(seed, 5_000)
+}
+
+fn run_ok(client: &mut Client, spec: &ScenarioSpec) -> Vec<String> {
+    let output = client
+        .run_spec(spec)
+        .expect("submit")
+        .collect()
+        .expect("drain");
+    assert_eq!(output.ok, 1, "load scenario must succeed: {:?}", output);
+    output.rows
+}
+
+/// One storm client's script: warm hit, cold submit, a job that blows
+/// its deadline, a job cancelled from a second connection, and a final
+/// warm hit. Returns (successful job count, rows to verify) where each
+/// entry is `(seed, rows)`.
+fn storm_script(addr: &str, t: u64) -> (usize, Vec<(u64, Vec<String>)>) {
+    let mut client = Client::connect(addr).expect("storm connect");
+    let mut control = Client::connect(addr).expect("control connect");
+    let mut verified = Vec::new();
+    let mut ok = 0usize;
+
+    // Warm: primed by the reference pass.
+    let warm = load_spec(WARM_SEEDS[(t as usize) % WARM_SEEDS.len()], 40);
+    verified.push((warm.seed, run_ok(&mut client, &warm)));
+    ok += 1;
+
+    // Cold: threads t and t+4 race the same seed — whoever loses the
+    // race must still stream byte-identical rows.
+    let cold = load_spec(2_000 + t % 4, 40);
+    verified.push((cold.seed, run_ok(&mut client, &cold)));
+    ok += 1;
+
+    // Deadline'd: a 5 000-cycle job with a 50 ms budget must come back
+    // typed `deadline_exceeded`, never hang.
+    let doomed = client
+        .run_spec_with(&long_spec(5_000 + t), Some(Duration::from_millis(50)))
+        .expect("submit doomed")
+        .collect()
+        .expect("drain doomed");
+    assert!(
+        doomed.deadline_exceeded && !doomed.cancelled,
+        "50 ms budget on a 5 000-cycle job must exceed its deadline: {doomed:?}"
+    );
+
+    // Cancelled: cancel from the control connection mid-stream.
+    let stream = client
+        .run_spec(&long_spec(6_000 + t))
+        .expect("submit cancel target");
+    let job = stream.job;
+    control.cancel(job).expect("cancel");
+    let cancelled = stream.collect().expect("drain cancelled");
+    assert!(
+        cancelled.cancelled && !cancelled.deadline_exceeded,
+        "job {job} was cancelled by the control client: {cancelled:?}"
+    );
+
+    // Warm again — the storm must not have corrupted the cache.
+    let warm2 = load_spec(WARM_SEEDS[((t as usize) + 1) % WARM_SEEDS.len()], 40);
+    verified.push((warm2.seed, run_ok(&mut client, &warm2)));
+    ok += 1;
+
+    (ok, verified)
+}
+
+struct Measurements {
+    serial_jps: f64,
+    load_jps: f64,
+}
+
+impl Measurements {
+    fn scaling(&self) -> f64 {
+        self.load_jps / self.serial_jps
+    }
+}
+
+fn measure() -> Measurements {
+    let config = ServeConfig {
+        workers: WORKERS,
+        max_queue: 64,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind_with("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let daemon = std::thread::spawn(move || server.run().expect("server run"));
+
+    // Reference pass: one client computes every warm and cold seed's
+    // rows; all storm streams are checked against these.
+    let mut reference: Vec<(u64, Vec<String>)> = Vec::new();
+    {
+        let mut client = Client::connect(addr.as_str()).expect("reference connect");
+        for seed in WARM_SEEDS {
+            let rows = run_ok(&mut client, &load_spec(seed, 40));
+            reference.push((seed, rows));
+        }
+        for seed in 2_000..2_004u64 {
+            reference.push((seed, run_ok(&mut client, &load_spec(seed, 40))));
+        }
+    }
+
+    // Serial baseline: one thread runs the storm script alone.
+    let serial_start = Instant::now();
+    let (serial_ok, serial_rows) = storm_script(&addr, 0);
+    let serial_jps = serial_ok as f64 / serial_start.elapsed().as_secs_f64();
+    check_rows(&reference, &serial_rows);
+
+    // Storm: CLIENTS concurrent threads, each running the same script.
+    let storm_start = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS as u64)
+        .map(|t| {
+            let addr = addr.clone();
+            std::thread::spawn(move || storm_script(&addr, t))
+        })
+        .collect();
+    let mut total_ok = 0usize;
+    for handle in handles {
+        let (ok, rows) = handle.join().expect("storm client thread");
+        total_ok += ok;
+        check_rows(&reference, &rows);
+    }
+    let load_jps = total_ok as f64 / storm_start.elapsed().as_secs_f64();
+
+    // Drain: the daemon must settle to zero queued jobs and zero live
+    // admission slots — a leaked slot here is the bug this gate exists
+    // to catch.
+    let mut control = Client::connect(addr.as_str()).expect("drain connect");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = control.stats().expect("stats");
+        if stats.queue_depth == 0 && stats.inflight_slots == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon failed to drain: {} queued, {} slots still live",
+            stats.queue_depth,
+            stats.inflight_slots
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Every job the daemon ever accepted must be terminal.
+    let jobs = control.jobs().expect("jobs").jobs;
+    for info in &jobs {
+        assert!(
+            matches!(
+                info.state,
+                JobState::Done
+                    | JobState::Failed
+                    | JobState::Cancelled
+                    | JobState::DeadlineExceeded
+            ),
+            "job {} stuck in {:?} after drain",
+            info.job,
+            info.state
+        );
+    }
+
+    drop(control);
+    Client::connect(addr.as_str())
+        .expect("connect for shutdown")
+        .shutdown()
+        .expect("shutdown");
+    daemon.join().expect("daemon thread");
+
+    Measurements {
+        serial_jps,
+        load_jps,
+    }
+}
+
+/// Every successful stream must match the single-client reference run
+/// byte for byte.
+fn check_rows(reference: &[(u64, Vec<String>)], produced: &[(u64, Vec<String>)]) {
+    for (seed, rows) in produced {
+        let expected = &reference
+            .iter()
+            .find(|(s, _)| s == seed)
+            .unwrap_or_else(|| panic!("no reference rows for seed {seed}"))
+            .1;
+        assert_eq!(
+            rows, expected,
+            "seed {seed}: stream diverged from the reference run"
+        );
+    }
+}
+
+fn write_json(path: &str, m: &Measurements) {
+    let json = format!(
+        "{{\n  \"bench\": \"serve_load_{CLIENTS}clients_{WORKERS}workers\",\n  \"serial_jps\": {:.2},\n  \"load_jps\": {:.2},\n  \"scaling\": {:.2}\n}}\n",
+        m.serial_jps,
+        m.load_jps,
+        m.scaling()
+    );
+    gate::write_baseline(path, &json);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+
+    let m = measure();
+    println!(
+        "group: load ({CLIENTS} clients x mixed warm/cold/cancel/deadline, {WORKERS} workers)"
+    );
+    println!("  serial            {:>10.2} jobs/s", m.serial_jps);
+    println!("  concurrent        {:>10.2} jobs/s", m.load_jps);
+    println!("  scaling           {:>10.2}x", m.scaling());
+
+    if let Some(path) = gate::flag(&args, "--write") {
+        write_json(&path, &m);
+    }
+    if let Some(path) = gate::flag(&args, "--check") {
+        let max_regression: f64 = gate::flag(&args, "--max-regression")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.30);
+        let body = gate::read_baseline(&path);
+        let baseline_serial =
+            gate::json_field(&body, "serial_jps").expect("baseline is missing serial_jps");
+        let baseline_load =
+            gate::json_field(&body, "load_jps").expect("baseline is missing load_jps");
+        let mut failed = false;
+
+        // Same-run contract: 8 clients on 4 workers must never be slower
+        // than one client running the identical script.
+        if m.scaling() < 1.0 {
+            eprintln!(
+                "REGRESSION: concurrent/serial scaling {:.2}x fell below 1.0x",
+                m.scaling()
+            );
+            failed = true;
+        }
+        // Machine-portable regression check: scaling normalised within
+        // the same run.
+        let baseline_scaling = baseline_load / baseline_serial;
+        if m.scaling() < baseline_scaling * (1.0 - max_regression) {
+            eprintln!(
+                "REGRESSION: scaling {:.2}x trails baseline {baseline_scaling:.2}x by more than {:.0}%",
+                m.scaling(),
+                max_regression * 100.0
+            );
+            failed = true;
+        }
+        // Absolute throughput only on a comparable machine class, judged
+        // by the serial baseline (engine work the storm never changes).
+        let machine_factor = m.serial_jps / baseline_serial;
+        if (0.7..=1.4).contains(&machine_factor) {
+            if m.load_jps < baseline_load * (1.0 - max_regression) {
+                eprintln!(
+                    "REGRESSION: concurrent throughput {:.2} jobs/s trails baseline {:.2} by more than {:.0}%",
+                    m.load_jps,
+                    baseline_load,
+                    max_regression * 100.0
+                );
+                failed = true;
+            }
+        } else {
+            println!(
+                "note: baseline serial throughput differs {machine_factor:.2}x from this machine — \
+                 skipping the absolute-throughput comparison (re-record with --write on this runner class)"
+            );
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "gate ok: {:.2} jobs/s concurrent (baseline {:.2}), scaling {:.2}x (baseline {:.2}x, -{:.0}% allowed)",
+            m.load_jps,
+            baseline_load,
+            m.scaling(),
+            baseline_scaling,
+            max_regression * 100.0
+        );
+    }
+}

@@ -32,6 +32,12 @@ pub enum CoreError {
     /// cycle finished. Not a failure of the pipeline itself: serving
     /// layers map this to a "cancelled" job state.
     Cancelled,
+    /// A streaming run was stopped by its control hook because it exceeded
+    /// a deadline (see [`crate::StopReason::DeadlineExceeded`]). Like
+    /// [`CoreError::Cancelled`], this is a control outcome, not a pipeline
+    /// failure: serving layers map it to a terminal "deadline_exceeded"
+    /// job state.
+    Deadline,
 }
 
 impl fmt::Display for CoreError {
@@ -44,6 +50,7 @@ impl fmt::Display for CoreError {
             CoreError::Rl(e) => write!(f, "reinforcement-learning failure: {e}"),
             CoreError::Neural(e) => write!(f, "network failure: {e}"),
             CoreError::Cancelled => write!(f, "run cancelled by its control hook"),
+            CoreError::Deadline => write!(f, "run exceeded its deadline"),
         }
     }
 }

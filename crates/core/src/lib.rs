@@ -64,7 +64,7 @@ pub use policies::{
     CellSelectionPolicy, DrCellPolicy, DrCellTabularPolicy, GreedyErrorPolicy, OnlineDrCellConfig,
     OnlineDrCellPolicy, QbcPolicy, RandomPolicy,
 };
-pub use runner::{CycleRecord, RunReport, RunnerConfig, SparseMcsRunner};
+pub use runner::{CycleRecord, RunReport, RunnerConfig, SparseMcsRunner, StopReason};
 pub use state::selection_history;
 pub use task::SensingTask;
 pub use trainer::{DrCellTrainer, TrainerConfig};

@@ -8,6 +8,22 @@ use std::ops::ControlFlow;
 
 use crate::{CellSelectionPolicy, CoreError, SensingTask};
 
+/// Why a control hook stopped a streaming run (the payload of
+/// [`ControlFlow::Break`] in [`SparseMcsRunner::run_with_control`]).
+///
+/// The reason is carried through to the typed error so callers several
+/// layers up (scenario engine, serving daemon) can distinguish a
+/// user-initiated cancellation from a deadline expiry without string
+/// matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The run was cancelled (user request, shutdown, shed, stall reap).
+    /// Maps to [`CoreError::Cancelled`].
+    Cancelled,
+    /// The run outlived its deadline. Maps to [`CoreError::Deadline`].
+    DeadlineExceeded,
+}
+
 /// Configuration of the testing-stage runner.
 #[derive(Debug, Clone)]
 pub struct RunnerConfig {
@@ -238,20 +254,21 @@ impl<'a> SparseMcsRunner<'a> {
 
     /// Like [`SparseMcsRunner::run_with_hook`], but the hook decides after
     /// every finished cycle whether the run continues — the cancellation
-    /// surface long-running services sit on. Returning
-    /// [`ControlFlow::Break`] stops the run at the next cycle boundary
-    /// (cycles are never truncated mid-selection, so every record the hook
-    /// has seen is a complete, final row).
+    /// and deadline surface long-running services sit on. Returning
+    /// [`ControlFlow::Break`] with a [`StopReason`] stops the run at the
+    /// next cycle boundary (cycles are never truncated mid-selection, so
+    /// every record the hook has seen is a complete, final row).
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Cancelled`] when the hook breaks; otherwise
-    /// propagates policy, inference and assessment failures.
+    /// Returns [`CoreError::Cancelled`] or [`CoreError::Deadline`]
+    /// according to the hook's [`StopReason`]; otherwise propagates
+    /// policy, inference and assessment failures.
     pub fn run_with_control(
         &self,
         policy: &mut dyn CellSelectionPolicy,
         rng: &mut dyn RngCore,
-        hook: &mut dyn FnMut(&CycleRecord) -> ControlFlow<()>,
+        hook: &mut dyn FnMut(&CycleRecord) -> ControlFlow<StopReason>,
     ) -> Result<RunReport, CoreError> {
         let truth = self.task.truth();
         let m = truth.cells();
@@ -340,8 +357,11 @@ impl<'a> SparseMcsRunner<'a> {
             policy.on_cycle_end(&record, rng);
             let flow = hook(&record);
             records.push(record);
-            if flow.is_break() {
-                return Err(CoreError::Cancelled);
+            if let ControlFlow::Break(reason) = flow {
+                return Err(match reason {
+                    StopReason::Cancelled => CoreError::Cancelled,
+                    StopReason::DeadlineExceeded => CoreError::Deadline,
+                });
             }
         }
 
@@ -571,7 +591,7 @@ mod tests {
             .run_with_control(&mut RandomPolicy::new(), &mut rng, &mut |r| {
                 seen.push(r.clone());
                 if seen.len() == 3 {
-                    ControlFlow::Break(())
+                    ControlFlow::Break(StopReason::Cancelled)
                 } else {
                     ControlFlow::Continue(())
                 }
@@ -584,6 +604,26 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let full = runner.run(&mut RandomPolicy::new(), &mut rng).unwrap();
         assert_eq!(seen.as_slice(), &full.cycles[..3]);
+    }
+
+    #[test]
+    fn control_hook_deadline_is_a_distinct_error() {
+        let task = smooth_task(0.5);
+        let runner = SparseMcsRunner::new(&task, config()).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut cycles = 0usize;
+        let err = runner
+            .run_with_control(&mut RandomPolicy::new(), &mut rng, &mut |_| {
+                cycles += 1;
+                if cycles == 2 {
+                    ControlFlow::Break(StopReason::DeadlineExceeded)
+                } else {
+                    ControlFlow::Continue(())
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Deadline), "{err}");
+        assert_eq!(cycles, 2, "run must stop right after the break");
     }
 
     #[test]

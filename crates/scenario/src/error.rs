@@ -25,6 +25,14 @@ impl ScenarioError {
     pub fn is_cancelled(&self) -> bool {
         matches!(self, ScenarioError::Core(CoreError::Cancelled))
     }
+
+    /// `true` when the scenario stopped because its streaming control hook
+    /// reported a deadline expiry
+    /// ([`drcell_core::StopReason::DeadlineExceeded`]) — the case serving
+    /// layers report as a `deadline_exceeded` job, not a pipeline failure.
+    pub fn is_deadline(&self) -> bool {
+        matches!(self, ScenarioError::Core(CoreError::Deadline))
+    }
 }
 
 impl fmt::Display for ScenarioError {

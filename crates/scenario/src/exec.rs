@@ -3,7 +3,7 @@
 use std::ops::ControlFlow;
 use std::time::{Duration, Instant};
 
-use drcell_core::{CycleRecord, RunReport, SparseMcsRunner};
+use drcell_core::{CycleRecord, RunReport, SparseMcsRunner, StopReason};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -61,9 +61,10 @@ pub fn run_scenario(spec: &ScenarioSpec, index: usize) -> Result<ScenarioResult,
 /// Like [`run_scenario`], but invokes `hook` with every finished
 /// [`CycleRecord`] as the testing stage produces it — the surface the
 /// `drcell-serve` daemon streams result rows from. The hook controls the
-/// run: returning [`ControlFlow::Break`] cancels at the next cycle
-/// boundary, surfacing as a [cancelled](ScenarioError::is_cancelled)
-/// error.
+/// run: returning [`ControlFlow::Break`] with a [`StopReason`] stops at
+/// the next cycle boundary, surfacing as a
+/// [cancelled](ScenarioError::is_cancelled) or
+/// [deadline](ScenarioError::is_deadline) error according to the reason.
 ///
 /// Streaming changes nothing about determinism: the records the hook sees
 /// are exactly, byte for byte, the rows `run_scenario` returns in its
@@ -72,11 +73,11 @@ pub fn run_scenario(spec: &ScenarioSpec, index: usize) -> Result<ScenarioResult,
 /// # Errors
 ///
 /// Propagates task construction, training and evaluation failures; maps a
-/// hook break to `CoreError::Cancelled`.
+/// hook break to `CoreError::Cancelled` or `CoreError::Deadline`.
 pub fn run_scenario_streaming(
     spec: &ScenarioSpec,
     index: usize,
-    hook: &mut dyn FnMut(&CycleRecord) -> ControlFlow<()>,
+    hook: &mut dyn FnMut(&CycleRecord) -> ControlFlow<StopReason>,
 ) -> Result<ScenarioResult, ScenarioError> {
     let start = Instant::now();
     let task = spec.build_task()?;

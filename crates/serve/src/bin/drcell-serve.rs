@@ -19,10 +19,14 @@ USAGE:
   drcell-serve serve    --addr HOST:PORT [--workers N]
                         [--cache-mem MIB] [--cache-dir DIR] [--journal FILE]
                         [--max-queue N] [--max-client-jobs N]
+                        [--max-job-secs SECS] [--stall-secs SECS]
+                        [--max-queue-age-secs SECS]
   drcell-serve submit   --addr HOST:PORT (--name SCENARIO | --spec FILE |
                         --sweep FILE) [--rows OUT.jsonl] [--retry-busy N]
+                        [--deadline SECS]
   drcell-serve fansweep --daemon HOST:PORT [--daemon HOST:PORT ...]
                         [--sweep FILE] [--shards N] [--read-timeout SECS]
+                        [--shard-deadline SECS]
                         [--rows OUT.jsonl] [--manifest DIR] [--resume]
   drcell-serve ping     --addr HOST:PORT
   drcell-serve list     --addr HOST:PORT
@@ -44,14 +48,23 @@ restart `jobs` still lists every prior job, with work that died
 queued/running reported as cancelled. `--max-queue` and
 `--max-client-jobs` bound the queue depth and each client's in-flight
 jobs; over-limit submits get a structured busy frame instead of queueing
-(0 = unbounded).
+(0 = unbounded), carrying a load-derived retry_after_ms back-off hint.
+`--max-job-secs` caps every job's wall-clock lifetime (client deadlines
+are clamped to it; expiry ends the job deadline_exceeded at the next
+cycle boundary). `--stall-secs` arms the stall watchdog: a running job
+making no progress for that long is cancelled with reason `stall`.
+`--max-queue-age-secs` sheds jobs that sat queued longer than that
+(cancelled with reason `queue_age`) instead of running stale work. All
+three default to 0 = disabled.
 
 `submit` streams a job and writes its result rows (JSONL, byte-identical
 to `drcell-scenario run/sweep --jsonl` for the same spec) to --rows or
 stdout; control frames go to stderr. Exits nonzero if any scenario fails
-or the job is cancelled. `--retry-busy N` retries an admission refusal
-(busy frame) up to N times with exponential backoff (200 ms doubling,
-capped at 5 s) on a fresh connection each time.
+or the job is cancelled or runs out of time. `--deadline SECS` gives the
+job a server-enforced time budget. `--retry-busy N` retries an admission
+refusal (busy frame) up to N times with exponential backoff (200 ms
+doubling, capped at 5 s, never below the server's retry_after_ms hint)
+on a fresh connection each time.
 
 `fansweep` shards a sweep's scenario matrix across every --daemon (the
 default sweep when --sweep is omitted, matching `drcell-scenario sweep`)
@@ -65,6 +78,9 @@ The run only fails once every daemon is gone for good or a shard
 exhausts its attempt budget. --shards defaults to the daemon count
 (more = finer work stealing); --read-timeout bounds the silence between
 frames before a daemon is declared dead (default: unbounded).
+--shard-deadline gives every shard a server-enforced time budget: an
+expired shard is retried through the same backoff as a daemon failure,
+bounded by the attempt budget, never silently dropped.
 --manifest DIR checkpoints every finished shard durably; --resume
 restarts a killed fansweep from that manifest, re-running only the
 unfinished shards — the merged output is byte-identical either way.
@@ -85,6 +101,11 @@ struct Options {
     journal: Option<String>,
     max_queue: usize,
     max_client_jobs: usize,
+    max_job_secs: u64,
+    stall_secs: u64,
+    max_queue_age_secs: u64,
+    deadline: Option<u64>,
+    shard_deadline: Option<u64>,
     daemons: Vec<String>,
     shards: Option<usize>,
     read_timeout: Option<u64>,
@@ -132,6 +153,31 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| format!("bad --max-client-jobs `{v}`"))?;
             }
+            "--max-job-secs" => {
+                let v = take()?;
+                opts.max_job_secs = v.parse().map_err(|_| format!("bad --max-job-secs `{v}`"))?;
+            }
+            "--stall-secs" => {
+                let v = take()?;
+                opts.stall_secs = v.parse().map_err(|_| format!("bad --stall-secs `{v}`"))?;
+            }
+            "--max-queue-age-secs" => {
+                let v = take()?;
+                opts.max_queue_age_secs = v
+                    .parse()
+                    .map_err(|_| format!("bad --max-queue-age-secs `{v}`"))?;
+            }
+            "--deadline" => {
+                let v = take()?;
+                opts.deadline = Some(v.parse().map_err(|_| format!("bad --deadline `{v}`"))?);
+            }
+            "--shard-deadline" => {
+                let v = take()?;
+                opts.shard_deadline = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --shard-deadline `{v}`"))?,
+                );
+            }
             "--daemon" => opts.daemons.push(take()?),
             "--shards" => {
                 let v = take()?;
@@ -178,6 +224,9 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         journal: opts.journal.as_ref().map(Into::into),
         max_queue: opts.max_queue,
         max_client_jobs: opts.max_client_jobs,
+        max_job_secs: opts.max_job_secs,
+        stall_secs: opts.stall_secs,
+        max_queue_age_secs: opts.max_queue_age_secs,
     };
     let server = Server::bind_with(addr, config).map_err(|e| format!("bind {addr}: {e}"))?;
     eprintln!(
@@ -217,14 +266,15 @@ fn cmd_submit(opts: &Options) -> Result<(), String> {
     // connection each time — the refused connection stays usable in
     // principle, but reconnecting also covers daemons that restart
     // between attempts.
+    let deadline = opts.deadline.map(Duration::from_secs);
     let mut attempt = 0usize;
     loop {
         attempt += 1;
         let mut client = connect(opts)?;
         let submitted = match &target {
-            SubmitTarget::Name(name) => client.run_name(name),
-            SubmitTarget::Spec(spec) => client.run_spec(spec),
-            SubmitTarget::Sweep(spec) => client.sweep(spec),
+            SubmitTarget::Name(name) => client.run_name_with(name, deadline),
+            SubmitTarget::Spec(spec) => client.run_spec_with(spec, deadline),
+            SubmitTarget::Sweep(spec) => client.sweep_with(spec, deadline),
         };
         match submitted {
             Ok(stream) => return drain_job(stream, opts),
@@ -232,11 +282,15 @@ fn cmd_submit(opts: &Options) -> Result<(), String> {
                 reason,
                 depth,
                 limit,
+                retry_after_ms,
             }) if attempt <= opts.retry_busy => {
-                // 200 ms doubling, capped at 5 s.
+                // 200 ms doubling, capped at 5 s — but never below the
+                // server's own load-derived hint: it has seen the queue,
+                // this client has only seen a refusal.
                 let backoff = Duration::from_millis(200)
                     .saturating_mul(1u32 << (attempt - 1).min(16) as u32)
-                    .min(Duration::from_secs(5));
+                    .min(Duration::from_secs(5))
+                    .max(Duration::from_millis(retry_after_ms));
                 eprintln!(
                     "server busy ({reason}, {depth}/{limit}); retry {attempt}/{} in {} ms",
                     opts.retry_busy,
@@ -265,7 +319,9 @@ fn drain_job(stream: JobStream<'_>, opts: &Options) -> Result<(), String> {
     };
     let mut stream = stream;
     let mut rows = 0usize;
-    let (mut ok, mut failed, mut cancelled) = (0usize, 0usize, false);
+    let (mut ok, mut failed) = (0usize, 0usize);
+    let mut cancelled: Option<String> = None;
+    let mut out_of_time = false;
     while let Some(frame) = stream.next_frame().map_err(|e| e.to_string())? {
         match frame {
             drcell_serve::Frame::Row(row) => {
@@ -285,15 +341,25 @@ fn drain_job(stream: JobStream<'_>, opts: &Options) -> Result<(), String> {
                 ok = o;
                 failed = f;
             }
-            drcell_serve::Frame::Cancelled { .. } => cancelled = true,
+            drcell_serve::Frame::Cancelled { reason, .. } => {
+                cancelled = Some(reason.unwrap_or_default());
+            }
+            drcell_serve::Frame::DeadlineExceeded { .. } => out_of_time = true,
             other => return Err(format!("unexpected frame in job stream: {other:?}")),
         }
     }
     if let Some(path) = &opts.rows {
         eprintln!("wrote {path} ({rows} rows)");
     }
-    if cancelled {
-        return Err("job was cancelled".to_owned());
+    if out_of_time {
+        return Err("job exceeded its deadline".to_owned());
+    }
+    if let Some(reason) = cancelled {
+        return Err(if reason.is_empty() {
+            "job was cancelled".to_owned()
+        } else {
+            format!("job was cancelled ({reason})")
+        });
     }
     if failed > 0 {
         return Err(format!("{failed} scenario(s) failed"));
@@ -324,6 +390,7 @@ fn cmd_fansweep(opts: &Options) -> Result<(), String> {
             read: opts.read_timeout.map(Duration::from_secs),
             ..ClientConfig::default()
         },
+        shard_deadline: opts.shard_deadline.map(Duration::from_secs),
         manifest: opts.manifest.as_ref().map(Into::into),
         resume: opts.resume,
         ..FleetConfig::default()
@@ -419,14 +486,29 @@ fn cmd_jobs(opts: &Options) -> Result<(), String> {
                 )
             }
         };
+        // Deadline and remaining budget, both against the server's clock
+        // from the same snapshot — client/daemon skew cannot distort the
+        // countdown. Terminal jobs show the deadline without a countdown.
+        let deadline = match info.deadline_ms {
+            None => String::new(),
+            Some(d) if info.finished_ms.is_some() => format!("  deadline@{d}"),
+            Some(d) if d > now => format!("  deadline@{d} ({:.1}s left)", secs(now, d)),
+            Some(d) => format!("  deadline@{d} (overdue)"),
+        };
+        let reason = match &info.reason {
+            Some(r) => format!("  reason={r}"),
+            None => String::new(),
+        };
         println!(
-            "job {:>4}  {:<10} {}/{} scenario(s)  queued@{}  {}",
+            "job {:>4}  {:<10} {}/{} scenario(s)  queued@{}  {}{}{}",
             info.job,
             info.state.as_str(),
             info.completed,
             info.scenarios,
             info.queued_ms,
-            timing
+            timing,
+            deadline,
+            reason
         );
     }
     Ok(())
@@ -439,7 +521,10 @@ fn cmd_stats(opts: &Options) -> Result<(), String> {
         "cache: {} mem hit(s), {} disk hit(s), {} miss(es); {} entry(ies), {} byte(s) resident",
         s.mem_hits, s.disk_hits, s.misses, s.entries, s.bytes
     );
-    println!("queue: {} job(s) waiting", s.queue_depth);
+    println!(
+        "queue: {} job(s) waiting, {} admission slot(s) in flight",
+        s.queue_depth, s.inflight_slots
+    );
     Ok(())
 }
 

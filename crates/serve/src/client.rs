@@ -53,6 +53,13 @@ impl ClientConfig {
     }
 }
 
+/// A client time budget on the wire: whole milliseconds, at least 1 so a
+/// sub-millisecond budget still rounds to a real (immediately expiring)
+/// deadline instead of silently meaning "unbounded".
+fn budget_ms(deadline: Option<Duration>) -> Option<u64> {
+    deadline.map(|d| (d.as_millis() as u64).max(1))
+}
+
 /// Maps a transport failure to [`ServeError`], surfacing expired
 /// deadlines as the distinct [`ServeError::Timeout`].
 fn transport_error(during: &str, e: std::io::Error) -> ServeError {
@@ -256,10 +263,12 @@ impl Client {
                 reason,
                 depth,
                 limit,
+                retry_after_ms,
             } => Err(ServeError::Busy {
                 reason,
                 depth,
                 limit,
+                retry_after_ms,
             }),
             frame => Ok(frame),
         }
@@ -361,7 +370,26 @@ impl Client {
     /// for an unknown name; [`ServeError::Busy`] when admission refuses
     /// the submit.
     pub fn run_name(&mut self, name: &str) -> Result<JobStream<'_>, ServeError> {
-        self.submit(Request::Run(RunTarget::Name(name.to_owned())))
+        self.run_name_with(name, None)
+    }
+
+    /// [`Client::run_name`] with an optional time budget the server
+    /// enforces: the job ends in the terminal `deadline_exceeded` state
+    /// at the first cycle boundary past the deadline (the server may
+    /// clamp the budget to its own `--max-job-secs` cap).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport, protocol and server errors.
+    pub fn run_name_with(
+        &mut self,
+        name: &str,
+        deadline: Option<Duration>,
+    ) -> Result<JobStream<'_>, ServeError> {
+        self.submit(Request::Run {
+            target: RunTarget::Name(name.to_owned()),
+            deadline_ms: budget_ms(deadline),
+        })
     }
 
     /// Submits one inline scenario as a streaming job.
@@ -370,7 +398,24 @@ impl Client {
     ///
     /// Propagates transport, protocol and server errors.
     pub fn run_spec(&mut self, spec: &ScenarioSpec) -> Result<JobStream<'_>, ServeError> {
-        self.submit(Request::Run(RunTarget::Spec(Box::new(spec.clone()))))
+        self.run_spec_with(spec, None)
+    }
+
+    /// [`Client::run_spec`] with an optional server-enforced time budget
+    /// (see [`Client::run_name_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport, protocol and server errors.
+    pub fn run_spec_with(
+        &mut self,
+        spec: &ScenarioSpec,
+        deadline: Option<Duration>,
+    ) -> Result<JobStream<'_>, ServeError> {
+        self.submit(Request::Run {
+            target: RunTarget::Spec(Box::new(spec.clone())),
+            deadline_ms: budget_ms(deadline),
+        })
     }
 
     /// Submits a sweep as one streaming job (scenarios stream in matrix
@@ -380,9 +425,24 @@ impl Client {
     ///
     /// Propagates transport, protocol and server errors.
     pub fn sweep(&mut self, spec: &SweepSpec) -> Result<JobStream<'_>, ServeError> {
+        self.sweep_with(spec, None)
+    }
+
+    /// [`Client::sweep`] with an optional server-enforced time budget
+    /// (see [`Client::run_name_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport, protocol and server errors.
+    pub fn sweep_with(
+        &mut self,
+        spec: &SweepSpec,
+        deadline: Option<Duration>,
+    ) -> Result<JobStream<'_>, ServeError> {
         self.submit(Request::Sweep {
             spec: Box::new(spec.clone()),
             range: None,
+            deadline_ms: budget_ms(deadline),
         })
     }
 
@@ -403,9 +463,27 @@ impl Client {
         start: usize,
         end: usize,
     ) -> Result<JobStream<'_>, ServeError> {
+        self.sweep_range_with(spec, start, end, None)
+    }
+
+    /// [`Client::sweep_range`] with an optional server-enforced time
+    /// budget — the knob federated sweeps use to bound each shard (see
+    /// [`crate::coordinator::FleetConfig::shard_deadline`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport, protocol and server errors.
+    pub fn sweep_range_with(
+        &mut self,
+        spec: &SweepSpec,
+        start: usize,
+        end: usize,
+        deadline: Option<Duration>,
+    ) -> Result<JobStream<'_>, ServeError> {
         self.submit(Request::Sweep {
             spec: Box::new(spec.clone()),
             range: Some((start, end)),
+            deadline_ms: budget_ms(deadline),
         })
     }
 
@@ -456,6 +534,10 @@ pub struct JobOutput {
     pub failed: usize,
     /// `true` when the job ended by cancellation instead of completion.
     pub cancelled: bool,
+    /// `true` when the job ran out of time (its client deadline or the
+    /// server's `--max-job-secs` cap) — terminal, like a cancel, but
+    /// typed so retry policy can treat the two differently.
+    pub deadline_exceeded: bool,
 }
 
 impl JobStream<'_> {
@@ -505,6 +587,7 @@ impl JobStream<'_> {
             ok: 0,
             failed: 0,
             cancelled: false,
+            deadline_exceeded: false,
         };
         while let Some(frame) = self.next_frame()? {
             match frame {
@@ -520,6 +603,7 @@ impl JobStream<'_> {
                     output.failed = failed;
                 }
                 Frame::Cancelled { .. } => output.cancelled = true,
+                Frame::DeadlineExceeded { .. } => output.deadline_exceeded = true,
                 unexpected => return Err(ServeError::unexpected("stream frame", &unexpected)),
             }
         }

@@ -139,6 +139,13 @@ pub struct FleetConfig {
     pub retry: RetryConfig,
     /// Retired-daemon health probing; see [`ProbeConfig`].
     pub probe: ProbeConfig,
+    /// Per-shard time budget the daemons enforce server-side (`None` =
+    /// unbounded). A shard whose deadline expires comes back as the typed
+    /// [`ServeError::Deadline`] and is retried through [`RetryConfig`]
+    /// exactly like a daemon failure — bounded by the attempt budget,
+    /// never silently dropped — so a successful sweep's merged output
+    /// stays byte-identical to the single-host run.
+    pub shard_deadline: Option<Duration>,
     /// Directory for the durable sweep manifest. `None` (the default)
     /// runs without checkpointing.
     pub manifest: Option<PathBuf>,
@@ -430,7 +437,7 @@ fn serve_shards(
                 std::thread::sleep(wait);
             }
             let range = &ranges[shard];
-            match run_shard(&mut client, spec, range) {
+            match run_shard(&mut client, spec, range, config.shard_deadline) {
                 Ok(output) => {
                     if let Some(m) = manifest {
                         // Best-effort: a failed checkpoint only costs a
@@ -564,13 +571,24 @@ fn run_shard(
     client: &mut Client,
     spec: &SweepSpec,
     range: &Range<usize>,
+    deadline: Option<Duration>,
 ) -> Result<JobOutput, ServeError> {
     if let Some(fault) = crate::fault_io("coordinator.dispatch") {
         return Err(ServeError::Io(fault));
     }
     let output = client
-        .sweep_range(spec, range.start, range.end)?
+        .sweep_range_with(spec, range.start, range.end, deadline)?
         .collect()?;
+    if output.deadline_exceeded {
+        // The shard ran out of its server-enforced time budget. Typed, so
+        // the caller's retry policy treats it like any other shard fault:
+        // re-dispatched with backoff, bounded by the attempt budget —
+        // never silently dropped from the merge.
+        return Err(ServeError::Deadline(format!(
+            "shard {}..{} exceeded its deadline on the daemon",
+            range.start, range.end
+        )));
+    }
     if output.cancelled {
         // Someone cancelled the job server-side; the shard is incomplete
         // and this connection's job slot may be contended — treat it like

@@ -37,14 +37,22 @@ pub struct Job {
     pub scenarios: usize,
     /// Epoch milliseconds when the job was accepted.
     pub queued_ms: u64,
+    /// Absolute deadline (epoch ms) the job must finish by; 0 = none.
+    deadline_ms: u64,
     /// Scenarios finished so far (successes and failures).
     completed: AtomicUsize,
     state: AtomicU8,
     cancel: AtomicBool,
     /// Epoch ms when a worker started it; 0 = not yet.
     started_ms: AtomicU64,
+    /// Epoch ms of the last progress heartbeat (cycle streamed, scenario
+    /// finished); 0 = none yet. The stall watchdog reads this.
+    progress_ms: AtomicU64,
     /// Epoch ms when it reached a terminal state; 0 = not yet.
     finished_ms: AtomicU64,
+    /// Why a forced terminal state was reached (first writer wins; `None`
+    /// for ordinary lifecycles and plain client cancels).
+    reason: Mutex<Option<String>>,
     journal: Option<Arc<Journal>>,
 }
 
@@ -55,6 +63,7 @@ fn state_to_u8(s: JobState) -> u8 {
         JobState::Done => 2,
         JobState::Cancelled => 3,
         JobState::Failed => 4,
+        JobState::DeadlineExceeded => 5,
     }
 }
 
@@ -64,21 +73,31 @@ fn state_from_u8(v: u8) -> JobState {
         1 => JobState::Running,
         2 => JobState::Done,
         3 => JobState::Cancelled,
+        5 => JobState::DeadlineExceeded,
         _ => JobState::Failed,
     }
 }
 
 impl Job {
-    fn new(id: u64, scenarios: usize, queued_ms: u64, journal: Option<Arc<Journal>>) -> Self {
+    fn new(
+        id: u64,
+        scenarios: usize,
+        queued_ms: u64,
+        deadline_ms: u64,
+        journal: Option<Arc<Journal>>,
+    ) -> Self {
         Job {
             id,
             scenarios,
             queued_ms,
+            deadline_ms,
             completed: AtomicUsize::new(0),
             state: AtomicU8::new(state_to_u8(JobState::Queued)),
             cancel: AtomicBool::new(false),
             started_ms: AtomicU64::new(0),
+            progress_ms: AtomicU64::new(0),
             finished_ms: AtomicU64::new(0),
+            reason: Mutex::new(None),
             journal,
         }
     }
@@ -126,6 +145,11 @@ impl Job {
                 state: state.as_str().to_owned(),
                 completed: self.completed.load(Ordering::Acquire),
                 at_ms,
+                reason: if state.is_terminal() {
+                    self.reason()
+                } else {
+                    None
+                },
             });
         }
     }
@@ -141,18 +165,66 @@ impl Job {
         self.cancel.load(Ordering::Acquire)
     }
 
+    /// The job's absolute deadline (epoch ms); 0 = unbounded.
+    pub fn deadline_ms(&self) -> u64 {
+        self.deadline_ms
+    }
+
+    /// `true` once the server clock has passed the job's deadline.
+    pub fn deadline_expired(&self, now_ms: u64) -> bool {
+        self.deadline_ms != 0 && now_ms > self.deadline_ms
+    }
+
+    /// Records why this job is about to be forced terminal (`stall`,
+    /// `deadline`, `queue_age`, `shutdown`, `disconnect`, `recovery`).
+    /// First writer wins: a watchdog and a disconnecting client racing to
+    /// kill the same job report one coherent cause. Call *before* the
+    /// terminal [`Job::set_state`], which journals the stored reason.
+    pub fn set_reason(&self, reason: &str) {
+        let mut slot = self.reason.lock().expect("job reason lock");
+        if slot.is_none() {
+            *slot = Some(reason.to_owned());
+        }
+    }
+
+    /// The recorded forced-termination reason, if any.
+    pub fn reason(&self) -> Option<String> {
+        self.reason.lock().expect("job reason lock").clone()
+    }
+
+    /// Stamps the progress heartbeat with the current wall clock. The
+    /// executing worker calls this from the streaming hook (every cycle)
+    /// and on each scenario boundary; the stall watchdog compares the
+    /// stamp against `--stall-secs`.
+    pub fn touch_progress(&self) {
+        self.progress_ms.store(now_ms(), Ordering::Release);
+    }
+
+    /// The latest sign of life: the progress heartbeat, or the start/queue
+    /// stamp while no cycle has finished yet (a job is not "stalled" by
+    /// time it spent waiting for a worker, and training before the first
+    /// cycle emits no records to heartbeat from — the watchdog's clock
+    /// starts when the worker does).
+    pub fn last_progress_ms(&self) -> u64 {
+        let progress = self.progress_ms.load(Ordering::Acquire);
+        let started = self.started_ms.load(Ordering::Acquire);
+        progress.max(started).max(self.queued_ms)
+    }
+
     /// Records one more finished scenario. Durable tables journal the
     /// progress too (as a same-state record), so a crash mid-job replays
     /// with the completed count it actually reached, not the count at its
     /// last state transition.
     pub fn mark_scenario_finished(&self) {
         let completed = self.completed.fetch_add(1, Ordering::AcqRel) + 1;
+        self.touch_progress();
         if let Some(journal) = &self.journal {
             let _ = journal.append(&Record::State {
                 job: self.id,
                 state: self.state().as_str().to_owned(),
                 completed,
                 at_ms: now_ms(),
+                reason: None,
             });
         }
     }
@@ -168,13 +240,15 @@ impl Job {
             queued_ms: self.queued_ms,
             started_ms: opt(self.started_ms.load(Ordering::Acquire)),
             finished_ms: opt(self.finished_ms.load(Ordering::Acquire)),
+            deadline_ms: opt(self.deadline_ms),
+            reason: self.reason(),
         }
     }
 
     /// Applies a replayed historical transition — same forward-only rules
     /// as [`Job::set_state`], but without journalling (the record already
     /// *is* the journal) and with the recorded timestamp.
-    fn apply_recovered(&self, state: JobState, completed: usize, at_ms: u64) {
+    fn apply_recovered(&self, state: JobState, completed: usize, at_ms: u64, reason: Option<&str>) {
         let moved = self
             .state
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
@@ -189,6 +263,9 @@ impl Job {
             return;
         }
         self.completed.store(completed, Ordering::Release);
+        if let Some(r) = reason {
+            self.set_reason(r);
+        }
         if state == JobState::Running {
             let _ = self
                 .started_ms
@@ -238,6 +315,7 @@ impl JobTable {
                     job,
                     scenarios,
                     at_ms,
+                    deadline_ms,
                 } => {
                     if job != jobs.len() as u64 + 1 {
                         return Err(std::io::Error::new(
@@ -252,6 +330,7 @@ impl JobTable {
                         job,
                         scenarios,
                         at_ms,
+                        deadline_ms.unwrap_or(0),
                         Some(Arc::clone(&journal)),
                     )));
                 }
@@ -260,6 +339,7 @@ impl JobTable {
                     state,
                     completed,
                     at_ms,
+                    reason,
                 } => {
                     // Unknown ids or states in an otherwise well-formed
                     // record are skipped, not fatal: a future daemon may
@@ -270,7 +350,7 @@ impl JobTable {
                     ) else {
                         continue;
                     };
-                    entry.apply_recovered(state, completed, at_ms);
+                    entry.apply_recovered(state, completed, at_ms, reason.as_deref());
                 }
             }
         }
@@ -280,6 +360,7 @@ impl JobTable {
         for job in &jobs {
             if !job.state().is_terminal() {
                 job.cancel();
+                job.set_reason("recovery");
                 job.set_state(JobState::Cancelled);
             }
         }
@@ -296,6 +377,7 @@ impl JobTable {
                 job: job.id,
                 scenarios: job.scenarios,
                 at_ms: job.queued_ms,
+                deadline_ms: (job.deadline_ms != 0).then_some(job.deadline_ms),
             });
             let completed = job.completed.load(Ordering::Acquire);
             let started_ms = job.started_ms.load(Ordering::Acquire);
@@ -305,6 +387,7 @@ impl JobTable {
                     state: JobState::Running.as_str().to_owned(),
                     completed,
                     at_ms: started_ms,
+                    reason: None,
                 });
             }
             let state = job.state();
@@ -314,6 +397,7 @@ impl JobTable {
                     state: state.as_str().to_owned(),
                     completed,
                     at_ms: job.finished_ms.load(Ordering::Acquire),
+                    reason: job.reason(),
                 });
             }
         }
@@ -325,12 +409,19 @@ impl JobTable {
     }
 
     /// Creates a queued job over `scenarios` scenarios (journalled when
-    /// the table is durable).
-    pub fn create(&self, scenarios: usize) -> Arc<Job> {
+    /// the table is durable). `deadline_ms` is the absolute server-clock
+    /// deadline, or `None` for an unbounded job.
+    pub fn create(&self, scenarios: usize, deadline_ms: Option<u64>) -> Arc<Job> {
         let mut jobs = self.jobs.lock().expect("job table lock");
         let id = jobs.len() as u64 + 1;
         let queued_ms = now_ms();
-        let job = Arc::new(Job::new(id, scenarios, queued_ms, self.journal.clone()));
+        let job = Arc::new(Job::new(
+            id,
+            scenarios,
+            queued_ms,
+            deadline_ms.unwrap_or(0),
+            self.journal.clone(),
+        ));
         // Journalled under the table lock so create records hit the file
         // in id order — the density invariant `with_journal` replays by.
         if let Some(journal) = &self.journal {
@@ -338,6 +429,7 @@ impl JobTable {
                 job: id,
                 scenarios,
                 at_ms: queued_ms,
+                deadline_ms,
             });
         }
         jobs.push(Arc::clone(&job));
@@ -356,6 +448,17 @@ impl JobTable {
         let jobs = self.jobs.lock().expect("job table lock");
         jobs.iter().map(|j| j.info()).collect()
     }
+
+    /// Handles of every job currently `Running` — the set the stall
+    /// watchdog scans. (Queued jobs are exempt: waiting for a worker is
+    /// not a stall, and the queue-age shed policy covers them.)
+    pub fn running(&self) -> Vec<Arc<Job>> {
+        let jobs = self.jobs.lock().expect("job table lock");
+        jobs.iter()
+            .filter(|j| j.state() == JobState::Running)
+            .cloned()
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -366,8 +469,8 @@ mod tests {
     #[test]
     fn ids_are_dense_and_lookup_works() {
         let table = JobTable::new();
-        let a = table.create(3);
-        let b = table.create(1);
+        let a = table.create(3, None);
+        let b = table.create(1, None);
         assert_eq!(a.id, 1);
         assert_eq!(b.id, 2);
         assert_eq!(table.get(1).unwrap().id, 1);
@@ -379,7 +482,7 @@ mod tests {
     #[test]
     fn state_machine_moves_forward_only() {
         let table = JobTable::new();
-        let j = table.create(2);
+        let j = table.create(2, None);
         assert_eq!(j.state(), JobState::Queued);
         j.set_state(JobState::Running);
         assert_eq!(j.state(), JobState::Running);
@@ -393,7 +496,7 @@ mod tests {
     #[test]
     fn cancel_flag_is_sticky_and_progress_counts() {
         let table = JobTable::new();
-        let j = table.create(2);
+        let j = table.create(2, None);
         assert!(!j.is_cancelled());
         j.cancel();
         j.cancel();
@@ -406,7 +509,7 @@ mod tests {
     #[test]
     fn timestamps_track_the_lifecycle() {
         let table = JobTable::new();
-        let j = table.create(1);
+        let j = table.create(1, None);
         let info = j.info();
         assert!(info.queued_ms > 0);
         assert_eq!(info.started_ms, None);
@@ -434,15 +537,15 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let table = JobTable::with_journal(Arc::new(Journal::open(&path).unwrap())).unwrap();
-            let done = table.create(2);
+            let done = table.create(2, None);
             done.set_state(JobState::Running);
             done.mark_scenario_finished();
             done.mark_scenario_finished();
             done.set_state(JobState::Done);
-            let stuck = table.create(3);
+            let stuck = table.create(3, None);
             stuck.set_state(JobState::Running);
             stuck.mark_scenario_finished();
-            table.create(1); // still queued at "crash"
+            table.create(1, None); // still queued at "crash"
         }
         let table = JobTable::with_journal(Arc::new(Journal::open(&path).unwrap())).unwrap();
         let snap = table.snapshot();
@@ -457,7 +560,7 @@ mod tests {
         assert_eq!(snap[2].state, JobState::Cancelled);
         assert_eq!(snap[2].started_ms, None);
         // New ids continue densely after the replayed ones.
-        assert_eq!(table.create(1).id, 4);
+        assert_eq!(table.create(1, None).id, 4);
         // A third incarnation replays the recovery cancellations as plain
         // facts — states are unchanged.
         drop(table);
@@ -482,7 +585,7 @@ mod tests {
         };
         {
             let table = JobTable::with_journal(Arc::new(Journal::open(&path).unwrap())).unwrap();
-            let job = table.create(40);
+            let job = table.create(40, None);
             job.set_state(JobState::Running);
             for _ in 0..40 {
                 job.mark_scenario_finished(); // one progress record each
@@ -495,7 +598,7 @@ mod tests {
         // The snapshot per job is create + running + terminal — history
         // stays bounded by the table, not by per-scenario progress.
         assert_eq!(journal_lines(&path), 3);
-        let info = table.snapshot()[0];
+        let info = table.snapshot()[0].clone();
         assert_eq!(info.state, JobState::Done);
         assert_eq!(info.completed, 40);
         assert!(info.started_ms.is_some() && info.finished_ms.is_some());

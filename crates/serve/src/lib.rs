@@ -36,8 +36,22 @@
 //!   [`ServeConfig::journal`] the job table survives restarts (jobs that
 //!   died queued/running are reported `cancelled`, not forgotten); with
 //!   [`ServeConfig::cache_dir`] finished results do too. Overload is a
-//!   structured `busy` frame ([`ServeError::Busy`]), bounded by
+//!   structured `busy` frame ([`ServeError::Busy`]) carrying a
+//!   load-derived `retry_after_ms` back-off hint, bounded by
 //!   [`ServeConfig::max_queue`] and [`ServeConfig::max_client_jobs`].
+//! * **Overload protection.** Under any load the daemon either serves a
+//!   byte-identical stream or refuses/cancels with a typed, journalled
+//!   reason — it never blocks indefinitely and never leaks an admission
+//!   slot. Jobs carry an optional client deadline capped by
+//!   [`ServeConfig::max_job_secs`] and enforced at cycle boundaries
+//!   (terminal `deadline_exceeded` state, [`ServeError::Deadline`]); a
+//!   watchdog reaps jobs that make no progress for
+//!   [`ServeConfig::stall_secs`]; queued jobs older than
+//!   [`ServeConfig::max_queue_age_secs`] are shed on pop instead of run
+//!   pointlessly; and a dead client costs only its own job — workers
+//!   stream through a bounded per-connection buffer whose writer side
+//!   has a hard write deadline, then disconnect + cancel instead of
+//!   blocking.
 //!
 //! Multi-host sharding lives on top of this contract: the
 //! [`coordinator`] module fans one sweep out across a fleet of daemons
@@ -141,7 +155,15 @@ pub enum ServeError {
         depth: usize,
         /// The configured bound it exceeded.
         limit: usize,
+        /// Server-computed back-off hint in milliseconds — honour it as
+        /// the floor of any retry delay.
+        retry_after_ms: u64,
     },
+    /// A job (or a fansweep shard) ran out of time: the client's budget
+    /// or the server's `--max-job-secs` cap expired before it finished.
+    /// Typed so the coordinator can retry an expired shard through
+    /// [`coordinator::RetryConfig`] without string matching.
+    Deadline(String),
 }
 
 impl ServeError {
@@ -162,7 +184,12 @@ impl fmt::Display for ServeError {
                 reason,
                 depth,
                 limit,
-            } => write!(f, "server busy: {reason} ({depth}/{limit})"),
+                retry_after_ms,
+            } => write!(
+                f,
+                "server busy: {reason} ({depth}/{limit}), retry_after_ms={retry_after_ms}"
+            ),
+            ServeError::Deadline(what) => write!(f, "deadline exceeded: {what}"),
         }
     }
 }

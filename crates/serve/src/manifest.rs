@@ -338,6 +338,7 @@ fn parse_shard(line: &str, ranges: &[Range<usize>]) -> Option<(usize, CompletedS
                 ok: v.get("ok").and_then(Value::as_u64)? as usize,
                 failed: v.get("failed").and_then(Value::as_u64)? as usize,
                 cancelled: false,
+                deadline_exceeded: false,
             },
         },
     ))
@@ -359,6 +360,7 @@ mod tests {
             ok,
             failed: 0,
             cancelled: false,
+            deadline_exceeded: false,
         }
     }
 

@@ -38,8 +38,16 @@ pub enum RunTarget {
 pub enum Request {
     /// `{"cmd":"run","name":"…"}` or `{"cmd":"run","spec":{…}}` — submit
     /// one scenario (a registry name or an inline [`ScenarioSpec`]) as a
-    /// streaming job.
-    Run(RunTarget),
+    /// streaming job. An optional `"deadline_ms"` is the client's time
+    /// budget (relative milliseconds, measured on the server's clock from
+    /// acceptance); the server caps it at its own `--max-job-secs`.
+    Run {
+        /// What to run.
+        target: RunTarget,
+        /// Client time budget in milliseconds (`None` = only the server
+        /// cap, if any, applies).
+        deadline_ms: Option<u64>,
+    },
     /// `{"cmd":"sweep","spec":{…}}` — submit a [`SweepSpec`]; the server
     /// expands it and streams every scenario's rows in matrix order.
     /// With `"start"` and `"end"` (both or neither), only the
@@ -53,6 +61,10 @@ pub enum Request {
         /// `Some((start, end))` to run only that slice of the expanded
         /// matrix; `None` runs all of it.
         range: Option<(usize, usize)>,
+        /// Client time budget in milliseconds, as on
+        /// [`Request::Run`]. The budget covers the whole job (all
+        /// scenarios of the slice), not each scenario.
+        deadline_ms: Option<u64>,
     },
     /// `{"cmd":"list"}` — names of the built-in scenario registry.
     List,
@@ -81,6 +93,17 @@ pub enum Request {
     Ping,
 }
 
+/// Shared `deadline_ms` extraction: absent is fine, mistyped is loud (a
+/// budget silently dropped would let an unbounded job through).
+fn deadline(v: &Value) -> Result<Option<u64>, ServeError> {
+    match v.get("deadline_ms") {
+        None => Ok(None),
+        Some(dv) => dv.as_u64().map(Some).ok_or_else(|| {
+            ServeError::Protocol("`deadline_ms` must be a number of milliseconds".to_owned())
+        }),
+    }
+}
+
 impl Request {
     /// Parses one request line.
     ///
@@ -104,9 +127,16 @@ impl Request {
                         })?)),
                         None => None,
                     };
+                let deadline_ms = deadline(&v)?;
                 match (name, spec) {
-                    (Some(name), None) => Ok(Request::Run(RunTarget::Name(name))),
-                    (None, Some(spec)) => Ok(Request::Run(RunTarget::Spec(spec))),
+                    (Some(name), None) => Ok(Request::Run {
+                        target: RunTarget::Name(name),
+                        deadline_ms,
+                    }),
+                    (None, Some(spec)) => Ok(Request::Run {
+                        target: RunTarget::Spec(spec),
+                        deadline_ms,
+                    }),
                     _ => Err(ServeError::Protocol(
                         "run needs exactly one of `name` or `spec`".to_owned(),
                     )),
@@ -138,7 +168,11 @@ impl Request {
                         ))
                     }
                 };
-                Ok(Request::Sweep { spec, range })
+                Ok(Request::Sweep {
+                    spec,
+                    range,
+                    deadline_ms: deadline(&v)?,
+                })
             }
             "list" => Ok(Request::List),
             "jobs" => Ok(Request::Jobs),
@@ -158,15 +192,29 @@ impl Request {
     /// Serialises the request as its wire line (no trailing newline).
     pub fn to_line(&self) -> String {
         let entries = match self {
-            Request::Run(RunTarget::Name(name)) => vec![
-                ("cmd".to_owned(), Value::Str("run".to_owned())),
-                ("name".to_owned(), Value::Str(name.clone())),
-            ],
-            Request::Run(RunTarget::Spec(spec)) => vec![
-                ("cmd".to_owned(), Value::Str("run".to_owned())),
-                ("spec".to_owned(), spec.to_value()),
-            ],
-            Request::Sweep { spec, range } => {
+            Request::Run {
+                target,
+                deadline_ms,
+            } => {
+                let mut entries = vec![("cmd".to_owned(), Value::Str("run".to_owned()))];
+                match target {
+                    RunTarget::Name(name) => {
+                        entries.push(("name".to_owned(), Value::Str(name.clone())));
+                    }
+                    RunTarget::Spec(spec) => {
+                        entries.push(("spec".to_owned(), spec.to_value()));
+                    }
+                }
+                if let Some(d) = deadline_ms {
+                    entries.push(("deadline_ms".to_owned(), Value::UInt(*d)));
+                }
+                entries
+            }
+            Request::Sweep {
+                spec,
+                range,
+                deadline_ms,
+            } => {
                 let mut entries = vec![
                     ("cmd".to_owned(), Value::Str("sweep".to_owned())),
                     ("spec".to_owned(), spec.to_value()),
@@ -174,6 +222,9 @@ impl Request {
                 if let Some((start, end)) = range {
                     entries.push(("start".to_owned(), Value::UInt(*start as u64)));
                     entries.push(("end".to_owned(), Value::UInt(*end as u64)));
+                }
+                if let Some(d) = deadline_ms {
+                    entries.push(("deadline_ms".to_owned(), Value::UInt(*d)));
                 }
                 entries
             }
@@ -204,6 +255,11 @@ pub enum JobState {
     Cancelled,
     /// Finished, but at least one scenario failed.
     Failed,
+    /// Stopped because it outlived its deadline (client budget or the
+    /// server's `--max-job-secs` cap) — terminal, like a cancellation,
+    /// but typed so clients can tell "you asked me to stop" from "you
+    /// ran out of time".
+    DeadlineExceeded,
 }
 
 impl JobState {
@@ -215,6 +271,7 @@ impl JobState {
             JobState::Done => "done",
             JobState::Cancelled => "cancelled",
             JobState::Failed => "failed",
+            JobState::DeadlineExceeded => "deadline_exceeded",
         }
     }
 
@@ -226,6 +283,7 @@ impl JobState {
             "done" => JobState::Done,
             "cancelled" => JobState::Cancelled,
             "failed" => JobState::Failed,
+            "deadline_exceeded" => JobState::DeadlineExceeded,
             _ => return None,
         })
     }
@@ -234,13 +292,13 @@ impl JobState {
     pub fn is_terminal(self) -> bool {
         matches!(
             self,
-            JobState::Done | JobState::Cancelled | JobState::Failed
+            JobState::Done | JobState::Cancelled | JobState::Failed | JobState::DeadlineExceeded
         )
     }
 }
 
 /// One row of a `jobs` snapshot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobInfo {
     /// Job id.
     pub job: u64,
@@ -257,6 +315,14 @@ pub struct JobInfo {
     /// Epoch milliseconds when it reached a terminal state (`None` = not
     /// yet).
     pub finished_ms: Option<u64>,
+    /// Absolute deadline (server-clock epoch ms) the job must finish by
+    /// (`None` = unbounded). Remaining time is `deadline_ms - now_ms` of
+    /// the same snapshot — both numbers come from the server clock, so
+    /// the computation is immune to client/server skew.
+    pub deadline_ms: Option<u64>,
+    /// Why a forced terminal state was reached (`stall`, `deadline`,
+    /// `queue_age`, …; `None` for ordinary lifecycles).
+    pub reason: Option<String>,
 }
 
 /// A `jobs` snapshot together with the server clock it was taken at —
@@ -286,6 +352,10 @@ pub struct ServerStats {
     pub bytes: usize,
     /// Jobs currently waiting for a worker.
     pub queue_depth: usize,
+    /// Live admission slots (admitted jobs whose client in-flight hold
+    /// has not been released). A drained, idle daemon must report 0 —
+    /// anything else is a leaked slot.
+    pub inflight_slots: usize,
 }
 
 /// One server response frame, as parsed by the client.
@@ -324,6 +394,17 @@ pub enum Frame {
     Cancelled {
         /// Owning job id.
         job: u64,
+        /// Why, when the daemon (not the client) forced the cancellation:
+        /// `stall`, `queue_age`, `shutdown`, `disconnect`, … `None` for a
+        /// plain client-requested cancel.
+        reason: Option<String>,
+    },
+    /// The job ran out of time (client budget or server `--max-job-secs`
+    /// cap); the stream for it ends here. Every row already streamed is
+    /// final and byte-identical to its uncancelled counterpart.
+    DeadlineExceeded {
+        /// Owning job id.
+        job: u64,
     },
     /// A request-level error (malformed frame, unknown name/job, …).
     Error {
@@ -339,6 +420,10 @@ pub enum Frame {
         depth: usize,
         /// The configured bound it exceeded.
         limit: usize,
+        /// Server-computed back-off hint in milliseconds, derived from
+        /// the observed depth — the floor `submit --retry-busy` waits
+        /// before retrying.
+        retry_after_ms: u64,
     },
     /// Reply to `stats`.
     Stats(ServerStats),
@@ -421,7 +506,11 @@ impl Frame {
                 ok: count("ok")? as usize,
                 failed: count("failed")? as usize,
             }),
-            "cancelled" => Ok(Frame::Cancelled { job: job()? }),
+            "cancelled" => Ok(Frame::Cancelled {
+                job: job()?,
+                reason: v.get("reason").and_then(Value::as_str).map(str::to_owned),
+            }),
+            "deadline_exceeded" => Ok(Frame::DeadlineExceeded { job: job()? }),
             "error" => Ok(Frame::Error {
                 message: v
                     .get("message")
@@ -437,6 +526,7 @@ impl Frame {
                     .to_owned(),
                 depth: count("depth")? as usize,
                 limit: count("limit")? as usize,
+                retry_after_ms: count("retry_after_ms")?,
             }),
             "stats" => Ok(Frame::Stats(ServerStats {
                 mem_hits: count("mem_hits")?,
@@ -445,6 +535,7 @@ impl Frame {
                 entries: count("entries")? as usize,
                 bytes: count("bytes")? as usize,
                 queue_depth: count("queue_depth")? as usize,
+                inflight_slots: count("inflight_slots")? as usize,
             })),
             "scenarios" => Ok(Frame::ScenarioNames {
                 names: v
@@ -480,11 +571,14 @@ impl Frame {
                         scenarios: entry("scenarios")? as usize,
                         completed: entry("completed")? as usize,
                         queued_ms: entry("queued_ms")?,
-                        // `started`/`finished` are legitimately absent on a
-                        // job that has not reached them — optional, unlike
-                        // the structural counts above.
+                        // `started`/`finished`/`deadline`/`reason` are
+                        // legitimately absent on a job that has not reached
+                        // them — optional, unlike the structural counts
+                        // above.
                         started_ms: jv.get("started_ms").and_then(Value::as_u64),
                         finished_ms: jv.get("finished_ms").and_then(Value::as_u64),
+                        deadline_ms: jv.get("deadline_ms").and_then(Value::as_u64),
+                        reason: jv.get("reason").and_then(Value::as_str).map(str::to_owned),
                     });
                 }
                 Ok(Frame::JobTable {
@@ -512,7 +606,10 @@ impl Frame {
 
     /// `true` for the frames that terminate a job stream.
     pub fn ends_stream(&self) -> bool {
-        matches!(self, Frame::Done { .. } | Frame::Cancelled { .. })
+        matches!(
+            self,
+            Frame::Done { .. } | Frame::Cancelled { .. } | Frame::DeadlineExceeded { .. }
+        )
     }
 }
 
@@ -563,9 +660,23 @@ pub mod frames {
         )
     }
 
-    /// `cancelled` frame.
-    pub fn cancelled(job: u64) -> String {
-        event("cancelled", vec![("job".to_owned(), Value::UInt(job))])
+    /// `cancelled` frame. `reason` names the daemon-side cause of a
+    /// forced cancellation (`stall`, `queue_age`, `shutdown`, …); `None`
+    /// for a plain client-requested cancel.
+    pub fn cancelled(job: u64, reason: Option<&str>) -> String {
+        let mut rest = vec![("job".to_owned(), Value::UInt(job))];
+        if let Some(r) = reason {
+            rest.push(("reason".to_owned(), Value::Str(r.to_owned())));
+        }
+        event("cancelled", rest)
+    }
+
+    /// `deadline_exceeded` (stream-terminating) frame.
+    pub fn deadline_exceeded(job: u64) -> String {
+        event(
+            "deadline_exceeded",
+            vec![("job".to_owned(), Value::UInt(job))],
+        )
     }
 
     /// `error` frame.
@@ -576,14 +687,16 @@ pub mod frames {
         )
     }
 
-    /// `busy` (admission refusal) frame.
-    pub fn busy(reason: &str, depth: usize, limit: usize) -> String {
+    /// `busy` (admission refusal) frame. `retry_after_ms` is the server's
+    /// load-derived back-off hint.
+    pub fn busy(reason: &str, depth: usize, limit: usize, retry_after_ms: u64) -> String {
         event(
             "busy",
             vec![
                 ("reason".to_owned(), Value::Str(reason.to_owned())),
                 ("depth".to_owned(), Value::UInt(depth as u64)),
                 ("limit".to_owned(), Value::UInt(limit as u64)),
+                ("retry_after_ms".to_owned(), Value::UInt(retry_after_ms)),
             ],
         )
     }
@@ -599,6 +712,10 @@ pub mod frames {
                 ("entries".to_owned(), Value::UInt(s.entries as u64)),
                 ("bytes".to_owned(), Value::UInt(s.bytes as u64)),
                 ("queue_depth".to_owned(), Value::UInt(s.queue_depth as u64)),
+                (
+                    "inflight_slots".to_owned(),
+                    Value::UInt(s.inflight_slots as u64),
+                ),
             ],
         )
     }
@@ -640,6 +757,12 @@ pub mod frames {
                                 if let Some(ms) = j.finished_ms {
                                     entries.push(("finished_ms".to_owned(), Value::UInt(ms)));
                                 }
+                                if let Some(ms) = j.deadline_ms {
+                                    entries.push(("deadline_ms".to_owned(), Value::UInt(ms)));
+                                }
+                                if let Some(r) = &j.reason {
+                                    entries.push(("reason".to_owned(), Value::Str(r.clone())));
+                                }
                                 Value::Map(entries)
                             })
                             .collect(),
@@ -679,17 +802,27 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         let reqs = [
-            Request::Run(RunTarget::Name("synthetic-smooth".to_owned())),
-            Request::Run(RunTarget::Spec(Box::new(
-                registry::find("synthetic-smooth").unwrap(),
-            ))),
+            Request::Run {
+                target: RunTarget::Name("synthetic-smooth".to_owned()),
+                deadline_ms: None,
+            },
+            Request::Run {
+                target: RunTarget::Name("synthetic-smooth".to_owned()),
+                deadline_ms: Some(30_000),
+            },
+            Request::Run {
+                target: RunTarget::Spec(Box::new(registry::find("synthetic-smooth").unwrap())),
+                deadline_ms: None,
+            },
             Request::Sweep {
                 spec: Box::new(registry::default_sweep()),
                 range: None,
+                deadline_ms: None,
             },
             Request::Sweep {
                 spec: Box::new(registry::default_sweep()),
                 range: Some((2, 6)),
+                deadline_ms: Some(120_000),
             },
             Request::List,
             Request::Jobs,
@@ -718,6 +851,7 @@ mod tests {
             "{\"cmd\":\"cancel\"}",
             "{\"cmd\":\"cancel\",\"job\":\"three\"}",
             "{\"cmd\":\"run\",\"spec\":{\"name\":\"broken\"}}",
+            "{\"cmd\":\"run\",\"name\":\"x\",\"deadline_ms\":\"soon\"}",
         ] {
             assert!(Request::parse(bad).is_err(), "accepted: {bad}");
         }
@@ -783,7 +917,24 @@ mod tests {
                     failed: 1,
                 },
             ),
-            (frames::cancelled(9), Frame::Cancelled { job: 9 }),
+            (
+                frames::cancelled(9, None),
+                Frame::Cancelled {
+                    job: 9,
+                    reason: None,
+                },
+            ),
+            (
+                frames::cancelled(9, Some("stall")),
+                Frame::Cancelled {
+                    job: 9,
+                    reason: Some("stall".to_owned()),
+                },
+            ),
+            (
+                frames::deadline_exceeded(4),
+                Frame::DeadlineExceeded { job: 4 },
+            ),
             (
                 frames::error("nope"),
                 Frame::Error {
@@ -808,15 +959,19 @@ mod tests {
                             queued_ms: 1_700_000_000_000,
                             started_ms: Some(1_700_000_000_500),
                             finished_ms: None,
+                            deadline_ms: Some(1_700_000_060_000),
+                            reason: None,
                         },
                         JobInfo {
                             job: 2,
-                            state: JobState::Queued,
+                            state: JobState::Cancelled,
                             scenarios: 1,
                             completed: 0,
                             queued_ms: 1_700_000_001_000,
                             started_ms: None,
                             finished_ms: None,
+                            deadline_ms: None,
+                            reason: Some("queue_age".to_owned()),
                         },
                     ],
                 ),
@@ -831,25 +986,30 @@ mod tests {
                             queued_ms: 1_700_000_000_000,
                             started_ms: Some(1_700_000_000_500),
                             finished_ms: None,
+                            deadline_ms: Some(1_700_000_060_000),
+                            reason: None,
                         },
                         JobInfo {
                             job: 2,
-                            state: JobState::Queued,
+                            state: JobState::Cancelled,
                             scenarios: 1,
                             completed: 0,
                             queued_ms: 1_700_000_001_000,
                             started_ms: None,
                             finished_ms: None,
+                            deadline_ms: None,
+                            reason: Some("queue_age".to_owned()),
                         },
                     ],
                 },
             ),
             (
-                frames::busy("queue_full", 32, 32),
+                frames::busy("queue_full", 32, 32, 3200),
                 Frame::Busy {
                     reason: "queue_full".to_owned(),
                     depth: 32,
                     limit: 32,
+                    retry_after_ms: 3200,
                 },
             ),
             (
@@ -860,6 +1020,7 @@ mod tests {
                     entries: 3,
                     bytes: 4096,
                     queue_depth: 1,
+                    inflight_slots: 2,
                 }),
                 Frame::Stats(ServerStats {
                     mem_hits: 5,
@@ -868,6 +1029,7 @@ mod tests {
                     entries: 3,
                     bytes: 4096,
                     queue_depth: 1,
+                    inflight_slots: 2,
                 }),
             ),
             (
@@ -902,8 +1064,11 @@ mod tests {
             r#"{"event":"cancel","job":1}"#,
             r#"{"event":"cancelled"}"#,
             r#"{"event":"busy","reason":"queue_full","depth":4}"#,
-            r#"{"event":"busy","depth":4,"limit":4}"#,
+            r#"{"event":"busy","depth":4,"limit":4,"retry_after_ms":100}"#,
+            r#"{"event":"busy","reason":"queue_full","depth":4,"limit":4}"#,
             r#"{"event":"stats","mem_hits":1,"disk_hits":0,"misses":2,"entries":1,"bytes":10}"#,
+            r#"{"event":"stats","mem_hits":1,"disk_hits":0,"misses":2,"entries":1,"bytes":10,"queue_depth":0}"#,
+            r#"{"event":"deadline_exceeded"}"#,
         ] {
             assert!(Frame::parse(bad).is_err(), "accepted: {bad}");
         }
@@ -924,12 +1089,14 @@ mod tests {
             JobState::Done,
             JobState::Cancelled,
             JobState::Failed,
+            JobState::DeadlineExceeded,
         ] {
             assert_eq!(JobState::from_str_wire(s.as_str()), Some(s));
         }
         assert!(JobState::Done.is_terminal());
         assert!(JobState::Cancelled.is_terminal());
         assert!(JobState::Failed.is_terminal());
+        assert!(JobState::DeadlineExceeded.is_terminal());
         assert!(!JobState::Queued.is_terminal());
         assert!(!JobState::Running.is_terminal());
         assert_eq!(JobState::from_str_wire("zombie"), None);

@@ -67,6 +67,7 @@ use std::sync::mpsc::SyncSender;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::Duration;
 
+use drcell_core::StopReason;
 use drcell_scenario::sink::{row_json, RowContext};
 use drcell_scenario::{registry, run_scenario_streaming, ScenarioSpec};
 use drcell_store::{scenario_key, Admission, Journal, ResultCache};
@@ -111,6 +112,12 @@ struct Shared {
     /// workers then skip row capture entirely.
     cache_active: bool,
     admission: Admission,
+    /// Server cap on a job's lifetime in ms (`0` = uncapped) — the clamp
+    /// applied to client deadlines at submit.
+    max_job_ms: u64,
+    /// Queue-age shed threshold in ms (`0` = no shedding), checked by
+    /// workers on pop.
+    max_queue_age_ms: u64,
 }
 
 impl Shared {
@@ -141,6 +148,22 @@ pub struct ServeConfig {
     pub max_queue: usize,
     /// Maximum in-flight jobs per client address (`0` = unbounded).
     pub max_client_jobs: usize,
+    /// Server-side cap on any job's wall-clock lifetime in seconds
+    /// (`0` = uncapped). A client deadline is clamped to this cap; with a
+    /// cap and no client deadline, the cap alone applies. Expiry is
+    /// observed at cycle boundaries and ends the job in the terminal
+    /// `deadline_exceeded` state.
+    pub max_job_secs: u64,
+    /// Stall watchdog period in seconds (`0` = no watchdog). A running
+    /// job that makes no progress (no cycle row, no scenario boundary)
+    /// for this long is cancelled through the normal cancellation path
+    /// and journalled with reason `stall`.
+    pub stall_secs: u64,
+    /// Maximum age in seconds a job may sit queued before a worker sheds
+    /// it instead of running it (`0` = no shedding). Shed jobs end
+    /// `cancelled` with reason `queue_age` — refusing stale work beats
+    /// computing answers nobody is waiting for.
+    pub max_queue_age_secs: u64,
 }
 
 impl Default for ServeConfig {
@@ -152,6 +175,9 @@ impl Default for ServeConfig {
             journal: None,
             max_queue: 0,
             max_client_jobs: 0,
+            max_job_secs: 0,
+            stall_secs: 0,
+            max_queue_age_secs: 0,
         }
     }
 }
@@ -251,6 +277,8 @@ impl Server {
             cache,
             cache_active,
             admission: Admission::new(self.config.max_queue, self.config.max_client_jobs),
+            max_job_ms: self.config.max_job_secs.saturating_mul(1_000),
+            max_queue_age_ms: self.config.max_queue_age_secs.saturating_mul(1_000),
         };
         let addr = self.listener.local_addr()?;
         // Outer reservation for the server's lifetime: auto-sized inner
@@ -261,6 +289,11 @@ impl Server {
         std::thread::scope(|scope| {
             for _ in 0..self.workers {
                 scope.spawn(|| worker_loop(&shared));
+            }
+            let stall_ms = self.config.stall_secs.saturating_mul(1_000);
+            if stall_ms > 0 {
+                let shared = &shared;
+                scope.spawn(move || watchdog_loop(shared, stall_ms));
             }
             loop {
                 match self.listener.accept() {
@@ -337,6 +370,9 @@ fn worker_loop(shared: &Shared) {
                 // The job left the queue: free its admission depth unit so
                 // new submits can take its place while it runs.
                 shared.admission.release_queued();
+                if shed_on_pop(&queued, shared) {
+                    continue;
+                }
                 execute_job(queued, shared)
             }
             None => {
@@ -347,11 +383,59 @@ fn worker_loop(shared: &Shared) {
                         return;
                     };
                     shared.admission.release_queued();
+                    job.set_reason("shutdown");
                     job.set_state(JobState::Cancelled);
-                    let _ = tx.send(frames::cancelled(job.id));
+                    let _ = tx.send(frames::cancelled(job.id, job.reason().as_deref()));
                 }
             }
         }
+    }
+}
+
+/// Load shedding at the pop boundary: a job that waited past the
+/// queue-age bound, or whose deadline already expired while queued, is
+/// refused here — ended with a typed, journalled reason before a single
+/// cycle runs. Returns `true` when the job was shed.
+fn shed_on_pop(queued: &QueuedJob, shared: &Shared) -> bool {
+    let job = &queued.job;
+    let now = drcell_store::now_ms();
+    if job.deadline_expired(now) {
+        job.set_reason("deadline");
+        job.set_state(JobState::DeadlineExceeded);
+        let _ = queued.tx.send(frames::deadline_exceeded(job.id));
+        return true;
+    }
+    if shared.max_queue_age_ms > 0 && now.saturating_sub(job.queued_ms) > shared.max_queue_age_ms {
+        job.set_reason("queue_age");
+        job.cancel();
+        job.set_state(JobState::Cancelled);
+        let _ = queued
+            .tx
+            .send(frames::cancelled(job.id, job.reason().as_deref()));
+        return true;
+    }
+    false
+}
+
+/// The stall watchdog: scans running jobs and cancels any that has made
+/// no progress (no cycle row, no scenario boundary) for `stall_ms`. The
+/// cancel rides the normal sticky-flag path — the worker observes it at
+/// its next send attempt and ends the job `cancelled` with the
+/// journalled reason `stall`. Sleeps in [`READ_POLL`] slices so shutdown
+/// is never delayed by a long stall budget.
+fn watchdog_loop(shared: &Shared, stall_ms: u64) {
+    while !shared.shutting_down() {
+        let now = drcell_store::now_ms();
+        for job in shared.table.running() {
+            if now.saturating_sub(job.last_progress_ms()) > stall_ms && !job.is_cancelled() {
+                job.set_reason("stall");
+                job.cancel();
+            }
+        }
+        // One scan per READ_POLL tick: cheap (the table snapshot is an
+        // Arc clone per running job) and detection latency stays well
+        // under one stall period.
+        std::thread::sleep(READ_POLL);
     }
 }
 
@@ -374,7 +458,7 @@ fn execute_job(queued: QueuedJob, shared: &Shared) {
     } = queued;
     if job.is_cancelled() {
         job.set_state(JobState::Cancelled);
-        let _ = tx.send(frames::cancelled(job.id));
+        let _ = tx.send(frames::cancelled(job.id, job.reason().as_deref()));
         return;
     }
     job.set_state(JobState::Running);
@@ -384,25 +468,44 @@ fn execute_job(queued: QueuedJob, shared: &Shared) {
         let index = offset + index;
         if job.is_cancelled() {
             job.set_state(JobState::Cancelled);
-            let _ = tx.send(frames::cancelled(job.id));
+            let _ = tx.send(frames::cancelled(job.id, job.reason().as_deref()));
+            return;
+        }
+        if job.deadline_expired(drcell_store::now_ms()) {
+            job.set_reason("deadline");
+            job.set_state(JobState::DeadlineExceeded);
+            let _ = tx.send(frames::deadline_exceeded(job.id));
             return;
         }
         let key = shared.cache_active.then(|| scenario_key(spec, index));
         if let Some(rows) = key.as_deref().and_then(|k| shared.cache.lookup(k)) {
-            // Warm hit: replay the stored stream, honouring cancellation
-            // and client-death exactly like a live run would.
+            // Warm hit: replay the stored stream, honouring cancellation,
+            // deadlines and client-death exactly like a live run would.
+            let mut expired = false;
             for row in rows.iter() {
                 if job.is_cancelled() {
                     break;
                 }
+                if job.deadline_expired(drcell_store::now_ms()) {
+                    expired = true;
+                    break;
+                }
                 if tx.send(row.clone()).is_err() {
+                    job.set_reason("disconnect");
                     job.cancel();
                     break;
                 }
+                job.touch_progress();
             }
             if job.is_cancelled() {
                 job.set_state(JobState::Cancelled);
-                let _ = tx.send(frames::cancelled(job.id));
+                let _ = tx.send(frames::cancelled(job.id, job.reason().as_deref()));
+                return;
+            }
+            if expired {
+                job.set_reason("deadline");
+                job.set_state(JobState::DeadlineExceeded);
+                let _ = tx.send(frames::deadline_exceeded(job.id));
                 return;
             }
             ok += 1;
@@ -420,7 +523,11 @@ fn execute_job(queued: QueuedJob, shared: &Shared) {
         let mut captured: Vec<String> = Vec::new();
         let outcome = run_scenario_streaming(spec, index, &mut |record| {
             if job.is_cancelled() {
-                return ControlFlow::Break(());
+                return ControlFlow::Break(StopReason::Cancelled);
+            }
+            if job.deadline_expired(drcell_store::now_ms()) {
+                job.set_reason("deadline");
+                return ControlFlow::Break(StopReason::DeadlineExceeded);
             }
             let row = row_json(ctx, record);
             if key.is_some() {
@@ -429,9 +536,15 @@ fn execute_job(queued: QueuedJob, shared: &Shared) {
             if tx.send(row).is_err() {
                 // The connection side is gone; treat it as a cancel so the
                 // run stops at the next cycle boundary.
+                job.set_reason("disconnect");
                 job.cancel();
-                return ControlFlow::Break(());
+                return ControlFlow::Break(StopReason::Cancelled);
             }
+            // The heartbeat the stall watchdog reads: one cycle streamed.
+            job.touch_progress();
+            // Chaos seam: freeze this worker between cycles (a `delay`
+            // fault here) so the watchdog provably detects no-progress.
+            let _ = crate::fault_io("serve.worker_stall");
             ControlFlow::Continue(())
         });
         match outcome {
@@ -445,7 +558,12 @@ fn execute_job(queued: QueuedJob, shared: &Shared) {
             }
             Err(e) if e.is_cancelled() => {
                 job.set_state(JobState::Cancelled);
-                let _ = tx.send(frames::cancelled(job.id));
+                let _ = tx.send(frames::cancelled(job.id, job.reason().as_deref()));
+                return;
+            }
+            Err(e) if e.is_deadline() => {
+                job.set_state(JobState::DeadlineExceeded);
+                let _ = tx.send(frames::deadline_exceeded(job.id));
                 return;
             }
             Err(e) => {
@@ -622,6 +740,7 @@ fn dispatch(
         Request::Stats => {
             let cache = shared.cache.stats();
             let queue_depth = shared.queue.lock().expect("job queue lock").len();
+            let admission = shared.admission.snapshot();
             write_line(
                 writer,
                 &frames::stats(&ServerStats {
@@ -631,6 +750,7 @@ fn dispatch(
                     entries: cache.entries,
                     bytes: cache.bytes,
                     queue_depth,
+                    inflight_slots: admission.inflight_slots,
                 }),
             )
             .is_ok()
@@ -669,7 +789,10 @@ fn dispatch(
             let _ = TcpStream::connect(wake);
             false
         }
-        Request::Run(target) => {
+        Request::Run {
+            target,
+            deadline_ms,
+        } => {
             let spec = match target {
                 RunTarget::Name(name) => match registry::find(&name) {
                     Some(spec) => spec,
@@ -683,9 +806,13 @@ fn dispatch(
                 },
                 RunTarget::Spec(spec) => *spec,
             };
-            submit(vec![spec], 0, writer, shared, client)
+            submit(vec![spec], 0, deadline_ms, writer, shared, client)
         }
-        Request::Sweep { spec, range } => {
+        Request::Sweep {
+            spec,
+            range,
+            deadline_ms,
+        } => {
             let mut specs = spec.expand();
             if specs.is_empty() {
                 return write_line(writer, &frames::error("sweep expands to no scenarios")).is_ok();
@@ -712,9 +839,23 @@ fn dispatch(
                     start
                 }
             };
-            submit(specs, offset, writer, shared, client)
+            submit(specs, offset, deadline_ms, writer, shared, client)
         }
     }
+}
+
+/// The absolute server-clock deadline for a job accepted now: the
+/// client's relative budget (ms) and the server cap
+/// ([`ServeConfig::max_job_secs`]) are both applied, whichever is
+/// tighter; `0` = unbounded (no budget, no cap).
+fn effective_deadline(now_ms: u64, client_budget_ms: Option<u64>, max_job_ms: u64) -> u64 {
+    let budget = match (client_budget_ms, max_job_ms) {
+        (None, 0) => return 0,
+        (None, cap) => cap,
+        (Some(b), 0) => b,
+        (Some(b), cap) => b.min(cap),
+    };
+    now_ms.saturating_add(budget.max(1))
 }
 
 /// Queues a job and streams its frames back until it finishes. Admission
@@ -724,6 +865,7 @@ fn dispatch(
 fn submit(
     specs: Vec<ScenarioSpec>,
     offset: usize,
+    deadline_ms: Option<u64>,
     writer: &mut TcpStream,
     shared: &Shared,
     client: &str,
@@ -738,7 +880,12 @@ fn submit(
         Err(busy) => {
             return write_line(
                 writer,
-                &frames::busy(busy.reason.as_str(), busy.depth, busy.limit),
+                &frames::busy(
+                    busy.reason.as_str(),
+                    busy.depth,
+                    busy.limit,
+                    busy.retry_after_ms(),
+                ),
             )
             .is_ok();
         }
@@ -747,12 +894,18 @@ fn submit(
         shared.admission.release_queued();
         return write_line(writer, &frames::error("server is shutting down")).is_ok();
     }
+    // The client's relative time budget becomes an absolute server-clock
+    // deadline here, clamped by the server cap — skew-immune because only
+    // the server's clock is ever compared against it.
+    let deadline = effective_deadline(drcell_store::now_ms(), deadline_ms, shared.max_job_ms);
     // Create (and, on a durable table, journal) the job *before* taking
     // the queue lock: the journal append is a disk flush, and holding the
     // queue mutex across it would stall every worker pop and every other
     // connection's submit. Create-record id order in the journal is
     // guaranteed by the table's own lock, not this one.
-    let job = shared.table.create(scenarios);
+    let job = shared
+        .table
+        .create(scenarios, (deadline != 0).then_some(deadline));
     {
         // The shutdown check must share the queue lock with the push and
         // with the workers' own flag check: workers only exit after
@@ -766,6 +919,7 @@ fn submit(
             shared.admission.release_queued();
             // The job already exists (and is journalled on a durable
             // table); record the honest outcome instead of erasing it.
+            job.set_reason("shutdown");
             job.cancel();
             job.set_state(JobState::Cancelled);
             return write_line(writer, &frames::error("server is shutting down")).is_ok();
@@ -781,14 +935,18 @@ fn submit(
     let accepted = frames::accepted(job.id, scenarios);
     let mut client_alive = write_line(writer, &accepted).is_ok();
     if !client_alive {
+        job.set_reason("disconnect");
         job.cancel();
     }
     // Forward frames until the worker drops the sender. If the client
-    // stops accepting them, cancel the job but keep draining so the
-    // worker never blocks on a dead connection.
+    // stops accepting them — the socket write deadline ([`WRITE_TIMEOUT`])
+    // expires or the write fails outright — cancel the job but keep
+    // draining so the worker never blocks on a dead connection. This is
+    // the slow-consumer bound: one dead client costs exactly its own job.
     while let Ok(frame) = rx.recv() {
         if client_alive && write_line(writer, &frame).is_err() {
             client_alive = false;
+            job.set_reason("disconnect");
             job.cancel();
         }
     }

@@ -333,3 +333,95 @@ fn an_admission_slot_is_released_when_a_client_hits_a_write_deadline_mid_submit(
         .expect("shutdown ack");
     handle.join().expect("server thread");
 }
+
+/// The stall watchdog reaps a worker frozen between cycles: a
+/// `serve.worker_stall` delay freezes the job with no progress heartbeat,
+/// the watchdog cancels it through the normal cancellation path, and the
+/// journal records the `stall` reason durably.
+#[test]
+fn a_stalled_worker_is_reaped_by_the_watchdog_and_journalled() {
+    let _gate = lock();
+    let dir = std::env::temp_dir().join(format!("drcell-stall-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("jobs.journal");
+    let config = ServeConfig {
+        workers: 1,
+        stall_secs: 1,
+        journal: Some(journal.clone()),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind_with("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+
+    // Two clean cycles, then the worker freezes for 4 s — far past the
+    // 1 s stall budget, with no heartbeat while frozen.
+    drcell_faults::clear();
+    drcell_faults::configure("serve.worker_stall", "2*off->1*delay(4000)").expect("valid spec");
+    let mut client = Client::connect(addr.as_str()).expect("connect");
+    let output = client
+        .run_spec(&base_spec("stalled", 50_000))
+        .expect("accepted")
+        .collect()
+        .expect("stream drains");
+    drcell_faults::clear();
+
+    assert!(output.cancelled, "the watchdog must cancel the stalled job");
+    assert!(!output.deadline_exceeded);
+    let info = client.jobs().expect("jobs").jobs.pop().expect("listed");
+    assert_eq!(info.reason.as_deref(), Some("stall"));
+    let text = std::fs::read_to_string(&journal).expect("journal readable");
+    assert!(
+        text.lines()
+            .any(|l| l.contains("\"state\":\"cancelled\"") && l.contains("\"reason\":\"stall\"")),
+        "journal must record the stall cancellation:\n{text}"
+    );
+
+    drop(client);
+    Client::connect(addr.as_str())
+        .expect("connect for shutdown")
+        .shutdown()
+        .expect("shutdown ack");
+    handle.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An expired shard deadline is a typed, *retryable* fault: one shard's
+/// first dispatch freezes past the per-shard budget, comes back
+/// `deadline_exceeded`, is re-dispatched through the normal retry
+/// backoff, and the merged sweep output stays byte-identical to the
+/// fault-free engine run.
+#[test]
+fn an_expired_shard_deadline_is_retried_and_merges_byte_identical() {
+    let _gate = lock();
+    let sweep = chaos_sweep();
+    let reference = engine_rows(&sweep);
+    let fleet = start_fleet(2, "shard-deadline");
+
+    drcell_faults::clear();
+    drcell_faults::set_seed(7);
+    // One 3 s freeze on the first executed cycle fleet-wide: whichever
+    // shard draws it blows through the 1 s shard deadline and must be
+    // re-dispatched (never silently dropped from the merge).
+    drcell_faults::configure("serve.worker_stall", "1*delay(3000)").expect("valid spec");
+    let config = FleetConfig {
+        shard_deadline: Some(Duration::from_secs(1)),
+        ..chaos_config()
+    };
+    let result = fansweep_with(&fleet.addrs, &sweep, &config);
+    drcell_faults::clear();
+
+    let output = result.expect("an expired shard must be retried, not fatal");
+    assert_eq!(output.ok, 4);
+    assert_eq!(
+        output.rows, reference,
+        "retried shard must merge byte-identically"
+    );
+    assert!(
+        output.shards.iter().any(|s| s.attempts > 1),
+        "the deadline must actually have expired once: {:?}",
+        output.shards
+    );
+    fleet.shut_down();
+}

@@ -9,7 +9,7 @@ use std::time::{Duration, Instant};
 use drcell_scenario::{
     shard_ranges, DatasetSpec, PolicySpec, QualitySpec, RunnerSpec, ScenarioSpec, SweepSpec,
 };
-use drcell_serve::{Client, ClientConfig, Frame, JobState, ServeError, Server};
+use drcell_serve::{Client, ClientConfig, Frame, JobState, ServeConfig, ServeError, Server};
 
 /// A cheap, fully deterministic scenario; `cycles` scales its runtime.
 fn tiny_spec(name: &str, cycles: usize) -> ScenarioSpec {
@@ -204,7 +204,7 @@ fn mid_stream_cancel_stops_the_job_at_a_cycle_boundary() {
     while let Some(frame) = stream.next_frame().unwrap() {
         match frame {
             Frame::Row(_) => {}
-            Frame::Cancelled { job } => {
+            Frame::Cancelled { job, .. } => {
                 assert_eq!(job, job_id);
                 saw_cancelled = true;
             }
@@ -416,4 +416,193 @@ fn shutdown_cancels_queued_jobs_but_finishes_running_ones() {
     drop(stream);
     drop(first);
     handle.join().expect("server thread");
+}
+
+/// A client deadline is enforced at cycle boundaries: the job ends in the
+/// terminal `deadline_exceeded` state, typed on the stream and recorded
+/// (with its reason) in the job table.
+#[test]
+fn a_job_past_its_deadline_ends_deadline_exceeded_typed_and_listed() {
+    let (addr, handle) = start_server(1);
+    let mut client = Client::connect(addr).unwrap();
+    let output = client
+        .run_spec_with(
+            &tiny_spec("deadline-exceeded", 50_000),
+            Some(Duration::from_millis(100)),
+        )
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert!(output.deadline_exceeded, "the budget must expire mid-run");
+    assert!(!output.cancelled, "deadline expiry is typed, not a cancel");
+    let info = client.jobs().unwrap().jobs.pop().unwrap();
+    assert_eq!(info.state, JobState::DeadlineExceeded);
+    assert_eq!(info.reason.as_deref(), Some("deadline"));
+    assert!(info.deadline_ms.is_some(), "the deadline is listed");
+    drop(client);
+    shut_down(addr, handle);
+}
+
+/// `--max-job-secs` caps every job: a huge client budget is clamped to
+/// the server cap, visibly in the job listing, and the cap alone expires
+/// the job.
+#[test]
+fn the_server_cap_clamps_client_deadlines() {
+    let config = ServeConfig {
+        workers: 1,
+        max_job_secs: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind_with("127.0.0.1:0", config).expect("bind ephemeral");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+
+    let mut client = Client::connect(addr).unwrap();
+    let stream = client
+        .run_spec_with(
+            &tiny_spec("cap-clamp", 50_000),
+            Some(Duration::from_secs(3_600)),
+        )
+        .unwrap();
+    let job_id = stream.job;
+    let mut lister = Client::connect(addr).unwrap();
+    let info = lister
+        .jobs()
+        .unwrap()
+        .jobs
+        .into_iter()
+        .find(|j| j.job == job_id)
+        .expect("submitted job is listed");
+    let deadline = info.deadline_ms.expect("the cap sets a deadline");
+    // The absolute deadline reflects the 1 s cap, not the hour the client
+    // asked for (both stamps come from the server's clock).
+    assert!(
+        deadline >= info.queued_ms,
+        "{deadline} < {}",
+        info.queued_ms
+    );
+    assert!(
+        deadline - info.queued_ms <= 1_000,
+        "cap not applied: {} ms budget",
+        deadline - info.queued_ms
+    );
+    let output = stream.collect().unwrap();
+    assert!(
+        output.deadline_exceeded,
+        "the cap alone must expire the job"
+    );
+    drop(client);
+    drop(lister);
+    shut_down(addr, handle);
+}
+
+/// Cancelling a job that is still queued under admission pressure frees
+/// its queue unit, never lets a worker start it, journals the cancelled
+/// state durably, and leaks no admission slot.
+#[test]
+fn cancelling_a_queued_job_under_pressure_releases_the_slot_and_never_starts_it() {
+    let dir = std::env::temp_dir().join(format!("drcell-queued-cancel-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("jobs.journal");
+    let config = ServeConfig {
+        workers: 1,
+        max_queue: 1,
+        journal: Some(journal.clone()),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind_with("127.0.0.1:0", config).expect("bind ephemeral");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+
+    // The only worker is held by a long job…
+    let mut holder = Client::connect(addr).unwrap();
+    let mut held = holder
+        .run_spec(&tiny_spec("pressure-held", 50_000))
+        .unwrap();
+    let held_id = held.job;
+    assert!(matches!(held.next_frame().unwrap(), Some(Frame::Row(_))));
+
+    // …so this job sits queued, filling the 1-deep queue.
+    let mut waiting = Client::connect(addr).unwrap();
+    let queued = waiting.run_spec(&tiny_spec("pressure-queued", 60)).unwrap();
+    let queued_id = queued.job;
+
+    // The pressure is real: one more submit bounces with a busy frame
+    // carrying the load-derived back-off hint.
+    let mut control = Client::connect(addr).unwrap();
+    match control.run_spec(&tiny_spec("pressure-refused", 60)) {
+        Err(ServeError::Busy {
+            reason,
+            retry_after_ms,
+            ..
+        }) => {
+            assert_eq!(reason, "queue_full");
+            assert!((100..=5_000).contains(&retry_after_ms));
+        }
+        other => panic!("expected busy, got {other:?}"),
+    }
+
+    // Cancel the *queued* job first, then the holder; the worker reaches
+    // the queued job with the cancel flag already set.
+    control.cancel(queued_id).unwrap();
+    control.cancel(held_id).unwrap();
+    while held.next_frame().unwrap().is_some() {}
+    let output = queued.collect().unwrap();
+    assert!(output.cancelled);
+    assert!(
+        output.rows.is_empty(),
+        "a job cancelled while queued must never produce a row"
+    );
+
+    let info = control
+        .jobs()
+        .unwrap()
+        .jobs
+        .into_iter()
+        .find(|j| j.job == queued_id)
+        .expect("queued job is listed");
+    assert_eq!(info.state, JobState::Cancelled);
+    assert_eq!(info.started_ms, None, "no worker may ever start it");
+    assert_eq!(info.completed, 0);
+
+    // Every admission unit drains: no queued depth, no in-flight slots
+    // (the server releases a slot just after the stream's final frame, so
+    // poll briefly instead of racing it)…
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = control.stats().unwrap();
+        if stats.inflight_slots == 0 && stats.queue_depth == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "admission units leaked: {} slot(s), {} queued",
+            stats.inflight_slots,
+            stats.queue_depth
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // …and a fresh submit is admitted and completes.
+    let output = control
+        .run_spec(&tiny_spec("pressure-after", 24))
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(output.ok, 1);
+
+    // The cancellation is a durable journalled fact.
+    let text = std::fs::read_to_string(&journal).unwrap();
+    assert!(
+        text.lines()
+            .any(|l| l.contains(&format!("\"job\":{queued_id},"))
+                && l.contains("\"state\":\"cancelled\"")),
+        "journal must record the queued job's cancellation:\n{text}"
+    );
+    drop(held);
+    drop(holder);
+    drop(waiting);
+    drop(control);
+    shut_down(addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
 }

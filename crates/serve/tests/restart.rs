@@ -201,9 +201,12 @@ fn full_queue_refuses_submits_with_busy() {
             reason,
             depth,
             limit,
+            retry_after_ms,
         }) => {
             assert_eq!(reason, "queue_full");
             assert_eq!((depth, limit), (1, 1));
+            // The hint is load-derived and clamped to [100, 5000].
+            assert!((100..=5_000).contains(&retry_after_ms));
         }
         other => panic!("expected busy, got {other:?}"),
     }
@@ -246,9 +249,11 @@ fn per_client_cap_refuses_then_recovers() {
             reason,
             depth,
             limit,
+            retry_after_ms,
         }) => {
             assert_eq!(reason, "client_limit");
             assert_eq!((depth, limit), (1, 1));
+            assert!((100..=5_000).contains(&retry_after_ms));
         }
         other => panic!("expected busy, got {other:?}"),
     }

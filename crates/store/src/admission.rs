@@ -51,6 +51,29 @@ pub struct Busy {
     pub limit: usize,
 }
 
+impl Busy {
+    /// A deterministic back-off hint in milliseconds, derived from the
+    /// observed depth at refusal time: 100 ms per queued/in-flight job,
+    /// clamped to `[100, 5000]`. Clients honouring the hint naturally
+    /// spread out under load (deeper queue → longer wait) without the
+    /// server tracking any per-client state.
+    pub fn retry_after_ms(&self) -> u64 {
+        (self.depth as u64).saturating_mul(100).clamp(100, 5_000)
+    }
+}
+
+/// A point-in-time view of the controller's capacity accounting, for
+/// stats reporting and leak auditing (a drained, idle daemon must show
+/// zeros on both axes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionSnapshot {
+    /// Jobs admitted and not yet reported dequeued.
+    pub queued: usize,
+    /// Live [`Slot`]s across all clients (jobs admitted whose slot has
+    /// not been dropped yet).
+    pub inflight_slots: usize,
+}
+
 #[derive(Debug, Default)]
 struct Counts {
     inflight: HashMap<String, usize>,
@@ -139,6 +162,18 @@ impl Admission {
         })
     }
 
+    /// A point-in-time snapshot of the queued depth and live slot count.
+    /// After every submitted job reaches a terminal state and every
+    /// connection handler returns, both numbers must be zero — the
+    /// leak-audit invariant the load gate asserts.
+    pub fn snapshot(&self) -> AdmissionSnapshot {
+        let counts = self.counts.lock().expect("admission lock");
+        AdmissionSnapshot {
+            queued: counts.queued,
+            inflight_slots: counts.inflight.values().sum(),
+        }
+    }
+
     /// Releases one unit of queue depth. Call exactly once per admitted
     /// job, when it leaves the queue — a worker popped it (to run *or* to
     /// drain-cancel it), or the submit was abandoned before enqueueing.
@@ -193,5 +228,49 @@ mod tests {
         for _ in 0..100 {
             slots.push(adm.try_admit("c").unwrap());
         }
+    }
+
+    #[test]
+    fn snapshot_tracks_slots_and_queue_independently() {
+        let adm = Admission::new(0, 0);
+        let a = adm.try_admit("x").unwrap();
+        let b = adm.try_admit("y").unwrap();
+        assert_eq!(
+            adm.snapshot(),
+            AdmissionSnapshot {
+                queued: 2,
+                inflight_slots: 2
+            }
+        );
+        // Dequeueing frees queue depth but not the slot...
+        adm.release_queued();
+        assert_eq!(
+            adm.snapshot(),
+            AdmissionSnapshot {
+                queued: 1,
+                inflight_slots: 2
+            }
+        );
+        // ...and dropping the slots drains the in-flight count to zero.
+        drop(a);
+        drop(b);
+        adm.release_queued();
+        assert_eq!(adm.snapshot(), AdmissionSnapshot::default());
+    }
+
+    #[test]
+    fn retry_after_hint_scales_with_depth_and_clamps() {
+        let hint = |depth| {
+            Busy {
+                reason: BusyReason::QueueFull,
+                depth,
+                limit: 4,
+            }
+            .retry_after_ms()
+        };
+        assert_eq!(hint(0), 100);
+        assert_eq!(hint(1), 100);
+        assert_eq!(hint(7), 700);
+        assert_eq!(hint(1000), 5_000);
     }
 }

@@ -317,6 +317,52 @@ mod tests {
     }
 
     #[test]
+    fn replacing_entries_never_drifts_the_byte_accounting() {
+        // Regression pin for the LRU budget arithmetic on the overwrite
+        // path: replacing an existing key must charge exactly the size
+        // delta (subtract the displaced entry, add the new one), never
+        // double-count, so repeated replacement under a tight budget can
+        // neither inflate `bytes` until everything is spuriously evicted
+        // nor deflate it until the budget stops binding.
+        let budget = entry_bytes(&rows("steady", 6)) + entry_bytes(&rows("k", 12)) + 1;
+        let cache = ResultCache::new(budget, None).unwrap();
+        cache.insert("steady", rows("steady", 6));
+        let mut expected = entry_bytes(&rows("steady", 6));
+        // Replace the same key many times with varying sizes; any
+        // systematic over- or under-count compounds across iterations.
+        for n in [1usize, 12, 3, 12, 7, 1, 12, 5, 12, 2] {
+            cache.insert("k", rows("k", n));
+            let stats = cache.stats();
+            assert_eq!(
+                stats.bytes,
+                expected + entry_bytes(&rows("k", n)),
+                "byte accounting drifted after replacing with {n} rows"
+            );
+            assert_eq!(stats.entries, 2, "replacement must not change entry count");
+        }
+        // The budget never appeared exceeded, so the untouched co-resident
+        // entry must still be live (a phantom overshoot would evict it).
+        assert!(
+            cache.lookup("steady").is_some(),
+            "co-resident entry was evicted: accounting must have overshot"
+        );
+        // Shrink-replace, then confirm the freed headroom is real: a new
+        // entry sized exactly to the remaining budget must be admitted
+        // without evicting anyone.
+        cache.insert("k", rows("k", 1));
+        expected = cache.stats().bytes;
+        let free = budget - expected;
+        let filler: Vec<String> = vec!["x".repeat(free - 1)];
+        assert_eq!(entry_bytes(&filler), free);
+        cache.insert("filler", filler);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.bytes, budget);
+        assert!(cache.lookup("steady").is_some());
+        assert!(cache.lookup("k").is_some());
+    }
+
+    #[test]
     fn oversized_entry_is_not_admitted_to_memory() {
         let cache = ResultCache::new(16, None).unwrap();
         cache.insert("big", rows("big", 10));

@@ -44,18 +44,28 @@ pub enum Record {
         scenarios: usize,
         /// Wall-clock milliseconds since the Unix epoch at acceptance.
         at_ms: u64,
+        /// Absolute deadline (epoch ms) the job must finish by, if any.
+        /// Absent on records written before deadlines existed — replay
+        /// treats absence as "no deadline", so old journals stay valid.
+        deadline_ms: Option<u64>,
     },
     /// A job moved to a new lifecycle state.
     State {
         /// Job id.
         job: u64,
         /// Wire name of the new state (`running`, `done`, `cancelled`,
-        /// `failed` — the journal does not interpret it).
+        /// `failed`, `deadline_exceeded` — the journal does not interpret
+        /// it).
         state: String,
         /// Scenarios finished at transition time.
         completed: usize,
         /// Wall-clock milliseconds since the Unix epoch at transition.
         at_ms: u64,
+        /// Why the job reached this state, when the transition was forced
+        /// (`stall`, `queue_age`, `deadline`, `shutdown`, `disconnect`,
+        /// `client`, `recovery` — opaque to the journal). Absent for
+        /// ordinary progress transitions and on pre-existing records.
+        reason: Option<String>,
     },
 }
 
@@ -66,24 +76,38 @@ impl Record {
                 job,
                 scenarios,
                 at_ms,
-            } => vec![
-                ("op".to_owned(), Value::Str("create".to_owned())),
-                ("job".to_owned(), Value::UInt(*job)),
-                ("scenarios".to_owned(), Value::UInt(*scenarios as u64)),
-                ("at_ms".to_owned(), Value::UInt(*at_ms)),
-            ],
+                deadline_ms,
+            } => {
+                let mut entries = vec![
+                    ("op".to_owned(), Value::Str("create".to_owned())),
+                    ("job".to_owned(), Value::UInt(*job)),
+                    ("scenarios".to_owned(), Value::UInt(*scenarios as u64)),
+                    ("at_ms".to_owned(), Value::UInt(*at_ms)),
+                ];
+                if let Some(d) = deadline_ms {
+                    entries.push(("deadline_ms".to_owned(), Value::UInt(*d)));
+                }
+                entries
+            }
             Record::State {
                 job,
                 state,
                 completed,
                 at_ms,
-            } => vec![
-                ("op".to_owned(), Value::Str("state".to_owned())),
-                ("job".to_owned(), Value::UInt(*job)),
-                ("state".to_owned(), Value::Str(state.clone())),
-                ("completed".to_owned(), Value::UInt(*completed as u64)),
-                ("at_ms".to_owned(), Value::UInt(*at_ms)),
-            ],
+                reason,
+            } => {
+                let mut entries = vec![
+                    ("op".to_owned(), Value::Str("state".to_owned())),
+                    ("job".to_owned(), Value::UInt(*job)),
+                    ("state".to_owned(), Value::Str(state.clone())),
+                    ("completed".to_owned(), Value::UInt(*completed as u64)),
+                    ("at_ms".to_owned(), Value::UInt(*at_ms)),
+                ];
+                if let Some(r) = reason {
+                    entries.push(("reason".to_owned(), Value::Str(r.clone())));
+                }
+                entries
+            }
         };
         to_json(&Value::Map(entries))
     }
@@ -96,12 +120,14 @@ impl Record {
                 job: field("job")?,
                 scenarios: field("scenarios")? as usize,
                 at_ms: field("at_ms")?,
+                deadline_ms: field("deadline_ms"),
             }),
             "state" => Some(Record::State {
                 job: field("job")?,
                 state: v.get("state").and_then(Value::as_str)?.to_owned(),
                 completed: field("completed")? as usize,
                 at_ms: field("at_ms")?,
+                reason: v.get("reason").and_then(Value::as_str).map(str::to_owned),
             }),
             _ => None,
         }
@@ -363,18 +389,21 @@ mod tests {
                 job: 1,
                 scenarios: 2,
                 at_ms: 1000,
+                deadline_ms: None,
             },
             Record::State {
                 job: 1,
                 state: "running".to_owned(),
                 completed: 0,
                 at_ms: 1001,
+                reason: None,
             },
             Record::State {
                 job: 1,
                 state: "done".to_owned(),
                 completed: 2,
                 at_ms: 2002,
+                reason: None,
             },
         ];
         {
@@ -391,10 +420,54 @@ mod tests {
                 job: 2,
                 scenarios: 1,
                 at_ms: 3000,
+                deadline_ms: None,
             })
             .unwrap();
         assert_eq!(Journal::replay(&path).unwrap().len(), 4);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn pre_deadline_records_parse_with_absent_optional_fields() {
+        // Lines written before deadlines/reasons existed must replay as
+        // `None`, and records carrying the new fields must round-trip.
+        let old_create = "{\"op\":\"create\",\"job\":3,\"scenarios\":4,\"at_ms\":10}";
+        assert_eq!(
+            Record::parse(old_create),
+            Some(Record::Create {
+                job: 3,
+                scenarios: 4,
+                at_ms: 10,
+                deadline_ms: None,
+            })
+        );
+        let old_state =
+            "{\"op\":\"state\",\"job\":3,\"state\":\"cancelled\",\"completed\":1,\"at_ms\":11}";
+        assert_eq!(
+            Record::parse(old_state),
+            Some(Record::State {
+                job: 3,
+                state: "cancelled".to_owned(),
+                completed: 1,
+                at_ms: 11,
+                reason: None,
+            })
+        );
+        let with_deadline = Record::Create {
+            job: 9,
+            scenarios: 1,
+            at_ms: 20,
+            deadline_ms: Some(5020),
+        };
+        assert_eq!(Record::parse(&with_deadline.to_line()), Some(with_deadline));
+        let with_reason = Record::State {
+            job: 9,
+            state: "cancelled".to_owned(),
+            completed: 0,
+            at_ms: 30,
+            reason: Some("stall".to_owned()),
+        };
+        assert_eq!(Record::parse(&with_reason.to_line()), Some(with_reason));
     }
 
     #[test]
@@ -414,6 +487,7 @@ mod tests {
                 job: 1,
                 scenarios: 1,
                 at_ms: 7,
+                deadline_ms: None,
             })
             .unwrap();
         drop(journal);
@@ -439,6 +513,7 @@ mod tests {
             job: 1,
             scenarios: 1,
             at_ms: 7,
+            deadline_ms: None,
         };
         {
             let journal = Journal::open(&path).unwrap();
@@ -457,6 +532,7 @@ mod tests {
             state: "cancelled".to_owned(),
             completed: 0,
             at_ms: 9,
+            reason: None,
         };
         journal.append(&second).unwrap();
         drop(journal);
@@ -473,6 +549,7 @@ mod tests {
                 job: 1,
                 scenarios: 2,
                 at_ms: 1,
+                deadline_ms: None,
             })
             .unwrap();
         drop(journal);
@@ -492,6 +569,7 @@ mod tests {
                     state: "running".to_owned(),
                     completed: i,
                     at_ms: i as u64,
+                    reason: None,
                 })
                 .unwrap();
         }
@@ -499,6 +577,7 @@ mod tests {
             job: 1,
             scenarios: 10,
             at_ms: 0,
+            deadline_ms: None,
         }];
         journal.compact(&snapshot).unwrap();
         assert_eq!(Journal::replay(&path).unwrap(), snapshot);
@@ -508,6 +587,7 @@ mod tests {
             state: "done".to_owned(),
             completed: 10,
             at_ms: 11,
+            reason: None,
         };
         journal.append(&tail).unwrap();
         drop(journal);

@@ -44,7 +44,7 @@ pub mod journal;
 pub mod key;
 pub mod sha256;
 
-pub use admission::{Admission, Busy, BusyReason, Slot};
+pub use admission::{Admission, AdmissionSnapshot, Busy, BusyReason, Slot};
 pub use cache::{CacheStats, ResultCache};
 pub use journal::{now_ms, Journal, LineJournal, Record};
 pub use key::scenario_key;
