@@ -221,6 +221,15 @@ fn main() {
 
     if let Some(path) = gate::flag(&args, "--write") {
         gate::write_baseline(&path, &to_json(&m));
+        if m.hw_threads < POOL_THREADS {
+            eprintln!(
+                "WARNING: baseline recorded with {} hw thread(s) < {POOL_THREADS} — the \
+                 >=2x pooled-speedup gate and the pooled-ratio regression gates are DORMANT \
+                 until BENCH_par.json is re-recorded with --write on a machine with >= \
+                 {POOL_THREADS} hardware threads",
+                m.hw_threads
+            );
+        }
     }
     if let Some(path) = gate::flag(&args, "--check") {
         let max_regression: f64 = gate::flag(&args, "--max-regression")
@@ -366,12 +375,17 @@ fn main() {
         }
         println!(
             "gate ok: serial {:.1} µs (ratio {:.4} vs baseline {:.4}), pooled {:.1} µs, \
-             speedup {:.2}x, bit-identity held",
+             speedup {:.2}x, bit-identity held{}",
             m.serial_us,
             serial_ratio,
             base_serial_ratio,
             m.pooled_us,
-            m.assess_speedup()
+            m.assess_speedup(),
+            if same_class {
+                ""
+            } else {
+                " [pooled gates DORMANT — needs a >=4-hw-thread --write re-record]"
+            }
         );
     }
 }

@@ -2,6 +2,7 @@ use drcell_inference::{
     AssessmentBackend, BatchedLooEngine, CompressiveSensing, CompressiveSensingConfig,
     InferenceAlgorithm, NaiveLooSolver, ObservedMatrix,
 };
+use drcell_linalg::{backend, BackendChoice};
 use drcell_quality::{QualityAssessment, QualityAssessor, QualityRequirement};
 use rand::RngCore;
 use std::ops::ControlFlow;
@@ -58,6 +59,12 @@ pub struct RunnerConfig {
     /// strictly serial. Results are bit-identical at any setting — pin `1`
     /// only to simplify profiling or low-level debugging.
     pub inner_threads: usize,
+    /// Compute backend for the dense kernels (GEMM, ALS gram updates,
+    /// ReLU fusion): `Auto` (default) resolves `DRCELL_BACKEND` then
+    /// hardware detection; `Scalar`/`Simd` force a backend. Like
+    /// `inner_threads`, this is an execution knob — every backend emits
+    /// bit-identical results, so it never appears in recorded rows.
+    pub compute_backend: BackendChoice,
 }
 
 impl Default for RunnerConfig {
@@ -76,6 +83,7 @@ impl Default for RunnerConfig {
             max_selections_per_cycle: None,
             assess_every: 1,
             inner_threads: 0,
+            compute_backend: BackendChoice::default(),
         }
     }
 }
@@ -191,6 +199,10 @@ impl<'a> SparseMcsRunner<'a> {
                 reason: "min_selections_per_cycle must be at least 2 (leave-one-out)".to_owned(),
             });
         }
+        // Resolve the process-wide backend up front so every kernel the
+        // run touches (final inference, assessment, policy networks) sees
+        // one consistent selection.
+        backend::select(config.compute_backend);
         let final_cs =
             CompressiveSensing::new(config.inference.clone())?.with_threads(config.inner_threads);
         let assess_cs = CompressiveSensing::new(config.assessment_inference.clone())?

@@ -15,7 +15,7 @@
 //! use time against [`AlsProblem::mean`]. This lets one observation-list
 //! build serve every leave-one-out sub-problem, whose means all differ.
 
-use drcell_linalg::{solve, Matrix};
+use drcell_linalg::{backend, kernels, solve, Matrix};
 use drcell_pool::Pool;
 
 use crate::{InferenceError, ObservedMatrix};
@@ -207,18 +207,14 @@ fn solve_u_row(
     }
     s.gram.as_mut_slice().fill(0.0);
     s.rhs.fill(0.0);
+    let kind = backend::active_kind();
     for &(t, raw) in &p.data.row_obs[i] {
         if p.skips(i, t) {
             continue;
         }
         let d = raw - p.mean;
         let vt = v.row(t);
-        for a in 0..r {
-            s.rhs[a] += d * vt[a];
-            for b in 0..r {
-                s.gram[(a, b)] += vt[a] * vt[b];
-            }
-        }
+        kernels::gram_rhs_update(kind, s.gram.as_mut_slice(), &mut s.rhs, d, vt);
     }
     let ridge = p.lambda * n_eff as f64;
     for a in 0..r {
@@ -279,18 +275,14 @@ fn solve_v_row_into(
     }
     s.gram.as_mut_slice().fill(0.0);
     s.rhs.fill(0.0);
+    let kind = backend::active_kind();
     for &(i, raw) in &p.data.col_obs[t] {
         if p.skips(i, t) {
             continue;
         }
         let d = raw - p.mean;
         let ui = u.row(i);
-        for a in 0..r {
-            s.rhs[a] += d * ui[a];
-            for b in 0..r {
-                s.gram[(a, b)] += ui[a] * ui[b];
-            }
-        }
+        kernels::gram_rhs_update(kind, s.gram.as_mut_slice(), &mut s.rhs, d, ui);
     }
     let ridge = p.lambda * n_eff as f64;
     for a in 0..r {

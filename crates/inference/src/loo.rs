@@ -33,7 +33,7 @@
 //! enforced by this crate's property tests.
 
 use drcell_datasets::DataMatrix;
-use drcell_linalg::{solve, Matrix};
+use drcell_linalg::{backend, kernels, solve, Matrix};
 use drcell_pool::Pool;
 use serde::{Deserialize, Serialize};
 
@@ -378,19 +378,21 @@ impl BatchedLooEngine {
         let mut gram0: Vec<Matrix> = Vec::with_capacity(data.m);
         let mut rhs_raw: Vec<Vec<f64>> = Vec::with_capacity(data.m);
         let mut vsum: Vec<Vec<f64>> = Vec::with_capacity(data.m);
+        let kind = backend::active_kind();
         for obs_row in &data.row_obs {
             let mut gram = Matrix::zeros(r, r);
             let mut rhs = vec![0.0; r];
             let mut sum = vec![0.0; r];
             for &(t, raw) in obs_row {
                 let vt = v0.row(t);
-                for a in 0..r {
-                    rhs[a] += raw * vt[a];
-                    sum[a] += vt[a];
-                    for b in 0..r {
-                        gram[(a, b)] += vt[a] * vt[b];
-                    }
-                }
+                kernels::gram_rhs_vsum_update(
+                    kind,
+                    gram.as_mut_slice(),
+                    &mut rhs,
+                    &mut sum,
+                    raw,
+                    vt,
+                );
             }
             gram0.push(gram);
             rhs_raw.push(rhs);
@@ -455,14 +457,16 @@ impl BatchedLooEngine {
                         .gram
                         .as_mut_slice()
                         .copy_from_slice(gram0[cell].as_slice());
-                    for a in 0..r {
-                        sc.als.rhs[a] = rhs_raw[cell][a]
-                            - x * v_tau_base[a]
-                            - mean1 * (vsum[cell][a] - v_tau_base[a]);
-                        for b in 0..r {
-                            sc.als.gram[(a, b)] -= v_tau_base[a] * v_tau_base[b];
-                        }
-                    }
+                    kernels::downdate_rank1(
+                        kind,
+                        sc.als.gram.as_mut_slice(),
+                        &mut sc.als.rhs,
+                        &rhs_raw[cell],
+                        &vsum[cell],
+                        x,
+                        mean1,
+                        &v_tau_base,
+                    );
                     let ridge = lambda1 * problem.row_len(cell) as f64;
                     for a in 0..r {
                         sc.als.gram[(a, a)] += ridge;
@@ -500,14 +504,17 @@ impl BatchedLooEngine {
                         .copy_from_slice(gram0[i].as_slice());
                     if obs.is_observed(i, cycle) {
                         let xi = obs.get(i, cycle).expect("mask checked");
-                        for a in 0..r {
-                            sc.als.rhs[a] = rhs_raw[i][a] - xi * v_tau_base[a] + xi * sc.v_tau[a]
-                                - mean1 * (vsum[i][a] - v_tau_base[a] + sc.v_tau[a]);
-                            for b in 0..r {
-                                sc.als.gram[(a, b)] +=
-                                    sc.v_tau[a] * sc.v_tau[b] - v_tau_base[a] * v_tau_base[b];
-                            }
-                        }
+                        kernels::correct_rank2(
+                            kind,
+                            sc.als.gram.as_mut_slice(),
+                            &mut sc.als.rhs,
+                            &rhs_raw[i],
+                            &vsum[i],
+                            xi,
+                            mean1,
+                            &v_tau_base,
+                            &sc.v_tau,
+                        );
                     } else {
                         for a in 0..r {
                             sc.als.rhs[a] = rhs_raw[i][a] - mean1 * vsum[i][a];

@@ -30,6 +30,12 @@
 //!   training traces exactly.
 //! * `α` is folded into the packed copy of `A` (`α·a` then multiplied by
 //!   `b`), keeping the single-rounding-per-term accumulation order.
+//! * The micro-kernel is chosen per call from the active
+//!   [`crate::backend`]: the scalar 8×8 tile (the oracle) or an explicit
+//!   SIMD tile (AVX-512 8×16 / AVX2 8×8). Every tile preserves the same
+//!   per-element multiply/add sequence — no FMA contraction — so the
+//!   backends are bitwise interchangeable (finite values exactly; NaN
+//!   payload bits excepted, as everywhere in IEEE-754).
 //!
 //! ```
 //! use drcell_linalg::gemm::{gemm, Trans};
@@ -53,6 +59,7 @@ use std::cell::RefCell;
 /// `drcell-pool` dependency.
 pub use drcell_pool::Pool;
 
+use crate::backend::{self, BackendKind};
 use crate::{LinalgError, Matrix};
 
 /// Whether an operand enters the product as itself or transposed.
@@ -68,6 +75,31 @@ pub enum Trans {
 const MR: usize = 8;
 /// Micro-kernel register tile width (columns of `C` per inner call).
 const NR: usize = 8;
+
+/// A micro-kernel: `(pack_a, pack_b, kc, c, n, row0, col0, mr, nr, beta)`
+/// where `mr`/`nr` are the *valid* lane counts of this edge tile (the
+/// packed panels are always padded to the backend's full tile). The
+/// scalar kernel and the SIMD kernels in [`crate::simd`] all share this
+/// shape, so the blocked driver dispatches through one function pointer
+/// chosen per call from the active backend.
+pub(crate) type MicroFn =
+    fn(&[f64], &[f64], usize, &mut [f64], usize, usize, usize, usize, usize, f64);
+
+/// The register tile of `kind`: `(tile rows, tile cols, micro kernel)`.
+/// Packing layout is internal to the call, and per output element every
+/// tile accumulates the same ascending-`k` multiply/add sequence, so the
+/// tile shape never changes results — only throughput.
+fn tile_for(kind: BackendKind) -> (usize, usize, MicroFn) {
+    match kind {
+        BackendKind::Scalar => (MR, NR, micro_kernel),
+        #[cfg(target_arch = "x86_64")]
+        BackendKind::Simd => crate::simd::gemm_tile(),
+        // The Simd backend is never selectable off x86-64; keep the
+        // scalar tile as the defensive fallback.
+        #[cfg(not(target_arch = "x86_64"))]
+        BackendKind::Simd => (MR, NR, micro_kernel),
+    }
+}
 /// `k`-dimension cache block (packed panels span at most `KC` products).
 const KC: usize = 256;
 /// Row cache block: `MC × KC` of packed `A` targets the L2 cache.
@@ -150,6 +182,45 @@ pub fn gemm_slice_ws(
     c: &mut [f64],
     ws: &mut GemmWorkspace,
 ) -> Result<(), LinalgError> {
+    gemm_slice_ws_with_kind(
+        backend::active_kind(),
+        alpha,
+        a,
+        a_rows,
+        a_cols,
+        ta,
+        b,
+        b_rows,
+        b_cols,
+        tb,
+        beta,
+        c,
+        ws,
+    )
+}
+
+/// [`gemm_slice_ws`] with an explicit backend kind — the layer the
+/// differential oracle tests drive to compare backends in one process.
+///
+/// # Errors
+///
+/// See [`gemm_slice_ws`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_slice_ws_with_kind(
+    kind: BackendKind,
+    alpha: f64,
+    a: &[f64],
+    a_rows: usize,
+    a_cols: usize,
+    ta: Trans,
+    b: &[f64],
+    b_rows: usize,
+    b_cols: usize,
+    tb: Trans,
+    beta: f64,
+    c: &mut [f64],
+    ws: &mut GemmWorkspace,
+) -> Result<(), LinalgError> {
     let (m, ka) = op_shape(a_rows, a_cols, ta);
     let (kb, n) = op_shape(b_rows, b_cols, tb);
     if ka != kb || a.len() != a_rows * a_cols || b.len() != b_rows * b_cols || c.len() != m * n {
@@ -168,10 +239,11 @@ pub fn gemm_slice_ws(
         return Ok(());
     }
 
+    let (mr, nr, micro) = tile_for(kind);
     // Grow the packing buffers to this problem's block sizes once.
     let kc_max = k.min(KC);
-    ws.pack_a.resize(MC.min(m).div_ceil(MR) * MR * kc_max, 0.0);
-    ws.pack_b.resize(NC.min(n).div_ceil(NR) * NR * kc_max, 0.0);
+    ws.pack_a.resize(MC.min(m).div_ceil(mr) * mr * kc_max, 0.0);
+    ws.pack_b.resize(NC.min(n).div_ceil(nr) * nr * kc_max, 0.0);
 
     for jc in (0..n).step_by(NC) {
         let nc = NC.min(n - jc);
@@ -180,15 +252,56 @@ pub fn gemm_slice_ws(
             // β applies once, on the first k block; later blocks continue
             // accumulating onto the partial sums already in C.
             let beta_eff = if pc == 0 { beta } else { 1.0 };
-            pack_b_panel(&mut ws.pack_b, b, b_cols, tb, pc, kc, jc, nc);
+            pack_b_panel(&mut ws.pack_b, b, b_cols, tb, pc, kc, jc, nc, nr);
             for ic in (0..m).step_by(MC) {
                 let mc = MC.min(m - ic);
-                pack_a_panel(&mut ws.pack_a, a, a_cols, ta, alpha, ic, mc, pc, kc);
-                macro_kernel(&ws.pack_a, &ws.pack_b, c, n, ic, mc, jc, nc, kc, beta_eff);
+                pack_a_panel(&mut ws.pack_a, a, a_cols, ta, alpha, ic, mc, pc, kc, mr);
+                macro_kernel(
+                    &ws.pack_a, &ws.pack_b, c, n, ic, mc, jc, nc, kc, beta_eff, mr, nr, micro,
+                );
             }
         }
     }
     Ok(())
+}
+
+/// [`gemm_slice_ws_with_kind`] against the shared per-thread workspace.
+///
+/// # Errors
+///
+/// See [`gemm_slice_ws`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_slice_with_kind(
+    kind: BackendKind,
+    alpha: f64,
+    a: &[f64],
+    a_rows: usize,
+    a_cols: usize,
+    ta: Trans,
+    b: &[f64],
+    b_rows: usize,
+    b_cols: usize,
+    tb: Trans,
+    beta: f64,
+    c: &mut [f64],
+) -> Result<(), LinalgError> {
+    THREAD_WS.with(|ws| {
+        gemm_slice_ws_with_kind(
+            kind,
+            alpha,
+            a,
+            a_rows,
+            a_cols,
+            ta,
+            b,
+            b_rows,
+            b_cols,
+            tb,
+            beta,
+            c,
+            &mut ws.borrow_mut(),
+        )
+    })
 }
 
 /// `c ← β·c` respecting the BLAS `β = 0` overwrite convention.
@@ -202,9 +315,9 @@ fn scale_c(c: &mut [f64], beta: f64) {
     }
 }
 
-/// Packs `α·op(A)[ic..ic+mc][pc..pc+kc]` into MR-row micro-panels laid out
-/// `k`-major (`panel[(ip·kc + p)·MR + i]`), zero-padding the last partial
-/// panel so the micro-kernel never branches on row bounds.
+/// Packs `α·op(A)[ic..ic+mc][pc..pc+kc]` into `tile_mr`-row micro-panels
+/// laid out `k`-major (`panel[(ip·kc + p)·tile_mr + i]`), zero-padding the
+/// last partial panel so the micro-kernel never branches on row bounds.
 #[allow(clippy::too_many_arguments)]
 fn pack_a_panel(
     pack: &mut [f64],
@@ -216,15 +329,16 @@ fn pack_a_panel(
     mc: usize,
     pc: usize,
     kc: usize,
+    tile_mr: usize,
 ) {
-    for ip in 0..mc.div_ceil(MR) {
-        let rows = MR.min(mc - ip * MR);
-        let base = ip * kc * MR;
+    for ip in 0..mc.div_ceil(tile_mr) {
+        let rows = tile_mr.min(mc - ip * tile_mr);
+        let base = ip * kc * tile_mr;
         for p in 0..kc {
-            let dst = &mut pack[base + p * MR..base + p * MR + MR];
+            let dst = &mut pack[base + p * tile_mr..base + (p + 1) * tile_mr];
             for (i, d) in dst.iter_mut().enumerate() {
                 *d = if i < rows {
-                    alpha * op_at(a, a_cols, ta, ic + ip * MR + i, pc + p)
+                    alpha * op_at(a, a_cols, ta, ic + ip * tile_mr + i, pc + p)
                 } else {
                     0.0
                 };
@@ -233,8 +347,8 @@ fn pack_a_panel(
     }
 }
 
-/// Packs `op(B)[pc..pc+kc][jc..jc+nc]` into NR-column micro-panels laid
-/// out `k`-major (`panel[(jp·kc + p)·NR + j]`), zero-padded like
+/// Packs `op(B)[pc..pc+kc][jc..jc+nc]` into `tile_nr`-column micro-panels
+/// laid out `k`-major (`panel[(jp·kc + p)·tile_nr + j]`), zero-padded like
 /// [`pack_a_panel`].
 #[allow(clippy::too_many_arguments)]
 fn pack_b_panel(
@@ -246,26 +360,27 @@ fn pack_b_panel(
     kc: usize,
     jc: usize,
     nc: usize,
+    tile_nr: usize,
 ) {
-    for jp in 0..nc.div_ceil(NR) {
-        let cols = NR.min(nc - jp * NR);
-        let base = jp * kc * NR;
+    for jp in 0..nc.div_ceil(tile_nr) {
+        let cols = tile_nr.min(nc - jp * tile_nr);
+        let base = jp * kc * tile_nr;
         match tb {
             // op(B) row-major: each packed p-row is a contiguous copy.
             Trans::No => {
                 for p in 0..kc {
-                    let src = (pc + p) * b_cols + jc + jp * NR;
-                    let dst = &mut pack[base + p * NR..base + p * NR + NR];
+                    let src = (pc + p) * b_cols + jc + jp * tile_nr;
+                    let dst = &mut pack[base + p * tile_nr..base + (p + 1) * tile_nr];
                     dst[..cols].copy_from_slice(&b[src..src + cols]);
                     dst[cols..].fill(0.0);
                 }
             }
             Trans::Yes => {
                 for p in 0..kc {
-                    let dst = &mut pack[base + p * NR..base + p * NR + NR];
+                    let dst = &mut pack[base + p * tile_nr..base + (p + 1) * tile_nr];
                     for (j, d) in dst.iter_mut().enumerate() {
                         *d = if j < cols {
-                            b[(jc + jp * NR + j) * b_cols + pc + p]
+                            b[(jc + jp * tile_nr + j) * b_cols + pc + p]
                         } else {
                             0.0
                         };
@@ -291,14 +406,28 @@ fn macro_kernel(
     nc: usize,
     kc: usize,
     beta: f64,
+    tile_mr: usize,
+    tile_nr: usize,
+    micro: MicroFn,
 ) {
-    for jp in 0..nc.div_ceil(NR) {
-        let nr = NR.min(nc - jp * NR);
-        let pb = &pack_b[jp * kc * NR..(jp + 1) * kc * NR];
-        for ip in 0..mc.div_ceil(MR) {
-            let mr = MR.min(mc - ip * MR);
-            let pa = &pack_a[ip * kc * MR..(ip + 1) * kc * MR];
-            micro_kernel(pa, pb, kc, c, n, ic + ip * MR, jc + jp * NR, mr, nr, beta);
+    for jp in 0..nc.div_ceil(tile_nr) {
+        let nr = tile_nr.min(nc - jp * tile_nr);
+        let pb = &pack_b[jp * kc * tile_nr..(jp + 1) * kc * tile_nr];
+        for ip in 0..mc.div_ceil(tile_mr) {
+            let mr = tile_mr.min(mc - ip * tile_mr);
+            let pa = &pack_a[ip * kc * tile_mr..(ip + 1) * kc * tile_mr];
+            micro(
+                pa,
+                pb,
+                kc,
+                c,
+                n,
+                ic + ip * tile_mr,
+                jc + jp * tile_nr,
+                mr,
+                nr,
+                beta,
+            );
         }
     }
 }
@@ -415,6 +544,9 @@ pub fn gemm_slice_pool(
         );
     }
 
+    // One backend/tile decision per call, shared by every worker, so a
+    // concurrent re-selection can never split a multiply across kernels.
+    let (mr, nr, micro) = tile_for(backend::active_kind());
     let kc_max = k.min(KC);
     Pool::new(workers).run_slots(
         c,
@@ -426,8 +558,8 @@ pub fn gemm_slice_pool(
             // Sized for the largest block; no-ops on every later block
             // this worker claims (a partial final block must not shrink
             // the buffer it would only have to regrow).
-            ws.pack_a.resize(MC.min(m).div_ceil(MR) * MR * kc_max, 0.0);
-            ws.pack_b.resize(NC.min(n).div_ceil(NR) * NR * kc_max, 0.0);
+            ws.pack_a.resize(MC.min(m).div_ceil(mr) * mr * kc_max, 0.0);
+            ws.pack_b.resize(NC.min(n).div_ceil(nr) * nr * kc_max, 0.0);
             for jc in (0..n).step_by(NC) {
                 let nc = NC.min(n - jc);
                 for pc in (0..k).step_by(KC) {
@@ -437,12 +569,13 @@ pub fn gemm_slice_pool(
                     // in C — same rule as the serial kernel, preserved per
                     // row block.
                     let beta_eff = if pc == 0 { beta } else { 1.0 };
-                    pack_b_panel(&mut ws.pack_b, b, b_cols, tb, pc, kc, jc, nc);
-                    pack_a_panel(&mut ws.pack_a, a, a_cols, ta, alpha, ic, mc, pc, kc);
+                    pack_b_panel(&mut ws.pack_b, b, b_cols, tb, pc, kc, jc, nc, nr);
+                    pack_a_panel(&mut ws.pack_a, a, a_cols, ta, alpha, ic, mc, pc, kc, mr);
                     // `c_rows` starts at row `ic`, so the kernel runs with
                     // a zero row base over the block's own slice.
                     macro_kernel(
-                        &ws.pack_a, &ws.pack_b, c_rows, n, 0, mc, jc, nc, kc, beta_eff,
+                        &ws.pack_a, &ws.pack_b, c_rows, n, 0, mc, jc, nc, kc, beta_eff, mr, nr,
+                        micro,
                     );
                 }
             }

@@ -27,11 +27,15 @@
 
 mod error;
 mod matrix;
+mod simd;
 
+pub mod backend;
 pub mod decomp;
 pub mod gemm;
+pub mod kernels;
 pub mod solve;
 pub mod vector;
 
+pub use backend::{BackendChoice, BackendKind};
 pub use error::LinalgError;
 pub use matrix::Matrix;

@@ -26,7 +26,17 @@ impl Activation {
     pub fn apply(self, x: f64) -> f64 {
         match self {
             Activation::Identity => x,
-            Activation::Relu => x.max(0.0),
+            // Deliberately not `x.max(0.0)`: Rust documents `max(-0.0,
+            // 0.0)` as either-zero nondeterministic, while this branch is
+            // pinned to +0.0 for -0.0 and NaN — exactly what the SIMD
+            // `maxpd(x, 0)` lane produces, keeping backends bit-identical.
+            Activation::Relu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.0
+                }
+            }
             Activation::Tanh => x.tanh(),
             Activation::Sigmoid => sigmoid(x),
         }

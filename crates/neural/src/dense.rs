@@ -1,7 +1,8 @@
 use rand::Rng;
 
+use drcell_linalg::backend;
 use drcell_linalg::gemm::{gemm_slice, Trans};
-use drcell_linalg::Matrix;
+use drcell_linalg::{kernels, Matrix};
 
 use crate::{Activation, NeuralError, Parameterized};
 
@@ -164,7 +165,13 @@ impl DenseLayer {
         .expect("dense forward shapes agree");
         post.resize(n, self.out_dim);
         post.as_mut_slice().copy_from_slice(pre.as_slice());
-        post.map_inplace(|z| self.activation.apply(z));
+        // ReLU is `max(x, 0)` elementwise and has a bit-identical SIMD
+        // form; the transcendental activations stay on the scalar path.
+        if self.activation == Activation::Relu {
+            kernels::relu_slice(backend::active_kind(), post.as_mut_slice());
+        } else {
+            post.map_inplace(|z| self.activation.apply(z));
+        }
     }
 
     /// Batch backward pass. `x` and `pre` must come from the matching
@@ -204,14 +211,19 @@ impl DenseLayer {
         assert_eq!(x.cols(), self.in_dim, "x width");
         let w_len = self.in_dim * self.out_dim;
 
+        let kind = backend::active_kind();
         dz.resize(n, self.out_dim);
-        for ((d, &dp), &p) in dz
-            .as_mut_slice()
-            .iter_mut()
-            .zip(d_post.as_slice())
-            .zip(pre.as_slice())
-        {
-            *d = dp * self.activation.derivative(p);
+        if self.activation == Activation::Relu {
+            kernels::relu_grad_fuse(kind, dz.as_mut_slice(), d_post.as_slice(), pre.as_slice());
+        } else {
+            for ((d, &dp), &p) in dz
+                .as_mut_slice()
+                .iter_mut()
+                .zip(d_post.as_slice())
+                .zip(pre.as_slice())
+            {
+                *d = dp * self.activation.derivative(p);
+            }
         }
 
         // dW[o][i] += Σₛ dz[s][o]·x[s][i], accumulated onto the existing
@@ -232,9 +244,7 @@ impl DenseLayer {
         )
         .expect("dense weight-gradient shapes agree");
         for s in 0..n {
-            for (g, &d) in self.grads[w_len..].iter_mut().zip(dz.row(s)) {
-                *g += d;
-            }
+            kernels::add_assign(kind, &mut self.grads[w_len..], dz.row(s));
         }
         if let Some(dx) = dx {
             dx.resize(n, self.in_dim);

@@ -57,9 +57,11 @@ fn sort_maps(value: &mut Value) {
     }
 }
 
-/// Replaces the `runner.inner_threads` entry with `null`, erasing the one
-/// spec field that is execution-sizing only (bit-identical output at any
-/// pool size is a CI-pinned invariant).
+/// Normalises the execution-only runner fields: `runner.inner_threads`
+/// (worker-pool sizing) becomes `null` and `runner.compute` (the compute
+/// backend) becomes `"auto"`. Both are pinned bit-identical-output knobs
+/// — any pool size and any backend emit the same bytes — so the same
+/// scenario run serial/pooled, scalar/SIMD shares one cache entry.
 fn erase_execution_fields(value: &mut Value) {
     if let Value::Map(entries) = value {
         if let Some((_, Value::Map(runner_entries))) =
@@ -68,6 +70,8 @@ fn erase_execution_fields(value: &mut Value) {
             for (k, v) in runner_entries.iter_mut() {
                 if k == "inner_threads" {
                     *v = Value::Null;
+                } else if k == "compute" {
+                    *v = Value::Str("auto".to_owned());
                 }
             }
         }
@@ -127,6 +131,24 @@ mod tests {
         let v = b.to_value();
         let back = <ScenarioSpec as serde::Deserialize>::from_value(&v).unwrap();
         assert_eq!(back.runner.inner_threads, Some(4));
+    }
+
+    #[test]
+    fn compute_backend_is_erased() {
+        use drcell_core::BackendChoice;
+        let mut a = registry::find("synthetic-smooth").expect("built-in");
+        let mut b = a.clone();
+        a.runner.compute = BackendChoice::Scalar;
+        b.runner.compute = BackendChoice::Simd;
+        assert_eq!(
+            a.canonical_json(),
+            b.canonical_json(),
+            "backend choice must not change the cache key"
+        );
+        // The ordinary serde path still round-trips the field.
+        let v = b.to_value();
+        let back = <ScenarioSpec as serde::Deserialize>::from_value(&v).unwrap();
+        assert_eq!(back.runner.compute, BackendChoice::Simd);
     }
 
     #[test]

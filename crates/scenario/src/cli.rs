@@ -17,6 +17,7 @@ use std::fs;
 use std::io::Write;
 use std::path::Path;
 
+use drcell_core::{backend, BackendChoice};
 use serde::Deserialize;
 
 use crate::exec::ScenarioResult;
@@ -38,6 +39,9 @@ pub struct Options {
     /// Per-scenario inner worker-pool size override (`None` = keep the
     /// spec's setting; scenarios then default to their budget share).
     pub inner_threads: Option<usize>,
+    /// Compute-backend override (`None` = keep the spec's setting, which
+    /// defaults to auto-detection honouring `DRCELL_BACKEND`).
+    pub backend: Option<BackendChoice>,
     /// JSONL output path.
     pub jsonl: Option<String>,
     /// CSV output path.
@@ -81,6 +85,14 @@ impl Options {
                     let v = take("an integer")?;
                     opts.inner_threads = Some(v.parse().map_err(|_| {
                         ScenarioError::Invalid(format!("bad --inner-threads value `{v}`"))
+                    })?);
+                }
+                "--backend" => {
+                    let v = take("auto|scalar|simd")?;
+                    opts.backend = Some(BackendChoice::parse(&v).ok_or_else(|| {
+                        ScenarioError::Invalid(format!(
+                            "bad --backend value `{v}` (auto|scalar|simd)"
+                        ))
                     })?);
                 }
                 "--jsonl" => opts.jsonl = Some(take("a file path")?),
@@ -140,6 +152,10 @@ fn write_outputs(opts: &Options, results: &[&ScenarioResult]) -> Result<(), Scen
 /// nonzero instead of silently producing incomplete result files.
 fn execute_and_write(specs: Vec<ScenarioSpec>, opts: &Options) -> Result<(), ScenarioError> {
     let engine = SweepEngine::new(opts.threads);
+    // Resolve the backend up front (the runners re-select the same choice)
+    // so the startup log records what will actually execute.
+    backend::select(specs.first().map(|s| s.runner.compute).unwrap_or_default());
+    eprintln!("{}", backend::startup_line());
     eprintln!(
         "running {} scenario(s) on {} worker thread(s) ...",
         specs.len(),
@@ -221,6 +237,9 @@ pub fn cmd_run(opts: &Options) -> Result<(), ScenarioError> {
     if opts.inner_threads.is_some() {
         spec.runner.inner_threads = opts.inner_threads;
     }
+    if let Some(b) = opts.backend {
+        spec.runner.compute = b;
+    }
     execute_and_write(vec![spec], opts)
 }
 
@@ -240,7 +259,13 @@ pub fn cmd_sweep(opts: &Options) -> Result<(), ScenarioError> {
     if opts.inner_threads.is_some() {
         sweep.inner_threads = opts.inner_threads;
     }
-    execute_and_write(sweep.expand(), opts)
+    let mut specs = sweep.expand();
+    if let Some(b) = opts.backend {
+        for spec in &mut specs {
+            spec.runner.compute = b;
+        }
+    }
+    execute_and_write(specs, opts)
 }
 
 /// Entry point used by the binary: dispatches on the subcommand.
@@ -283,16 +308,18 @@ pub fn usage() -> String {
        drcell-scenario list\n\
        drcell-scenario run   --name <scenario> | --spec file.{toml,json}\n\
                              [--seed N] [--threads N] [--inner-threads N]\n\
+                             [--backend auto|scalar|simd]\n\
                              [--jsonl out] [--csv out]\n\
        drcell-scenario sweep [--spec file.{toml,json}] [--seed N] [--threads N]\n\
-                             [--inner-threads N] [--jsonl out] [--csv out]\n\
-                             [--summary out]\n\
+                             [--inner-threads N] [--backend auto|scalar|simd]\n\
+                             [--jsonl out] [--csv out] [--summary out]\n\
      \n\
      --threads N parallelises across scenarios; --inner-threads N sizes the\n\
      worker pool inside each scenario (assessment fan-out, ALS sweeps).\n\
      Unset, the inner pools take the remaining thread-budget share, so\n\
-     outer x inner never oversubscribes. Results are byte-identical at any\n\
-     combination.\n\
+     outer x inner never oversubscribes. --backend picks the compute\n\
+     kernels (auto detects SIMD; DRCELL_BACKEND=scalar|simd also works).\n\
+     Results are byte-identical at any combination of all three knobs.\n\
      \n\
      Without --spec, `sweep` runs the built-in 8-scenario default grid.\n\
      For long-running serving (stream rows over a socket), see the\n\

@@ -6,6 +6,7 @@
 //! [`SweepSpec`] expands parameter axes over a base scenario into a full
 //! scenario matrix for the engine.
 
+use drcell_core::BackendChoice;
 use drcell_core::{
     CellSelectionPolicy, DrCellPolicy, DrCellTrainer, GreedyErrorPolicy, McsEnvConfig,
     OnlineDrCellConfig, OnlineDrCellPolicy, QbcPolicy, RandomPolicy, RunnerConfig, SensingTask,
@@ -399,6 +400,11 @@ pub struct RunnerSpec {
     /// bit-identical at any setting, so pre-existing specs keep both
     /// parsing and reproducing.
     pub inner_threads: Option<usize>,
+    /// Compute backend for the dense kernels (`auto`/`scalar`/`simd`;
+    /// absent = `auto`). Execution-only like `inner_threads`: every
+    /// backend emits bit-identical rows, so the canonical form erases it
+    /// and cache keys never depend on it.
+    pub compute: BackendChoice,
 }
 
 impl Default for RunnerSpec {
@@ -410,6 +416,7 @@ impl Default for RunnerSpec {
             assess_every: 1,
             backend: AssessmentBackend::default(),
             inner_threads: None,
+            compute: BackendChoice::default(),
         }
     }
 }
@@ -424,6 +431,7 @@ impl RunnerSpec {
             assess_every: self.assess_every,
             assessment_backend: self.backend,
             inner_threads: self.inner_threads.unwrap_or(0),
+            compute_backend: self.compute,
             ..RunnerConfig::default()
         }
     }

@@ -229,6 +229,7 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         max_queue_age_secs: opts.max_queue_age_secs,
     };
     let server = Server::bind_with(addr, config).map_err(|e| format!("bind {addr}: {e}"))?;
+    eprintln!("{}", drcell_core::backend::startup_line());
     eprintln!(
         "drcell-serve listening on {} with {} worker(s)",
         server.local_addr().map_err(|e| e.to_string())?,
@@ -395,6 +396,7 @@ fn cmd_fansweep(opts: &Options) -> Result<(), String> {
         resume: opts.resume,
         ..FleetConfig::default()
     };
+    eprintln!("{}", drcell_core::backend::startup_line());
     eprintln!(
         "fansweep: {} scenario(s) over {} daemon(s){}",
         sweep.matrix_len(),

@@ -193,15 +193,20 @@ impl DaemonProc {
             .spawn()
             .expect("spawn daemon process");
         let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
-        let mut banner = String::new();
-        stderr.read_line(&mut banner).expect("read banner");
-        // "drcell-serve listening on 127.0.0.1:PORT with 1 worker(s)"
-        let addr = banner
-            .split("listening on ")
-            .nth(1)
-            .and_then(|rest| rest.split_whitespace().next())
-            .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"))
-            .to_owned();
+        // Startup preamble (e.g. the "compute backend:" line) precedes
+        // "drcell-serve listening on 127.0.0.1:PORT with 1 worker(s)".
+        let addr = loop {
+            let mut banner = String::new();
+            let n = stderr.read_line(&mut banner).expect("read banner");
+            assert!(n > 0, "daemon exited before printing its banner");
+            if let Some(rest) = banner.split("listening on ").nth(1) {
+                break rest
+                    .split_whitespace()
+                    .next()
+                    .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"))
+                    .to_owned();
+            }
+        };
         DaemonProc {
             child,
             addr,

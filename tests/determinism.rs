@@ -108,6 +108,35 @@ fn sweep_jsonl_byte_identical_across_thread_counts_naive() {
 }
 
 #[test]
+fn sweep_jsonl_byte_identical_across_compute_backends() {
+    // Invariant 9: the compute backend (scalar oracle loops vs SIMD
+    // tiles) never changes one byte of the emitted rows. Run the same
+    // 2-scenario sweep with each backend forced via the spec field and
+    // compare the JSONL wholesale. On hosts without AVX2 the simd request
+    // falls back to scalar (loudly) and the comparison degenerates to
+    // scalar-vs-scalar — still a valid regression, CI provides the AVX2
+    // runs.
+    use drcell::core::BackendChoice;
+    let with_compute = |choice: BackendChoice| {
+        let mut specs = two_scenario_sweep(AssessmentBackend::Batched, Some(2));
+        for s in &mut specs {
+            s.runner.compute = choice;
+        }
+        specs
+    };
+    let scalar = jsonl_at(2, &with_compute(BackendChoice::Scalar));
+    assert!(!scalar.is_empty());
+    let simd = jsonl_at(2, &with_compute(BackendChoice::Simd));
+    assert_eq!(
+        scalar, simd,
+        "compute backend changed the emitted rows (invariant 9)"
+    );
+    // Auto (detection / DRCELL_BACKEND) must land on the same bytes too.
+    let auto = jsonl_at(2, &with_compute(BackendChoice::Auto));
+    assert_eq!(scalar, auto, "auto-detected backend diverged");
+}
+
+#[test]
 fn backends_write_rows_for_identical_selections() {
     // The two backends' rows may differ in estimated probability, but the
     // cells they record as selected must match (the cross-backend trace

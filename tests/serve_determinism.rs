@@ -145,3 +145,32 @@ fn sweep_job_matches_sweep_engine_jsonl_byte_for_byte() {
     client.shutdown().expect("shutdown");
     daemon.join().expect("daemon thread").expect("daemon exit");
 }
+
+#[test]
+fn served_rows_identical_under_forced_scalar_and_simd_backends() {
+    // Invariant 9 at the serving layer: forcing the compute backend in
+    // the submitted spec (an execution-only knob) must not change one
+    // byte of the served stream — and both forced runs must equal the
+    // engine reference. Without AVX2 the simd leg falls back to scalar.
+    use drcell::core::BackendChoice;
+    let rows_with = |choice: BackendChoice| {
+        let mut sweep = sweep_spec();
+        sweep.base.runner.compute = choice;
+        let server = Server::bind("127.0.0.1:0", 2).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let daemon = std::thread::spawn(move || server.run());
+        let mut client = Client::connect(addr).expect("connect");
+        let output = client
+            .sweep(&sweep)
+            .expect("submit sweep")
+            .collect()
+            .expect("stream");
+        client.shutdown().expect("shutdown");
+        daemon.join().expect("daemon thread").expect("daemon exit");
+        assert_eq!(output.ok, 2);
+        output.rows
+    };
+    let scalar = rows_with(BackendChoice::Scalar);
+    let simd = rows_with(BackendChoice::Simd);
+    assert_eq!(scalar, simd, "served rows depend on the compute backend");
+}
